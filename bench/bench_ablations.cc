@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Ablation studies over the 2B-SSD design choices DESIGN.md calls
+ * out (Section VI of the paper discusses most of these):
+ *
+ *  A. Write combining on/off - the paper maps BAR1 write-combining;
+ *     without WC every 8-byte store posts its own transaction.
+ *  B. Double buffering on/off - the paper's technique for hiding
+ *     BA_FLUSH behind ongoing appends.
+ *  C. Read-DMA crossover - where offloading beats raw MMIO reads.
+ *  D. BA-buffer size sweep - Section VI argues ~8 MB already reaches
+ *     the internal-datapath knee; larger buffers add capacity, not
+ *     bandwidth.
+ *  E. Group commit on/off - why multithreaded engines tolerate slow
+ *     flushes better than single-threaded Redis.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "bench_util.hh"
+#include "sim/logging.hh"
+#include "db/miniredis/miniredis.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+#include "wal/group_commit.hh"
+#include "wal/record.hh"
+#include "workload/runner.hh"
+
+using namespace bssd;
+using namespace bssd::bench;
+
+namespace
+{
+
+void
+ablationWriteCombining()
+{
+    section("A. write combining (4 KB MMIO write, CPU-visible cost)");
+    std::printf("%-18s %12s\n", "mode", "latency(us)");
+    std::vector<std::uint8_t> d(4096, 1);
+
+    {
+        ba::TwoBSsd dev;
+        dev.baPin(0, 1, 0, 0, 4096);
+        sim::Tick t0 = sim::msOf(10);
+        sim::Tick t = dev.mmioWrite(t0, 0, d);
+        t = dev.wc().drainAll(t);
+        std::printf("%-18s %12.2f\n", "WC on (64B bursts)",
+                    sim::toUs(t - t0));
+    }
+    {
+        // Uncacheable mapping: every 8-byte store is its own posted
+        // transaction (burst = 8 B).
+        ssd::SsdConfig base = ssd::SsdConfig::ullSsd();
+        base.pcieCfg.writeBurstBytes = 8;
+        ba::TwoBSsd dev(base);
+        dev.baPin(0, 1, 0, 0, 4096);
+        sim::Tick t0 = sim::msOf(10);
+        sim::Tick t = dev.mmioWrite(t0, 0, d);
+        t = dev.wc().drainAll(t);
+        std::printf("%-18s %12.2f\n", "UC (8B txns)",
+                    sim::toUs(t - t0));
+    }
+    std::printf("-> WC combining is what makes byte-granular logging "
+                "viable\n");
+}
+
+void
+ablationDoubleBuffer()
+{
+    section("B. double buffering (sustained BA-WAL append+commit)");
+    std::printf("%-18s %12s %14s\n", "mode", "ops/s", "p99 stall(us)");
+    for (bool dbl : {true, false}) {
+        ba::TwoBSsd dev;
+        wal::BaWalConfig cfg;
+        cfg.halfBytes = 512 * sim::KiB;
+        cfg.regionBytes = 512 * sim::MiB;
+        cfg.doubleBuffer = dbl;
+        wal::BaWal wal(dev, cfg);
+        sim::Tick t = sim::msOf(10);
+        sim::Tick start = t;
+        sim::Tick worst = 0;
+        const int ops = 20000;
+        std::vector<std::uint8_t> p(480, 0x3d);
+        for (int i = 0; i < ops; ++i) {
+            auto frame = wal::frameRecord(static_cast<std::uint64_t>(i),
+                                          p);
+            sim::Tick t0 = t;
+            t = wal.append(t, frame);
+            t = wal.commit(t);
+            worst = std::max(worst, t - t0);
+        }
+        double opsps = ops / sim::toSec(t - start);
+        std::printf("%-18s %12.0f %14.1f\n",
+                    dbl ? "double-buffered" : "single window", opsps,
+                    sim::toUs(worst));
+    }
+    std::printf("-> single window stalls on BA_FLUSH + re-pin at every "
+                "boundary\n");
+}
+
+void
+ablationDmaCrossover()
+{
+    section("C. read path crossover (MMIO vs read DMA)");
+    std::printf("%-8s %12s %12s %8s\n", "size", "mmio(us)", "dma(us)",
+                "winner");
+    ba::TwoBSsd dev;
+    dev.baPin(0, 1, 0, 0, 16 * 4096);
+    sim::Tick t = sim::msOf(10);
+    for (std::uint64_t sz :
+         {256u, 512u, 1024u, 1536u, 2048u, 4096u, 16384u}) {
+        std::vector<std::uint8_t> out(sz);
+        sim::Tick done = dev.mmioRead(t, 0, out);
+        double mmio = sim::toUs(done - t);
+        auto iv = dev.baReadDma(t + sim::msOf(1), 1, out);
+        double dma = sim::toUs(iv.end - iv.start);
+        std::printf("%-8s %12.1f %12.1f %8s\n", sizeLabel(sz).c_str(),
+                    mmio, dma, dma < mmio ? "dma" : "mmio");
+        t += sim::msOf(10);
+    }
+    std::printf("-> paper: the engine pays off from ~2 KB\n");
+}
+
+void
+ablationBufferSize()
+{
+    section("D. BA-buffer size (BA_FLUSH bandwidth at full-buffer "
+            "transfers)");
+    std::printf("%-10s %14s %16s\n", "buffer", "flush GB/s",
+                "dump within budget");
+    for (std::uint64_t mb : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        ba::BaConfig cfg;
+        cfg.bufferBytes = mb * sim::MiB;
+        ba::TwoBSsd dev(ssd::SsdConfig::ullSsd(), cfg);
+        dev.baPin(0, 1, 0, 0, cfg.bufferBytes);
+        auto iv = dev.baFlush(sim::sOf(1), 1);
+        double gbps = static_cast<double>(cfg.bufferBytes) /
+                      static_cast<double>(iv.end - iv.start);
+        // Capacitor check on a fresh device (expected to fail for
+        // oversized buffers; suppress the warning spam).
+        sim::setLogQuiet(true);
+        ba::TwoBSsd probe(ssd::SsdConfig::ullSsd(), cfg);
+        auto rep = probe.powerLoss(sim::msOf(1));
+        sim::setLogQuiet(false);
+        std::printf("%4lluMB    %14.2f %16s\n",
+                    static_cast<unsigned long long>(mb), gbps,
+                    rep.dump.success ? "yes" : "NO");
+    }
+    std::printf("-> bandwidth saturates by ~8 MB (the paper's choice); "
+                "much larger buffers\n   eventually exceed the "
+                "capacitor budget\n");
+}
+
+void
+ablationGroupCommit()
+{
+    section("E. group commit (8 clients on a DC-SSD block WAL)");
+    std::printf("%-18s %12s %10s\n", "mode", "ops/s", "flushes");
+    for (bool grouped : {true, false}) {
+        ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+        wal::BlockWal wal(dev, {});
+        wal::GroupCommitter gc(wal);
+        sim::ClosedLoopDriver driver;
+        std::uint64_t seq = 0;
+        for (int c = 0; c < 8; ++c) {
+            driver.addClient([&, grouped](sim::Clock &clock) {
+                std::vector<std::uint8_t> p(100, 2);
+                auto frame = wal::frameRecord(seq++, p);
+                sim::Tick t = clock.now();
+                t = wal.append(t, frame);
+                t = grouped ? gc.commit(t) : wal.commit(t);
+                clock.advanceTo(t);
+            });
+        }
+        auto ops = driver.run(sim::msOf(200));
+        std::printf("%-18s %12.0f %10llu\n",
+                    grouped ? "group commit" : "commit per txn",
+                    driver.throughputOpsPerSec(),
+                    static_cast<unsigned long long>(
+                        dev.flushesServed()));
+        (void)ops;
+    }
+    std::printf("-> grouping amortizes the flush; Redis (single "
+                "thread) cannot do this\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablations", "design-choice studies (Section VI)");
+    ablationWriteCombining();
+    ablationDoubleBuffer();
+    ablationDmaCrossover();
+    ablationBufferSize();
+    ablationGroupCommit();
+    return 0;
+}

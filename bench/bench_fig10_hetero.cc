@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 10 reproduction: heterogeneous memory architecture vs the
+ * hybrid store, on minipg + Linkbench.
+ *
+ *   baseline (2B-SSD) - BA-WAL on the hybrid store
+ *   PM + ULL-SSD      - WAL buffered in host PM, lazily destaged to a
+ *                       ULL-SSD log device
+ *   PM + DC-SSD       - same with a DC-SSD log device
+ *   ASYNC             - asynchronous commit upper bound
+ *
+ * Paper result (Section V-C): all four are nearly identical - PM+DC
+ * about 0.6% BELOW and PM+ULL about 0.4% ABOVE the 2B-SSD baseline,
+ * all close to ASYNC. The point: the hybrid store matches the
+ * heterogeneous memory architecture without spending a DIMM slot.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "ba/two_b_ssd.hh"
+#include "bench_util.hh"
+#include "db/minipg/minipg.hh"
+#include "host/host_memory.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/async_wal.hh"
+#include "wal/ba_wal.hh"
+#include "wal/pm_wal.hh"
+#include "workload/runner.hh"
+
+using namespace bssd;
+using namespace bssd::bench;
+using namespace bssd::workload;
+
+namespace
+{
+
+constexpr unsigned kClients = 8;
+constexpr sim::Tick kHorizon = sim::msOf(300);
+constexpr std::uint64_t kSeed = 20180601;
+
+double
+run(wal::LogDevice &log)
+{
+    db::minipg::MiniPg pg(log);
+    LinkbenchConfig cfg;
+    cfg.nodeCount = 50'000;
+    return runLinkbenchOnPg(pg, cfg, kClients, kHorizon, kSeed)
+        .opsPerSec;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 10",
+           "heterogeneous memory vs hybrid store (minipg + Linkbench)");
+
+    std::printf("%-14s %12s %12s\n", "config", "txn/s", "vs baseline");
+
+    double base;
+    {
+        ba::TwoBSsd dev;
+        wal::BaWal log(dev, {});
+        base = run(log);
+        std::printf("%-14s %12.0f %11.2f%%\n", "2B-SSD", base, 0.0);
+    }
+    {
+        host::PersistentMemory pm;
+        ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+        wal::PmWal log(pm, dev, {});
+        double v = run(log);
+        std::printf("%-14s %12.0f %+11.2f%%\n", "PM + ULL-SSD", v,
+                    (v / base - 1.0) * 100.0);
+    }
+    {
+        host::PersistentMemory pm;
+        ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+        wal::PmWal log(pm, dev, {});
+        double v = run(log);
+        std::printf("%-14s %12.0f %+11.2f%%\n", "PM + DC-SSD", v,
+                    (v / base - 1.0) * 100.0);
+    }
+    {
+        wal::AsyncWal log;
+        double v = run(log);
+        std::printf("%-14s %12.0f %+11.2f%%\n", "ASYNC", v,
+                    (v / base - 1.0) * 100.0);
+    }
+
+    std::printf("\npaper: PM+DC ~ -0.6%%, PM+ULL ~ +0.4%%, all close "
+                "to ASYNC -\n       the hybrid store equals a "
+                "battery-backed DIMM without the DIMM slot\n");
+    return 0;
+}

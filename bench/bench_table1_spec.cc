@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table I reproduction: the 2B-SSD specification, as configured in
+ * this model, plus the invariants the sizing must satisfy (the
+ * capacitor budget covers the BA-buffer dump; block path identical to
+ * the piggybacked ULL-SSD).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "bench_util.hh"
+#include "ssd/ssd_device.hh"
+
+using namespace bssd;
+using namespace bssd::bench;
+
+int
+main()
+{
+    banner("Table I", "2B-SSD specification");
+
+    ba::TwoBSsd dev;
+    const auto &ba = dev.baConfig();
+    const auto &base = dev.device().config();
+
+    std::printf("%-42s %s\n", "Host interface",
+                "PCIe Gen.3 x4 (3.2 GB/s model)");
+    std::printf("%-42s %s\n", "Protocol", "NVMe-like block frontend");
+    std::printf("%-42s %.0f GB logical (%s)\n", "Capacity",
+                static_cast<double>(dev.device().capacityBytes()) / 1e9,
+                base.name.c_str());
+    std::printf("%-42s %u channels x %u ways\n", "SSD architecture",
+                base.nandCfg.geometry.channels,
+                base.nandCfg.geometry.waysPerChannel);
+    std::printf("%-42s %s\n", "Storage medium",
+                "single-bit NAND flash (Z-NAND-class timing)");
+    std::printf("%-42s %u x %.0f uF\n",
+                "Capacitance of electrolytic capacitors",
+                ba.capacitorCount, ba.capacitorFarads * 1e6);
+    std::printf("%-42s %llu MB\n", "BA-buffer size",
+                static_cast<unsigned long long>(ba.bufferBytes >> 20));
+    std::printf("%-42s %u\n", "Max. entries of BA-buffer",
+                ba.maxEntries);
+
+    section("sizing invariants");
+
+    // 1. The capacitor budget must cover the power-loss dump.
+    auto rep = dev.powerLoss(sim::msOf(1));
+    std::printf("dump: %llu bytes in %.2f ms using %.1f mJ of %.1f mJ "
+                "-> %s\n",
+                static_cast<unsigned long long>(rep.dump.bytes),
+                sim::toMs(rep.dump.duration), rep.dump.joulesUsed * 1e3,
+                rep.dump.joulesBudget * 1e3,
+                rep.dump.success ? "OK" : "INSUFFICIENT");
+
+    // 2. Block path identical to the piggybacked ULL-SSD.
+    ba::TwoBSsd fresh;
+    ssd::SsdDevice ull(ssd::SsdConfig::ullSsd());
+    std::vector<std::uint8_t> page(4096, 1);
+    fresh.blockWrite(0, 0, page);
+    ull.blockWrite(0, 0, page);
+    std::vector<std::uint8_t> out(4096);
+    auto a = fresh.blockRead(sim::sOf(1), 0, out);
+    auto b = ull.blockRead(sim::sOf(1), 0, out);
+    std::printf("block read parity with ULL-SSD: %.1f us vs %.1f us "
+                "-> %s\n",
+                sim::toUs(a.end - a.start), sim::toUs(b.end - b.start),
+                (a.end - a.start) == (b.end - b.start) ? "OK"
+                                                       : "MISMATCH");
+
+    std::printf("\npaper: PCIe Gen.3 x4, NVMe 1.2, 800 GB, "
+                "multi-channel/way, 1-bit NAND,\n       270 uF x 3, "
+                "8 MB BA-buffer, 8 entries\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tail-latency comparison (Section IV-A: BA-WAL "optimizes both tail
+ * latencies and SSD lifespan").
+ *
+ * Sustained single-threaded commits on each log device; reports the
+ * mean / p99 / max commit latency. The conventional WAL's tail comes
+ * from write+fsync queueing; BA-WAL's only outliers are the (double-
+ * buffered, hence rare and tiny) half switches.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "bench_util.hh"
+#include "host/host_memory.hh"
+#include "ssd/ssd_device.hh"
+#include "sim/stats.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+#include "wal/pm_wal.hh"
+#include "wal/record.hh"
+
+using namespace bssd;
+using namespace bssd::bench;
+
+namespace
+{
+
+constexpr int kOps = 30000;
+constexpr std::size_t kPayload = 300;
+
+void
+measure(const char *name, wal::LogDevice &wal)
+{
+    sim::Distribution lat("commit");
+    std::vector<std::uint8_t> p(kPayload, 0x7a);
+    sim::Tick t = sim::msOf(10);
+    for (int i = 0; i < kOps; ++i) {
+        auto frame = wal::frameRecord(static_cast<std::uint64_t>(i), p);
+        sim::Tick t0 = t;
+        t = wal.append(t, frame);
+        t = wal.commit(t);
+        lat.sample(t - t0);
+    }
+    std::printf("%-12s %10.2f %10.2f %10.2f\n", name, lat.mean() / 1e3,
+                static_cast<double>(lat.percentile(99)) / 1e3,
+                static_cast<double>(lat.max()) / 1e3);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Tail latency",
+           "sustained commit latency: mean / p99 / max [us]");
+    std::printf("%-12s %10s %10s %10s\n", "config", "mean", "p99",
+                "max");
+
+    {
+        ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+        wal::BlockWal wal(dev, {});
+        measure("DC-SSD", wal);
+    }
+    {
+        ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+        wal::BlockWal wal(dev, {});
+        measure("ULL-SSD", wal);
+    }
+    {
+        ba::TwoBSsd dev;
+        wal::BaWalConfig cfg;
+        cfg.regionBytes = 512 * sim::MiB;
+        wal::BaWal wal(dev, cfg);
+        measure("2B-SSD", wal);
+    }
+    {
+        ba::TwoBSsd dev;
+        wal::BaWalConfig cfg;
+        cfg.regionBytes = 512 * sim::MiB;
+        cfg.doubleBuffer = false;
+        wal::BaWal wal(dev, cfg);
+        measure("2B-single", wal);
+    }
+    {
+        host::PersistentMemory pm;
+        ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+        wal::PmWalConfig cfg;
+        cfg.regionBytes = 512 * sim::MiB;
+        wal::PmWal wal(pm, dev, cfg);
+        measure("PM+ULL", wal);
+    }
+
+    std::printf("\npaper: a single NAND write per log page optimizes "
+                "tail latencies (and WAF);\ndouble buffering keeps the "
+                "p99/max tail flat where the single window spikes\n"
+                "on every BA_FLUSH + re-pin.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: consistent table output
+ * and the device/WAL configurations used across experiments.
+ *
+ * Every binary regenerates one table or figure from the paper and
+ * prints (a) the measured series and (b) the paper's reference
+ * numbers or shape expectations, so EXPERIMENTS.md can be refreshed
+ * by re-running every binary under build/bench/.
+ */
+
+#ifndef BSSD_BENCH_BENCH_UTIL_HH
+#define BSSD_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace bssd::bench
+{
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::printf("\n=============================================="
+                "==================\n");
+    std::printf("%s - %s\n", id.c_str(), title.c_str());
+    std::printf("================================================"
+                "================\n");
+}
+
+/** Print a section rule. */
+inline void
+section(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/** Human-readable byte size. */
+inline std::string
+sizeLabel(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluM",
+                      static_cast<unsigned long long>(bytes >> 20));
+    else if (bytes >= 1024 && bytes % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%lluK",
+                      static_cast<unsigned long long>(bytes >> 10));
+    else if (bytes >= 1024)
+        std::snprintf(buf, sizeof(buf), "%.1fK",
+                      static_cast<double>(bytes) / 1024.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+} // namespace bssd::bench
+
+#endif // BSSD_BENCH_BENCH_UTIL_HH

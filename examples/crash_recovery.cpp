@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The durability protocol, step by step.
+ *
+ * Walks the exact hazard chain of Fig. 3: a store to the BAR1 window
+ * sits in the CPU's write-combining buffer, then travels as a posted
+ * PCIe write, and only counts as durable after the write-verify read.
+ * Power is cut at each stage to show precisely which bytes survive,
+ * and the recovery manager's capacitor-budgeted dump brings the
+ * BA-buffer back after each outage.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+
+using namespace bssd;
+
+namespace
+{
+
+constexpr std::uint64_t kPage = 4096;
+
+/** Fresh device with a pinned scratch window. */
+ba::TwoBSsd
+freshDevice()
+{
+    ba::TwoBSsd ssd;
+    ssd.baPin(0, 1, 0, 0, 2 * kPage);
+    return ssd;
+}
+
+void
+report(const char *stage, const ba::PowerLossReport &rep, bool survived)
+{
+    std::printf("%-34s lost: %3llu B in WC, %3llu B in flight; "
+                "data %s\n",
+                stage,
+                static_cast<unsigned long long>(rep.wcBytesLost),
+                static_cast<unsigned long long>(rep.postedBytesLost),
+                survived ? "SURVIVED" : "LOST");
+}
+
+bool
+readBack(ba::TwoBSsd &ssd, std::span<const std::uint8_t> want)
+{
+    std::vector<std::uint8_t> got(want.size());
+    ssd.mmioRead(sim::sOf(1), 0, got);
+    return std::equal(want.begin(), want.end(), got.begin());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::uint8_t> record(48);
+    for (std::size_t i = 0; i < record.size(); ++i)
+        record[i] = static_cast<std::uint8_t>(0xA0 + i);
+
+    std::printf("writing a 48-byte record over MMIO, cutting power at "
+                "each protocol stage:\n\n");
+
+    // Stage 1: store issued, nothing flushed - bytes die in the WC
+    // buffer.
+    {
+        auto ssd = freshDevice();
+        sim::Tick t = ssd.mmioWrite(sim::msOf(1), 0, record);
+        auto rep = ssd.powerLoss(t);
+        ssd.powerRestore();
+        report("1. store only (in WC buffer):", rep,
+               readBack(ssd, record));
+    }
+
+    // Stage 2: clflush+mfence done, but power dies before the posted
+    // write lands - bytes die on the wire.
+    {
+        auto ssd = freshDevice();
+        sim::Tick t = ssd.mmioWrite(sim::msOf(1), 0, record);
+        t = ssd.wc().flushRange(t, 0, record.size());
+        auto rep = ssd.powerLoss(t); // before postedDrainTime
+        ssd.powerRestore();
+        report("2. flushed, not verified:", rep,
+               readBack(ssd, record));
+    }
+
+    // Stage 3: full BA_SYNC - the write-verify read has confirmed
+    // arrival; the capacitors dump the BA-buffer; everything lives.
+    {
+        auto ssd = freshDevice();
+        sim::Tick t = ssd.mmioWrite(sim::msOf(1), 0, record);
+        t = ssd.baSyncRange(t, 1, 0, record.size());
+        auto rep = ssd.powerLoss(t);
+        ssd.powerRestore();
+        report("3. BA_SYNC complete:", rep, readBack(ssd, record));
+        std::printf("\nrecovery dump: %llu bytes in %.2f ms, "
+                    "%.1f mJ of the %.1f mJ capacitor budget\n",
+                    static_cast<unsigned long long>(rep.dump.bytes),
+                    sim::toMs(rep.dump.duration),
+                    rep.dump.joulesUsed * 1e3,
+                    rep.dump.joulesBudget * 1e3);
+    }
+
+    std::printf("\nmoral: BA_SYNC (clflush + mfence + write-verify "
+                "read) is the exact point\nwhere 2B-SSD's DRAM-speed "
+                "writes become crash-proof.\n");
+    return 0;
+}

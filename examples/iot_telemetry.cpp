@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The paper's Section VI sweet spot: "small byte-granular writes plus
+ * bulk reads" - tiny telemetry records streamed in real time, read
+ * back in batches for analytics.
+ *
+ * 4096 sensors push 24-byte readings; a periodic analytics pass bulk
+ * reads the accumulated window. On a conventional SSD every reading
+ * costs a page-sized write+fsync; on the 2B-SSD it is a memcpy plus
+ * BA_SYNC, and the analytics bulk read uses the read DMA engine.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/record.hh"
+
+using namespace bssd;
+
+namespace
+{
+
+constexpr std::uint32_t kSensors = 4096;
+constexpr std::uint32_t kReadingBytes = 24;
+constexpr int kRounds = 4; // analytics passes
+
+struct Reading
+{
+    std::uint32_t sensor;
+    std::uint64_t value;
+    std::uint64_t timestamp;
+};
+
+std::vector<std::uint8_t>
+encode(const Reading &r)
+{
+    std::vector<std::uint8_t> v(kReadingBytes, 0);
+    std::memcpy(v.data(), &r.sensor, 4);
+    std::memcpy(v.data() + 4, &r.value, 8);
+    std::memcpy(v.data() + 12, &r.timestamp, 8);
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t window = kSensors * kReadingBytes; // ~96 KB
+
+    // --- conventional: each reading is a 4 KB write + fsync --------
+    double block_ingest_us, block_scan_us;
+    {
+        ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+        sim::Tick t = 0, start = t;
+        std::vector<std::uint8_t> page(4096, 0);
+        for (std::uint32_t s = 0; s < kSensors; ++s) {
+            auto rec = encode({s, s * 7ull, t});
+            std::copy(rec.begin(), rec.end(), page.begin());
+            std::uint64_t off = (std::uint64_t(s) * kReadingBytes) /
+                                4096 * 4096;
+            t = dev.blockWrite(t, off, page).end;
+            t = dev.flush(t);
+        }
+        block_ingest_us = sim::toUs(t - start) / kSensors;
+        std::vector<std::uint8_t> out(window);
+        auto iv = dev.blockRead(t, 0, out);
+        block_scan_us = sim::toUs(iv.end - iv.start);
+    }
+
+    // --- 2B-SSD: memcpy + BA_SYNC per reading, DMA for the scan ----
+    double ba_ingest_us = 0, ba_scan_us = 0;
+    {
+        ba::TwoBSsd dev;
+        // One pinned window holds a full sensor sweep.
+        const std::uint64_t win_pages = (window + 4095) / 4096 * 4096;
+        dev.baPin(0, 1, 0, 0, win_pages);
+
+        sim::Tick t = sim::msOf(10);
+        for (int round = 0; round < kRounds; ++round) {
+            sim::Tick start = t;
+            for (std::uint32_t s = 0; s < kSensors; ++s) {
+                auto rec = encode({s, s * 7ull + round, t});
+                std::uint64_t off = std::uint64_t(s) * kReadingBytes;
+                t = dev.mmioWrite(t, off, rec);
+                t = dev.baSyncRange(t, 1, off, rec.size());
+            }
+            ba_ingest_us = sim::toUs(t - start) / kSensors;
+
+            // Analytics: one bulk read of the whole window via the
+            // read DMA engine (the "opposite case" of Section VI).
+            std::vector<std::uint8_t> out(window);
+            auto iv = dev.baReadDma(t, 1, out);
+            ba_scan_us = sim::toUs(iv.end - iv.start);
+            t = iv.end;
+
+            // Verify a couple of readings round-tripped.
+            Reading check{};
+            std::memcpy(&check.sensor, out.data() + 17 * kReadingBytes,
+                        4);
+            std::memcpy(&check.value, out.data() + 17 * kReadingBytes + 4,
+                        8);
+            if (check.sensor != 17 ||
+                check.value != 17ull * 7 + round) {
+                std::printf("DATA MISMATCH in round %d!\n", round);
+                return 1;
+            }
+        }
+        // Persist the final window to NAND for long-term retention.
+        dev.baFlush(t, 1);
+    }
+
+    std::printf("ingest latency per 24-byte reading:\n");
+    std::printf("  %-24s %9.2f us   (page write + fsync)\n",
+                "DC-SSD block I/O:", block_ingest_us);
+    std::printf("  %-24s %9.2f us   (memcpy + BA_SYNC)\n",
+                "2B-SSD memory path:", ba_ingest_us);
+    std::printf("  -> %.0fx lower ingest latency\n\n",
+                block_ingest_us / ba_ingest_us);
+
+    std::printf("analytics scan of the %llu KB window:\n",
+                static_cast<unsigned long long>(window >> 10));
+    std::printf("  %-24s %9.1f us\n", "DC-SSD block read:",
+                block_scan_us);
+    std::printf("  %-24s %9.1f us   (read DMA engine)\n",
+                "2B-SSD BA_READ_DMA:", ba_scan_us);
+
+    std::printf("\nverified %d rounds of readings end to end - "
+                "byte-granular ingest,\nbulk analytics, one device.\n",
+                kRounds);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Driving the 2B-SSD like a real NVMe driver: submission/completion
+ * queues, queue-depth parallelism, and the error status a driver sees
+ * when a block write collides with a pinned BA-buffer range.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "ssd/nvme_queue.hh"
+
+using namespace bssd;
+using namespace bssd::ssd;
+
+namespace
+{
+
+/** Issue @p n random 4 KB reads at queue depth @p qd; return IOPS. */
+double
+randomReadIops(std::uint16_t qd, int n)
+{
+    // Fresh device per measurement so runs don't queue behind each
+    // other's resource calendars.
+    SsdDevice dev(SsdConfig::ullSsd());
+    std::vector<std::uint8_t> page(4096, 0x11);
+    for (int i = 0; i < n; ++i)
+        dev.blockWrite(0, (std::uint64_t(i) * 7919 % 8192) * 16 * 4096,
+                       page);
+    NvmeQueueConfig cfg;
+    cfg.depth = qd;
+    NvmeQueuePair qp(dev, cfg);
+    std::vector<std::vector<std::uint8_t>> bufs(
+        static_cast<std::size_t>(n), std::vector<std::uint8_t>(4096));
+    sim::Tick t = sim::sOf(1);
+    sim::Tick start = t;
+    int submitted = 0, reaped = 0;
+    while (reaped < n) {
+        while (submitted < n) {
+            NvmeCommand c;
+            c.opc = NvmeOpcode::read;
+            c.cid = static_cast<std::uint16_t>(submitted);
+            c.offset = (std::uint64_t(submitted) * 7919 % 8192) *
+                       16 * 4096;
+            c.length = 4096;
+            c.readBuf = &bufs[static_cast<std::size_t>(submitted)];
+            auto ok = qp.submit(t, c);
+            if (!ok.has_value())
+                break; // queue full: reap first
+            t = *ok;
+            ++submitted;
+        }
+        for (;;) {
+            auto cpl = qp.poll(t);
+            if (cpl.has_value()) {
+                ++reaped;
+                t = std::max(t, cpl->completedAt);
+                break;
+            }
+            t += sim::nsOf(200); // polling loop
+        }
+    }
+    return n / sim::toSec(t - start);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("random 4 KB reads through NVMe queues "
+                "(ULL-class 2B-SSD):\n");
+    std::printf("%6s %14s\n", "QD", "IOPS");
+    for (std::uint16_t qd : {1, 2, 4, 8, 16, 32}) {
+        double iops = randomReadIops(qd, 512);
+        std::printf("%6u %14.0f\n", qd, iops);
+    }
+
+    ba::TwoBSsd ssd;
+
+    // The LBA checker speaks NVMe too: a write into a pinned range
+    // completes with an error status instead of corrupting the dual
+    // view.
+    ssd.baPin(sim::sOf(10), 1, 0, 0, 4 * 4096);
+    NvmeQueuePair qp(ssd.device());
+    NvmeCommand w;
+    w.opc = NvmeOpcode::write;
+    w.cid = 99;
+    w.offset = 0;
+    w.length = 4096;
+    w.writeData.assign(4096, 0xee);
+    qp.submit(sim::sOf(10), w);
+    auto cpl = qp.waitFor(sim::sOf(10), 99);
+    std::printf("\nwrite to a pinned LBA range -> CQE status: %s\n",
+                cpl.status == NvmeStatus::accessDenied
+                    ? "ACCESS DENIED (gated by the LBA checker)"
+                    : "unexpected");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * BA-WAL in a database: run the same key-value workload on a
+ * conventional write()+fsync() log and on the paper's BA-WAL, then
+ * crash both mid-run and recover.
+ *
+ * This is the paper's case study (Section IV) end to end: byte
+ * granular commits take the log device off the critical path while
+ * keeping every acknowledged transaction durable.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "db/miniredis/miniredis.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+
+using namespace bssd;
+
+namespace
+{
+
+constexpr int kOps = 5000;
+
+/** Run kOps SETs; return {final tick, ops/sec}. */
+std::pair<sim::Tick, double>
+runSets(db::miniredis::MiniRedis &r, sim::Tick t)
+{
+    std::vector<std::uint8_t> value(120, 0x2b);
+    sim::Tick start = t;
+    for (int i = 0; i < kOps; ++i)
+        t = r.set(t, "sensor:" + std::to_string(i % 512), value);
+    return {t, kOps / sim::toSec(t - start)};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("workload: %d durable SETs (120 B values), "
+                "single-threaded store\n\n",
+                kOps);
+
+    // --- Conventional logging on a datacenter SSD. -----------------
+    ssd::SsdDevice dcDev(ssd::SsdConfig::dcSsd());
+    wal::BlockWal blockLog(dcDev, {});
+    db::miniredis::MiniRedis conventional(blockLog);
+    auto [t1, block_ops] = runSets(conventional, 0);
+    std::printf("%-22s %10.0f ops/s  (every commit: write() of a "
+                "4 KB page + fsync)\n",
+                "block WAL on DC-SSD:", block_ops);
+
+    // --- BA-WAL on the 2B-SSD. -------------------------------------
+    ba::TwoBSsd twoB;
+    wal::BaWalConfig cfg;
+    cfg.doubleBuffer = false; // single-threaded engine, paper's choice
+    wal::BaWal baLog(twoB, cfg);
+    db::miniredis::MiniRedis accelerated(baLog);
+    auto [t2, ba_ops] = runSets(accelerated, sim::msOf(10));
+    std::printf("%-22s %10.0f ops/s  (every commit: memcpy + "
+                "BA_SYNC, sub-microsecond)\n",
+                "BA-WAL on 2B-SSD:", ba_ops);
+    std::printf("speedup: %.2fx with zero data-loss risk\n\n",
+                ba_ops / block_ops);
+
+    // --- Pull the plug on both, then recover. -----------------------
+    std::printf("pulling the plug on both systems mid-run...\n");
+    blockLog.crash(t1);
+    conventional.recover();
+    baLog.crash(t2);
+    accelerated.recover();
+    std::printf("recovered keys: conventional=%zu, 2B-SSD=%zu "
+                "(both replay every committed SET)\n",
+                conventional.keys(), accelerated.keys());
+
+    std::printf("\nBA-WAL stats: %llu half switches (BA_FLUSH runs "
+                "off the commit path)\n",
+                static_cast<unsigned long long>(baLog.halfSwitches()));
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared types and configuration for the 2B-SSD byte-addressable
+ * extensions (the paper's primary contribution, Section III).
+ */
+
+#ifndef BSSD_BA_BA_TYPES_HH
+#define BSSD_BA_BA_TYPES_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace bssd::ba
+{
+
+/** Identifier of a BA-buffer mapping table entry. */
+using Eid = std::uint32_t;
+
+/**
+ * One row of the BA-buffer mapping table (Fig. 2): the link between a
+ * DRAM range in the BA-buffer and an LBA range on NAND flash.
+ */
+struct MapEntry
+{
+    Eid eid = 0;
+    /** Byte offset of the pinned range inside the BA-buffer. */
+    std::uint64_t startOffset = 0;
+    /** Byte offset of the backing range in the block address space. */
+    std::uint64_t startLba = 0;
+    /** Length in bytes (multiple of the 4 KB page size). */
+    std::uint64_t length = 0;
+    bool valid = false;
+};
+
+/** Errors raised by misuse of the BA APIs (the "fatal" class: caller
+ *  bugs or capacity violations an application can trigger). */
+class BaError : public std::runtime_error
+{
+  public:
+    explicit BaError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Configuration of the byte-addressable extensions (Table I values). */
+struct BaConfig
+{
+    /** BA-buffer capacity carved out of the SSD-internal DRAM. */
+    std::uint64_t bufferBytes = 8 * sim::MiB;
+    /** Maximum mapping table entries. */
+    std::uint32_t maxEntries = 8;
+
+    /** ioctl + vendor-unique command cost of one BA_* control call. */
+    sim::Tick apiCost = sim::usOf(2);
+
+    /** Firmware (ARM core) setup per internal datapath operation. */
+    sim::Tick internalSetup = sim::usOf(30);
+    /** Firmware-driven internal datapath bandwidth (DRAM <-> NAND). */
+    sim::Bandwidth internalBw = sim::gbPerSec(2.2);
+
+    /** Read DMA engine: programming + doorbell + completion interrupt.
+     *  Calibrated so a 4 KB transfer lands at ~58 us (Fig. 7(a)). */
+    sim::Tick dmaSetup = sim::usOf(56);
+
+    /** @name Power-loss protection (recovery manager) @{ */
+    /** Number of electrolytic back-up capacitors. */
+    std::uint32_t capacitorCount = 3;
+    /** Capacitance per capacitor (farads). */
+    double capacitorFarads = 270e-6;
+    /** Rail voltage when charged (volts). */
+    double railVolts = 12.0;
+    /** Minimum voltage at which the dump logic still operates. */
+    double minVolts = 5.0;
+    /** Power drawn while dumping (controller + NAND programs), watts. */
+    double dumpPowerWatts = 6.0;
+    /** @} */
+
+    /** Usable back-up energy in joules: sum of 1/2 C (V^2 - Vmin^2). */
+    double
+    backupEnergyJoules() const
+    {
+        return 0.5 * capacitorCount * capacitorFarads *
+               (railVolts * railVolts - minVolts * minVolts);
+    }
+};
+
+} // namespace bssd::ba
+
+#endif // BSSD_BA_BA_TYPES_HH

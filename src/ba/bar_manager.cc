@@ -1,0 +1,39 @@
+#include "ba/bar_manager.hh"
+
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace bssd::ba
+{
+
+BarManager::BarManager(std::uint64_t windowBytes)
+    : windowBytes_(windowBytes)
+{
+    if (windowBytes_ == 0)
+        sim::fatal("BAR1 window must be non-zero");
+}
+
+void
+BarManager::enumerate(std::uint64_t host_phys_base)
+{
+    base_ = host_phys_base;
+    enabled_ = true;
+}
+
+std::uint64_t
+BarManager::translate(std::uint64_t host_phys_addr, std::uint64_t len) const
+{
+    if (!enabled_)
+        throw BaError("BAR1 access before PCI enumeration");
+    if (host_phys_addr < base_ ||
+        host_phys_addr + len > base_ + windowBytes_) {
+        throw BaError("address " + std::to_string(host_phys_addr) +
+                      " (+" + std::to_string(len) +
+                      ") outside the BAR1 window");
+    }
+    accesses_.add();
+    return host_phys_addr - base_;
+}
+
+} // namespace bssd::ba

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BAR manager and address translation unit (Section III-A1).
+ *
+ * 2B-SSD exposes a second base address register (BAR1) whose window
+ * the host maps write-combining. The ATU redirects host accesses in
+ * that window to offsets inside the SSD-internal DRAM (the BA-buffer).
+ * In the simulator the interesting properties are the enumeration
+ * handshake, bounds checking and the WC attribute; translation itself
+ * is a base-relative window, as in the hardware.
+ */
+
+#ifndef BSSD_BA_BAR_MANAGER_HH
+#define BSSD_BA_BAR_MANAGER_HH
+
+#include <cstdint>
+
+#include "ba/ba_types.hh"
+#include "sim/stats.hh"
+
+namespace bssd::ba
+{
+
+/** BAR1 window state and inbound address translation. */
+class BarManager
+{
+  public:
+    /**
+     * @param windowBytes size the device advertises in BAR1 (equals
+     *                    the BA-buffer capacity)
+     */
+    explicit BarManager(std::uint64_t windowBytes);
+
+    /**
+     * PCI enumeration: BIOS/OS assigns the window a host physical
+     * base address and enables memory decoding. Also marks the range
+     * write-combining (the MTRR/PAT step the paper relies on).
+     */
+    void enumerate(std::uint64_t host_phys_base);
+
+    bool enabled() const { return enabled_; }
+    bool writeCombining() const { return enabled_; }
+    std::uint64_t base() const { return base_; }
+    std::uint64_t windowBytes() const { return windowBytes_; }
+
+    /**
+     * Inbound translation: host physical address -> BA-buffer offset.
+     * @throws BaError when decoding is disabled or the access falls
+     *         outside the window (the hardware would master-abort).
+     */
+    std::uint64_t translate(std::uint64_t host_phys_addr,
+                            std::uint64_t len) const;
+
+    /** Accesses translated so far. */
+    std::uint64_t accesses() const { return accesses_.value(); }
+
+  private:
+    std::uint64_t windowBytes_;
+    std::uint64_t base_ = 0;
+    bool enabled_ = false;
+    mutable sim::Counter accesses_{"bar.accesses"};
+};
+
+} // namespace bssd::ba
+
+#endif // BSSD_BA_BAR_MANAGER_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The LBA checker (Section III-A2): hardware that snoops every block
+ * I/O request's LBA range and gates writes to NAND pages currently
+ * pinned into the BA-buffer. Without it, the two independent access
+ * paths could silently diverge (a block write would update NAND while
+ * the memory path keeps serving the stale pinned copy).
+ */
+
+#ifndef BSSD_BA_LBA_CHECKER_HH
+#define BSSD_BA_LBA_CHECKER_HH
+
+#include <cstdint>
+
+#include "ba/ba_buffer.hh"
+#include "sim/stats.hh"
+
+namespace bssd::ba
+{
+
+/** Write gate derived from the BA-buffer mapping table. */
+class LbaChecker
+{
+  public:
+    explicit LbaChecker(const BaBuffer &buffer) : buffer_(buffer) {}
+
+    /**
+     * Snoop one block write. @return true if the command may proceed
+     * (its LBA range does not intersect any pinned range).
+     */
+    bool
+    allowWrite(std::uint64_t offset, std::uint64_t len) const
+    {
+        checked_.add();
+        if (buffer_.lbaPinned(offset, len)) {
+            rejected_.add();
+            return false;
+        }
+        return true;
+    }
+
+    std::uint64_t checked() const { return checked_.value(); }
+    std::uint64_t rejections() const { return rejected_.value(); }
+
+  private:
+    const BaBuffer &buffer_;
+    mutable sim::Counter checked_{"lba.checked"};
+    mutable sim::Counter rejected_{"lba.rejected"};
+};
+
+} // namespace bssd::ba
+
+#endif // BSSD_BA_LBA_CHECKER_HH

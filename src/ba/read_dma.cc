@@ -1,0 +1,24 @@
+#include "ba/read_dma.hh"
+
+namespace bssd::ba
+{
+
+ReadDmaEngine::ReadDmaEngine(const BaConfig &cfg, pcie::PcieLink &link)
+    : cfg_(cfg), link_(link)
+{
+}
+
+sim::Interval
+ReadDmaEngine::transfer(sim::Tick ready, std::uint64_t bytes)
+{
+    transfers_.add();
+    bytes_.add(bytes);
+    // Programming the engine, ringing the doorbell and taking the
+    // completion interrupt is a fixed cost; the data phase bursts at
+    // link rate, serialised on the engine itself.
+    auto setup = engine_.reserve(ready, cfg_.dmaSetup);
+    auto burst = link_.dma(setup.end, bytes);
+    return {ready, burst.end};
+}
+
+} // namespace bssd::ba

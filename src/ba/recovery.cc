@@ -1,0 +1,82 @@
+#include "ba/recovery.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::ba
+{
+
+RecoveryManager::RecoveryManager(const BaConfig &cfg, BaBuffer &buffer)
+    : cfg_(cfg), buffer_(buffer)
+{
+}
+
+DumpReport
+RecoveryManager::powerLoss(sim::Tick t, sim::EventQueue &queue)
+{
+    DumpReport rep;
+    rep.attempted = true;
+    rep.joulesBudget = cfg_.backupEnergyJoules();
+
+    // Mapping-table metadata rides along with the buffer image.
+    const std::uint64_t meta =
+        buffer_.entries().size() * sizeof(MapEntry) + 64;
+    rep.bytes = buffer_.size() + meta;
+
+    rep.duration = cfg_.internalSetup +
+                   cfg_.internalBw.transferTime(rep.bytes);
+    rep.joulesUsed = sim::toSec(rep.duration) * cfg_.dumpPowerWatts;
+
+    if (rep.joulesUsed > rep.joulesBudget) {
+        sim::warn("power-loss dump needs ", rep.joulesUsed,
+                  " J but capacitors hold ", rep.joulesBudget,
+                  " J; BA-buffer contents lost");
+        rep.success = false;
+        imageValid_ = false;
+        lastDump_ = rep;
+        return rep;
+    }
+
+    // Firmware dumps in 1 MiB chunks; model each as an event so the
+    // sequence is visible on the device's event timeline.
+    const std::uint64_t chunk = sim::MiB;
+    std::uint64_t done = 0;
+    sim::Tick when = t + cfg_.internalSetup;
+    image_.assign(buffer_.size(), 0);
+    while (done < buffer_.size()) {
+        std::uint64_t n = std::min(chunk, buffer_.size() - done);
+        when += cfg_.internalBw.transferTime(n);
+        std::uint64_t off = done;
+        queue.schedule(when, [this, off, n] {
+            std::vector<std::uint8_t> tmp(n);
+            buffer_.read(off, tmp);
+            std::copy(tmp.begin(), tmp.end(),
+                      image_.begin() + static_cast<std::ptrdiff_t>(off));
+        });
+        done += n;
+    }
+    sim::Tick table_done = when + cfg_.internalBw.transferTime(meta);
+    queue.schedule(table_done, [this] {
+        imageTable_ = buffer_.entries();
+        imageValid_ = true;
+    });
+    queue.runUntil(table_done);
+
+    rep.success = true;
+    lastDump_ = rep;
+    return rep;
+}
+
+bool
+RecoveryManager::restore()
+{
+    if (!imageValid_) {
+        buffer_.clear();
+        return false;
+    }
+    buffer_.restore(image_, imageTable_);
+    return true;
+}
+
+} // namespace bssd::ba

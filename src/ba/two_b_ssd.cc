@@ -1,0 +1,203 @@
+#include "ba/two_b_ssd.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace bssd::ba
+{
+
+namespace
+{
+
+/** Conventional host physical base for the BAR1 window in tests. */
+constexpr std::uint64_t bar1Base = 0xf000'0000ULL;
+
+} // namespace
+
+TwoBSsd::TwoBSsd(const ssd::SsdConfig &baseCfg, const BaConfig &baCfg)
+    : baCfg_(baCfg),
+      device_(baseCfg),
+      buffer_(baCfg),
+      bar_(baCfg.bufferBytes),
+      wc_(host::WcConfig{},
+          [this](sim::Tick ready, std::uint64_t off,
+                 std::span<const std::uint8_t> data) {
+              // WC eviction: post the burst on the link and enqueue
+              // the bytes for arrival at the BA-buffer.
+              sim::Tick cpu = device_.link().postedWrite(ready,
+                                                         data.size());
+              buffer_.postWrite(device_.link().postedDrainTime(), off,
+                                data);
+              return cpu;
+          }),
+      dma_(baCfg, device_.link()),
+      recovery_(baCfg, buffer_),
+      checker_(buffer_)
+{
+    // The vendor driver enumerates BAR1 and installs the LBA checker
+    // in front of the block write path at initialisation time.
+    bar_.enumerate(bar1Base);
+    device_.setWriteGate([this](std::uint64_t off, std::uint64_t len) {
+        return checker_.allowWrite(off, len);
+    });
+}
+
+MapEntry
+TwoBSsd::requireEntry(Eid eid) const
+{
+    auto e = buffer_.entry(eid);
+    if (!e)
+        throw BaError("unknown BA entry id " + std::to_string(eid));
+    return *e;
+}
+
+sim::Interval
+TwoBSsd::internalMove(sim::Tick ready, std::uint64_t bytes)
+{
+    return internal_.reserve(
+        ready, baCfg_.internalSetup + baCfg_.internalBw.transferTime(bytes));
+}
+
+sim::Tick
+TwoBSsd::mmioWrite(sim::Tick now, std::uint64_t windowOff,
+                   std::span<const std::uint8_t> data)
+{
+    std::uint64_t off = bar_.translate(bar_.base() + windowOff,
+                                       data.size());
+    return wc_.write(now, off, data);
+}
+
+sim::Tick
+TwoBSsd::mmioRead(sim::Tick now, std::uint64_t windowOff,
+                  std::span<std::uint8_t> out)
+{
+    std::uint64_t off = bar_.translate(bar_.base() + windowOff,
+                                       out.size());
+    // An uncacheable read drains the WC buffers first (x86 ordering),
+    // then pays the split non-posted transactions; it is ordered
+    // behind all posted writes at the root complex.
+    now = wc_.drainAll(now);
+    sim::Tick done = device_.link().mmioRead(now, out.size());
+    buffer_.settleTo(done);
+    buffer_.read(off, out);
+    return done;
+}
+
+sim::Interval
+TwoBSsd::baPin(sim::Tick ready, Eid eid, std::uint64_t offset,
+               std::uint64_t lba, std::uint64_t length)
+{
+    const std::uint32_t ps = device_.pageSize();
+    if (lba + length > device_.capacityBytes())
+        throw BaError("BA_PIN LBA range exceeds device capacity");
+    // Table checks happen before any data movement.
+    buffer_.addEntry(eid, offset, lba, length, ps);
+
+    sim::Tick t = ready + baCfg_.apiCost;
+    // NAND -> controller DRAM through the internal datapath; the
+    // media phase and the firmware copy overlap.
+    std::vector<std::uint8_t> staging(length);
+    auto media = device_.ftl().read(t, lba / ps, length / ps, staging);
+    auto move = internalMove(t, length);
+    buffer_.deviceWrite(offset, staging);
+    return {ready, std::max(media.end, move.end)};
+}
+
+sim::Interval
+TwoBSsd::baFlush(sim::Tick ready, Eid eid)
+{
+    const MapEntry e = requireEntry(eid);
+    const std::uint32_t ps = device_.pageSize();
+
+    sim::Tick t = ready + baCfg_.apiCost;
+    // The firmware cannot know which bytes are dirty (the CPU wrote
+    // them behind its back), so the whole pinned range is written.
+    buffer_.settleTo(t);
+    std::vector<std::uint8_t> staging(e.length);
+    buffer_.read(e.startOffset, staging);
+    auto move = internalMove(t, e.length);
+    auto media = device_.ftl().write(t, e.startLba / ps, e.length / ps,
+                                     staging);
+    // Success drops the entry (the paper's BA_FLUSH semantics).
+    buffer_.removeEntry(eid);
+    return {ready, std::max(media.end, move.end)};
+}
+
+sim::Tick
+TwoBSsd::baSync(sim::Tick now, Eid eid)
+{
+    const MapEntry e = requireEntry(eid);
+    return baSyncRange(now, eid, e.startOffset, e.length);
+}
+
+sim::Tick
+TwoBSsd::baSyncRange(sim::Tick now, Eid eid, std::uint64_t offset,
+                     std::uint64_t len)
+{
+    const MapEntry e = requireEntry(eid);
+    if (offset < e.startOffset ||
+        offset + len > e.startOffset + e.length) {
+        throw BaError("BA_SYNC range outside entry " + std::to_string(eid));
+    }
+    // (1) the pinned pages are known host-side from BA_GET_ENTRY_INFO
+    //     at pin time; (2) clflush + mfence over them; (3) the
+    //     write-verify read orders behind the posted data.
+    now = wc_.flushRange(now, offset, len);
+    sim::Tick durable = device_.link().writeVerifyRead(now);
+    buffer_.settleTo(durable);
+    return durable;
+}
+
+sim::Tick
+TwoBSsd::mmioSync(sim::Tick now, std::uint64_t windowOff,
+                  std::uint64_t len)
+{
+    bar_.translate(bar_.base() + windowOff, len);
+    now = wc_.flushRange(now, windowOff, len);
+    sim::Tick durable = device_.link().writeVerifyRead(now);
+    buffer_.settleTo(durable);
+    return durable;
+}
+
+MapEntry
+TwoBSsd::baGetEntryInfo(Eid eid) const
+{
+    return requireEntry(eid);
+}
+
+sim::Interval
+TwoBSsd::baReadDma(sim::Tick ready, Eid eid, std::span<std::uint8_t> out)
+{
+    const MapEntry e = requireEntry(eid);
+    if (out.size() == 0)
+        throw BaError("BA_READ_DMA length must be non-zero");
+    if (out.size() > e.length)
+        throw BaError("BA_READ_DMA length exceeds the pinned range");
+    sim::Tick t = ready + baCfg_.apiCost;
+    // The engine reads settled BA-buffer contents; in-flight posted
+    // writes are ordered ahead of the DMA's descriptor fetch.
+    buffer_.settleTo(t);
+    buffer_.read(e.startOffset, out);
+    auto iv = dma_.transfer(t, out.size());
+    return {ready, iv.end};
+}
+
+PowerLossReport
+TwoBSsd::powerLoss(sim::Tick t)
+{
+    PowerLossReport rep;
+    rep.wcBytesLost = wc_.dropAll();
+    rep.postedBytesLost = buffer_.powerLossAt(t);
+    rep.dump = recovery_.powerLoss(t, events_);
+    return rep;
+}
+
+bool
+TwoBSsd::powerRestore()
+{
+    return recovery_.restore();
+}
+
+} // namespace bssd::ba

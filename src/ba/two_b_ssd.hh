@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The 2B-SSD: a dual, byte- and block-addressable solid-state drive.
+ *
+ * This is the paper's primary contribution assembled from its four
+ * co-designed components (Fig. 2):
+ *
+ *  - BarManager / ATU  - opens the BAR1 window and redirects host
+ *    memory accesses into the BA-buffer;
+ *  - BaBuffer manager  - the mapping table plus the internal datapath
+ *    between the SSD DRAM and NAND (BA_PIN / BA_FLUSH);
+ *  - ReadDmaEngine     - accelerates bulk reads out of the BA-buffer;
+ *  - RecoveryManager   - capacitor-backed dump/restore that makes the
+ *    BA-buffer persistent across power loss.
+ *
+ * The device piggybacks on a ULL-class block SSD: the block path is
+ * untouched (the paper measures identical block latencies), and the
+ * LBA checker gates block writes aimed at pinned pages so the two
+ * views of the same file stay coherent.
+ *
+ * Host-side access:
+ *  - mmioWrite() goes through the write-combining buffer and posted
+ *    PCIe writes - fast but NOT durable until baSync();
+ *  - mmioRead() pays the split non-posted read cost;
+ *  - baReadDma() offloads bulk reads to the DMA engine.
+ */
+
+#ifndef BSSD_BA_TWO_B_SSD_HH
+#define BSSD_BA_TWO_B_SSD_HH
+
+#include <cstdint>
+#include <span>
+
+#include "ba/ba_buffer.hh"
+#include "ba/ba_types.hh"
+#include "ba/bar_manager.hh"
+#include "ba/lba_checker.hh"
+#include "ba/read_dma.hh"
+#include "ba/recovery.hh"
+#include "host/wc_buffer.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "ssd/ssd_device.hh"
+
+namespace bssd::ba
+{
+
+/** What a simulated power failure cost the host. */
+struct PowerLossReport
+{
+    /** Bytes lost in the CPU's WC buffer (never flushed). */
+    std::uint64_t wcBytesLost = 0;
+    /** Bytes lost in flight on PCIe (posted, never verified). */
+    std::uint64_t postedBytesLost = 0;
+    /** The recovery manager's dump outcome. */
+    DumpReport dump;
+};
+
+/** The dual byte- and block-addressable SSD. */
+class TwoBSsd
+{
+  public:
+    /**
+     * @param baseCfg block-device configuration to piggyback on
+     *                (defaults to the ULL-SSD preset, as the prototype)
+     * @param baCfg   byte-addressable extension configuration
+     */
+    explicit TwoBSsd(const ssd::SsdConfig &baseCfg = ssd::SsdConfig::ullSsd(),
+                     const BaConfig &baCfg = {});
+
+    const BaConfig &baConfig() const { return baCfg_; }
+
+    /** @name Conventional block I/O path (unchanged NVMe semantics) @{ */
+    sim::Interval
+    blockRead(sim::Tick ready, std::uint64_t offset,
+              std::span<std::uint8_t> out)
+    {
+        return device_.blockRead(ready, offset, out);
+    }
+
+    /** @throws ssd::WriteGatedError if the range is pinned. */
+    sim::Interval
+    blockWrite(sim::Tick ready, std::uint64_t offset,
+               std::span<const std::uint8_t> data)
+    {
+        return device_.blockWrite(ready, offset, data);
+    }
+
+    sim::Tick flush(sim::Tick ready) { return device_.flush(ready); }
+    /** @} */
+
+    /** @name Memory interface (BAR1 window) @{ */
+
+    /**
+     * CPU stores into the BAR1 window at @p windowOff. Combined in
+     * the WC buffer and posted to the BA-buffer. NOT durable until
+     * baSync() (or a lucky eviction) - exactly the paper's contract.
+     * @return CPU-free time.
+     */
+    sim::Tick mmioWrite(sim::Tick now, std::uint64_t windowOff,
+                        std::span<const std::uint8_t> data);
+
+    /**
+     * CPU loads from the BAR1 window (uncacheable, split into 8-byte
+     * transactions). @return completion time.
+     */
+    sim::Tick mmioRead(sim::Tick now, std::uint64_t windowOff,
+                       std::span<std::uint8_t> out);
+
+    /** @} */
+
+    /** @name 2B-SSD control APIs (Section III-C) @{ */
+
+    /**
+     * BA_PIN: read NAND pages [lba, lba+length) into the BA-buffer at
+     * @p offset, pin them, and install mapping entry @p eid.
+     * @throws BaError on table violations (duplicate eid, overlap,
+     *         misalignment, table full).
+     */
+    sim::Interval baPin(sim::Tick ready, Eid eid, std::uint64_t offset,
+                        std::uint64_t lba, std::uint64_t length);
+
+    /**
+     * BA_FLUSH: write entry @p eid's buffer contents to its NAND
+     * pages through the internal datapath, then drop the entry.
+     */
+    sim::Interval baFlush(sim::Tick ready, Eid eid);
+
+    /**
+     * BA_SYNC: make entry @p eid's window contents durable -
+     * clflush + mfence over the pinned range, then the write-verify
+     * read (Fig. 3). @return time at which durability holds.
+     */
+    sim::Tick baSync(sim::Tick now, Eid eid);
+
+    /**
+     * Range-limited BA_SYNC: applications that track their own write
+     * position (every WAL does) flush only the bytes they appended
+     * instead of the whole pinned range. Same durability guarantee
+     * for [offset, offset+len).
+     */
+    sim::Tick baSyncRange(sim::Tick now, Eid eid, std::uint64_t offset,
+                          std::uint64_t len);
+
+    /**
+     * Entry-less durability barrier over a raw window range:
+     * clflush + mfence + write-verify read, with no mapping-table
+     * involvement. This is what an NVMe "Persistent Memory Region"
+     * (PMR) offers - byte-addressable NVRAM with NO internal datapath
+     * to NAND (Section VII related work). Provided so the PMR
+     * comparison in bench_pmr can be expressed faithfully.
+     */
+    sim::Tick mmioSync(sim::Tick now, std::uint64_t windowOff,
+                       std::uint64_t len);
+
+    /** BA_GET_ENTRY_INFO. @throws BaError on unknown eid. */
+    MapEntry baGetEntryInfo(Eid eid) const;
+
+    /**
+     * BA_READ_DMA: copy up to @p out.size() bytes of entry @p eid's
+     * contents to the host via the read DMA engine. Completion is
+     * interrupt-driven.
+     */
+    sim::Interval baReadDma(sim::Tick ready, Eid eid,
+                            std::span<std::uint8_t> out);
+
+    /** @} */
+
+    /** @name Power events @{ */
+
+    /** Pull the plug at time @p t. */
+    PowerLossReport powerLoss(sim::Tick t);
+
+    /**
+     * Power back on; the recovery manager restores the BA-buffer.
+     * @return true if a dump image was restored.
+     */
+    bool powerRestore();
+
+    /** @} */
+
+    /** @name Sub-component access @{ */
+    ssd::SsdDevice &device() { return device_; }
+    const BaBuffer &buffer() const { return buffer_; }
+    const BarManager &bar() const { return bar_; }
+    const LbaChecker &lbaChecker() const { return checker_; }
+    const RecoveryManager &recovery() const { return recovery_; }
+    ReadDmaEngine &dmaEngine() { return dma_; }
+    host::WcBuffer &wc() { return wc_; }
+    sim::EventQueue &events() { return events_; }
+    /** @} */
+
+  private:
+    BaConfig baCfg_;
+    ssd::SsdDevice device_;
+    BaBuffer buffer_;
+    BarManager bar_;
+    host::WcBuffer wc_;
+    ReadDmaEngine dma_;
+    RecoveryManager recovery_;
+    LbaChecker checker_;
+    sim::EventQueue events_;
+    /** The firmware-driven internal datapath (ARM cores). */
+    sim::FifoResource internal_{"ba.internalPath"};
+
+    /** Reserve the internal datapath for @p bytes. */
+    sim::Interval internalMove(sim::Tick ready, std::uint64_t bytes);
+
+    MapEntry requireEntry(Eid eid) const;
+};
+
+} // namespace bssd::ba
+
+#endif // BSSD_BA_TWO_B_SSD_HH

@@ -1,0 +1,313 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::ftl
+{
+
+Ftl::Ftl(nand::NandFlash &flash, const FtlConfig &cfg)
+    : flash_(flash), cfg_(cfg),
+      pageSize_(flash.config().geometry.pageSize)
+{
+    const auto &g = flash_.config().geometry;
+    const std::uint64_t total_blocks =
+        std::uint64_t(g.totalDies()) * g.blocksPerDie;
+
+    if (cfg_.gcHighWaterBlocks <= cfg_.gcLowWaterBlocks)
+        sim::fatal("FTL GC high watermark must exceed the low watermark");
+    if (total_blocks <= cfg_.gcHighWaterBlocks + g.totalDies())
+        sim::fatal("NAND array too small for the configured GC pool");
+
+    blocks_.reserve(total_blocks);
+    for (std::uint32_t d = 0; d < g.totalDies(); ++d) {
+        for (std::uint32_t b = 0; b < g.blocksPerDie; ++b) {
+            BlockInfo info;
+            info.die = d;
+            info.block = b;
+            blocks_.push_back(std::move(info));
+        }
+    }
+    // Free list kept die-interleaved so the frontier stripes
+    // naturally; factory-bad blocks never enter the pool.
+    std::uint32_t bad = 0;
+    for (std::uint32_t b = 0; b < g.blocksPerDie; ++b) {
+        for (std::uint32_t d = 0; d < g.totalDies(); ++d) {
+            if (flash_.isBad(d, b)) {
+                blocks_[blockIndex(d, b)].free = false;
+                ++bad;
+                continue;
+            }
+            freeList_.push_back(blockIndex(d, b));
+        }
+    }
+    std::reverse(freeList_.begin(), freeList_.end()); // pop_back order
+
+    frontier_.assign(g.totalDies(), -1);
+
+    auto op_pages = static_cast<std::uint64_t>(
+        static_cast<double>(g.totalPages()) * cfg_.overProvision);
+    std::uint64_t reserve_pages =
+        op_pages +
+        std::uint64_t(cfg_.gcHighWaterBlocks + g.totalDies() + bad) *
+            g.pagesPerBlock;
+    if (reserve_pages >= g.totalPages())
+        sim::fatal("FTL over-provisioning leaves no logical capacity");
+    logicalPages_ = g.totalPages() - reserve_pages;
+}
+
+std::uint32_t
+Ftl::blockIndex(std::uint32_t die, std::uint32_t block) const
+{
+    return die * flash_.config().geometry.blocksPerDie + block;
+}
+
+Ftl::BlockInfo &
+Ftl::blockOf(nand::Ppa ppa)
+{
+    return blocks_[blockIndex(ppa.die, ppa.block)];
+}
+
+std::uint32_t
+Ftl::freeBlocks() const
+{
+    return static_cast<std::uint32_t>(freeList_.size());
+}
+
+nand::Ppa
+Ftl::allocatePage()
+{
+    const auto &g = flash_.config().geometry;
+    // Visit each die at most twice (once to close a full frontier and
+    // once to open a fresh block); more means we are truly out of space.
+    for (std::uint32_t attempt = 0; attempt < 2 * g.totalDies();
+         ++attempt) {
+        std::uint32_t die = nextDie_;
+
+        std::int32_t fi = frontier_[die];
+        if (fi < 0) {
+            // Open a new block on this die from the free list.
+            auto it = std::find_if(
+                freeList_.rbegin(), freeList_.rend(),
+                [&](std::uint32_t idx) { return blocks_[idx].die == die; });
+            if (it == freeList_.rend()) {
+                // No free block on this die; try the next one.
+                nextDie_ = (nextDie_ + 1) % g.totalDies();
+                continue;
+            }
+            std::uint32_t idx = *it;
+            freeList_.erase(std::next(it).base());
+            auto &nblk = blocks_[idx];
+            nblk.free = false;
+            nblk.open = true;
+            nblk.validPages = 0;
+            nblk.pageLpn.assign(g.pagesPerBlock, ~Lpn(0));
+            frontier_[die] = static_cast<std::int32_t>(idx);
+            fi = frontier_[die];
+        }
+        auto &blk = blocks_[static_cast<std::uint32_t>(fi)];
+        std::uint32_t page = flash_.writePointer(blk.die, blk.block);
+        if (page >= g.pagesPerBlock) {
+            // Frontier full; close it and retry this die with a fresh
+            // block on the next iteration.
+            blk.open = false;
+            frontier_[die] = -1;
+            continue;
+        }
+        nextDie_ = (nextDie_ + 1) % g.totalDies();
+        return nand::Ppa{blk.die, blk.block, page};
+    }
+    sim::panic("FTL out of physical space; GC failed to reclaim");
+}
+
+void
+Ftl::invalidate(Lpn lpn)
+{
+    auto it = l2p_.find(lpn);
+    if (it == l2p_.end())
+        return;
+    auto &blk = blockOf(it->second);
+    if (blk.validPages == 0)
+        sim::panic("invalidate underflow on block ", it->second.block);
+    --blk.validPages;
+    blk.pageLpn[it->second.page] = ~Lpn(0);
+    l2p_.erase(it);
+}
+
+void
+Ftl::writeOnePage(Lpn lpn, std::span<const std::uint8_t> page)
+{
+    nand::Ppa ppa = allocatePage();
+    flash_.programPage(ppa, page);
+    ++nandPages_;
+    auto &blk = blockOf(ppa);
+    invalidate(lpn);
+    blk.pageLpn[ppa.page] = lpn;
+    ++blk.validPages;
+    l2p_[lpn] = ppa;
+}
+
+std::uint32_t
+Ftl::pickVictim() const
+{
+    // Greedy on valid-page count; ties break towards the LEAST worn
+    // block so erase cycles spread evenly (wear levelling).
+    std::uint32_t best = ~std::uint32_t(0);
+    std::uint32_t best_valid = ~std::uint32_t(0);
+    std::uint64_t best_wear = ~std::uint64_t(0);
+    for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
+        const auto &b = blocks_[i];
+        if (b.free || b.open)
+            continue;
+        if (flash_.isBad(b.die, b.block))
+            continue; // retired block: never a GC victim
+        std::uint64_t wear = flash_.eraseCount(b.die, b.block);
+        if (b.validPages < best_valid ||
+            (b.validPages == best_valid && wear < best_wear)) {
+            best_valid = b.validPages;
+            best_wear = wear;
+            best = i;
+        }
+    }
+    return best;
+}
+
+Ftl::WearStats
+Ftl::wearStats() const
+{
+    WearStats w;
+    w.minErase = ~std::uint64_t(0);
+    std::uint64_t total = 0;
+    for (const auto &b : blocks_) {
+        std::uint64_t e = flash_.eraseCount(b.die, b.block);
+        w.minErase = std::min(w.minErase, e);
+        w.maxErase = std::max(w.maxErase, e);
+        total += e;
+    }
+    if (blocks_.empty())
+        w.minErase = 0;
+    else
+        w.avgErase = static_cast<double>(total) /
+                     static_cast<double>(blocks_.size());
+    return w;
+}
+
+sim::Tick
+Ftl::collectGarbage(sim::Tick ready)
+{
+    sim::Tick t = ready;
+    while (freeList_.size() < cfg_.gcHighWaterBlocks) {
+        std::uint32_t vi = pickVictim();
+        if (vi == ~std::uint32_t(0))
+            sim::panic("GC found no victim block");
+        auto &victim = blocks_[vi];
+        std::uint32_t relocated = 0;
+
+        // Relocate the victim's valid pages to fresh locations.
+        std::vector<std::uint8_t> buf(pageSize_);
+        std::uint32_t wp = flash_.writePointer(victim.die, victim.block);
+        for (std::uint32_t p = 0; p < wp; ++p) {
+            Lpn lpn = victim.pageLpn[p];
+            if (lpn == ~Lpn(0))
+                continue; // stale page
+            nand::Ppa src{victim.die, victim.block, p};
+            auto it = l2p_.find(lpn);
+            if (it == l2p_.end() || !(it->second == src))
+                continue; // remapped since
+            flash_.readPage(src, buf);
+            writeOnePage(lpn, buf);
+            ++relocated;
+            ++gcPages_;
+        }
+        // Relocations batch naturally: reads and multi-plane programs
+        // pipeline across the victim's channel and destination dies.
+        t = std::max(t, flash_.timedRead(t, relocated).end);
+        t = std::max(t,
+                     flash_.timedProgram(t, std::uint64_t(relocated) *
+                                                pageSize_).end);
+        flash_.eraseBlock(victim.die, victim.block);
+        t = flash_.timedErase(t).end;
+        victim.free = true;
+        victim.open = false;
+        victim.validPages = 0;
+        victim.pageLpn.clear();
+        freeList_.insert(freeList_.begin(), vi);
+    }
+    return t;
+}
+
+sim::Interval
+Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
+          std::span<std::uint8_t> out)
+{
+    if (lpn + count > logicalPages_)
+        sim::fatal("FTL read past logical capacity: lpn ", lpn, "+", count);
+    if (out.size() < count * pageSize_)
+        sim::panic("FTL read buffer too small");
+
+    std::uint64_t mapped = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto sub = out.subspan(i * pageSize_, pageSize_);
+        auto it = l2p_.find(lpn + i);
+        if (it == l2p_.end()) {
+            std::fill(sub.begin(), sub.end(), 0xff);
+        } else {
+            flash_.readPage(it->second, sub);
+            ++mapped;
+        }
+    }
+    // Unmapped pages are served from the mapping table alone; only
+    // mapped pages cost NAND time.
+    return flash_.timedRead(ready, mapped);
+}
+
+sim::Interval
+Ftl::write(sim::Tick ready, Lpn lpn, std::uint64_t count,
+           std::span<const std::uint8_t> data)
+{
+    if (lpn + count > logicalPages_)
+        sim::fatal("FTL write past logical capacity: lpn ", lpn, "+", count);
+    if (data.size() < count * pageSize_)
+        sim::panic("FTL write buffer too small");
+
+    sim::Tick t = ready;
+    if (freeList_.size() <= cfg_.gcLowWaterBlocks)
+        t = collectGarbage(t);
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        writeOnePage(lpn + i, data.subspan(i * pageSize_, pageSize_));
+        ++hostPages_;
+    }
+    // One timed program for the whole request: pages coalesce into
+    // multi-plane program chunks, exactly how the controller batches.
+    auto iv = flash_.timedProgram(t, count * pageSize_);
+    return {t, iv.end};
+}
+
+void
+Ftl::readUntimed(Lpn lpn, std::uint64_t count,
+                 std::span<std::uint8_t> out) const
+{
+    if (lpn + count > logicalPages_)
+        sim::fatal("FTL read past logical capacity: lpn ", lpn, "+", count);
+    if (out.size() < count * pageSize_)
+        sim::panic("FTL read buffer too small");
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto sub = out.subspan(i * pageSize_, pageSize_);
+        auto it = l2p_.find(lpn + i);
+        if (it == l2p_.end())
+            std::fill(sub.begin(), sub.end(), 0xff);
+        else
+            flash_.readPage(it->second, sub);
+    }
+}
+
+void
+Ftl::trim(Lpn lpn, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        invalidate(lpn + i);
+}
+
+} // namespace bssd::ftl

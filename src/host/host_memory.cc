@@ -1,0 +1,51 @@
+#include "host/host_memory.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::host
+{
+
+PersistentMemory::PersistentMemory(const PmConfig &cfg)
+    : cfg_(cfg), data_(cfg.sizeBytes, 0)
+{
+    if (cfg_.sizeBytes == 0)
+        sim::fatal("PersistentMemory requires non-zero size");
+}
+
+sim::Tick
+PersistentMemory::lineCost(std::uint64_t bytes, sim::Tick per_line) const
+{
+    return ((bytes + 63) / 64) * per_line;
+}
+
+sim::Tick
+PersistentMemory::write(sim::Tick now, std::uint64_t offset,
+                        std::span<const std::uint8_t> data)
+{
+    if (offset + data.size() > data_.size())
+        sim::fatal("PM write out of range: ", offset, "+", data.size());
+    std::copy(data.begin(), data.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(offset));
+    return now + lineCost(data.size(), cfg_.storeCostPerLine);
+}
+
+sim::Tick
+PersistentMemory::read(sim::Tick now, std::uint64_t offset,
+                       std::span<std::uint8_t> out) const
+{
+    if (offset + out.size() > data_.size())
+        sim::fatal("PM read out of range: ", offset, "+", out.size());
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset),
+                out.size(), out.begin());
+    return now + lineCost(out.size(), cfg_.loadCostPerLine);
+}
+
+sim::Tick
+PersistentMemory::persistBarrier(sim::Tick now) const
+{
+    return now + cfg_.persistBarrierCost;
+}
+
+} // namespace bssd::host

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Host-side emulated persistent memory.
+ *
+ * Fig. 10 of the paper compares the hybrid store (2B-SSD) against a
+ * heterogeneous memory architecture where a small PM on the memory bus
+ * buffers WAL records before lazy destage to a block log device. The
+ * paper instantiates that PM with "emulated DRAM"; this class is the
+ * equivalent: a byte-addressable region with DRAM-class store latency
+ * and a cheap persistence barrier (clwb + sfence).
+ */
+
+#ifndef BSSD_HOST_HOST_MEMORY_HH
+#define BSSD_HOST_HOST_MEMORY_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace bssd::host
+{
+
+/** Timing of the emulated PM DIMM. */
+struct PmConfig
+{
+    std::uint64_t sizeBytes = 16 * sim::MiB;
+    /** Store cost per 64 B cache line. */
+    sim::Tick storeCostPerLine = sim::nsOf(3);
+    /** Load cost per 64 B cache line. */
+    sim::Tick loadCostPerLine = sim::nsOf(4);
+    /** clwb + sfence persistence barrier. */
+    sim::Tick persistBarrierCost = sim::nsOf(300);
+};
+
+/**
+ * A byte-addressable persistent region on the host memory bus.
+ * Contents survive simulated power loss (the DIMM is battery-backed),
+ * in contrast with WC-buffered MMIO data which must be BA_SYNCed.
+ */
+class PersistentMemory
+{
+  public:
+    explicit PersistentMemory(const PmConfig &cfg = {});
+
+    const PmConfig &config() const { return cfg_; }
+    std::uint64_t size() const { return data_.size(); }
+
+    /** Store @p data at @p offset. @return CPU-free time. */
+    sim::Tick write(sim::Tick now, std::uint64_t offset,
+                    std::span<const std::uint8_t> data);
+
+    /** Load into @p out from @p offset. @return CPU-free time. */
+    sim::Tick read(sim::Tick now, std::uint64_t offset,
+                   std::span<std::uint8_t> out) const;
+
+    /** Persistence barrier (clwb + sfence). @return CPU-free time. */
+    sim::Tick persistBarrier(sim::Tick now) const;
+
+    /** Direct access for verification in tests. */
+    std::span<const std::uint8_t> bytes() const { return data_; }
+
+  private:
+    PmConfig cfg_;
+    std::vector<std::uint8_t> data_;
+
+    sim::Tick lineCost(std::uint64_t bytes, sim::Tick per_line) const;
+};
+
+} // namespace bssd::host
+
+#endif // BSSD_HOST_HOST_MEMORY_HH

@@ -1,0 +1,206 @@
+#include "host/wc_buffer.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::host
+{
+
+WcBuffer::WcBuffer(const WcConfig &cfg, Sink sink)
+    : cfg_(cfg), sink_(std::move(sink))
+{
+    if (cfg_.lineBytes == 0 || cfg_.lines == 0)
+        sim::fatal("WC buffer needs at least one line of non-zero size");
+    if (!sink_)
+        sim::fatal("WC buffer requires a posted-write sink");
+}
+
+bool
+WcBuffer::lineFull(const Line &line) const
+{
+    return std::all_of(line.validMask.begin(), line.validMask.end(),
+                       [](bool b) { return b; });
+}
+
+WcBuffer::Line *
+WcBuffer::findLine(std::uint64_t base)
+{
+    for (auto &l : lines_)
+        if (l.dirty && l.base == base)
+            return &l;
+    return nullptr;
+}
+
+sim::Tick
+WcBuffer::evict(sim::Tick now, Line &line)
+{
+    if (!line.dirty)
+        return now;
+    // Post each contiguous run of valid bytes within the line.
+    std::size_t i = 0;
+    while (i < line.validMask.size()) {
+        if (!line.validMask[i]) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < line.validMask.size() && line.validMask[j])
+            ++j;
+        now = sink_(now, line.base + i,
+                    std::span<const std::uint8_t>(line.data.data() + i,
+                                                  j - i));
+        i = j;
+    }
+    line.dirty = false;
+    return now;
+}
+
+WcBuffer::Line &
+WcBuffer::acquireLine(sim::Tick &now, std::uint64_t base)
+{
+    if (Line *l = findLine(base)) {
+        l->lruStamp = ++lruCounter_;
+        return *l;
+    }
+    // Reuse a clean slot if available.
+    for (auto &l : lines_) {
+        if (!l.dirty) {
+            l.base = base;
+            l.data.assign(cfg_.lineBytes, 0);
+            l.validMask.assign(cfg_.lineBytes, false);
+            l.dirty = true;
+            l.lruStamp = ++lruCounter_;
+            return l;
+        }
+    }
+    if (lines_.size() < cfg_.lines) {
+        Line l;
+        l.base = base;
+        l.data.assign(cfg_.lineBytes, 0);
+        l.validMask.assign(cfg_.lineBytes, false);
+        l.dirty = true;
+        l.lruStamp = ++lruCounter_;
+        lines_.push_back(std::move(l));
+        return lines_.back();
+    }
+    // Capacity pressure: evict the least recently used line.
+    auto victim = std::min_element(
+        lines_.begin(), lines_.end(), [](const Line &a, const Line &b) {
+            return a.lruStamp < b.lruStamp;
+        });
+    now = evict(now, *victim);
+    evictions_.add();
+    victim->base = base;
+    victim->data.assign(cfg_.lineBytes, 0);
+    victim->validMask.assign(cfg_.lineBytes, false);
+    victim->dirty = true;
+    victim->lruStamp = ++lruCounter_;
+    return *victim;
+}
+
+sim::Tick
+WcBuffer::write(sim::Tick now, std::uint64_t offset,
+                std::span<const std::uint8_t> data)
+{
+    std::uint64_t pos = 0;
+    std::uint64_t lines_touched = 0;
+    while (pos < data.size()) {
+        std::uint64_t addr = offset + pos;
+        std::uint64_t base = addr - (addr % cfg_.lineBytes);
+        std::uint64_t in_line = addr - base;
+        std::uint64_t n =
+            std::min<std::uint64_t>(cfg_.lineBytes - in_line,
+                                    data.size() - pos);
+        Line &line = acquireLine(now, base);
+        std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(pos), n,
+                    line.data.begin() + static_cast<std::ptrdiff_t>(in_line));
+        std::fill_n(line.validMask.begin() +
+                        static_cast<std::ptrdiff_t>(in_line),
+                    n, true);
+        ++lines_touched;
+        // A completely filled line combines into one burst and is
+        // posted immediately (x86 WC behaviour for streaming stores).
+        if (lineFull(line))
+            now = evict(now, line);
+        pos += n;
+    }
+    return now + lines_touched * cfg_.storeCostPerLine;
+}
+
+sim::Tick
+WcBuffer::flushRange(sim::Tick now, std::uint64_t offset, std::uint64_t len)
+{
+    std::uint64_t end =
+        len > ~std::uint64_t(0) - offset ? ~std::uint64_t(0) : offset + len;
+    // clflush executes once per cache line covered by the range,
+    // whether or not the line currently sits in a WC buffer.
+    std::uint64_t first_line = offset / cfg_.lineBytes;
+    std::uint64_t last_line = (end - 1) / cfg_.lineBytes;
+    now += (last_line - first_line + 1) * cfg_.clflushCost;
+    for (auto &l : lines_) {
+        if (!l.dirty)
+            continue;
+        if (l.base + cfg_.lineBytes <= offset || l.base >= end)
+            continue;
+        now = evict(now, l);
+    }
+    // clflush is only ordered by mfence; the pair is indivisible here.
+    now += cfg_.mfenceCost;
+    return now;
+}
+
+sim::Tick
+WcBuffer::flushAll(sim::Tick now)
+{
+    for (auto &l : lines_) {
+        if (!l.dirty)
+            continue;
+        now += cfg_.clflushCost;
+        now = evict(now, l);
+    }
+    now += cfg_.mfenceCost;
+    return now;
+}
+
+sim::Tick
+WcBuffer::drainAll(sim::Tick now)
+{
+    for (auto &l : lines_)
+        if (l.dirty)
+            now = evict(now, l);
+    return now;
+}
+
+std::uint64_t
+WcBuffer::dropAll()
+{
+    std::uint64_t lost = dirtyBytes();
+    for (auto &l : lines_)
+        l.dirty = false;
+    return lost;
+}
+
+std::uint32_t
+WcBuffer::dirtyLines() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : lines_)
+        n += l.dirty ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+WcBuffer::dirtyBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_) {
+        if (!l.dirty)
+            continue;
+        for (bool v : l.validMask)
+            n += v ? 1 : 0;
+    }
+    return n;
+}
+
+} // namespace bssd::host

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * NAND flash geometry and timing parameters.
+ *
+ * Three presets mirror the paper's devices: a TLC-class array for the
+ * datacenter SSD (PM963-like), and a fast single-bit (SLC / Z-NAND
+ * class) array for the ULL-SSD and the 2B-SSD that piggybacks on it
+ * (Table I: "single-bit NAND flash").
+ */
+
+#ifndef BSSD_NAND_NAND_CONFIG_HH
+#define BSSD_NAND_NAND_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace bssd::nand
+{
+
+/** Physical array shape. */
+struct NandGeometry
+{
+    std::uint32_t channels = 8;
+    std::uint32_t waysPerChannel = 4;
+    std::uint32_t blocksPerDie = 256;
+    std::uint32_t pagesPerBlock = 256;
+    std::uint32_t pageSize = 4096;
+
+    std::uint32_t totalDies() const { return channels * waysPerChannel; }
+
+    std::uint64_t
+    pagesPerDie() const
+    {
+        return std::uint64_t(blocksPerDie) * pagesPerBlock;
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return pagesPerDie() * totalDies();
+    }
+
+    std::uint64_t
+    capacityBytes() const
+    {
+        return totalPages() * pageSize;
+    }
+};
+
+/** Media timing; see DESIGN.md section 5 for calibration targets. */
+struct NandTiming
+{
+    /** Page read (tR). */
+    sim::Tick readPage = sim::usOf(70);
+    /** One program operation (tPROG), covering programChunkBytes. */
+    sim::Tick programChunk = sim::usOf(700);
+    /** Bytes programmed per program operation (page x planes). */
+    std::uint64_t programChunkBytes = 32 * sim::KiB;
+    /** Block erase (tBERS). */
+    sim::Tick eraseBlock = sim::msOf(3.5);
+    /** Per-channel bus bandwidth. */
+    sim::Bandwidth channelBw = sim::mbPerSec(800);
+};
+
+/** Full NAND array configuration. */
+struct NandConfig
+{
+    NandGeometry geometry;
+    NandTiming timing;
+
+    /** Fraction of blocks shipped factory-bad (typically < 2%). */
+    double factoryBadBlockRate = 0.0;
+    /** Seed for the factory defect map. */
+    std::uint64_t badBlockSeed = 0x0bad'b10c;
+
+    /** TLC-class array behind the DC-SSD model. */
+    static NandConfig tlcDatacenter();
+    /** Z-NAND / SLC-class array behind the ULL-SSD and 2B-SSD models. */
+    static NandConfig slcUltraLowLatency();
+    /** Tiny geometry for unit tests (fast to garbage collect). */
+    static NandConfig tiny();
+};
+
+} // namespace bssd::nand
+
+#endif // BSSD_NAND_NAND_CONFIG_HH

@@ -1,0 +1,236 @@
+#include "nand/nand_flash.hh"
+
+#include <algorithm>
+
+#include "sim/rng.hh"
+
+#include "sim/logging.hh"
+
+namespace bssd::nand
+{
+
+NandConfig
+NandConfig::tlcDatacenter()
+{
+    NandConfig c;
+    c.geometry = NandGeometry{8, 4, 4096, 256, 4096};
+    c.timing.readPage = sim::usOf(70);
+    c.timing.programChunk = sim::usOf(700);
+    c.timing.programChunkBytes = 32 * sim::KiB;
+    c.timing.eraseBlock = sim::msOf(3.5);
+    c.timing.channelBw = sim::mbPerSec(800);
+    return c;
+}
+
+NandConfig
+NandConfig::slcUltraLowLatency()
+{
+    NandConfig c;
+    c.geometry = NandGeometry{8, 4, 4096, 256, 4096};
+    c.timing.readPage = sim::usOf(3);
+    c.timing.programChunk = sim::usOf(100);
+    c.timing.programChunkBytes = 16 * sim::KiB;
+    c.timing.eraseBlock = sim::msOf(1);
+    c.timing.channelBw = sim::gbPerSec(1.2);
+    return c;
+}
+
+NandConfig
+NandConfig::tiny()
+{
+    NandConfig c;
+    c.geometry = NandGeometry{2, 2, 8, 8, 4096};
+    c.timing.readPage = sim::usOf(3);
+    c.timing.programChunk = sim::usOf(100);
+    c.timing.programChunkBytes = 4 * sim::KiB;
+    c.timing.eraseBlock = sim::msOf(1);
+    c.timing.channelBw = sim::gbPerSec(1.2);
+    return c;
+}
+
+NandFlash::NandFlash(const NandConfig &cfg)
+    : cfg_(cfg),
+      dies_(cfg.geometry.totalDies(), "nand.dies"),
+      channels_(cfg.geometry.channels, "nand.channels")
+{
+    if (cfg_.geometry.pageSize == 0 || cfg_.geometry.pagesPerBlock == 0 ||
+        cfg_.geometry.blocksPerDie == 0 || cfg_.geometry.totalDies() == 0) {
+        sim::fatal("NAND geometry has a zero dimension");
+    }
+    if (cfg_.factoryBadBlockRate < 0.0 || cfg_.factoryBadBlockRate > 0.2)
+        sim::fatal("factory bad-block rate out of range");
+    // Deterministic factory defect map.
+    if (cfg_.factoryBadBlockRate > 0.0) {
+        sim::Rng rng(cfg_.badBlockSeed);
+        for (std::uint32_t d = 0; d < cfg_.geometry.totalDies(); ++d)
+            for (std::uint32_t b = 0; b < cfg_.geometry.blocksPerDie; ++b)
+                if (rng.chance(cfg_.factoryBadBlockRate))
+                    badBlocks_.insert(blockKey(d, b));
+    }
+}
+
+bool
+NandFlash::isBad(std::uint32_t die, std::uint32_t block) const
+{
+    return badBlocks_.contains(blockKey(die, block));
+}
+
+void
+NandFlash::markBad(std::uint32_t die, std::uint32_t block)
+{
+    checkPpa(Ppa{die, block, 0});
+    badBlocks_.insert(blockKey(die, block));
+}
+
+std::uint32_t
+NandFlash::badBlockCount() const
+{
+    return static_cast<std::uint32_t>(badBlocks_.size());
+}
+
+std::uint64_t
+NandFlash::blockKey(std::uint32_t die, std::uint32_t block) const
+{
+    return (std::uint64_t(die) << 32) | block;
+}
+
+void
+NandFlash::checkPpa(Ppa ppa) const
+{
+    const auto &g = cfg_.geometry;
+    if (ppa.die >= g.totalDies() || ppa.block >= g.blocksPerDie ||
+        ppa.page >= g.pagesPerBlock) {
+        sim::panic("PPA out of range: die ", ppa.die, " block ", ppa.block,
+                   " page ", ppa.page);
+    }
+}
+
+void
+NandFlash::readPage(Ppa ppa, std::span<std::uint8_t> out) const
+{
+    checkPpa(ppa);
+    if (out.size() < cfg_.geometry.pageSize)
+        sim::panic("readPage output buffer smaller than a page");
+    pagesRead_.add();
+    auto it = pages_.find(ppa.packed());
+    if (it == pages_.end()) {
+        std::fill_n(out.begin(), cfg_.geometry.pageSize, 0xff);
+        return;
+    }
+    std::copy(it->second.begin(), it->second.end(), out.begin());
+}
+
+void
+NandFlash::programPage(Ppa ppa, std::span<const std::uint8_t> data)
+{
+    checkPpa(ppa);
+    if (data.size() > cfg_.geometry.pageSize)
+        sim::panic("programPage data larger than a page");
+    pagesProgrammed_.add();
+    if (isBad(ppa.die, ppa.block))
+        sim::panic("program to bad block ", ppa.block, " on die ",
+                   ppa.die);
+    auto &blk = blocks_[blockKey(ppa.die, ppa.block)];
+    if (ppa.page != blk.writePtr) {
+        sim::panic("out-of-order NAND program: die ", ppa.die, " block ",
+                   ppa.block, " page ", ppa.page, " expected ",
+                   blk.writePtr);
+    }
+    blk.writePtr = ppa.page + 1;
+    auto &store = pages_[ppa.packed()];
+    store.assign(cfg_.geometry.pageSize, 0xff);
+    std::copy(data.begin(), data.end(), store.begin());
+}
+
+void
+NandFlash::eraseBlock(std::uint32_t die, std::uint32_t block)
+{
+    checkPpa(Ppa{die, block, 0});
+    if (isBad(die, block))
+        sim::panic("erase of bad block ", block, " on die ", die);
+    blocksErased_.add();
+    auto &blk = blocks_[blockKey(die, block)];
+    for (std::uint32_t p = 0; p < blk.writePtr; ++p)
+        pages_.erase(Ppa{die, block, p}.packed());
+    blk.writePtr = 0;
+    ++blk.eraseCount;
+}
+
+bool
+NandFlash::isProgrammed(Ppa ppa) const
+{
+    checkPpa(ppa);
+    return pages_.contains(ppa.packed());
+}
+
+std::uint32_t
+NandFlash::writePointer(std::uint32_t die, std::uint32_t block) const
+{
+    auto it = blocks_.find(blockKey(die, block));
+    return it == blocks_.end() ? 0 : it->second.writePtr;
+}
+
+std::uint64_t
+NandFlash::eraseCount(std::uint32_t die, std::uint32_t block) const
+{
+    auto it = blocks_.find(blockKey(die, block));
+    return it == blocks_.end() ? 0 : it->second.eraseCount;
+}
+
+sim::Tick
+NandFlash::pageTransferTime() const
+{
+    return cfg_.timing.channelBw.transferTime(cfg_.geometry.pageSize);
+}
+
+sim::Interval
+NandFlash::timedRead(sim::Tick ready, std::uint64_t pages)
+{
+    if (pages == 0)
+        return {ready, ready};
+    sim::Tick first = sim::maxTick;
+    sim::Tick last = 0;
+    const sim::Tick xfer = pageTransferTime();
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        auto die_iv = dies_.reserve(ready, cfg_.timing.readPage);
+        auto ch_iv = channels_.reserve(die_iv.end, xfer);
+        first = std::min(first, die_iv.start);
+        last = std::max(last, ch_iv.end);
+    }
+    return {first, last};
+}
+
+sim::Interval
+NandFlash::timedProgram(sim::Tick ready, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return {ready, ready};
+    const std::uint64_t chunk = cfg_.timing.programChunkBytes;
+    const std::uint64_t chunks = (bytes + chunk - 1) / chunk;
+    sim::Tick first = sim::maxTick;
+    sim::Tick last = 0;
+    for (std::uint64_t i = 0; i < chunks; ++i) {
+        std::uint64_t sz = std::min(chunk, bytes - i * chunk);
+        auto ch_iv =
+            channels_.reserve(ready, cfg_.timing.channelBw.transferTime(sz));
+        auto die_iv = dies_.reserve(ch_iv.end, cfg_.timing.programChunk);
+        first = std::min(first, ch_iv.start);
+        last = std::max(last, die_iv.end);
+    }
+    return {first, last};
+}
+
+sim::Interval
+NandFlash::timedErase(sim::Tick ready)
+{
+    return dies_.reserve(ready, cfg_.timing.eraseBlock);
+}
+
+void
+NandFlash::resetTiming()
+{
+    dies_.reset();
+    channels_.reset();
+}
+
+} // namespace bssd::nand

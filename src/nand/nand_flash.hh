@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Functional + timing model of a multi-channel NAND flash array.
+ *
+ * The functional half stores real page contents (sparsely, so an
+ * 800 GB array costs memory only for pages actually touched) and
+ * enforces NAND programming rules: a page must belong to an erased
+ * block and pages within a block must be programmed in order.
+ *
+ * The timing half exposes the array as die/channel resource pools:
+ * page reads occupy a die for tR and a channel for the transfer,
+ * programs occupy a channel then a die for tPROG, erases occupy a die
+ * for tBERS. Large requests fan out page-parallel across dies, which
+ * is where the bandwidth curves of Fig. 8 come from.
+ */
+
+#ifndef BSSD_NAND_NAND_FLASH_HH
+#define BSSD_NAND_NAND_FLASH_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "nand/nand_config.hh"
+#include "sim/resource.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace bssd::nand
+{
+
+/** Physical page address: (die, block, page) packed for map keys. */
+struct Ppa
+{
+    std::uint32_t die = 0;
+    std::uint32_t block = 0;
+    std::uint32_t page = 0;
+
+    bool operator==(const Ppa &) const = default;
+
+    std::uint64_t
+    packed() const
+    {
+        return (std::uint64_t(die) << 48) | (std::uint64_t(block) << 24) |
+               page;
+    }
+};
+
+/**
+ * The NAND array. All "timed*" member functions reserve die/channel
+ * resources and return the granted interval; the plain members mutate
+ * or query functional state only.
+ */
+class NandFlash
+{
+  public:
+    explicit NandFlash(const NandConfig &cfg);
+
+    const NandConfig &config() const { return cfg_; }
+
+    /** @name Functional operations @{ */
+
+    /**
+     * Read one page into @p out (must hold pageSize bytes). Reading a
+     * never-programmed page yields the erased pattern (0xff).
+     */
+    void readPage(Ppa ppa, std::span<std::uint8_t> out) const;
+
+    /**
+     * Program one page. @pre the block is erased at or beyond this
+     * page, and @p page equals the block's next unwritten page (NAND
+     * in-order programming rule).
+     */
+    void programPage(Ppa ppa, std::span<const std::uint8_t> data);
+
+    /** Erase a whole block, releasing its pages. */
+    void eraseBlock(std::uint32_t die, std::uint32_t block);
+
+    /** True if the given page has been programmed since last erase. */
+    bool isProgrammed(Ppa ppa) const;
+
+    /** Next page index to program in a block (pagesPerBlock if full). */
+    std::uint32_t writePointer(std::uint32_t die,
+                               std::uint32_t block) const;
+
+    /** Erase cycles a block has seen (wear). */
+    std::uint64_t eraseCount(std::uint32_t die, std::uint32_t block) const;
+
+    /**
+     * True if the block is marked bad (factory defect map or a later
+     * markBad()). Programming or erasing a bad block panics: the FTL
+     * must never touch it.
+     */
+    bool isBad(std::uint32_t die, std::uint32_t block) const;
+
+    /** Retire a block (grown defect). */
+    void markBad(std::uint32_t die, std::uint32_t block);
+
+    /** Number of bad blocks in the array. */
+    std::uint32_t badBlockCount() const;
+
+    /** @} */
+
+    /** @name Timed operations (resource reservations) @{ */
+
+    /** Reserve die + channel time for reading @p pages pages. */
+    sim::Interval timedRead(sim::Tick ready, std::uint64_t pages);
+
+    /** Reserve channel + die time for programming @p bytes bytes. */
+    sim::Interval timedProgram(sim::Tick ready, std::uint64_t bytes);
+
+    /** Reserve die time for one block erase. */
+    sim::Interval timedErase(sim::Tick ready);
+
+    /** @} */
+
+    /** @name Statistics @{ */
+    std::uint64_t pagesRead() const { return pagesRead_.value(); }
+    std::uint64_t pagesProgrammed() const { return pagesProgrammed_.value(); }
+    std::uint64_t blocksErased() const { return blocksErased_.value(); }
+    /** @} */
+
+    /** Reset timing calendars (not contents) for a fresh measurement. */
+    void resetTiming();
+
+  private:
+    NandConfig cfg_;
+
+    /** Per-block metadata, allocated lazily. */
+    struct BlockState
+    {
+        std::uint32_t writePtr = 0;
+        std::uint64_t eraseCount = 0;
+    };
+
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+    std::unordered_map<std::uint64_t, BlockState> blocks_;
+    std::unordered_set<std::uint64_t> badBlocks_;
+
+    sim::MultiResource dies_;
+    sim::MultiResource channels_;
+    /// mutable: reads are logically const but still counted.
+    mutable sim::Counter pagesRead_{"nand.pagesRead"};
+    sim::Counter pagesProgrammed_{"nand.pagesProgrammed"};
+    sim::Counter blocksErased_{"nand.blocksErased"};
+
+    std::uint64_t blockKey(std::uint32_t die, std::uint32_t block) const;
+    void checkPpa(Ppa ppa) const;
+    sim::Tick pageTransferTime() const;
+};
+
+} // namespace bssd::nand
+
+#endif // BSSD_NAND_NAND_FLASH_HH

@@ -1,0 +1,64 @@
+#include "sim/client.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::sim
+{
+
+std::size_t
+ClosedLoopDriver::addClient(ClientFn fn)
+{
+    clients_.push_back(Client{std::move(fn), Clock{}});
+    return clients_.size() - 1;
+}
+
+std::uint64_t
+ClosedLoopDriver::run(Tick horizon)
+{
+    if (clients_.empty())
+        fatal("ClosedLoopDriver::run with no clients registered");
+
+    if (horizon <= startAt_)
+        fatal("ClosedLoopDriver horizon precedes the start time");
+    latency_.reset();
+    completedOps_ = 0;
+    lastHorizon_ = horizon;
+    for (auto &c : clients_) {
+        c.clock.reset();
+        c.clock.advanceTo(startAt_);
+    }
+
+    for (;;) {
+        // Step the client with the smallest virtual clock.
+        auto it = std::min_element(
+            clients_.begin(), clients_.end(),
+            [](const Client &a, const Client &b) {
+                return a.clock.now() < b.clock.now();
+            });
+        if (it->clock.now() >= horizon)
+            break;
+        Tick before = it->clock.now();
+        it->fn(it->clock);
+        Tick after = it->clock.now();
+        if (after <= before)
+            panic("client operation did not advance its clock");
+        if (after <= horizon) {
+            ++completedOps_;
+            latency_.sample(after - before);
+        }
+    }
+    return completedOps_;
+}
+
+double
+ClosedLoopDriver::throughputOpsPerSec() const
+{
+    if (lastHorizon_ <= startAt_)
+        return 0.0;
+    return static_cast<double>(completedOps_) /
+           toSec(lastHorizon_ - startAt_);
+}
+
+} // namespace bssd::sim

@@ -1,0 +1,75 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace bssd::sim
+{
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("event scheduled in the past: ", when, " < ", now_);
+    EventId id = nextId_++;
+    pq_.push(Entry{when, id, std::move(cb)});
+    pendingIds_.insert(id);
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleIn(Tick delay, Callback cb)
+{
+    return schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // The priority queue does not support removal from the middle;
+    // dropping the id from the pending set makes run() skip the entry
+    // when it surfaces.
+    return pendingIds_.erase(id) > 0;
+}
+
+std::size_t
+EventQueue::run(std::size_t limit)
+{
+    std::size_t fired = 0;
+    while (fired < limit && !pq_.empty()) {
+        Entry e = pq_.top();
+        pq_.pop();
+        if (pendingIds_.erase(e.id) == 0)
+            continue; // cancelled
+        now_ = e.when;
+        ++fired;
+        e.cb();
+    }
+    return fired;
+}
+
+std::size_t
+EventQueue::runUntil(Tick when)
+{
+    std::size_t fired = 0;
+    while (!pq_.empty() && pq_.top().when <= when) {
+        Entry e = pq_.top();
+        pq_.pop();
+        if (pendingIds_.erase(e.id) == 0)
+            continue; // cancelled
+        now_ = e.when;
+        ++fired;
+        e.cb();
+    }
+    advanceTo(when);
+    return fired;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    if (when < now_)
+        panic("EventQueue::advanceTo moving backwards");
+    now_ = when;
+}
+
+} // namespace bssd::sim

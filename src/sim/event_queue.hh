@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Device-internal background activity (write-buffer destage, garbage
+ * collection, the power-loss dump sequence, DMA completion interrupts)
+ * runs as events on this queue. Host-facing operations use the timed
+ * resource calendars in resource.hh instead; see DESIGN.md section 6.
+ */
+
+#ifndef BSSD_SIM_EVENT_QUEUE_HH
+#define BSSD_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace bssd::sim
+{
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same tick
+ * fire in scheduling order (a monotonically increasing sequence number
+ * breaks ties), which keeps runs fully deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Opaque handle to a scheduled event, usable for cancellation. */
+    using EventId = std::uint64_t;
+
+    /** Current simulated time of this queue. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     * @return a handle that can be passed to deschedule().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId scheduleIn(Tick delay, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * id is a no-op and returns false.
+     */
+    bool deschedule(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const { return pendingIds_.empty(); }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pendingIds_.size(); }
+
+    /**
+     * Run events until the queue is empty or @p limit events have fired.
+     * @return number of events fired.
+     */
+    std::size_t run(std::size_t limit = ~std::size_t(0));
+
+    /**
+     * Run all events with time <= @p when, then advance now() to @p when.
+     * @return number of events fired.
+     */
+    std::size_t runUntil(Tick when);
+
+    /** Advance time without running anything. @pre when >= now(). */
+    void advanceTo(Tick when);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq_;
+    std::unordered_set<EventId> pendingIds_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+};
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,33 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+namespace bssd::sim
+{
+
+namespace
+{
+bool logQuiet = false;
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    logQuiet = quiet;
+}
+
+void
+warnStr(const std::string &msg)
+{
+    if (!logQuiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informStr(const std::string &msg)
+{
+    if (!logQuiet)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace bssd::sim

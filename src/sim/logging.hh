@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 fatal/panic distinction.
+ *
+ * panic()  - a simulator bug: something that must never happen regardless
+ *            of user input. Throws SimPanic (tests can catch it); the
+ *            top-level main() converts it into abort().
+ * fatal()  - a user error (bad configuration, invalid arguments). Throws
+ *            SimFatal, which main() converts into exit(1).
+ * warn()/inform() - non-fatal status messages on stderr/stdout.
+ */
+
+#ifndef BSSD_SIM_LOGGING_HH
+#define BSSD_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bssd::sim
+{
+
+/** Exception thrown by panic(): an internal simulator bug. */
+class SimPanic : public std::logic_error
+{
+  public:
+    explicit SimPanic(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(): an unrecoverable user/config error. */
+class SimFatal : public std::runtime_error
+{
+  public:
+    explicit SimFatal(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Stream a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort the simulation.
+ * Use only for conditions that indicate a bug in the simulator itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw SimPanic("panic: " + detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable error caused by the user (bad configuration,
+ * invalid API usage from an application's perspective) and stop.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw SimFatal("fatal: " + detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about questionable but survivable behaviour. */
+void warnStr(const std::string &msg);
+/** Print an informational status message. */
+void informStr(const std::string &msg);
+/** Suppress or re-enable inform()/warn() output (quiet test runs). */
+void setLogQuiet(bool quiet);
+
+/** Variadic convenience wrapper over warnStr(). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    warnStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Variadic convenience wrapper over informStr(). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    informStr(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_LOGGING_HH

@@ -1,0 +1,164 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bssd::sim
+{
+
+namespace
+{
+
+/** splitmix64 step, used only for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound 0");
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange: lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Zipfian::zeta(std::uint64_t n, double theta)
+{
+    // For large n, computing the generalized harmonic number exactly is
+    // too slow; switch to the integral approximation past a cutoff.
+    constexpr std::uint64_t exactCutoff = 1'000'000;
+    double sum = 0.0;
+    std::uint64_t exact_n = n < exactCutoff ? n : exactCutoff;
+    for (std::uint64_t i = 1; i <= exact_n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (n > exact_n) {
+        // integral of x^-theta from exact_n to n
+        double a = 1.0 - theta;
+        sum += (std::pow(static_cast<double>(n), a) -
+                std::pow(static_cast<double>(exact_n), a)) / a;
+    }
+    return sum;
+}
+
+Zipfian::Zipfian(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    if (n == 0)
+        fatal("Zipfian requires at least one item");
+    if (theta <= 0.0 || theta >= 1.0)
+        fatal("Zipfian skew must be in (0, 1), got ", theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = zeta(n_, theta_);
+    double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+Zipfian::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= n_ ? n_ - 1 : idx;
+}
+
+PowerLaw::PowerLaw(std::uint64_t n, double gamma)
+    : n_(n), gamma_(gamma)
+{
+    if (n == 0)
+        fatal("PowerLaw requires at least one id");
+    if (gamma <= 0.0 || gamma >= 1.0)
+        fatal("PowerLaw gamma must be in (0, 1), got ", gamma);
+}
+
+std::uint64_t
+PowerLaw::sample(Rng &rng) const
+{
+    // Inverse CDF of the continuous density f(x) ~ x^-gamma on [1, n+1].
+    double a = 1.0 - gamma_;
+    double hi = std::pow(static_cast<double>(n_) + 1.0, a);
+    double u = rng.nextDouble();
+    double x = std::pow(1.0 + u * (hi - 1.0), 1.0 / a);
+    auto idx = static_cast<std::uint64_t>(x - 1.0);
+    return idx >= n_ ? n_ - 1 : idx;
+}
+
+std::uint64_t
+LatestDist::sample(Rng &rng, std::uint64_t maxId) const
+{
+    Zipfian z(maxId + 1, theta_);
+    std::uint64_t off = z.sample(rng);
+    return maxId - off;
+}
+
+} // namespace bssd::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads and models.
+ *
+ * All simulator randomness flows through Rng (xoshiro256**), seeded per
+ * component so experiments are reproducible. On top of the raw stream we
+ * provide the distributions the paper's workloads need: uniform ranges,
+ * zipfian (YCSB's request skew) and a power-law ID sampler (Linkbench's
+ * social-graph access pattern).
+ */
+
+#ifndef BSSD_SIM_RNG_HH
+#define BSSD_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bssd::sim
+{
+
+/**
+ * xoshiro256** pseudo random generator.
+ *
+ * Small, fast, and high quality; identical output on every platform,
+ * unlike std::default_random_engine / std::uniform_int_distribution.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x2b55d5eed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial that succeeds with probability @p p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipfian distribution over [0, n) with skew theta, using the
+ * Gray et al. rejection-free method popularized by YCSB.
+ *
+ * Item 0 is the most popular. YCSB uses theta = 0.99.
+ */
+class Zipfian
+{
+  public:
+    /**
+     * @param n      number of items (> 0)
+     * @param theta  skew in (0, 1); larger is more skewed
+     */
+    Zipfian(std::uint64_t n, double theta = 0.99);
+
+    /** Sample an item rank in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Number of items the distribution was built over. */
+    std::uint64_t items() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+
+    static double zeta(std::uint64_t n, double theta);
+};
+
+/**
+ * Power-law sampler over [0, n): P(i) proportional to (i + 1)^-gamma,
+ * approximating Linkbench's social-graph node popularity. Implemented
+ * by inverse-CDF on the continuous Pareto approximation, so it needs
+ * no per-item tables even for large n.
+ */
+class PowerLaw
+{
+  public:
+    /**
+     * @param n      number of ids
+     * @param gamma  tail exponent (Linkbench uses roughly 0.6-0.9)
+     */
+    PowerLaw(std::uint64_t n, double gamma = 0.8);
+
+    /** Sample an id in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+  private:
+    std::uint64_t n_;
+    double gamma_;
+};
+
+/**
+ * "Latest" distribution: skewed towards recently inserted items, as in
+ * YCSB workload D. Given the current max id, samples ids near it with a
+ * zipfian falloff.
+ */
+class LatestDist
+{
+  public:
+    explicit LatestDist(double theta = 0.99) : theta_(theta) {}
+
+    /** Sample an id in [0, maxId], biased towards maxId. */
+    std::uint64_t sample(Rng &rng, std::uint64_t maxId) const;
+
+  private:
+    double theta_;
+};
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_RNG_HH

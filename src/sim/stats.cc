@@ -1,0 +1,76 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bssd::sim
+{
+
+Distribution::Distribution(std::string name, std::size_t reservoirSize)
+    : name_(std::move(name)), cap_(reservoirSize), rng_(0xd157 + cap_)
+{
+    if (cap_ == 0)
+        fatal("Distribution reservoir must hold at least one sample");
+    reservoir_.reserve(cap_);
+}
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    sortedValid_ = false;
+    if (reservoir_.size() < cap_) {
+        reservoir_.push_back(v);
+    } else {
+        // Algorithm R: replace a random slot with probability cap/count.
+        std::uint64_t j = rng_.nextBelow(count_);
+        if (j < cap_)
+            reservoir_[static_cast<std::size_t>(j)] = v;
+    }
+}
+
+double
+Distribution::mean() const
+{
+    return count_ == 0
+        ? 0.0
+        : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Distribution::percentile(double p) const
+{
+    if (reservoir_.empty())
+        return 0;
+    if (p <= 0.0)
+        return min();
+    if (p >= 100.0)
+        return max();
+    if (!sortedValid_) {
+        sorted_ = reservoir_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    auto idx = static_cast<std::size_t>(std::llround(rank));
+    return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+void
+Distribution::reset()
+{
+    reservoir_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~std::uint64_t(0);
+    max_ = 0;
+}
+
+} // namespace bssd::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lightweight statistics: counters and latency distributions.
+ *
+ * Every experiment in the benchmark harness reports through these.
+ * Distribution keeps exact min/max/mean plus a bounded reservoir for
+ * percentile queries, so memory stays constant no matter how many
+ * samples a run records.
+ */
+
+#ifndef BSSD_SIM_STATS_HH
+#define BSSD_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/ticks.hh"
+
+namespace bssd::sim
+{
+
+/** A named monotonic counter. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name = "counter")
+        : name_(std::move(name))
+    {}
+
+    void add(std::uint64_t v = 1) { value_ += v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Streaming distribution with percentile support.
+ *
+ * Uses reservoir sampling (Vitter's algorithm R) with a fixed-size
+ * reservoir; exact statistics (count/sum/min/max) are always precise,
+ * percentiles are estimates over the reservoir.
+ */
+class Distribution
+{
+  public:
+    /**
+     * @param name          for reporting
+     * @param reservoirSize number of retained samples for percentiles
+     */
+    explicit Distribution(std::string name = "dist",
+                          std::size_t reservoirSize = 16384);
+
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * Estimated p-th percentile (p in [0, 100]).
+     * @return 0 when no samples were recorded.
+     */
+    std::uint64_t percentile(double p) const;
+
+    void reset();
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::size_t cap_;
+    std::vector<std::uint64_t> reservoir_;
+    mutable std::vector<std::uint64_t> sorted_;
+    mutable bool sortedValid_ = false;
+    Rng rng_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_STATS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulated time base for the 2B-SSD model.
+ *
+ * The whole simulator uses a single integer time base: one tick is one
+ * nanosecond of simulated time. Helpers are provided to express values
+ * in the units the paper uses (ns/us/ms/s) and to convert bandwidths.
+ */
+
+#ifndef BSSD_SIM_TICKS_HH
+#define BSSD_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace bssd::sim
+{
+
+/** Simulated time, in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** One nanosecond of simulated time. */
+constexpr Tick nsOf(double v) { return static_cast<Tick>(v); }
+/** Microseconds to ticks. */
+constexpr Tick usOf(double v) { return static_cast<Tick>(v * 1e3); }
+/** Milliseconds to ticks. */
+constexpr Tick msOf(double v) { return static_cast<Tick>(v * 1e6); }
+/** Seconds to ticks. */
+constexpr Tick sOf(double v) { return static_cast<Tick>(v * 1e9); }
+
+/** Ticks to fractional microseconds (for reporting). */
+constexpr double toUs(Tick t) { return static_cast<double>(t) / 1e3; }
+/** Ticks to fractional milliseconds (for reporting). */
+constexpr double toMs(Tick t) { return static_cast<double>(t) / 1e6; }
+/** Ticks to fractional seconds (for reporting). */
+constexpr double toSec(Tick t) { return static_cast<double>(t) / 1e9; }
+
+/**
+ * Bandwidth expressed as bytes per tick (bytes/ns).
+ *
+ * 1 GB/s == 1 byte/ns, so gbPerSec(3.2) == 3.2 bytes/ns.
+ */
+struct Bandwidth
+{
+    /** Transfer rate in bytes per nanosecond. */
+    double bytesPerNs = 0.0;
+
+    /** Time to move @p bytes at this rate (rounded up, >= 1 ns). */
+    Tick
+    transferTime(std::uint64_t bytes) const
+    {
+        if (bytes == 0 || bytesPerNs <= 0.0)
+            return 0;
+        double t = static_cast<double>(bytes) / bytesPerNs;
+        Tick whole = static_cast<Tick>(t);
+        return whole < 1 ? 1 : whole;
+    }
+};
+
+/** Construct a Bandwidth from GB/s (decimal gigabytes). */
+constexpr Bandwidth gbPerSec(double gb) { return Bandwidth{gb}; }
+/** Construct a Bandwidth from MB/s (decimal megabytes). */
+constexpr Bandwidth mbPerSec(double mb) { return Bandwidth{mb / 1e3}; }
+
+/** Common power-of-two size literals. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_TICKS_HH

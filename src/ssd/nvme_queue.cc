@@ -1,0 +1,111 @@
+#include "ssd/nvme_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::ssd
+{
+
+NvmeQueuePair::NvmeQueuePair(SsdDevice &dev, const NvmeQueueConfig &cfg)
+    : dev_(dev), cfg_(cfg)
+{
+    if (cfg_.depth == 0)
+        sim::fatal("NVMe queue depth must be non-zero");
+}
+
+void
+NvmeQueuePair::insertCompletion(NvmeCompletion cpl)
+{
+    auto it = std::upper_bound(
+        cq_.begin(), cq_.end(), cpl,
+        [](const NvmeCompletion &a, const NvmeCompletion &b) {
+            return a.completedAt < b.completedAt;
+        });
+    cq_.insert(it, cpl);
+}
+
+std::optional<sim::Tick>
+NvmeQueuePair::submit(sim::Tick now, NvmeCommand cmd)
+{
+    if (cq_.size() >= cfg_.depth)
+        return std::nullopt; // SQ full: reap completions first
+    submitted_.add();
+
+    // SQE write + doorbell; the CPU is free once the doorbell lands.
+    sim::Tick cpu_free = now + cfg_.doorbellCost;
+
+    NvmeCompletion cpl;
+    cpl.cid = cmd.cid;
+    cpl.status = NvmeStatus::success;
+    sim::Tick device_done = cpu_free;
+
+    switch (cmd.opc) {
+      case NvmeOpcode::read: {
+        if (!cmd.readBuf || cmd.readBuf->size() < cmd.length) {
+            cpl.status = NvmeStatus::invalidField;
+            break;
+        }
+        auto iv = dev_.blockRead(
+            cpu_free, cmd.offset,
+            std::span<std::uint8_t>(cmd.readBuf->data(), cmd.length));
+        device_done = iv.end;
+        break;
+      }
+      case NvmeOpcode::write: {
+        if (cmd.writeData.size() != cmd.length) {
+            cpl.status = NvmeStatus::invalidField;
+            break;
+        }
+        try {
+            auto iv = dev_.blockWrite(cpu_free, cmd.offset,
+                                      cmd.writeData);
+            device_done = iv.end;
+        } catch (const WriteGatedError &) {
+            // The LBA checker rejected the command: the host sees a
+            // CQE with an error status, exactly like real hardware.
+            cpl.status = NvmeStatus::accessDenied;
+        }
+        break;
+      }
+      case NvmeOpcode::flush:
+        device_done = dev_.flush(cpu_free);
+        break;
+    }
+
+    if (cpl.status != NvmeStatus::success)
+        errors_.add();
+    cpl.completedAt = device_done + cfg_.completionCost;
+    insertCompletion(cpl);
+    return cpu_free;
+}
+
+std::optional<NvmeCompletion>
+NvmeQueuePair::poll(sim::Tick now)
+{
+    if (cq_.empty() || cq_.front().completedAt > now)
+        return std::nullopt;
+    NvmeCompletion cpl = cq_.front();
+    cq_.pop_front();
+    completed_.add();
+    return cpl;
+}
+
+NvmeCompletion
+NvmeQueuePair::waitFor(sim::Tick now, std::uint16_t cid)
+{
+    auto it = std::find_if(cq_.begin(), cq_.end(),
+                           [cid](const NvmeCompletion &c) {
+                               return c.cid == cid;
+                           });
+    if (it == cq_.end())
+        sim::fatal("NVMe waitFor: cid ", cid, " is not in flight");
+    NvmeCompletion cpl = *it;
+    cq_.erase(it);
+    completed_.add();
+    if (cpl.completedAt < now)
+        cpl.completedAt = now; // already done; caller sees no wait
+    return cpl;
+}
+
+} // namespace bssd::ssd

@@ -1,0 +1,217 @@
+#include "ssd/ssd_device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::ssd
+{
+
+SsdConfig
+SsdConfig::dcSsd()
+{
+    SsdConfig c;
+    c.name = "DC-SSD";
+    c.nandCfg = nand::NandConfig::tlcDatacenter();
+    c.readFrontend = sim::usOf(8);
+    c.writeFrontend = sim::usOf(15.5);
+    c.flushCost = sim::usOf(20);
+    c.writeBufferBytes = 64 * sim::MiB;
+    c.readAhead = true;
+    return c;
+}
+
+SsdConfig
+SsdConfig::ullSsd()
+{
+    SsdConfig c;
+    c.name = "ULL-SSD";
+    c.nandCfg = nand::NandConfig::slcUltraLowLatency();
+    c.readFrontend = sim::usOf(6.8);
+    c.writeFrontend = sim::usOf(8.5);
+    c.flushCost = sim::usOf(12);
+    c.writeBufferBytes = 64 * sim::MiB;
+    c.readAhead = true;
+    return c;
+}
+
+SsdConfig
+SsdConfig::tiny()
+{
+    SsdConfig c;
+    c.name = "tiny-ssd";
+    c.nandCfg = nand::NandConfig::tiny();
+    c.nandCfg.geometry.blocksPerDie = 32;
+    c.ftlCfg.gcLowWaterBlocks = 4;
+    c.ftlCfg.gcHighWaterBlocks = 8;
+    c.readFrontend = sim::usOf(5);
+    c.writeFrontend = sim::usOf(8);
+    c.flushCost = sim::usOf(10);
+    c.writeBufferBytes = sim::MiB;
+    c.readAhead = true;
+    c.readAheadPages = 8;
+    return c;
+}
+
+sim::Bandwidth
+SsdDevice::drainRate(const SsdConfig &cfg)
+{
+    const auto &t = cfg.nandCfg.timing;
+    const double per_die =
+        static_cast<double>(t.programChunkBytes) /
+        static_cast<double>(t.programChunk);
+    return sim::Bandwidth{per_die * cfg.nandCfg.geometry.totalDies()};
+}
+
+SsdDevice::SsdDevice(const SsdConfig &cfg)
+    : cfg_(cfg),
+      flash_(std::make_unique<nand::NandFlash>(cfg.nandCfg)),
+      ftl_(std::make_unique<ftl::Ftl>(*flash_, cfg.ftlCfg)),
+      link_(cfg.pcieCfg),
+      writeBuffer_(cfg.writeBufferBytes, drainRate(cfg))
+{
+}
+
+std::uint64_t
+SsdDevice::capacityBytes() const
+{
+    return ftl_->logicalPages() * ftl_->pageSize();
+}
+
+bool
+SsdDevice::prefetched(ftl::Lpn lpn, std::uint64_t pages) const
+{
+    return prefetchCount_ > 0 && lpn >= prefetchStart_ &&
+           lpn + pages <= prefetchStart_ + prefetchCount_;
+}
+
+void
+SsdDevice::startPrefetch(sim::Tick now, ftl::Lpn lpn)
+{
+    std::uint64_t count = cfg_.readAheadPages;
+    if (lpn >= ftl_->logicalPages()) {
+        prefetchCount_ = 0;
+        return;
+    }
+    count = std::min<std::uint64_t>(count, ftl_->logicalPages() - lpn);
+    prefetchStart_ = lpn;
+    prefetchCount_ = count;
+    // The prefetch occupies media now; the data is ready when the
+    // batch read finishes.
+    prefetchReady_ = flash_->timedRead(now, count).end;
+}
+
+sim::Interval
+SsdDevice::blockRead(sim::Tick ready, std::uint64_t offset,
+                     std::span<std::uint8_t> out)
+{
+    const std::uint64_t bytes = out.size();
+    if (bytes == 0)
+        return {ready, ready};
+    if (offset + bytes > capacityBytes())
+        sim::fatal(cfg_.name, ": block read past capacity");
+    reads_.add();
+
+    const std::uint32_t ps = ftl_->pageSize();
+    const ftl::Lpn lpn = offset / ps;
+    const std::uint64_t last = (offset + bytes - 1) / ps;
+    const std::uint64_t pages = last - lpn + 1;
+
+    auto fe = frontend_.reserve(ready, cfg_.readFrontend);
+    sim::Tick t = fe.end;
+
+    std::vector<std::uint8_t> buf(pages * ps);
+    sim::Tick media_end;
+    if (cfg_.readAhead && prefetched(lpn, pages)) {
+        raHits_.add();
+        ftl_->readUntimed(lpn, pages, buf);
+        media_end = std::max(t, prefetchReady_);
+        // Keep the stream warm past the current window.
+        if (lpn + pages >= prefetchStart_ + prefetchCount_)
+            startPrefetch(media_end, lpn + pages);
+    } else {
+        auto iv = ftl_->read(t, lpn, pages, buf);
+        media_end = iv.end;
+        if (cfg_.readAhead && lpn == nextSeqLpn_)
+            startPrefetch(media_end, lpn + pages);
+    }
+    nextSeqLpn_ = lpn + pages;
+
+    std::copy_n(buf.begin() +
+                    static_cast<std::ptrdiff_t>(offset - lpn * ps),
+                bytes, out.begin());
+
+    // Host transfer is pipelined with the media phase; completion is
+    // bounded by whichever finishes later.
+    auto dma_iv = link_.dma(t, bytes);
+    sim::Tick end = std::max(media_end, dma_iv.end);
+    return {ready, end};
+}
+
+sim::Interval
+SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
+                      std::span<const std::uint8_t> data)
+{
+    const std::uint64_t bytes = data.size();
+    if (bytes == 0)
+        return {ready, ready};
+    if (offset + bytes > capacityBytes())
+        sim::fatal(cfg_.name, ": block write past capacity");
+    if (writeGate_ && !writeGate_(offset, bytes)) {
+        throw WriteGatedError(
+            cfg_.name + ": block write rejected by LBA checker");
+    }
+    writes_.add();
+    // Writes invalidate any read-ahead window (the stream is broken).
+    prefetchCount_ = 0;
+
+    const std::uint32_t ps = ftl_->pageSize();
+    const ftl::Lpn lpn = offset / ps;
+    const std::uint64_t last = (offset + bytes - 1) / ps;
+    const std::uint64_t pages = last - lpn + 1;
+
+    auto fe = frontend_.reserve(ready, cfg_.writeFrontend);
+    auto dma_iv = link_.dma(fe.end, bytes);
+    sim::Tick t = dma_iv.end;
+
+    // Unaligned head/tail: read-modify-write the surrounding pages.
+    std::vector<std::uint8_t> buf(pages * ps);
+    const bool head_partial = offset % ps != 0;
+    const bool tail_partial = (offset + bytes) % ps != 0;
+    if (head_partial)
+        ftl_->readUntimed(lpn, 1, std::span(buf.data(), ps));
+    if (tail_partial && (pages > 1 || !head_partial)) {
+        ftl_->readUntimed(last, 1,
+                          std::span(buf.data() + (pages - 1) * ps, ps));
+    }
+    std::copy(data.begin(), data.end(),
+              buf.begin() +
+                  static_cast<std::ptrdiff_t>(offset - lpn * ps));
+
+    // The command completes when the data sits in the capacitor-backed
+    // buffer; destage happens at the NAND drain rate behind the host's
+    // back (and still loads the die calendars, contending with reads).
+    sim::Tick admitted = writeBuffer_.admit(t, pages * ps);
+    ftl_->write(admitted, lpn, pages, buf);
+    return {ready, admitted};
+}
+
+sim::Tick
+SsdDevice::flush(sim::Tick ready)
+{
+    flushes_.add();
+    auto fe = frontend_.reserve(ready, cfg_.flushCost);
+    return fe.end;
+}
+
+void
+SsdDevice::trim(std::uint64_t offset, std::uint64_t len)
+{
+    const std::uint32_t ps = ftl_->pageSize();
+    std::uint64_t first = (offset + ps - 1) / ps;
+    std::uint64_t end = (offset + len) / ps;
+    if (end > first)
+        ftl_->trim(first, end - first);
+}
+
+} // namespace bssd::ssd

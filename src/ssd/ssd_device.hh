@@ -1,0 +1,163 @@
+/**
+ * @file
+ * NVMe-class block SSD model: frontend, capacitor-backed write buffer,
+ * read-ahead, FTL and NAND backend behind a PCIe link.
+ *
+ * Two calibrated presets mirror the paper's comparison devices
+ * (Section V-A):
+ *  - SsdConfig::dcSsd()  - the datacenter-class PM963 ("DC-SSD")
+ *  - SsdConfig::ullSsd() - the ultra-low-latency Z-SSD ("ULL-SSD")
+ *
+ * The 2B-SSD model (ba/two_b_ssd.hh) piggybacks on a ULL-class device,
+ * exactly as the prototype does, so its block path is identical to the
+ * ULL-SSD's.
+ */
+
+#ifndef BSSD_SSD_SSD_DEVICE_HH
+#define BSSD_SSD_SSD_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <span>
+#include <string>
+
+#include "ftl/ftl.hh"
+#include "nand/nand_flash.hh"
+#include "pcie/pcie_link.hh"
+#include "sim/resource.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace bssd::ssd
+{
+
+/**
+ * Thrown when a block write is rejected by the LBA checker because it
+ * targets NAND pages currently pinned to the BA-buffer.
+ */
+class WriteGatedError : public std::runtime_error
+{
+  public:
+    explicit WriteGatedError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Full device configuration (Table I analogue). */
+struct SsdConfig
+{
+    std::string name = "ssd";
+    nand::NandConfig nandCfg;
+    ftl::FtlConfig ftlCfg;
+    pcie::PcieConfig pcieCfg;
+
+    /** Firmware + queueing cost of a read command before media. */
+    sim::Tick readFrontend = sim::usOf(5.5);
+    /** Firmware + queueing cost of a write command. */
+    sim::Tick writeFrontend = sim::usOf(8.5);
+    /** NVMe FLUSH round trip (cheap: the buffer is capacitor-backed). */
+    sim::Tick flushCost = sim::usOf(12);
+    /** Capacitor-backed write buffer capacity. */
+    std::uint64_t writeBufferBytes = 64 * sim::MiB;
+    /** Sequential read-ahead (the heuristic the paper notes for
+     *  datacenter SSDs, Section V-B). */
+    bool readAhead = false;
+    /** Pages fetched ahead on a sequential stream. */
+    std::uint32_t readAheadPages = 64;
+
+    /** Datacenter-class NVMe SSD (PM963-like). */
+    static SsdConfig dcSsd();
+    /** Ultra-low-latency NVMe SSD (Z-SSD-like). */
+    static SsdConfig ullSsd();
+    /** Small geometry for unit tests. */
+    static SsdConfig tiny();
+};
+
+/**
+ * A block-interface NVMe SSD. Offsets and lengths are in bytes;
+ * unaligned accesses are handled with page read-modify-write, like a
+ * real FTL would.
+ */
+class SsdDevice
+{
+  public:
+    explicit SsdDevice(const SsdConfig &cfg);
+
+    const SsdConfig &config() const { return cfg_; }
+    std::uint64_t capacityBytes() const;
+    std::uint32_t pageSize() const { return ftl_->pageSize(); }
+
+    /**
+     * Block read of @p out.size() bytes at @p offset.
+     * @return granted interval; end is command completion at the host.
+     */
+    sim::Interval blockRead(sim::Tick ready, std::uint64_t offset,
+                            std::span<std::uint8_t> out);
+
+    /**
+     * Block write of @p data at @p offset. Completes when the data is
+     * in the capacitor-backed write buffer (durable); NAND destage
+     * happens behind the scenes at the drain rate.
+     */
+    sim::Interval blockWrite(sim::Tick ready, std::uint64_t offset,
+                             std::span<const std::uint8_t> data);
+
+    /** NVMe FLUSH. With power-loss protection this is a cheap barrier. */
+    sim::Tick flush(sim::Tick ready);
+
+    /** TRIM a byte range (page-aligned portions only). */
+    void trim(std::uint64_t offset, std::uint64_t len);
+
+    /** @name Sub-component access (2B-SSD extensions, tests, stats) @{ */
+    ftl::Ftl &ftl() { return *ftl_; }
+    const ftl::Ftl &ftl() const { return *ftl_; }
+    nand::NandFlash &flash() { return *flash_; }
+    pcie::PcieLink &link() { return link_; }
+    /** @} */
+
+    /** @name Statistics @{ */
+    std::uint64_t readsServed() const { return reads_.value(); }
+    std::uint64_t writesServed() const { return writes_.value(); }
+    std::uint64_t flushesServed() const { return flushes_.value(); }
+    std::uint64_t readAheadHits() const { return raHits_.value(); }
+    /** @} */
+
+    /**
+     * An optional hook consulted before every block write; the 2B-SSD
+     * LBA checker installs itself here to gate writes to pinned
+     * ranges (Section III-A2). Return false to reject the command.
+     */
+    using WriteGate = std::function<bool(std::uint64_t offset,
+                                         std::uint64_t len)>;
+    void setWriteGate(WriteGate gate) { writeGate_ = std::move(gate); }
+
+  private:
+    SsdConfig cfg_;
+    std::unique_ptr<nand::NandFlash> flash_;
+    std::unique_ptr<ftl::Ftl> ftl_;
+    pcie::PcieLink link_;
+    sim::FifoResource frontend_{"ssd.frontend"};
+    sim::DrainingBuffer writeBuffer_;
+    WriteGate writeGate_;
+
+    // Read-ahead state.
+    ftl::Lpn prefetchStart_ = 0;
+    std::uint64_t prefetchCount_ = 0;
+    sim::Tick prefetchReady_ = 0;
+    ftl::Lpn nextSeqLpn_ = ~ftl::Lpn(0);
+
+    sim::Counter reads_{"ssd.reads"};
+    sim::Counter writes_{"ssd.writes"};
+    sim::Counter flushes_{"ssd.flushes"};
+    sim::Counter raHits_{"ssd.readAheadHits"};
+
+    static sim::Bandwidth drainRate(const SsdConfig &cfg);
+    bool prefetched(ftl::Lpn lpn, std::uint64_t pages) const;
+    void startPrefetch(sim::Tick now, ftl::Lpn lpn);
+};
+
+} // namespace bssd::ssd
+
+#endif // BSSD_SSD_SSD_DEVICE_HH

@@ -1,0 +1,73 @@
+#include "wal/async_wal.hh"
+
+#include "sim/logging.hh"
+
+namespace bssd::wal
+{
+
+AsyncWal::AsyncWal(const AsyncWalConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.flushPeriod == 0)
+        sim::fatal("async WAL flush period must be non-zero");
+}
+
+void
+AsyncWal::advanceFlusher(sim::Tick now)
+{
+    // The background flusher fires at every period boundary and
+    // persists everything appended so far. Track the most recent
+    // boundary that has passed and the position it captured.
+    sim::Tick boundary = (now / cfg_.flushPeriod) * cfg_.flushPeriod;
+    if (boundary > flushedAt_) {
+        // Everything appended before this boundary is now durable.
+        flushedPos_ = staged_.size();
+        flushedAt_ = boundary;
+    }
+}
+
+sim::Tick
+AsyncWal::append(sim::Tick now, std::span<const std::uint8_t> record)
+{
+    if (staged_.size() + record.size() > cfg_.regionBytes)
+        sim::fatal("async WAL region full; engine must checkpoint");
+    advanceFlusher(now);
+    staged_.insert(staged_.end(), record.begin(), record.end());
+    return now + sim::nsOf(60) +
+           ((record.size() + 63) / 64) * cfg_.stageCostPerLine;
+}
+
+sim::Tick
+AsyncWal::commit(sim::Tick now)
+{
+    advanceFlusher(now);
+    return now + cfg_.commitCost;
+}
+
+void
+AsyncWal::crash(sim::Tick t)
+{
+    advanceFlusher(t);
+    // Whatever the flusher captured at the last boundary survives;
+    // the rest of the staged log is lost with host memory.
+    durablePos_ = flushedPos_;
+    staged_.resize(durablePos_);
+}
+
+std::vector<std::uint8_t>
+AsyncWal::recoverContents()
+{
+    return std::vector<std::uint8_t>(staged_.begin(),
+                                     staged_.begin() +
+                                         static_cast<std::ptrdiff_t>(
+                                             durablePos_));
+}
+
+void
+AsyncWal::truncate(sim::Tick)
+{
+    staged_.clear();
+    flushedPos_ = 0;
+    durablePos_ = 0;
+}
+
+} // namespace bssd::wal

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Asynchronous-commit WAL: the paper's "theoretical maximum" (ASYNC
+ * bars in Figs. 9 and 10).
+ *
+ * Commit returns immediately; a background flusher persists the log
+ * every flushPeriod. A crash therefore loses every transaction in the
+ * current risk window - the exact hazard the paper's BA commit mode
+ * closes while staying within 5-25% of this upper bound.
+ */
+
+#ifndef BSSD_WAL_ASYNC_WAL_HH
+#define BSSD_WAL_ASYNC_WAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wal/log_device.hh"
+
+namespace bssd::wal
+{
+
+/** Tunables of the asynchronous WAL. */
+struct AsyncWalConfig
+{
+    /** Background flush period (the durability risk window). */
+    sim::Tick flushPeriod = sim::msOf(100);
+    /** Cost of noting the commit LSN (no I/O, no barrier). */
+    sim::Tick commitCost = sim::nsOf(50);
+    /** Host memcpy cost per 64 B line when staging a record. */
+    sim::Tick stageCostPerLine = sim::nsOf(2);
+    /** Log capacity before the engine must checkpoint. */
+    std::uint64_t regionBytes = 64 * sim::MiB;
+};
+
+/** No-durability upper-bound log device. */
+class AsyncWal : public LogDevice
+{
+  public:
+    explicit AsyncWal(const AsyncWalConfig &cfg = {});
+
+    sim::Tick append(sim::Tick now,
+                     std::span<const std::uint8_t> record) override;
+    sim::Tick commit(sim::Tick now) override;
+    void crash(sim::Tick t) override;
+    std::vector<std::uint8_t> recoverContents() override;
+    std::string name() const override { return "async"; }
+    std::uint64_t bytesAppended() const override { return staged_.size(); }
+    std::uint64_t bytesToStore() const override { return durablePos_; }
+    void truncate(sim::Tick now) override;
+
+    bool
+    needsCheckpoint() const override
+    {
+        return staged_.size() >= cfg_.regionBytes * 8 / 10;
+    }
+
+  private:
+    AsyncWalConfig cfg_;
+    std::vector<std::uint8_t> staged_;
+    /** Position persisted by the background flusher at the last
+     *  period boundary that has passed. */
+    std::uint64_t flushedPos_ = 0;
+    sim::Tick flushedAt_ = 0;
+    std::uint64_t durablePos_ = 0;
+
+    void advanceFlusher(sim::Tick now);
+};
+
+} // namespace bssd::wal
+
+#endif // BSSD_WAL_ASYNC_WAL_HH

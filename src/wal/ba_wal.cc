@@ -1,0 +1,210 @@
+#include "wal/ba_wal.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::wal
+{
+
+namespace
+{
+/** Entry ids the BA-WAL claims in the mapping table. */
+constexpr ba::Eid walEid0 = 100;
+constexpr ba::Eid walEid1 = 101;
+} // namespace
+
+BaWal::BaWal(ba::TwoBSsd &dev, const BaWalConfig &cfg)
+    : dev_(dev), cfg_(cfg)
+{
+    const std::uint64_t buf = dev_.baConfig().bufferBytes;
+    if (cfg_.doubleBuffer)
+        halfBytes_ = cfg_.halfBytes ? cfg_.halfBytes : buf / 2;
+    else
+        halfBytes_ = cfg_.halfBytes ? cfg_.halfBytes : buf;
+
+    const std::uint32_t ps = dev_.device().pageSize();
+    if (halfBytes_ % ps != 0)
+        sim::fatal("BA-WAL half size must be page aligned");
+    if (cfg_.doubleBuffer && 2 * halfBytes_ > buf)
+        sim::fatal("BA-WAL double buffering needs 2 halves in the buffer");
+    if (!cfg_.doubleBuffer && halfBytes_ > buf)
+        sim::fatal("BA-WAL window exceeds the BA-buffer");
+    if (cfg_.regionBytes % halfBytes_ != 0)
+        sim::fatal("BA-WAL region must be a multiple of the half size");
+    slots_ = static_cast<std::uint32_t>(cfg_.regionBytes / halfBytes_);
+
+    halves_[0] = Half{walEid0, 0, false, 0, 0};
+    halves_[1] = Half{walEid1, cfg_.doubleBuffer ? halfBytes_ : 0, false,
+                      0, 0};
+
+    // Pin the first window(s); the log starts at slot 0.
+    pinHalf(0, 0);
+    if (cfg_.doubleBuffer)
+        pinHalf(0, 1);
+}
+
+std::uint64_t
+BaWal::slotLba(std::uint32_t slot) const
+{
+    return cfg_.regionOffset + std::uint64_t(slot) * halfBytes_;
+}
+
+sim::Tick
+BaWal::pinHalf(sim::Tick now, std::uint32_t h)
+{
+    if (nextSlot_ >= slots_) {
+        sim::fatal("BA-WAL region full; engine must checkpoint before ",
+                   cfg_.regionBytes, " bytes of log");
+    }
+    Half &half = halves_[h];
+    // The pin may only start once this window's previous BA_FLUSH has
+    // finished on the internal datapath.
+    sim::Tick start = std::max(now, half.flushDoneAt);
+    auto iv = dev_.baPin(start, half.eid, half.windowOffset,
+                         slotLba(nextSlot_), halfBytes_);
+    half.pinned = true;
+    half.slot = nextSlot_++;
+    // Background completion: appends may land once the pin's NAND read
+    // stops overwriting the window.
+    half.flushDoneAt = iv.end;
+    return now + dev_.baConfig().apiCost;
+}
+
+sim::Tick
+BaWal::switchHalves(sim::Tick now)
+{
+    switches_.add();
+    Half &old = halves_[cur_];
+
+    // Seal the filling half: sync the unsynced tail (clflush residue
+    // must reach the BA-buffer before the firmware copies it out),
+    // then BA_FLUSH it to its NAND slot and re-pin it to the next
+    // slot. Both device operations proceed in the background; the
+    // host pays the ioctl costs only.
+    if (syncedPos_ < appendPos_) {
+        std::uint64_t off =
+            old.windowOffset + (syncedPos_ - halfStart_);
+        now = dev_.baSyncRange(now, old.eid, off,
+                               appendPos_ - syncedPos_);
+        syncedPos_ = appendPos_;
+    }
+    auto flush_iv = dev_.baFlush(now, old.eid);
+    old.pinned = false;
+    old.flushDoneAt = flush_iv.end;
+    now += dev_.baConfig().apiCost;
+
+    if (cfg_.doubleBuffer) {
+        // Re-pin the sealed half for future use; issued right behind
+        // the flush, off the critical path.
+        pinHalf(std::max(now, old.flushDoneAt), cur_);
+        cur_ ^= 1;
+        Half &next = halves_[cur_];
+        // Normally pinned long ago; wait only if appends outpaced the
+        // internal datapath.
+        now = std::max(now, next.flushDoneAt);
+        halfStart_ = std::uint64_t(next.slot) * halfBytes_;
+    } else {
+        // Single window (Redis): block until the flush completes and
+        // the window is re-pinned to the next slot.
+        now = pinHalf(std::max(now, old.flushDoneAt), cur_);
+        now = std::max(now, halves_[cur_].flushDoneAt);
+        halfStart_ = std::uint64_t(halves_[cur_].slot) * halfBytes_;
+    }
+    appendPos_ = halfStart_;
+    syncedPos_ = appendPos_;
+    return now;
+}
+
+sim::Tick
+BaWal::append(sim::Tick now, std::span<const std::uint8_t> record)
+{
+    if (record.size() > halfBytes_)
+        sim::fatal("BA-WAL record larger than a buffer window");
+    if (appendPos_ - halfStart_ + record.size() > halfBytes_)
+        now = switchHalves(now);
+
+    Half &half = halves_[cur_];
+    // First append into a freshly pinned window waits for the pin's
+    // background NAND read (double buffering makes this a no-op).
+    if (appendPos_ == halfStart_)
+        now = std::max(now, half.flushDoneAt);
+
+    std::uint64_t off = half.windowOffset + (appendPos_ - halfStart_);
+    now = dev_.mmioWrite(now, off, record);
+    appendPos_ += record.size();
+    return now;
+}
+
+sim::Tick
+BaWal::commit(sim::Tick now)
+{
+    if (syncedPos_ == appendPos_)
+        return now; // everything already durable
+    Half &half = halves_[cur_];
+    std::uint64_t off = half.windowOffset + (syncedPos_ - halfStart_);
+    now = dev_.baSyncRange(now, half.eid, off, appendPos_ - syncedPos_);
+    syncedPos_ = appendPos_;
+    return now;
+}
+
+void
+BaWal::crash(sim::Tick t)
+{
+    dev_.powerLoss(t);
+    dev_.powerRestore();
+}
+
+std::vector<std::uint8_t>
+BaWal::recoverContents()
+{
+    // Base image: the on-flash log region through the block path.
+    std::vector<std::uint8_t> out(cfg_.regionBytes);
+    dev_.blockRead(0, cfg_.regionOffset, out);
+
+    // Overlay every window the restored mapping table still pins onto
+    // its slot: those bytes never reached NAND but survived in the
+    // dumped BA-buffer.
+    for (const auto &e : {walEid0, walEid1}) {
+        auto entry = dev_.buffer().entry(e);
+        if (!entry)
+            continue;
+        if (entry->startLba < cfg_.regionOffset ||
+            entry->startLba + entry->length >
+                cfg_.regionOffset + cfg_.regionBytes) {
+            continue;
+        }
+        std::vector<std::uint8_t> win(entry->length);
+        dev_.mmioRead(0, entry->startOffset, win);
+        std::copy(win.begin(), win.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(
+                                    entry->startLba - cfg_.regionOffset));
+    }
+    return out;
+}
+
+void
+BaWal::truncate(sim::Tick now)
+{
+    // Drop both windows and restart at slot 0 (checkpoint completed;
+    // previous log generations are dead and will fail the sequence
+    // check on any future recovery).
+    for (auto &h : halves_) {
+        if (h.pinned) {
+            auto iv = dev_.baFlush(now, h.eid);
+            h.pinned = false;
+            h.flushDoneAt = iv.end;
+        }
+    }
+    dev_.device().trim(cfg_.regionOffset, cfg_.regionBytes);
+    nextSlot_ = 0;
+    appendPos_ = 0;
+    halfStart_ = 0;
+    syncedPos_ = 0;
+    cur_ = 0;
+    pinHalf(now, 0);
+    if (cfg_.doubleBuffer)
+        pinHalf(now, 1);
+}
+
+} // namespace bssd::wal

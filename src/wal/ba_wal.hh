@@ -1,0 +1,119 @@
+/**
+ * @file
+ * BA-WAL: the paper's write-ahead log over the 2B-SSD memory
+ * interface (Section IV-B).
+ *
+ * Log records are appended straight into the BA-buffer with memcpy()
+ * over MMIO - as many bytes as the record actually has, no page
+ * padding. Commit is BA_SYNC over the newly appended range: a handful
+ * of clflushes, an mfence and the write-verify read - sub-microsecond
+ * durability.
+ *
+ * Double buffering (the paper's technique for PostgreSQL/RocksDB):
+ * the BA-buffer is split into two halves, each pinned to its own LBA
+ * slot of the on-flash log region. When the active half fills it is
+ * BA_FLUSHed to NAND - off the critical path - while appends continue
+ * in the other half, which was re-pinned to the next slot in advance.
+ */
+
+#ifndef BSSD_WAL_BA_WAL_HH
+#define BSSD_WAL_BA_WAL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "sim/stats.hh"
+#include "wal/log_device.hh"
+
+namespace bssd::wal
+{
+
+/** Tunables of the BA-WAL path. */
+struct BaWalConfig
+{
+    /** Byte offset of the on-flash log region. */
+    std::uint64_t regionOffset = 0;
+    /** Size of the on-flash log region. */
+    std::uint64_t regionBytes = 64 * sim::MiB;
+    /**
+     * Bytes per half (per pinned window). The paper sizes PostgreSQL
+     * segments to half the 8 MB BA-buffer and RocksDB logs to a
+     * quarter; 0 means "half the BA-buffer".
+     */
+    std::uint64_t halfBytes = 0;
+    /** Use double buffering (Redis turns this off, Section IV-B). */
+    bool doubleBuffer = true;
+};
+
+/** The 2B-SSD BA-commit write-ahead log. */
+class BaWal : public LogDevice
+{
+  public:
+    BaWal(ba::TwoBSsd &dev, const BaWalConfig &cfg = {});
+
+    sim::Tick append(sim::Tick now,
+                     std::span<const std::uint8_t> record) override;
+    sim::Tick commit(sim::Tick now) override;
+    void crash(sim::Tick t) override;
+    std::vector<std::uint8_t> recoverContents() override;
+    std::string name() const override { return "ba-wal"; }
+    std::uint64_t bytesAppended() const override { return appendPos_; }
+    std::uint64_t bytesToStore() const override { return appendPos_; }
+
+    /** Restart the log (checkpoint complete). */
+    void truncate(sim::Tick now) override;
+
+    bool
+    needsCheckpoint() const override
+    {
+        return nextSlot_ + 2 >= slots_;
+    }
+
+    std::uint64_t
+    recoveryChunkBytes() const override
+    {
+        return halfBytes_;
+    }
+
+    /** Half switches performed (each is one BA_FLUSH + one BA_PIN). */
+    std::uint64_t halfSwitches() const { return switches_.value(); }
+
+  private:
+    ba::TwoBSsd &dev_;
+    BaWalConfig cfg_;
+    std::uint64_t halfBytes_;
+    std::uint32_t slots_;
+
+    /** Per-half (window) state. */
+    struct Half
+    {
+        ba::Eid eid = 0;
+        std::uint64_t windowOffset = 0;
+        bool pinned = false;
+        /** Background completion time of this half's last BA_FLUSH. */
+        sim::Tick flushDoneAt = 0;
+        /** LBA slot currently mapped (valid when pinned). */
+        std::uint32_t slot = 0;
+    };
+
+    std::array<Half, 2> halves_;
+    std::uint32_t cur_ = 0;
+    std::uint32_t nextSlot_ = 0;
+    /** Global log stream position. */
+    std::uint64_t appendPos_ = 0;
+    /** Stream position where the active half begins. */
+    std::uint64_t halfStart_ = 0;
+    /** Stream position through which BA_SYNC has run. */
+    std::uint64_t syncedPos_ = 0;
+    sim::Counter switches_{"bawal.halfSwitches"};
+
+    std::uint64_t slotLba(std::uint32_t slot) const;
+    sim::Tick pinHalf(sim::Tick now, std::uint32_t h);
+    sim::Tick switchHalves(sim::Tick now);
+};
+
+} // namespace bssd::wal
+
+#endif // BSSD_WAL_BA_WAL_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The write-ahead-log device abstraction (Section IV).
+ *
+ * A database engine's logging subsystem sees exactly three operations:
+ * append a record, commit (make everything appended so far durable),
+ * and - after a crash - recover the durable byte stream. The four
+ * implementations map to the paper's four configurations:
+ *
+ *  - BlockWal : conventional WAL over block I/O (write() + fsync());
+ *               page-aligned writes, partial log pages rewritten.
+ *  - BaWal    : the paper's BA-WAL on 2B-SSD - byte-granular appends
+ *               over MMIO, BA_SYNC commits, double-buffered BA_FLUSH.
+ *  - PmWal    : heterogeneous-memory WAL (Fig. 10) - records buffered
+ *               in host PM, lazily destaged through the block stack.
+ *  - AsyncWal : asynchronous commit - the no-durability upper bound.
+ */
+
+#ifndef BSSD_WAL_LOG_DEVICE_HH
+#define BSSD_WAL_LOG_DEVICE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace bssd::wal
+{
+
+/** Interface between a database logging subsystem and its log store. */
+class LogDevice
+{
+  public:
+    virtual ~LogDevice() = default;
+
+    /**
+     * Append a framed record to the log.
+     * @return CPU-free time; the record is buffered but NOT durable.
+     */
+    virtual sim::Tick append(sim::Tick now,
+                             std::span<const std::uint8_t> record) = 0;
+
+    /**
+     * Make every record appended before @p now durable.
+     * @return time at which durability holds.
+     */
+    virtual sim::Tick commit(sim::Tick now) = 0;
+
+    /**
+     * Simulate a crash (power loss) at time @p t, then power-on.
+     * After this call recoverContents() reflects what survived.
+     */
+    virtual void crash(sim::Tick t) = 0;
+
+    /**
+     * The durable log byte stream after a crash, in append order.
+     * Callers parse it with the record framing (wal/record.hh), which
+     * detects torn or lost tails.
+     */
+    virtual std::vector<std::uint8_t> recoverContents() = 0;
+
+    /** Human-readable configuration name (for benchmark tables). */
+    virtual std::string name() const = 0;
+
+    /** Total log payload bytes appended by the engine. */
+    virtual std::uint64_t bytesAppended() const = 0;
+
+    /** Total bytes the log pushed to the device/PM (write cost). */
+    virtual std::uint64_t bytesToStore() const = 0;
+
+    /**
+     * True when the log region is nearly full and the engine should
+     * checkpoint its state and truncate the log.
+     */
+    virtual bool needsCheckpoint() const { return false; }
+
+    /** Restart the log after a checkpoint. Default: no-op. */
+    virtual void truncate(sim::Tick now) { (void)now; }
+
+    /**
+     * Chunk granularity of the recovered stream: 0 means records are
+     * contiguous; a non-zero value means records never straddle
+     * chunk boundaries and the tail of each chunk may be padding
+     * (the double-buffered logs). Feed to wal::parseLogStream().
+     */
+    virtual std::uint64_t recoveryChunkBytes() const { return 0; }
+};
+
+} // namespace bssd::wal
+
+#endif // BSSD_WAL_LOG_DEVICE_HH

@@ -1,0 +1,166 @@
+#include "wal/pm_wal.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::wal
+{
+
+namespace
+{
+/** Bytes reserved for the PM superblock (two slot tags). */
+constexpr std::uint64_t pmHeaderBytes = 64;
+} // namespace
+
+PmWal::PmWal(host::PersistentMemory &pm, ssd::SsdDevice &dev,
+             const PmWalConfig &cfg)
+    : pm_(pm), dev_(dev), cfg_(cfg), halfBytes_(cfg.halfBytes)
+{
+    if (halfBytes_ == 0)
+        halfBytes_ = (pm_.size() - cfg_.pmOffset - pmHeaderBytes) / 2;
+    if (halfBytes_ % dev_.pageSize() != 0)
+        sim::fatal("PM WAL half size must be page aligned");
+    if (cfg_.pmOffset + pmHeaderBytes + 2 * halfBytes_ > pm_.size())
+        sim::fatal("PM too small for two WAL halves");
+    if (cfg_.regionBytes % halfBytes_ != 0)
+        sim::fatal("PM WAL region must be a multiple of the half size");
+    slots_ = static_cast<std::uint32_t>(cfg_.regionBytes / halfBytes_);
+
+    halves_[0].pmBase = cfg_.pmOffset + pmHeaderBytes;
+    halves_[1].pmBase = cfg_.pmOffset + pmHeaderBytes + halfBytes_;
+    truncate(0);
+}
+
+std::uint64_t
+PmWal::tagOffset(std::uint32_t h) const
+{
+    return cfg_.pmOffset + 8 * h;
+}
+
+void
+PmWal::writeTag(std::uint32_t h, std::uint64_t slot_or_invalid)
+{
+    std::uint8_t raw[8];
+    for (int i = 0; i < 8; ++i)
+        raw[i] = static_cast<std::uint8_t>(slot_or_invalid >> (8 * i));
+    pm_.write(0, tagOffset(h), raw);
+}
+
+std::uint64_t
+PmWal::readTag(std::uint32_t h) const
+{
+    auto bytes = pm_.bytes();
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i)
+        x |= std::uint64_t(bytes[tagOffset(h) + i]) << (8 * i);
+    return x;
+}
+
+sim::Tick
+PmWal::switchHalves(sim::Tick now)
+{
+    destages_.add();
+    Half &old = halves_[cur_];
+
+    // Destage the filled half to its slot on the log device in the
+    // background; the host only pays the async submit cost.
+    std::vector<std::uint8_t> data(halfBytes_);
+    pm_.read(now, old.pmBase, data);
+    auto iv = dev_.blockWrite(now + cfg_.destageSubmit,
+                              cfg_.regionOffset +
+                                  std::uint64_t(old.slot) * halfBytes_,
+                              data);
+    destagedBytes_ += halfBytes_;
+    old.destageDoneAt = iv.end;
+    old.active = false;
+    now += cfg_.destageSubmit;
+
+    // Move to the other half; wait only if its previous destage is
+    // still in flight (appends outpaced the log device).
+    cur_ ^= 1;
+    Half &next = halves_[cur_];
+    now = std::max(now, next.destageDoneAt);
+    if (nextSlot_ >= slots_) {
+        sim::fatal("PM WAL region full; engine must checkpoint before ",
+                   cfg_.regionBytes, " bytes of log");
+    }
+    next.slot = nextSlot_++;
+    next.active = true;
+    writeTag(cur_, next.slot + 1);
+    pm_.persistBarrier(now);
+    halfStart_ = std::uint64_t(next.slot) * halfBytes_;
+    appendPos_ = halfStart_;
+    return now;
+}
+
+sim::Tick
+PmWal::append(sim::Tick now, std::span<const std::uint8_t> record)
+{
+    if (record.size() > halfBytes_)
+        sim::fatal("PM WAL record larger than a half");
+    if (appendPos_ - halfStart_ + record.size() > halfBytes_)
+        now = switchHalves(now);
+    Half &half = halves_[cur_];
+    now = pm_.write(now, half.pmBase + (appendPos_ - halfStart_), record);
+    appendPos_ += record.size();
+    return now;
+}
+
+sim::Tick
+PmWal::commit(sim::Tick now)
+{
+    // Records already sit in persistent memory; a clwb+sfence barrier
+    // is the entire durability cost.
+    return pm_.persistBarrier(now);
+}
+
+void
+PmWal::crash(sim::Tick)
+{
+    // The PM is battery backed and the device capacitor backed:
+    // nothing is lost. Host bookkeeping resets; the engine recovers
+    // from recoverContents() and then truncates.
+}
+
+std::vector<std::uint8_t>
+PmWal::recoverContents()
+{
+    std::vector<std::uint8_t> out(cfg_.regionBytes);
+    dev_.blockRead(0, cfg_.regionOffset, out);
+    // PM halves that still hold a live slot are authoritative (their
+    // destage may not have happened).
+    auto pm_bytes = pm_.bytes();
+    for (std::uint32_t h = 0; h < 2; ++h) {
+        std::uint64_t tag = readTag(h);
+        if (tag == 0)
+            continue;
+        std::uint64_t slot = tag - 1;
+        if (slot * halfBytes_ + halfBytes_ > cfg_.regionBytes)
+            continue; // stale tag from another configuration
+        std::copy_n(pm_bytes.begin() +
+                        static_cast<std::ptrdiff_t>(halves_[h].pmBase),
+                    halfBytes_,
+                    out.begin() +
+                        static_cast<std::ptrdiff_t>(slot * halfBytes_));
+    }
+    return out;
+}
+
+void
+PmWal::truncate(sim::Tick now)
+{
+    dev_.trim(cfg_.regionOffset, cfg_.regionBytes);
+    nextSlot_ = 0;
+    cur_ = 0;
+    halves_[0].slot = nextSlot_++;
+    halves_[0].active = true;
+    halves_[1].active = false;
+    writeTag(0, halves_[0].slot + 1);
+    writeTag(1, 0);
+    pm_.persistBarrier(now);
+    halfStart_ = 0;
+    appendPos_ = 0;
+}
+
+} // namespace bssd::wal

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Heterogeneous-memory WAL (Fig. 1(c) / Fig. 10 of the paper).
+ *
+ * Log records are buffered in a small host persistent memory (battery
+ * -backed DIMM), where a clwb+sfence barrier makes them durable at
+ * DRAM speed. Full PM halves are lazily destaged through the block
+ * I/O stack to a conventional log SSD - off the commit critical path.
+ * This is the architecture the paper compares the hybrid store
+ * against (PostgreSQL's NVM-logging reference design [60]).
+ */
+
+#ifndef BSSD_WAL_PM_WAL_HH
+#define BSSD_WAL_PM_WAL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "host/host_memory.hh"
+#include "sim/stats.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/log_device.hh"
+
+namespace bssd::wal
+{
+
+/** Tunables of the PM-buffered WAL. */
+struct PmWalConfig
+{
+    /** Byte offset of the log region on the block device. */
+    std::uint64_t regionOffset = 0;
+    /** Size of the log region. */
+    std::uint64_t regionBytes = 64 * sim::MiB;
+    /** Byte offset of the WAL area inside the PM. */
+    std::uint64_t pmOffset = 0;
+    /** Bytes per PM half (0: half of the PM area minus the header). */
+    std::uint64_t halfBytes = 4 * sim::MiB;
+    /** Async submit cost for the background destage write. */
+    sim::Tick destageSubmit = sim::usOf(2);
+};
+
+/** PM-buffered, lazily destaged write-ahead log. */
+class PmWal : public LogDevice
+{
+  public:
+    PmWal(host::PersistentMemory &pm, ssd::SsdDevice &dev,
+          const PmWalConfig &cfg = {});
+
+    sim::Tick append(sim::Tick now,
+                     std::span<const std::uint8_t> record) override;
+    sim::Tick commit(sim::Tick now) override;
+    void crash(sim::Tick t) override;
+    std::vector<std::uint8_t> recoverContents() override;
+    std::string name() const override { return "pm-wal"; }
+    std::uint64_t bytesAppended() const override { return appendPos_; }
+    std::uint64_t bytesToStore() const override { return destagedBytes_; }
+    void truncate(sim::Tick now) override;
+
+    bool
+    needsCheckpoint() const override
+    {
+        return (nextSlot_ + 2) * halfBytes_ >= cfg_.regionBytes;
+    }
+
+    std::uint64_t
+    recoveryChunkBytes() const override
+    {
+        return halfBytes_;
+    }
+
+    /** Background destages issued. */
+    std::uint64_t destages() const { return destages_.value(); }
+
+  private:
+    host::PersistentMemory &pm_;
+    ssd::SsdDevice &dev_;
+    PmWalConfig cfg_;
+    std::uint64_t halfBytes_;
+    std::uint32_t slots_;
+
+    struct Half
+    {
+        std::uint64_t pmBase = 0;
+        std::uint32_t slot = 0;
+        bool active = false;
+        /** Completion time of this half's in-flight destage. */
+        sim::Tick destageDoneAt = 0;
+    };
+
+    std::array<Half, 2> halves_;
+    std::uint32_t cur_ = 0;
+    std::uint32_t nextSlot_ = 0;
+    std::uint64_t appendPos_ = 0;
+    std::uint64_t halfStart_ = 0;
+    std::uint64_t destagedBytes_ = 0;
+    sim::Counter destages_{"pmwal.destages"};
+
+    /** PM offset of the per-half slot-tag header. */
+    std::uint64_t tagOffset(std::uint32_t h) const;
+    void writeTag(std::uint32_t h, std::uint64_t slot_or_invalid);
+    std::uint64_t readTag(std::uint32_t h) const;
+
+    sim::Tick switchHalves(sim::Tick now);
+};
+
+} // namespace bssd::wal
+
+#endif // BSSD_WAL_PM_WAL_HH

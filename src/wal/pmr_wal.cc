@@ -1,0 +1,142 @@
+#include "wal/pmr_wal.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::wal
+{
+
+PmrWal::PmrWal(ba::TwoBSsd &dev, const PmrWalConfig &cfg)
+    : dev_(dev), cfg_(cfg)
+{
+    const std::uint64_t window = dev_.baConfig().bufferBytes;
+    halfBytes_ = cfg_.halfBytes ? cfg_.halfBytes : window / 2;
+    if (2 * halfBytes_ > window)
+        sim::fatal("PMR WAL needs two halves in the PMR window");
+    if (cfg_.regionBytes % halfBytes_ != 0)
+        sim::fatal("PMR WAL region must be a multiple of the half size");
+    slots_ = static_cast<std::uint32_t>(cfg_.regionBytes / halfBytes_);
+    shadow_.assign(cfg_.regionBytes, 0);
+
+    halves_[0] = Half{0, 0, 0};
+    halves_[1] = Half{halfBytes_, 0, 0};
+    truncate(0);
+}
+
+sim::Tick
+PmrWal::switchHalves(sim::Tick now)
+{
+    destages_.add();
+    Half &old = halves_[cur_];
+
+    // Sync the tail so the PMR holds everything, then destage THROUGH
+    // THE HOST: a block write of the shadow copy plus a flush - the
+    // round trip 2B-SSD's internal datapath avoids.
+    if (syncedPos_ < appendPos_) {
+        now = dev_.mmioSync(now,
+                            old.windowOffset + (syncedPos_ - halfStart_),
+                            appendPos_ - syncedPos_);
+        syncedPos_ = appendPos_;
+    }
+    std::uint64_t slot_base = std::uint64_t(old.slot) * halfBytes_;
+    std::span<const std::uint8_t> data(shadow_.data() + slot_base,
+                                       halfBytes_);
+    auto iv = dev_.blockWrite(now + cfg_.writeSyscall,
+                              cfg_.regionOffset + slot_base, data);
+    destagedBytes_ += halfBytes_;
+    old.destageDoneAt = dev_.flush(iv.end);
+    now += cfg_.writeSyscall;
+
+    cur_ ^= 1;
+    Half &next = halves_[cur_];
+    now = std::max(now, next.destageDoneAt);
+    if (nextSlot_ >= slots_)
+        sim::fatal("PMR WAL region full; engine must checkpoint");
+    next.slot = nextSlot_++;
+    halfStart_ = std::uint64_t(next.slot) * halfBytes_;
+    appendPos_ = halfStart_;
+    syncedPos_ = appendPos_;
+    return now;
+}
+
+sim::Tick
+PmrWal::append(sim::Tick now, std::span<const std::uint8_t> record)
+{
+    if (record.size() > halfBytes_)
+        sim::fatal("PMR WAL record larger than a half");
+    if (appendPos_ - halfStart_ + record.size() > halfBytes_)
+        now = switchHalves(now);
+    Half &half = halves_[cur_];
+    std::uint64_t off = half.windowOffset + (appendPos_ - halfStart_);
+    now = dev_.mmioWrite(now, off, record);
+    std::copy(record.begin(), record.end(),
+              shadow_.begin() + static_cast<std::ptrdiff_t>(appendPos_));
+    appendPos_ += record.size();
+    return now;
+}
+
+sim::Tick
+PmrWal::commit(sim::Tick now)
+{
+    if (syncedPos_ == appendPos_)
+        return now;
+    Half &half = halves_[cur_];
+    std::uint64_t off = half.windowOffset + (syncedPos_ - halfStart_);
+    now = dev_.mmioSync(now, off, appendPos_ - syncedPos_);
+    syncedPos_ = appendPos_;
+    return now;
+}
+
+void
+PmrWal::crash(sim::Tick t)
+{
+    dev_.powerLoss(t);
+    dev_.powerRestore();
+}
+
+std::vector<std::uint8_t>
+PmrWal::recoverContents()
+{
+    // Destaged slots live on flash; the two live halves survive in
+    // the capacitor-dumped PMR window.
+    std::vector<std::uint8_t> out(cfg_.regionBytes);
+    dev_.blockRead(0, cfg_.regionOffset, out);
+    for (std::uint32_t h = 0; h < 2; ++h) {
+        const Half &half = halves_[h];
+        if (half.slot == ~std::uint32_t(0))
+            continue; // never assigned a slot
+        std::uint64_t slot_base = std::uint64_t(half.slot) * halfBytes_;
+        if (slot_base + halfBytes_ > cfg_.regionBytes)
+            continue;
+        // The destaged copy on flash is at least as new unless this
+        // half is the live one (or its destage never ran).
+        std::vector<std::uint8_t> win(halfBytes_);
+        dev_.mmioRead(0, half.windowOffset, win);
+        bool live = (h == cur_) || half.destageDoneAt == 0;
+        if (live) {
+            std::copy(win.begin(), win.end(),
+                      out.begin() +
+                          static_cast<std::ptrdiff_t>(slot_base));
+        }
+    }
+    return out;
+}
+
+void
+PmrWal::truncate(sim::Tick)
+{
+    dev_.device().trim(cfg_.regionOffset, cfg_.regionBytes);
+    std::fill(shadow_.begin(), shadow_.end(), 0);
+    nextSlot_ = 0;
+    cur_ = 0;
+    halves_[0].slot = nextSlot_++;
+    halves_[0].destageDoneAt = 0;
+    halves_[1].slot = ~std::uint32_t(0); // unassigned
+    halves_[1].destageDoneAt = 0;
+    halfStart_ = 0;
+    appendPos_ = 0;
+    syncedPos_ = 0;
+}
+
+} // namespace bssd::wal

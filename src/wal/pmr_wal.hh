@@ -1,0 +1,114 @@
+/**
+ * @file
+ * PMR-style WAL: logging into an NVMe Persistent Memory Region.
+ *
+ * The paper's related-work section (VII) contrasts 2B-SSD with the
+ * NVMe PMR proposal: PMR also exposes capacitor-backed device NVRAM
+ * byte-granularly, but it has NO mapping or internal datapath to the
+ * NAND - so moving the log from NVRAM to flash must round-trip
+ * through the HOST I/O stack: the host keeps (or reads back) a copy
+ * and issues ordinary block writes.
+ *
+ * Commit-path cost is therefore identical to BA-WAL (memcpy + sync),
+ * but every destage crosses PCIe twice logically (once as MMIO into
+ * the PMR, once as a block write of the same bytes) and consumes host
+ * CPU + I/O-stack time - which bench_pmr quantifies against BA_FLUSH.
+ */
+
+#ifndef BSSD_WAL_PMR_WAL_HH
+#define BSSD_WAL_PMR_WAL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "sim/stats.hh"
+#include "wal/log_device.hh"
+
+namespace bssd::wal
+{
+
+/** Tunables of the PMR-buffered WAL. */
+struct PmrWalConfig
+{
+    /** Byte offset of the on-flash log region. */
+    std::uint64_t regionOffset = 0;
+    /** Size of the on-flash log region. */
+    std::uint64_t regionBytes = 64 * sim::MiB;
+    /** Bytes per PMR half (0: half the window). */
+    std::uint64_t halfBytes = 0;
+    /** write() syscall cost of the destage block write. */
+    sim::Tick writeSyscall = sim::usOf(4);
+};
+
+/** Byte-addressable logging without an internal datapath. */
+class PmrWal : public LogDevice
+{
+  public:
+    explicit PmrWal(ba::TwoBSsd &dev, const PmrWalConfig &cfg = {});
+
+    sim::Tick append(sim::Tick now,
+                     std::span<const std::uint8_t> record) override;
+    sim::Tick commit(sim::Tick now) override;
+    void crash(sim::Tick t) override;
+    std::vector<std::uint8_t> recoverContents() override;
+    std::string name() const override { return "pmr-wal"; }
+    std::uint64_t bytesAppended() const override { return appendPos_; }
+
+    /** MMIO bytes + destage block bytes: the double-transfer cost. */
+    std::uint64_t
+    bytesToStore() const override
+    {
+        return appendPos_ + destagedBytes_;
+    }
+
+    void truncate(sim::Tick now) override;
+
+    bool
+    needsCheckpoint() const override
+    {
+        return (nextSlot_ + 2) * halfBytes_ >= cfg_.regionBytes;
+    }
+
+    std::uint64_t
+    recoveryChunkBytes() const override
+    {
+        return halfBytes_;
+    }
+
+    /** Host-mediated destages performed. */
+    std::uint64_t destages() const { return destages_.value(); }
+
+  private:
+    ba::TwoBSsd &dev_;
+    PmrWalConfig cfg_;
+    std::uint64_t halfBytes_;
+    std::uint32_t slots_;
+
+    struct Half
+    {
+        std::uint64_t windowOffset = 0;
+        /** Assigned log slot; ~0 when the half was never used. */
+        std::uint32_t slot = 0;
+        /** Completion of this half's in-flight host destage. */
+        sim::Tick destageDoneAt = 0;
+    };
+
+    std::array<Half, 2> halves_;
+    std::uint32_t cur_ = 0;
+    std::uint32_t nextSlot_ = 0;
+    std::uint64_t appendPos_ = 0;
+    std::uint64_t halfStart_ = 0;
+    std::uint64_t syncedPos_ = 0;
+    std::uint64_t destagedBytes_ = 0;
+    /** Host DRAM shadow of the log (source of destage writes). */
+    std::vector<std::uint8_t> shadow_;
+    sim::Counter destages_{"pmrwal.destages"};
+
+    sim::Tick switchHalves(sim::Tick now);
+};
+
+} // namespace bssd::wal
+
+#endif // BSSD_WAL_PMR_WAL_HH

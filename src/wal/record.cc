@@ -1,0 +1,142 @@
+#include "wal/record.hh"
+
+#include <array>
+#include <cstring>
+
+namespace bssd::wal
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    constexpr std::uint32_t poly = 0x82f63b78; // CRC-32C, reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (poly ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> crcTable = makeCrcTable();
+
+void
+put32(std::vector<std::uint8_t> &v, std::uint32_t x)
+{
+    for (int i = 0; i < 4; ++i)
+        v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &v, std::uint64_t x)
+{
+    for (int i = 0; i < 8; ++i)
+        v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+std::uint32_t
+get32(std::span<const std::uint8_t> b, std::size_t off)
+{
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i)
+        x |= std::uint32_t(b[off + i]) << (8 * i);
+    return x;
+}
+
+std::uint64_t
+get64(std::span<const std::uint8_t> b, std::size_t off)
+{
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i)
+        x |= std::uint64_t(b[off + i]) << (8 * i);
+    return x;
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(std::span<const std::uint8_t> data)
+{
+    std::uint32_t c = ~std::uint32_t(0);
+    for (std::uint8_t byte : data)
+        c = crcTable[(c ^ byte) & 0xff] ^ (c >> 8);
+    return ~c;
+}
+
+std::vector<std::uint8_t>
+frameRecord(std::uint64_t seq, std::span<const std::uint8_t> payload)
+{
+    // CRC covers sequence + payload.
+    std::vector<std::uint8_t> body;
+    body.reserve(8 + payload.size());
+    put64(body, seq);
+    body.insert(body.end(), payload.begin(), payload.end());
+    std::uint32_t crc = crc32c(body);
+
+    std::vector<std::uint8_t> frame;
+    frame.reserve(recordHeaderBytes + payload.size());
+    put32(frame, static_cast<std::uint32_t>(payload.size()));
+    put32(frame, crc);
+    frame.insert(frame.end(), body.begin(), body.end());
+    return frame;
+}
+
+std::vector<ParsedRecord>
+parseRecords(std::span<const std::uint8_t> bytes, std::int64_t expect_first)
+{
+    std::vector<ParsedRecord> out;
+    std::size_t pos = 0;
+    std::int64_t expect = expect_first;
+    while (pos + recordHeaderBytes <= bytes.size()) {
+        std::uint32_t len = get32(bytes, pos);
+        if (len > bytes.size() - pos - recordHeaderBytes)
+            break; // truncated or garbage length
+        std::uint32_t crc = get32(bytes, pos + 4);
+        auto body = bytes.subspan(pos + 8, 8 + len);
+        if (crc32c(body) != crc)
+            break; // torn write or erased area
+        std::uint64_t seq = get64(bytes, pos + 8);
+        if (expect >= 0 && seq != static_cast<std::uint64_t>(expect))
+            break; // stale data from a previous log generation
+        ParsedRecord rec;
+        rec.sequence = seq;
+        rec.payload.assign(body.begin() + 8, body.end());
+        out.push_back(std::move(rec));
+        pos += recordHeaderBytes + len;
+        if (expect >= 0)
+            ++expect;
+    }
+    return out;
+}
+
+std::vector<ParsedRecord>
+parseLogStream(std::span<const std::uint8_t> bytes,
+               std::uint64_t chunkBytes, std::int64_t expect_first)
+{
+    if (chunkBytes == 0)
+        return parseRecords(bytes, expect_first);
+    std::vector<ParsedRecord> out;
+    std::int64_t expect = expect_first;
+    for (std::size_t pos = 0; pos < bytes.size(); pos += chunkBytes) {
+        std::size_t n = std::min<std::size_t>(chunkBytes,
+                                              bytes.size() - pos);
+        auto recs = parseRecords(bytes.subspan(pos, n), expect);
+        if (recs.empty())
+            break;
+        if (expect >= 0)
+            expect += static_cast<std::int64_t>(recs.size());
+        else if (!out.empty() &&
+                 recs.front().sequence != out.back().sequence + 1)
+            break; // stale chunk from a previous generation
+        for (auto &r : recs)
+            out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace bssd::wal

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FIO-like micro I/O workload generator.
+ *
+ * The paper uses "Linux FIO" for its device-level measurements
+ * (Section V-B). This is the equivalent for the simulated devices: a
+ * job description (pattern, block size, queue depth, read fraction),
+ * driven through the NVMe queue-pair layer, reporting IOPS, bandwidth
+ * and a latency distribution.
+ */
+
+#ifndef BSSD_WORKLOAD_FIO_HH
+#define BSSD_WORKLOAD_FIO_HH
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+#include "ssd/nvme_queue.hh"
+#include "ssd/ssd_device.hh"
+
+namespace bssd::workload
+{
+
+/** Access pattern of a FIO job. */
+enum class FioPattern : std::uint8_t
+{
+    seqRead,
+    seqWrite,
+    randRead,
+    randWrite,
+    randRw, ///< mixed, readFraction decides
+};
+
+/** One job description (a [job] section in fio terms). */
+struct FioJob
+{
+    FioPattern pattern = FioPattern::randRead;
+    /** Request size in bytes. */
+    std::uint32_t blockSize = 4096;
+    /** Outstanding commands. */
+    std::uint16_t queueDepth = 1;
+    /** Number of I/Os to issue. */
+    std::uint32_t ios = 1024;
+    /** Region of the device the job touches. */
+    std::uint64_t regionOffset = 0;
+    std::uint64_t regionBytes = 256 * sim::MiB;
+    /** Read share for randRw, in per mille. */
+    std::uint32_t readPerMille = 500;
+    /** Pre-write the region so reads hit programmed pages. */
+    bool precondition = true;
+    std::uint64_t seed = 1;
+};
+
+/** Job outcome. */
+struct FioResult
+{
+    double iops = 0.0;
+    double bandwidthGBps = 0.0;
+    double meanLatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    std::uint64_t completed = 0;
+};
+
+/**
+ * Run @p job against @p dev through an NVMe queue pair.
+ * Fully deterministic for a given job description.
+ */
+FioResult runFio(ssd::SsdDevice &dev, const FioJob &job);
+
+} // namespace bssd::workload
+
+#endif // BSSD_WORKLOAD_FIO_HH

@@ -1,0 +1,77 @@
+#include "workload/linkbench.hh"
+
+namespace bssd::workload
+{
+
+namespace
+{
+
+/** Cumulative per-mille thresholds matching the published mix. */
+struct MixEntry
+{
+    LinkOp op;
+    std::uint32_t cumulative; // out of 1000
+};
+
+constexpr MixEntry mix[] = {
+    {LinkOp::getNode, 129},     {LinkOp::addNode, 155},
+    {LinkOp::updateNode, 229},  {LinkOp::deleteNode, 239},
+    {LinkOp::getLink, 244},     {LinkOp::getLinkList, 751},
+    {LinkOp::countLinks, 800},  {LinkOp::addLink, 890},
+    {LinkOp::deleteLink, 920},  {LinkOp::updateLink, 1000},
+};
+
+} // namespace
+
+bool
+isReadOp(LinkOp op)
+{
+    switch (op) {
+      case LinkOp::getNode:
+      case LinkOp::getLink:
+      case LinkOp::getLinkList:
+      case LinkOp::countLinks:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Linkbench::Linkbench(const LinkbenchConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), nodeDist_(cfg.nodeCount, cfg.gamma)
+{
+}
+
+std::vector<std::uint8_t>
+Linkbench::makePayload()
+{
+    std::vector<std::uint8_t> p(cfg_.payloadBytes);
+    for (auto &b : p)
+        b = static_cast<std::uint8_t>(rng_.next());
+    return p;
+}
+
+LinkRequest
+Linkbench::next()
+{
+    LinkRequest req;
+    std::uint64_t roll = rng_.nextBelow(1000);
+    req.op = LinkOp::updateLink;
+    for (const auto &m : mix) {
+        if (roll < m.cumulative) {
+            req.op = m.op;
+            break;
+        }
+    }
+    req.id1 = nodeDist_.sample(rng_);
+    req.type = static_cast<std::uint32_t>(
+        rng_.nextBelow(cfg_.linkTypes));
+    req.id2 = nodeDist_.sample(rng_);
+    if (!isReadOp(req.op) && req.op != LinkOp::deleteNode &&
+        req.op != LinkOp::deleteLink) {
+        req.payload = makePayload();
+    }
+    return req;
+}
+
+} // namespace bssd::workload

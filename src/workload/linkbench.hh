@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Linkbench-like workload generator (Armstrong et al., SIGMOD'13),
+ * the paper's PostgreSQL workload: Facebook social-graph operations
+ * with a power-law access skew and a ~70/30 read/write mix.
+ */
+
+#ifndef BSSD_WORKLOAD_LINKBENCH_HH
+#define BSSD_WORKLOAD_LINKBENCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace bssd::workload
+{
+
+/** Operation kinds with the published Linkbench mix. */
+enum class LinkOp : std::uint8_t
+{
+    getNode,     ///< 12.9 %
+    addNode,     ///<  2.6 %
+    updateNode,  ///<  7.4 %
+    deleteNode,  ///<  1.0 %
+    getLink,     ///<  0.5 %
+    getLinkList, ///< 50.7 %
+    countLinks,  ///<  4.9 %
+    addLink,     ///<  9.0 %
+    deleteLink,  ///<  3.0 %
+    updateLink,  ///<  8.0 %
+};
+
+/** True for the operations that only read. */
+bool isReadOp(LinkOp op);
+
+/** One generated request. */
+struct LinkRequest
+{
+    LinkOp op;
+    std::uint64_t id1 = 0;
+    std::uint32_t type = 0;
+    std::uint64_t id2 = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Generator parameters. */
+struct LinkbenchConfig
+{
+    std::uint64_t nodeCount = 100'000;
+    /** Power-law skew of node popularity. */
+    double gamma = 0.8;
+    /** Link payload bytes (Linkbench data column, ~128 B median). */
+    std::uint32_t payloadBytes = 128;
+    std::uint32_t linkTypes = 4;
+};
+
+/** Deterministic request stream. */
+class Linkbench
+{
+  public:
+    Linkbench(const LinkbenchConfig &cfg, std::uint64_t seed);
+
+    /** Generate the next request. */
+    LinkRequest next();
+
+    const LinkbenchConfig &config() const { return cfg_; }
+
+  private:
+    LinkbenchConfig cfg_;
+    sim::Rng rng_;
+    sim::PowerLaw nodeDist_;
+
+    std::vector<std::uint8_t> makePayload();
+};
+
+} // namespace bssd::workload
+
+#endif // BSSD_WORKLOAD_LINKBENCH_HH

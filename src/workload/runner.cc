@@ -1,0 +1,141 @@
+#include "workload/runner.hh"
+
+#include <memory>
+
+#include "sim/ticks.hh"
+
+namespace bssd::workload
+{
+
+namespace
+{
+
+RunResult
+summarize(const sim::ClosedLoopDriver &driver, std::uint64_t ops)
+{
+    RunResult r;
+    r.ops = ops;
+    r.opsPerSec = driver.throughputOpsPerSec();
+    r.meanLatencyUs = driver.latency().mean() / 1e3;
+    r.p99LatencyUs =
+        static_cast<double>(driver.latency().percentile(99)) / 1e3;
+    return r;
+}
+
+} // namespace
+
+RunResult
+runLinkbenchOnPg(db::minipg::MiniPg &pg, const LinkbenchConfig &cfg,
+                 unsigned clients, sim::Tick horizon, std::uint64_t seed)
+{
+    sim::ClosedLoopDriver driver;
+    std::vector<std::shared_ptr<Linkbench>> gens;
+    for (unsigned c = 0; c < clients; ++c) {
+        auto gen = std::make_shared<Linkbench>(cfg, seed + c * 7919);
+        gens.push_back(gen);
+        driver.addClient([gen, &pg](sim::Clock &clock) {
+            LinkRequest req = gen->next();
+            sim::Tick t = clock.now();
+            using enum LinkOp;
+            db::minipg::LinkKey key{req.id1, req.type, req.id2};
+            switch (req.op) {
+              case getNode:
+                t = pg.getNode(t, req.id1);
+                break;
+              case addNode:
+              case updateNode:
+                t = pg.updateNode(t, req.id1, req.payload);
+                break;
+              case deleteNode:
+                t = pg.deleteNode(t, req.id1);
+                break;
+              case getLink:
+                t = pg.getLink(t, key);
+                break;
+              case getLinkList:
+                t = pg.getLinkList(t, req.id1, req.type);
+                break;
+              case countLinks:
+                t = pg.countLinks(t, req.id1, req.type);
+                break;
+              case addLink:
+              case updateLink:
+                t = pg.addLink(t, key, req.payload);
+                break;
+              case deleteLink:
+                t = pg.deleteLink(t, key);
+                break;
+            }
+            clock.advanceTo(t);
+        });
+    }
+    auto ops = driver.run(horizon);
+    return summarize(driver, ops);
+}
+
+sim::Tick
+loadRocks(db::minirocks::MiniRocks &db, const YcsbConfig &cfg,
+          std::uint64_t count)
+{
+    std::vector<std::uint8_t> value(cfg.payloadBytes, 0x5a);
+    sim::Tick t = 0;
+    for (std::uint64_t i = 0; i < count; ++i)
+        t = db.put(t, Ycsb::keyOf(i), value);
+    return t;
+}
+
+RunResult
+runYcsbOnRocks(db::minirocks::MiniRocks &db, const YcsbConfig &cfg,
+               unsigned clients, sim::Tick duration, std::uint64_t seed,
+               sim::Tick startAt)
+{
+    sim::ClosedLoopDriver driver;
+    driver.setStartTime(startAt);
+    for (unsigned c = 0; c < clients; ++c) {
+        auto gen = std::make_shared<Ycsb>(cfg, seed + c * 104729);
+        driver.addClient([gen, &db](sim::Clock &clock) {
+            YcsbRequest req = gen->next();
+            sim::Tick t = clock.now();
+            if (req.kind == YcsbRequest::Kind::read)
+                t = db.get(t, req.key);
+            else
+                t = db.put(t, req.key, req.value);
+            clock.advanceTo(t);
+        });
+    }
+    auto ops = driver.run(startAt + duration);
+    return summarize(driver, ops);
+}
+
+sim::Tick
+loadRedis(db::miniredis::MiniRedis &db, const YcsbConfig &cfg,
+          std::uint64_t count)
+{
+    std::vector<std::uint8_t> value(cfg.payloadBytes, 0x5a);
+    sim::Tick t = 0;
+    for (std::uint64_t i = 0; i < count; ++i)
+        t = db.set(t, Ycsb::keyOf(i), value);
+    return t;
+}
+
+RunResult
+runYcsbOnRedis(db::miniredis::MiniRedis &db, const YcsbConfig &cfg,
+               sim::Tick duration, std::uint64_t seed, sim::Tick startAt)
+{
+    sim::ClosedLoopDriver driver;
+    driver.setStartTime(startAt);
+    auto gen = std::make_shared<Ycsb>(cfg, seed);
+    driver.addClient([gen, &db](sim::Clock &clock) {
+        YcsbRequest req = gen->next();
+        sim::Tick t = clock.now();
+        if (req.kind == YcsbRequest::Kind::read)
+            t = db.get(t, req.key);
+        else
+            t = db.set(t, req.key, req.value);
+        clock.advanceTo(t);
+    });
+    auto ops = driver.run(startAt + duration);
+    return summarize(driver, ops);
+}
+
+} // namespace bssd::workload

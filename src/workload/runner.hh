@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Closed-loop benchmark runner: binds a workload generator to an
+ * engine and drives N logical clients to a simulated-time horizon.
+ * Every application-level number in EXPERIMENTS.md comes from here.
+ */
+
+#ifndef BSSD_WORKLOAD_RUNNER_HH
+#define BSSD_WORKLOAD_RUNNER_HH
+
+#include <cstdint>
+
+#include "db/minipg/minipg.hh"
+#include "db/miniredis/miniredis.hh"
+#include "db/minirocks/minirocks.hh"
+#include "sim/client.hh"
+#include "workload/linkbench.hh"
+#include "workload/ycsb.hh"
+
+namespace bssd::workload
+{
+
+/** Outcome of one measured run. */
+struct RunResult
+{
+    std::uint64_t ops = 0;
+    double opsPerSec = 0.0;
+    double meanLatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+};
+
+/**
+ * Run Linkbench against minipg with @p clients closed-loop clients
+ * for @p horizon of simulated time.
+ */
+RunResult runLinkbenchOnPg(db::minipg::MiniPg &pg,
+                           const LinkbenchConfig &cfg,
+                           unsigned clients, sim::Tick horizon,
+                           std::uint64_t seed);
+
+/**
+ * Load @p count YCSB records into minirocks (setup phase).
+ * @return simulated completion time of the load; pass it as the
+ *         measurement start so the load does not pollute the run.
+ */
+sim::Tick loadRocks(db::minirocks::MiniRocks &db, const YcsbConfig &cfg,
+                    std::uint64_t count);
+
+/** Run YCSB against minirocks over [startAt, startAt + duration). */
+RunResult runYcsbOnRocks(db::minirocks::MiniRocks &db,
+                         const YcsbConfig &cfg, unsigned clients,
+                         sim::Tick duration, std::uint64_t seed,
+                         sim::Tick startAt = 0);
+
+/** Load @p count YCSB records into miniredis (setup phase). */
+sim::Tick loadRedis(db::miniredis::MiniRedis &db, const YcsbConfig &cfg,
+                    std::uint64_t count);
+
+/** Run YCSB against miniredis (single-threaded: one client). */
+RunResult runYcsbOnRedis(db::miniredis::MiniRedis &db,
+                         const YcsbConfig &cfg, sim::Tick duration,
+                         std::uint64_t seed, sim::Tick startAt = 0);
+
+} // namespace bssd::workload
+
+#endif // BSSD_WORKLOAD_RUNNER_HH

@@ -1,0 +1,68 @@
+#include "workload/ycsb.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace bssd::workload
+{
+
+YcsbConfig
+ycsbWorkloadA(std::uint32_t payload_bytes)
+{
+    YcsbConfig c;
+    c.payloadBytes = payload_bytes;
+    c.readPerMille = 500;
+    c.updatePerMille = 500;
+    return c;
+}
+
+YcsbConfig
+ycsbWorkloadB(std::uint32_t payload_bytes)
+{
+    YcsbConfig c;
+    c.payloadBytes = payload_bytes;
+    c.readPerMille = 950;
+    c.updatePerMille = 50;
+    return c;
+}
+
+Ycsb::Ycsb(const YcsbConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), keyDist_(cfg.recordCount, cfg.zipfTheta)
+{
+    if (cfg_.readPerMille + cfg_.updatePerMille > 1000)
+        sim::fatal("YCSB mix exceeds 100%");
+}
+
+std::string
+Ycsb::keyOf(std::uint64_t i)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "user%010llu",
+                  static_cast<unsigned long long>(i));
+    return buf;
+}
+
+YcsbRequest
+Ycsb::next()
+{
+    YcsbRequest req;
+    req.key = keyOf(keyDist_.sample(rng_));
+    std::uint64_t roll = rng_.nextBelow(1000);
+    if (roll < cfg_.readPerMille) {
+        req.kind = YcsbRequest::Kind::read;
+    } else if (roll < cfg_.readPerMille + cfg_.updatePerMille) {
+        req.kind = YcsbRequest::Kind::update;
+        req.value.resize(cfg_.payloadBytes);
+        for (auto &b : req.value)
+            b = static_cast<std::uint8_t>(rng_.next());
+    } else {
+        req.kind = YcsbRequest::Kind::insert;
+        req.value.resize(cfg_.payloadBytes);
+        for (auto &b : req.value)
+            b = static_cast<std::uint8_t>(rng_.next());
+    }
+    return req;
+}
+
+} // namespace bssd::workload

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * YCSB workload generator (Cooper et al., SoCC'10), the paper's
+ * RocksDB/Redis workload. Workload A is the paper's choice: 50 %
+ * reads / 50 % updates over a zipfian key popularity, with the value
+ * ("payload") size as the swept parameter of Fig. 9.
+ */
+
+#ifndef BSSD_WORKLOAD_YCSB_HH
+#define BSSD_WORKLOAD_YCSB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace bssd::workload
+{
+
+/** One generated request. */
+struct YcsbRequest
+{
+    enum class Kind : std::uint8_t { read, update, insert, scan };
+    Kind kind = Kind::read;
+    std::string key;
+    std::vector<std::uint8_t> value; // update/insert only
+};
+
+/** Generator parameters. */
+struct YcsbConfig
+{
+    std::uint64_t recordCount = 100'000;
+    /** Value bytes per record (the paper sweeps this). */
+    std::uint32_t payloadBytes = 128;
+    double zipfTheta = 0.99;
+    /** Read fraction in per mille (workload A: 500). */
+    std::uint32_t readPerMille = 500;
+    /** Update fraction in per mille (workload A: 500). */
+    std::uint32_t updatePerMille = 500;
+};
+
+/** Standard workload mixes. */
+YcsbConfig ycsbWorkloadA(std::uint32_t payload_bytes);
+YcsbConfig ycsbWorkloadB(std::uint32_t payload_bytes);
+
+/** Deterministic request stream. */
+class Ycsb
+{
+  public:
+    Ycsb(const YcsbConfig &cfg, std::uint64_t seed);
+
+    YcsbRequest next();
+
+    /** The canonical key for record @p i ("userNNNNNNNN"). */
+    static std::string keyOf(std::uint64_t i);
+
+    const YcsbConfig &config() const { return cfg_; }
+
+  private:
+    YcsbConfig cfg_;
+    sim::Rng rng_;
+    sim::Zipfian keyDist_;
+};
+
+} // namespace bssd::workload
+
+#endif // BSSD_WORKLOAD_YCSB_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for minipg: transactional semantics and crash recovery over
+ * each log-device configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "db/minipg/minipg.hh"
+#include "sim/logging.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+
+using namespace bssd;
+using namespace bssd::db::minipg;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+payload(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i);
+    return v;
+}
+
+wal::BlockWalConfig
+smallRegion()
+{
+    wal::BlockWalConfig c;
+    c.regionBytes = 2 * sim::MiB;
+    return c;
+}
+
+} // namespace
+
+TEST(MiniPg, NodeCrud)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+    sim::Tick t = pg.addNode(0, 1, payload(64, 1));
+    EXPECT_TRUE(pg.hasNode(1));
+    std::vector<std::uint8_t> out;
+    t = pg.getNode(t, 1, &out);
+    EXPECT_EQ(out, payload(64, 1));
+    t = pg.updateNode(t, 1, payload(32, 9));
+    pg.getNode(t, 1, &out);
+    EXPECT_EQ(out, payload(32, 9));
+    t = pg.deleteNode(t, 1);
+    EXPECT_FALSE(pg.hasNode(1));
+    EXPECT_EQ(pg.committedTxns(), 3u);
+}
+
+TEST(MiniPg, LinkCrudAndRangeScan)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+    sim::Tick t = 0;
+    for (std::uint64_t i = 0; i < 5; ++i)
+        t = pg.addLink(t, LinkKey{7, 1, i}, payload(16, 1));
+    t = pg.addLink(t, LinkKey{7, 2, 0}, payload(16, 2));
+    std::size_t n = 0;
+    t = pg.getLinkList(t, 7, 1, &n);
+    EXPECT_EQ(n, 5u);
+    t = pg.countLinks(t, 7, 2, &n);
+    EXPECT_EQ(n, 1u);
+    t = pg.deleteLink(t, LinkKey{7, 1, 3});
+    t = pg.countLinks(t, 7, 1, &n);
+    EXPECT_EQ(n, 4u);
+}
+
+TEST(MiniPg, RecoveryReplaysCommittedTransactions)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+    sim::Tick t = 0;
+    for (std::uint64_t i = 0; i < 50; ++i)
+        t = pg.addNode(t, i, payload(100, static_cast<std::uint8_t>(i)));
+    log.crash(t);
+    pg.recover();
+    EXPECT_EQ(pg.nodeCount(), 50u);
+    std::vector<std::uint8_t> out;
+    pg.getNode(0, 17, &out);
+    EXPECT_EQ(out, payload(100, 17));
+}
+
+TEST(MiniPg, RecoveryOnBaWalKeepsSyncedDropsWcResidue)
+{
+    // End to end on the 2B-SSD: committed transactions survive a
+    // power cut; data still in the WC buffer does not resurface as a
+    // committed transaction.
+    ba::BaConfig bc;
+    bc.bufferBytes = 256 * sim::KiB;
+    ba::TwoBSsd dev(ssd::SsdConfig::tiny(), bc);
+    wal::BaWalConfig wc;
+    wc.regionBytes = 2 * sim::MiB;
+    wc.halfBytes = 64 * sim::KiB;
+    wal::BaWal log(dev, wc);
+    MiniPg pg(log);
+
+    sim::Tick t = sim::msOf(1);
+    for (std::uint64_t i = 0; i < 30; ++i)
+        t = pg.addNode(t, i, payload(80, static_cast<std::uint8_t>(i)));
+    log.crash(t);
+    pg.recover();
+    EXPECT_EQ(pg.nodeCount(), 30u);
+    EXPECT_EQ(pg.nextSequence(), 30u);
+}
+
+TEST(MiniPg, CheckpointTruncatesAndRecoveryStillWorks)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWalConfig cfg;
+    cfg.regionBytes = 256 * sim::KiB; // force frequent checkpoints
+    wal::BlockWal log(dev, cfg);
+    MiniPg pg(log);
+    sim::Tick t = 0;
+    const std::uint64_t n = 1500;
+    for (std::uint64_t i = 0; i < n; ++i)
+        t = pg.updateNode(t, i % 40, payload(200, 3));
+    EXPECT_GT(pg.checkpoints(), 0u);
+    log.crash(t);
+    pg.recover();
+    EXPECT_EQ(pg.nodeCount(), 40u);
+    EXPECT_EQ(pg.nextSequence(), n);
+}
+
+TEST(MiniPg, WriteCostDominatedByCommitOnSlowLog)
+{
+    // A read costs CPU only; a write additionally pays the log commit.
+    ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+    wal::BlockWal log(dev, {});
+    MiniPg pg(log);
+    sim::Tick r0 = 0;
+    sim::Tick r1 = pg.getNode(r0, 1);
+    sim::Tick w1 = pg.addNode(r1, 1, payload(64, 1));
+    EXPECT_GT(w1 - r1, 2 * (r1 - r0));
+}
+
+TEST(MiniPgTxn, CommitMakesAllOpsVisibleAtomically)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+
+    auto txn = pg.begin();
+    sim::Tick t = txn.addNode(0, 1, payload(32, 1));
+    t = txn.addLink(t, LinkKey{1, 0, 2}, payload(16, 2));
+    t = txn.addNode(t, 2, payload(32, 3));
+    // Nothing visible before commit.
+    EXPECT_FALSE(pg.hasNode(1));
+    EXPECT_FALSE(pg.hasLink(LinkKey{1, 0, 2}));
+    EXPECT_EQ(pg.committedTxns(), 0u);
+
+    t = txn.commit(t);
+    EXPECT_TRUE(pg.hasNode(1));
+    EXPECT_TRUE(pg.hasNode(2));
+    EXPECT_TRUE(pg.hasLink(LinkKey{1, 0, 2}));
+    EXPECT_EQ(pg.committedTxns(), 1u); // ONE commit for three ops
+}
+
+TEST(MiniPgTxn, AbortDiscardsEverything)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+    auto txn = pg.begin();
+    txn.addNode(0, 9, payload(8, 1));
+    txn.abort();
+    EXPECT_FALSE(pg.hasNode(9));
+    EXPECT_EQ(pg.committedTxns(), 0u);
+}
+
+TEST(MiniPgTxn, CrashBeforeCommitDropsWholeTransaction)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+    sim::Tick t = pg.addNode(0, 100, payload(16, 5)); // committed
+    auto txn = pg.begin();
+    t = txn.addNode(t, 101, payload(16, 6));
+    t = txn.addNode(t, 102, payload(16, 7));
+    // Crash with the transaction open (never committed).
+    log.crash(t);
+    pg.recover();
+    EXPECT_TRUE(pg.hasNode(100));
+    EXPECT_FALSE(pg.hasNode(101));
+    EXPECT_FALSE(pg.hasNode(102));
+}
+
+TEST(MiniPgTxn, CommittedTransactionReplaysAtomically)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+    auto txn = pg.begin();
+    sim::Tick t = txn.addNode(0, 1, payload(24, 1));
+    t = txn.deleteNode(t, 1);
+    t = txn.addNode(t, 2, payload(24, 2));
+    t = txn.addLink(t, LinkKey{2, 3, 4}, payload(8, 3));
+    t = txn.deleteLink(t, LinkKey{2, 3, 4});
+    t = txn.commit(t);
+    log.crash(t);
+    pg.recover();
+    EXPECT_FALSE(pg.hasNode(1)); // add then delete within the txn
+    EXPECT_TRUE(pg.hasNode(2));
+    EXPECT_FALSE(pg.hasLink(LinkKey{2, 3, 4}));
+}
+
+TEST(MiniPgTxn, EmptyCommitIsFreeAndOpsAfterFinishFatal)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, smallRegion());
+    MiniPg pg(log);
+    auto txn = pg.begin();
+    EXPECT_EQ(txn.commit(100), 100u);
+    EXPECT_THROW(txn.addNode(0, 1, payload(8, 1)), sim::SimFatal);
+    EXPECT_THROW(txn.commit(0), sim::SimFatal);
+}
+
+TEST(MiniPgTxn, TransactionCommitCheaperThanIndividualCommits)
+{
+    // The whole point of batching: one log record + one sync instead
+    // of N.
+    ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+    wal::BlockWal log(dev, {});
+    MiniPg pg(log);
+    sim::Tick t0 = 0, t = t0;
+    auto txn = pg.begin();
+    for (std::uint64_t i = 0; i < 10; ++i)
+        t = txn.addNode(t, i, payload(64, 1));
+    t = txn.commit(t);
+    sim::Tick batched = t - t0;
+
+    ssd::SsdDevice dev2(ssd::SsdConfig::dcSsd());
+    wal::BlockWal log2(dev2, {});
+    MiniPg pg2(log2);
+    sim::Tick u0 = 0, u = u0;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        u = pg2.addNode(u, i, payload(64, 1));
+    EXPECT_LT(batched * 2, u - u0);
+}

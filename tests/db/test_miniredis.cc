@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for miniredis: command semantics, AOF replay, AOF rewrite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "db/miniredis/miniredis.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+
+using namespace bssd;
+using namespace bssd::db::miniredis;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+val(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+wal::BlockWalConfig
+tinyAof()
+{
+    wal::BlockWalConfig c;
+    c.regionBytes = 512 * sim::KiB;
+    return c;
+}
+
+} // namespace
+
+TEST(MiniRedis, SetGetDel)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal aof(dev, tinyAof());
+    MiniRedis r(aof);
+    sim::Tick t = r.set(0, "name", val("redis"));
+    std::optional<std::vector<std::uint8_t>> out;
+    t = r.get(t, "name", &out);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, val("redis"));
+    t = r.del(t, "name");
+    r.get(t, "name", &out);
+    EXPECT_FALSE(out.has_value());
+}
+
+TEST(MiniRedis, IncrSequence)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal aof(dev, tinyAof());
+    MiniRedis r(aof);
+    sim::Tick t = 0;
+    std::int64_t v = 0;
+    for (int i = 1; i <= 5; ++i) {
+        t = r.incr(t, "counter", &v);
+        EXPECT_EQ(v, i);
+    }
+    std::optional<std::vector<std::uint8_t>> out;
+    r.get(t, "counter", &out);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, val("5"));
+}
+
+TEST(MiniRedis, AofReplayRestoresDataset)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal aof(dev, tinyAof());
+    MiniRedis r(aof);
+    sim::Tick t = 0;
+    for (int i = 0; i < 40; ++i)
+        t = r.set(t, "k" + std::to_string(i), val("v" + std::to_string(i)));
+    t = r.del(t, "k5");
+    aof.crash(t);
+    r.recover();
+    EXPECT_EQ(r.keys(), 39u);
+    EXPECT_FALSE(r.exists("k5"));
+    std::optional<std::vector<std::uint8_t>> out;
+    r.get(0, "k17", &out);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, val("v17"));
+}
+
+TEST(MiniRedis, AofRewriteCompactsAndRecovers)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWalConfig cfg;
+    cfg.regionBytes = 64 * sim::KiB; // rewrite early
+    wal::BlockWal aof(dev, cfg);
+    MiniRedis r(aof);
+    sim::Tick t = 0;
+    for (int i = 0; i < 900; ++i)
+        t = r.set(t, "k" + std::to_string(i % 25),
+                  val(std::string(100, 'x')));
+    EXPECT_GT(r.aofRewrites(), 0u);
+    aof.crash(t);
+    r.recover();
+    EXPECT_EQ(r.keys(), 25u);
+}
+
+TEST(MiniRedis, SingleBufferBaWalEndToEnd)
+{
+    // The paper's Redis port: whole BA-buffer as one AOF window, no
+    // double buffering (single-threaded design respected).
+    ba::BaConfig bc;
+    bc.bufferBytes = 128 * sim::KiB;
+    ba::TwoBSsd dev(ssd::SsdConfig::tiny(), bc);
+    wal::BaWalConfig wc;
+    wc.regionBytes = 512 * sim::KiB;
+    wc.doubleBuffer = false;
+    wal::BaWal aof(dev, wc);
+    MiniRedis r(aof);
+    sim::Tick t = sim::msOf(1);
+    for (int i = 0; i < 200; ++i)
+        t = r.set(t, "key" + std::to_string(i), val(std::string(80, 'y')));
+    aof.crash(t);
+    r.recover();
+    EXPECT_EQ(r.keys(), 200u);
+}
+
+TEST(MiniRedis, CommandCostIncludesDurability)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+    wal::BlockWal aof(dev, {});
+    MiniRedis r(aof);
+    sim::Tick t0 = 0;
+    sim::Tick t1 = r.set(t0, "a", val("1"));
+    // SET on a DC-SSD AOF: command CPU + write + fsync: tens of us.
+    EXPECT_GT(t1 - t0, sim::usOf(20));
+    sim::Tick t2 = r.get(t1, "a");
+    // Reads skip the log entirely: command CPU only.
+    EXPECT_LT(t2 - t1, sim::usOf(35));
+    EXPECT_LT(2 * (t2 - t1), t1 - t0);
+}

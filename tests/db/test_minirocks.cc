@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for minirocks: LSM mechanics (memtable, flush, compaction,
+ * MANIFEST) and crash recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "db/minirocks/minirocks.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+
+using namespace bssd;
+using namespace bssd::db::minirocks;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+val(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed * 3 + i);
+    return v;
+}
+
+/** Shrink regions to fit the tiny test device (~3 MiB logical). */
+RocksConfig
+tinyRocks()
+{
+    RocksConfig c;
+    c.memtableBytes = 16 * sim::KiB;
+    c.dataRegionOffset = sim::MiB;
+    c.dataRegionBytes = sim::MiB;
+    c.manifestOffset = 2 * sim::MiB + 256 * sim::KiB;
+    return c;
+}
+
+wal::BlockWalConfig
+tinyWal()
+{
+    wal::BlockWalConfig c;
+    c.regionBytes = 512 * sim::KiB;
+    return c;
+}
+
+} // namespace
+
+TEST(MiniRocks, PutGetDelete)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    MiniRocks db(log, dev, tinyRocks());
+    sim::Tick t = db.put(0, "alpha", val(32, 1));
+    std::optional<std::vector<std::uint8_t>> out;
+    t = db.get(t, "alpha", &out);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, val(32, 1));
+    t = db.del(t, "alpha");
+    t = db.get(t, "alpha", &out);
+    EXPECT_FALSE(out.has_value());
+}
+
+TEST(MiniRocks, OverwriteReturnsLatest)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    MiniRocks db(log, dev, tinyRocks());
+    sim::Tick t = 0;
+    for (std::uint8_t i = 0; i < 10; ++i)
+        t = db.put(t, "k", val(20, i));
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(t, "k", &out);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, val(20, 9));
+}
+
+TEST(MiniRocks, MemtableFlushCreatesSst)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    MiniRocks db(log, dev, tinyRocks());
+    sim::Tick t = 0;
+    for (int i = 0; i < 300; ++i)
+        t = db.put(t, "key" + std::to_string(i), val(128, 1));
+    EXPECT_GT(db.flushes(), 0u);
+    EXPECT_GE(db.l0Files() + db.l1Files(), 1u);
+    // Flushed data still readable.
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(t, "key0", &out);
+    EXPECT_TRUE(out.has_value());
+}
+
+TEST(MiniRocks, CompactionMergesL0)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    auto cfg = tinyRocks();
+    cfg.l0CompactionTrigger = 2;
+    MiniRocks db(log, dev, cfg);
+    sim::Tick t = 0;
+    for (int i = 0; i < 1200; ++i)
+        t = db.put(t, "key" + std::to_string(i % 150), val(128, 2));
+    EXPECT_GT(db.compactions(), 0u);
+    EXPECT_LE(db.l0Files(), 2u);
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(t, "key7", &out);
+    EXPECT_TRUE(out.has_value());
+}
+
+TEST(MiniRocks, TombstonesEliminatedByCompaction)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    auto cfg = tinyRocks();
+    cfg.l0CompactionTrigger = 2;
+    MiniRocks db(log, dev, cfg);
+    sim::Tick t = db.put(0, "ghost", val(64, 1));
+    t = db.del(t, "ghost");
+    for (int i = 0; i < 1200; ++i)
+        t = db.put(t, "filler" + std::to_string(i % 100), val(128, 3));
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(t, "ghost", &out);
+    EXPECT_FALSE(out.has_value());
+}
+
+TEST(MiniRocks, RecoveryFromWalOnly)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    MiniRocks db(log, dev, tinyRocks());
+    sim::Tick t = 0;
+    for (int i = 0; i < 20; ++i)
+        t = db.put(t, "k" + std::to_string(i), val(40, 5));
+    ASSERT_EQ(db.flushes(), 0u); // all still in the memtable
+    log.crash(t);
+    db.recover();
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(0, "k7", &out);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, val(40, 5));
+}
+
+TEST(MiniRocks, RecoveryFromManifestAndWal)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    MiniRocks db(log, dev, tinyRocks());
+    sim::Tick t = 0;
+    // Enough to force SST flushes, then a few memtable-only writes.
+    for (int i = 0; i < 400; ++i)
+        t = db.put(t, "k" + std::to_string(i), val(128, 7));
+    EXPECT_GT(db.flushes(), 0u);
+    for (int i = 0; i < 5; ++i)
+        t = db.put(t, "tail" + std::to_string(i), val(32, 9));
+    log.crash(t);
+    db.recover();
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(0, "k123", &out);
+    ASSERT_TRUE(out.has_value()) << "SST data lost";
+    db.get(0, "tail3", &out);
+    ASSERT_TRUE(out.has_value()) << "WAL tail lost";
+    EXPECT_EQ(*out, val(32, 9));
+}
+
+TEST(MiniRocks, RecoveryOn2bSsdWithBaWal)
+{
+    ba::BaConfig bc;
+    bc.bufferBytes = 256 * sim::KiB;
+    ba::TwoBSsd dev(ssd::SsdConfig::tiny(), bc);
+    wal::BaWalConfig wc;
+    wc.regionBytes = 512 * sim::KiB;
+    wc.halfBytes = 64 * sim::KiB; // "quarter of the BA-buffer"
+    wal::BaWal log(dev, wc);
+    MiniRocks db(log, dev.device(), tinyRocks());
+    sim::Tick t = sim::msOf(1);
+    for (int i = 0; i < 200; ++i)
+        t = db.put(t, "k" + std::to_string(i), val(100, 4));
+    log.crash(t);
+    db.recover();
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(0, "k150", &out);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, val(100, 4));
+}
+
+TEST(MiniRocks, FreshDeviceRecoversEmpty)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWal log(dev, tinyWal());
+    MiniRocks db(log, dev, tinyRocks());
+    db.recover();
+    std::optional<std::vector<std::uint8_t>> out;
+    db.get(0, "anything", &out);
+    EXPECT_FALSE(out.has_value());
+}

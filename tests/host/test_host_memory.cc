@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for the emulated host persistent memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "host/host_memory.hh"
+#include "sim/logging.hh"
+
+using namespace bssd;
+using namespace bssd::host;
+
+TEST(PersistentMemory, RoundTrip)
+{
+    PersistentMemory pm;
+    std::vector<std::uint8_t> d{1, 2, 3, 4};
+    pm.write(0, 100, d);
+    std::vector<std::uint8_t> out(4);
+    pm.read(0, 100, out);
+    EXPECT_EQ(out, d);
+}
+
+TEST(PersistentMemory, OutOfRangeIsFatal)
+{
+    PmConfig cfg;
+    cfg.sizeBytes = 1024;
+    PersistentMemory pm(cfg);
+    std::vector<std::uint8_t> d(64, 0);
+    EXPECT_THROW(pm.write(0, 1000, d), sim::SimFatal);
+    std::vector<std::uint8_t> out(64);
+    EXPECT_THROW(pm.read(0, 1000, out), sim::SimFatal);
+}
+
+TEST(PersistentMemory, WriteIsDramFast)
+{
+    PersistentMemory pm;
+    std::vector<std::uint8_t> d(4096, 0x55);
+    sim::Tick t = pm.write(0, 0, d);
+    // 64 lines at DRAM store cost: well under a microsecond.
+    EXPECT_LT(t, sim::usOf(1));
+}
+
+TEST(PersistentMemory, BarrierCostIsConstant)
+{
+    PersistentMemory pm;
+    EXPECT_EQ(pm.persistBarrier(100),
+              100 + pm.config().persistBarrierCost);
+}
+
+TEST(PersistentMemory, CostScalesWithLines)
+{
+    PersistentMemory pm;
+    std::vector<std::uint8_t> one(64), four(256);
+    sim::Tick t1 = pm.write(0, 0, one);
+    sim::Tick t4 = pm.write(0, 0, four);
+    EXPECT_EQ(t4, 4 * t1);
+}

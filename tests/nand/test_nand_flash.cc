@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the NAND flash array model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nand/nand_flash.hh"
+#include "sim/logging.hh"
+
+using namespace bssd;
+using namespace bssd::nand;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i);
+    return v;
+}
+
+} // namespace
+
+TEST(NandFlash, ProgramThenReadBack)
+{
+    NandFlash flash(NandConfig::tiny());
+    auto data = pattern(4096, 7);
+    flash.programPage(Ppa{0, 0, 0}, data);
+    std::vector<std::uint8_t> out(4096);
+    flash.readPage(Ppa{0, 0, 0}, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(NandFlash, UnwrittenPageReadsErased)
+{
+    NandFlash flash(NandConfig::tiny());
+    std::vector<std::uint8_t> out(4096, 0);
+    flash.readPage(Ppa{1, 2, 3}, out);
+    for (auto b : out)
+        ASSERT_EQ(b, 0xff);
+}
+
+TEST(NandFlash, InOrderProgrammingEnforced)
+{
+    NandFlash flash(NandConfig::tiny());
+    auto data = pattern(4096, 1);
+    flash.programPage(Ppa{0, 0, 0}, data);
+    // Skipping page 1 must panic (NAND in-order rule).
+    EXPECT_THROW(flash.programPage(Ppa{0, 0, 2}, data), sim::SimPanic);
+    // Rewriting page 0 without erase must panic too.
+    EXPECT_THROW(flash.programPage(Ppa{0, 0, 0}, data), sim::SimPanic);
+}
+
+TEST(NandFlash, EraseResetsBlock)
+{
+    NandFlash flash(NandConfig::tiny());
+    auto data = pattern(4096, 3);
+    flash.programPage(Ppa{0, 1, 0}, data);
+    EXPECT_TRUE(flash.isProgrammed(Ppa{0, 1, 0}));
+    flash.eraseBlock(0, 1);
+    EXPECT_FALSE(flash.isProgrammed(Ppa{0, 1, 0}));
+    EXPECT_EQ(flash.writePointer(0, 1), 0u);
+    EXPECT_EQ(flash.eraseCount(0, 1), 1u);
+    // Programming page 0 again now succeeds.
+    flash.programPage(Ppa{0, 1, 0}, data);
+}
+
+TEST(NandFlash, ShortProgramPadsWithErasedBytes)
+{
+    NandFlash flash(NandConfig::tiny());
+    auto data = pattern(100, 9);
+    flash.programPage(Ppa{0, 0, 0}, data);
+    std::vector<std::uint8_t> out(4096);
+    flash.readPage(Ppa{0, 0, 0}, out);
+    for (std::size_t i = 0; i < 100; ++i)
+        ASSERT_EQ(out[i], data[i]);
+    for (std::size_t i = 100; i < 4096; ++i)
+        ASSERT_EQ(out[i], 0xff);
+}
+
+TEST(NandFlash, OutOfRangePpaPanics)
+{
+    NandFlash flash(NandConfig::tiny());
+    std::vector<std::uint8_t> out(4096);
+    EXPECT_THROW(flash.readPage(Ppa{99, 0, 0}, out), sim::SimPanic);
+    EXPECT_THROW(flash.readPage(Ppa{0, 99, 0}, out), sim::SimPanic);
+    EXPECT_THROW(flash.readPage(Ppa{0, 0, 99}, out), sim::SimPanic);
+}
+
+TEST(NandFlash, CountsOperations)
+{
+    NandFlash flash(NandConfig::tiny());
+    auto data = pattern(4096, 5);
+    flash.programPage(Ppa{0, 0, 0}, data);
+    flash.programPage(Ppa{0, 0, 1}, data);
+    std::vector<std::uint8_t> out(4096);
+    flash.readPage(Ppa{0, 0, 0}, out);
+    flash.eraseBlock(0, 0);
+    EXPECT_EQ(flash.pagesProgrammed(), 2u);
+    EXPECT_EQ(flash.pagesRead(), 1u);
+    EXPECT_EQ(flash.blocksErased(), 1u);
+}
+
+TEST(NandFlashTiming, SinglePageReadTakesTrPlusTransfer)
+{
+    NandFlash flash(NandConfig::slcUltraLowLatency());
+    auto iv = flash.timedRead(0, 1);
+    // tR (3 us) plus 4 KB over a 1.2 GB/s channel (~3.4 us).
+    EXPECT_GE(iv.end, sim::usOf(3));
+    EXPECT_LE(iv.end, sim::usOf(8));
+}
+
+TEST(NandFlashTiming, LargeReadsFanOutAcrossDies)
+{
+    NandFlash flash(NandConfig::tlcDatacenter());
+    const std::uint32_t dies = flash.config().geometry.totalDies();
+    // One full round across every die costs ~tR; two rounds ~2 tR.
+    auto one_round = flash.timedRead(0, dies);
+    flash.resetTiming();
+    auto two_rounds = flash.timedRead(0, 2 * dies);
+    double ratio = static_cast<double>(two_rounds.end) /
+                   static_cast<double>(one_round.end);
+    EXPECT_NEAR(ratio, 2.0, 0.3);
+}
+
+TEST(NandFlashTiming, ProgramSlowerThanRead)
+{
+    NandFlash flash(NandConfig::tlcDatacenter());
+    auto r = flash.timedRead(0, 1);
+    flash.resetTiming();
+    auto w = flash.timedProgram(0, 4096);
+    EXPECT_GT(w.end - w.start, r.end - r.start);
+}
+
+TEST(NandFlashTiming, SustainedProgramMatchesDrainRate)
+{
+    // DC-SSD NAND should sustain ~1.5 GB/s of programming.
+    NandFlash flash(NandConfig::tlcDatacenter());
+    const std::uint64_t bytes = 64 * sim::MiB;
+    auto iv = flash.timedProgram(0, bytes);
+    double gbps = static_cast<double>(bytes) /
+                  static_cast<double>(iv.end - iv.start);
+    EXPECT_NEAR(gbps, 1.5, 0.3);
+}
+
+TEST(NandFlashTiming, EraseIsMilliseconds)
+{
+    NandFlash flash(NandConfig::tiny());
+    auto iv = flash.timedErase(0);
+    EXPECT_EQ(iv.end - iv.start, sim::msOf(1));
+}
+
+TEST(NandFlashTiming, ZeroSizedOpsAreFree)
+{
+    NandFlash flash(NandConfig::tiny());
+    EXPECT_EQ(flash.timedRead(5, 0).end, 5u);
+    EXPECT_EQ(flash.timedProgram(5, 0).end, 5u);
+}
+
+TEST(NandFlashBadBlocks, FactoryDefectMapIsDeterministic)
+{
+    auto cfg = NandConfig::tiny();
+    cfg.factoryBadBlockRate = 0.05;
+    NandFlash a(cfg), b(cfg);
+    EXPECT_GT(a.badBlockCount(), 0u);
+    EXPECT_EQ(a.badBlockCount(), b.badBlockCount());
+    for (std::uint32_t d = 0; d < cfg.geometry.totalDies(); ++d)
+        for (std::uint32_t blk = 0; blk < cfg.geometry.blocksPerDie; ++blk)
+            ASSERT_EQ(a.isBad(d, blk), b.isBad(d, blk));
+}
+
+TEST(NandFlashBadBlocks, ProgramOrEraseOfBadBlockPanics)
+{
+    NandFlash flash(NandConfig::tiny());
+    flash.markBad(0, 3);
+    EXPECT_TRUE(flash.isBad(0, 3));
+    std::vector<std::uint8_t> data(4096, 1);
+    EXPECT_THROW(flash.programPage(Ppa{0, 3, 0}, data), sim::SimPanic);
+    EXPECT_THROW(flash.eraseBlock(0, 3), sim::SimPanic);
+}
+
+TEST(NandFlashBadBlocks, RateOutOfRangeRejected)
+{
+    auto cfg = NandConfig::tiny();
+    cfg.factoryBadBlockRate = 0.5;
+    EXPECT_THROW(NandFlash flash(cfg), sim::SimFatal);
+}

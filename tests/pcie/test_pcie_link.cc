@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit + calibration tests for the PCIe link model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcie/pcie_link.hh"
+
+using namespace bssd;
+using namespace bssd::pcie;
+
+TEST(PcieLink, PostedWriteIsFastAndAsync)
+{
+    PcieLink link;
+    sim::Tick t = link.postedWrite(0, 64);
+    // One burst: the CPU resumes after the posting cost.
+    EXPECT_EQ(t, link.config().postedWriteCost);
+    // The data lands later than the CPU resumes (posted semantics).
+    EXPECT_GT(link.postedDrainTime(), t);
+}
+
+TEST(PcieLink, PostedWriteStreams)
+{
+    PcieLink link;
+    // 4 KB = 64 bursts: stream-limited, not 64x the single-burst cost.
+    sim::Tick t = link.postedWrite(0, 4096);
+    EXPECT_LT(t, 64 * link.config().postedWriteCost);
+    EXPECT_NEAR(static_cast<double>(t),
+                64.0 * link.config().postedWriteStreamCost,
+                static_cast<double>(link.config().postedWriteCost));
+}
+
+TEST(PcieLink, MmioReadSplitsIntoEightByteTxns)
+{
+    PcieLink link;
+    link.mmioRead(0, 4096);
+    EXPECT_EQ(link.nonPostedReads(), 4096u / 8);
+}
+
+TEST(PcieLink, MmioRead4KbTakes150us)
+{
+    // Paper Section III-A3: 4 KB over MMIO ~ 150 us.
+    PcieLink link;
+    sim::Tick t = link.mmioRead(0, 4096);
+    EXPECT_NEAR(sim::toUs(t), 150.0, 8.0);
+}
+
+TEST(PcieLink, MmioReadScalesLinearly)
+{
+    PcieLink link;
+    sim::Tick t1 = link.mmioRead(0, 256);
+    link.reset();
+    sim::Tick t2 = link.mmioRead(0, 1024);
+    EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 4.0,
+                0.1);
+}
+
+TEST(PcieLink, WriteVerifyReadWaitsForPostedData)
+{
+    PcieLink link;
+    link.postedWrite(0, 4096);
+    sim::Tick done = link.writeVerifyRead(link.postedDrainTime() - 100);
+    EXPECT_GE(done, link.postedDrainTime());
+}
+
+TEST(PcieLink, WriteVerifyReadCheapWhenIdle)
+{
+    PcieLink link;
+    sim::Tick done = link.writeVerifyRead(1000);
+    EXPECT_EQ(done, 1000 + link.config().verifyReadCost);
+}
+
+TEST(PcieLink, DmaApproachesWireRate)
+{
+    PcieLink link;
+    const std::uint64_t bytes = 16 * sim::MiB;
+    auto iv = link.dma(0, bytes);
+    double gbps = static_cast<double>(bytes) /
+                  static_cast<double>(iv.end - iv.start);
+    EXPECT_NEAR(gbps, 3.2, 0.1);
+}
+
+TEST(PcieLink, ZeroByteWriteIsFree)
+{
+    PcieLink link;
+    EXPECT_EQ(link.postedWrite(42, 0), 42u);
+    EXPECT_EQ(link.postedBursts(), 0u);
+}
+
+TEST(PcieLink, SharedWireSerializes)
+{
+    PcieLink link;
+    auto a = link.dma(0, sim::MiB);
+    auto b = link.dma(0, sim::MiB);
+    EXPECT_GE(b.start, a.end);
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace bssd::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(21, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue q;
+    bool ran = false;
+    auto id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_FALSE(q.deschedule(id)); // double cancel is a no-op
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduleInPastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_THROW(q.schedule(5, [] {}), SimPanic);
+}
+
+TEST(EventQueue, RunWithLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), [&] { ++fired; });
+    EXPECT_EQ(q.run(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, AdvanceToMovesTimeForward)
+{
+    EventQueue q;
+    q.advanceTo(100);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_THROW(q.advanceTo(50), SimPanic);
+}

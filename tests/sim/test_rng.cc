@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit and property tests for the RNG and workload distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hh"
+
+using namespace bssd::sim;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.nextRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(13);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(0.3);
+    double freq = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(freq, 0.3, 0.01);
+}
+
+TEST(Rng, UniformMean)
+{
+    Rng r(17);
+    double sum = 0;
+    const int trials = 200000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(r.nextBelow(1000));
+    EXPECT_NEAR(sum / trials, 499.5, 5.0);
+}
+
+TEST(Zipfian, MostPopularIsZero)
+{
+    Rng r(1);
+    Zipfian z(1000, 0.99);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[static_cast<std::size_t>(z.sample(r))];
+    // Item 0 must be the most frequent by a wide margin.
+    int max_other = 0;
+    for (std::size_t i = 1; i < counts.size(); ++i)
+        max_other = std::max(max_other, counts[i]);
+    EXPECT_GT(counts[0], max_other);
+    // With theta=0.99 over 1000 items, item 0 takes roughly 13% of mass.
+    EXPECT_GT(counts[0], 100000 / 20);
+}
+
+TEST(Zipfian, AllInRange)
+{
+    Rng r(2);
+    Zipfian z(50, 0.5);
+    for (int i = 0; i < 50000; ++i)
+        EXPECT_LT(z.sample(r), 50u);
+}
+
+TEST(Zipfian, SingleItem)
+{
+    Rng r(3);
+    Zipfian z(1, 0.99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(r), 0u);
+}
+
+TEST(Zipfian, LargePopulationWorks)
+{
+    Rng r(4);
+    Zipfian z(100'000'000, 0.99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(z.sample(r), 100'000'000u);
+}
+
+TEST(PowerLaw, SkewTowardsSmallIds)
+{
+    Rng r(5);
+    PowerLaw p(10000, 0.8);
+    std::uint64_t low = 0, high = 0;
+    for (int i = 0; i < 100000; ++i) {
+        auto v = p.sample(r);
+        ASSERT_LT(v, 10000u);
+        if (v < 100)
+            ++low;
+        if (v >= 9900)
+            ++high;
+    }
+    // The first 1% of ids must receive far more traffic than the last 1%.
+    EXPECT_GT(low, high * 5);
+}
+
+TEST(LatestDist, BiasedTowardsMax)
+{
+    Rng r(6);
+    LatestDist d(0.99);
+    std::uint64_t near_max = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = d.sample(r, 999);
+        ASSERT_LE(v, 999u);
+        if (v >= 990)
+            ++near_max;
+    }
+    EXPECT_GT(near_max, 2000u / 10);
+}
+
+/** Property sweep: zipfian mass ordering holds for many (n, theta). */
+class ZipfianSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>>
+{};
+
+TEST_P(ZipfianSweep, HeadHeavierThanTail)
+{
+    auto [n, theta] = GetParam();
+    Rng r(n * 31 + static_cast<std::uint64_t>(theta * 100));
+    Zipfian z(n, theta);
+    std::uint64_t head = 0, tail = 0;
+    const std::uint64_t head_cut = n / 10 ? n / 10 : 1;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = z.sample(r);
+        ASSERT_LT(v, n);
+        if (v < head_cut)
+            ++head;
+        else if (v >= n - head_cut)
+            ++tail;
+    }
+    EXPECT_GT(head, tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfianSweep,
+    ::testing::Combine(
+        ::testing::Values<std::uint64_t>(10, 100, 1000, 100000),
+        ::testing::Values(0.2, 0.5, 0.8, 0.99)));

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for counters and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using namespace bssd::sim;
+
+TEST(Counter, Accumulates)
+{
+    Counter c("ops");
+    c.add();
+    c.add(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, ExactStatsSmall)
+{
+    Distribution d("lat");
+    for (std::uint64_t v : {5u, 1u, 9u, 3u})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.sum(), 18u);
+    EXPECT_EQ(d.min(), 1u);
+    EXPECT_EQ(d.max(), 9u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.5);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.percentile(50), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, PercentilesOnUniformRamp)
+{
+    Distribution d("ramp", 1 << 16);
+    for (std::uint64_t v = 0; v < 10000; ++v)
+        d.sample(v);
+    EXPECT_EQ(d.percentile(0), 0u);
+    EXPECT_EQ(d.percentile(100), 9999u);
+    EXPECT_NEAR(static_cast<double>(d.percentile(50)), 5000.0, 50.0);
+    EXPECT_NEAR(static_cast<double>(d.percentile(99)), 9900.0, 50.0);
+}
+
+TEST(Distribution, ReservoirKeepsPercentilesApproximate)
+{
+    // More samples than reservoir slots: percentiles stay close.
+    Distribution d("big", 4096);
+    for (std::uint64_t v = 0; v < 200000; ++v)
+        d.sample(v % 1000);
+    EXPECT_NEAR(static_cast<double>(d.percentile(50)), 500.0, 60.0);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 999u);
+    EXPECT_EQ(d.count(), 200000u);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.percentile(50), 0u);
+}

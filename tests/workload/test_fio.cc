@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the FIO-like micro workload runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "ssd/ssd_device.hh"
+#include "workload/fio.hh"
+
+using namespace bssd;
+using namespace bssd::workload;
+
+namespace
+{
+
+FioJob
+baseJob()
+{
+    FioJob j;
+    j.regionBytes = sim::MiB;
+    j.ios = 256;
+    return j;
+}
+
+} // namespace
+
+TEST(Fio, RandReadQd1MatchesDeviceLatency)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+    auto job = baseJob();
+    job.pattern = FioPattern::randRead;
+    auto res = runFio(dev, job);
+    EXPECT_EQ(res.completed, 256u);
+    // ~13.2 us device read + doorbell + completion ~ 15 us.
+    EXPECT_NEAR(res.meanLatencyUs, 15.0, 3.0);
+    EXPECT_NEAR(res.iops, 1e6 / res.meanLatencyUs, 6000.0);
+}
+
+TEST(Fio, QueueDepthScalesRandomReads)
+{
+    auto run = [](std::uint16_t qd) {
+        ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+        auto job = baseJob();
+        job.queueDepth = qd;
+        job.ios = 512;
+        job.regionBytes = 64 * sim::MiB;
+        return runFio(dev, job).iops;
+    };
+    double qd1 = run(1);
+    double qd8 = run(8);
+    EXPECT_GT(qd8, 1.8 * qd1);
+}
+
+TEST(Fio, SequentialReadBeatsRandomOnDcSsd)
+{
+    // DC-SSD's read-ahead makes sequential 4K reads much faster.
+    auto run = [](FioPattern p) {
+        ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+        auto job = baseJob();
+        job.pattern = p;
+        job.regionBytes = 16 * sim::MiB;
+        job.ios = 512;
+        return runFio(dev, job).iops;
+    };
+    double seq = run(FioPattern::seqRead);
+    double rnd = run(FioPattern::randRead);
+    EXPECT_GT(seq, 2.0 * rnd);
+}
+
+TEST(Fio, WritesFasterThanReadsAtQd1)
+{
+    // Buffered writes (~10 us) complete faster than media reads.
+    ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+    auto wjob = baseJob();
+    wjob.pattern = FioPattern::randWrite;
+    wjob.precondition = false;
+    auto w = runFio(dev, wjob);
+    ssd::SsdDevice dev2(ssd::SsdConfig::dcSsd());
+    auto rjob = baseJob();
+    rjob.pattern = FioPattern::randRead;
+    auto r = runFio(dev2, rjob);
+    EXPECT_LT(w.meanLatencyUs, r.meanLatencyUs);
+}
+
+TEST(Fio, MixedWorkloadRunsBothOps)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    auto job = baseJob();
+    job.pattern = FioPattern::randRw;
+    job.readPerMille = 700;
+    auto res = runFio(dev, job);
+    EXPECT_EQ(res.completed, 256u);
+    EXPECT_GT(res.iops, 0.0);
+}
+
+TEST(Fio, LargeBlocksReportBandwidth)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+    auto job = baseJob();
+    job.pattern = FioPattern::seqRead;
+    job.blockSize = sim::MiB;
+    job.regionBytes = 64 * sim::MiB;
+    job.ios = 64;
+    auto res = runFio(dev, job);
+    EXPECT_GT(res.bandwidthGBps, 2.0);
+    EXPECT_LE(res.bandwidthGBps, 3.3);
+}
+
+TEST(Fio, Deterministic)
+{
+    auto once = [] {
+        ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+        auto job = baseJob();
+        job.pattern = FioPattern::randRw;
+        return runFio(dev, job).iops;
+    };
+    EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(Fio, BadJobsRejected)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    FioJob j;
+    j.blockSize = 0;
+    EXPECT_THROW(runFio(dev, j), sim::SimFatal);
+    FioJob big;
+    big.regionBytes = 64 * sim::GiB;
+    EXPECT_THROW(runFio(dev, big), sim::SimFatal);
+}

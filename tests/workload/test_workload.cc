@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the workload generators and the closed-loop runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "db/minipg/minipg.hh"
+#include "db/miniredis/miniredis.hh"
+#include "db/minirocks/minirocks.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/block_wal.hh"
+#include "workload/linkbench.hh"
+#include "workload/runner.hh"
+#include "workload/ycsb.hh"
+
+using namespace bssd;
+using namespace bssd::workload;
+
+TEST(Linkbench, MixMatchesPublishedFractions)
+{
+    LinkbenchConfig cfg;
+    Linkbench gen(cfg, 42);
+    std::map<LinkOp, int> counts;
+    const int n = 100000;
+    int reads = 0;
+    for (int i = 0; i < n; ++i) {
+        auto req = gen.next();
+        ++counts[req.op];
+        reads += isReadOp(req.op) ? 1 : 0;
+    }
+    // ~69% reads (the paper: "read intensive with about 30% writes").
+    EXPECT_NEAR(static_cast<double>(reads) / n, 0.69, 0.02);
+    EXPECT_NEAR(counts[LinkOp::getLinkList] / double(n), 0.507, 0.01);
+    EXPECT_NEAR(counts[LinkOp::addLink] / double(n), 0.09, 0.01);
+    EXPECT_NEAR(counts[LinkOp::getNode] / double(n), 0.129, 0.01);
+}
+
+TEST(Linkbench, IdsWithinRangeAndSkewed)
+{
+    LinkbenchConfig cfg;
+    cfg.nodeCount = 1000;
+    Linkbench gen(cfg, 7);
+    std::uint64_t low = 0;
+    for (int i = 0; i < 20000; ++i) {
+        auto req = gen.next();
+        ASSERT_LT(req.id1, 1000u);
+        ASSERT_LT(req.id2, 1000u);
+        low += req.id1 < 100 ? 1 : 0;
+    }
+    EXPECT_GT(low, 20000u / 5); // power-law head
+}
+
+TEST(Linkbench, WritesCarryPayload)
+{
+    LinkbenchConfig cfg;
+    cfg.payloadBytes = 64;
+    Linkbench gen(cfg, 3);
+    for (int i = 0; i < 1000; ++i) {
+        auto req = gen.next();
+        if (req.op == LinkOp::addLink || req.op == LinkOp::updateNode) {
+            EXPECT_EQ(req.payload.size(), 64u);
+        }
+        if (isReadOp(req.op)) {
+            EXPECT_TRUE(req.payload.empty());
+        }
+    }
+}
+
+TEST(Ycsb, WorkloadAMixIsHalfReads)
+{
+    Ycsb gen(ycsbWorkloadA(128), 11);
+    int reads = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        reads += gen.next().kind == YcsbRequest::Kind::read ? 1 : 0;
+    EXPECT_NEAR(reads / double(n), 0.5, 0.02);
+}
+
+TEST(Ycsb, PayloadSizeHonored)
+{
+    Ycsb gen(ycsbWorkloadA(1024), 13);
+    for (int i = 0; i < 100; ++i) {
+        auto req = gen.next();
+        if (req.kind == YcsbRequest::Kind::update) {
+            EXPECT_EQ(req.value.size(), 1024u);
+        }
+    }
+}
+
+TEST(Ycsb, ZipfianKeySkew)
+{
+    YcsbConfig cfg = ycsbWorkloadA(64);
+    cfg.recordCount = 1000;
+    Ycsb gen(cfg, 17);
+    std::map<std::string, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[gen.next().key];
+    // The hottest key should take a large share.
+    int max_count = 0;
+    for (auto &[k, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 20000 / 30);
+}
+
+TEST(Runner, LinkbenchOnPgProducesThroughput)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    wal::BlockWalConfig wc;
+    wc.regionBytes = 2 * sim::MiB;
+    wal::BlockWal log(dev, wc);
+    db::minipg::MiniPg pg(log);
+    LinkbenchConfig cfg;
+    cfg.nodeCount = 1000;
+    auto res = runLinkbenchOnPg(pg, cfg, 4, sim::msOf(50), 1);
+    EXPECT_GT(res.ops, 100u);
+    EXPECT_GT(res.opsPerSec, 1000.0);
+    EXPECT_GT(res.p99LatencyUs, res.meanLatencyUs * 0.5);
+}
+
+TEST(Runner, YcsbOnRocksRunsAndScalesWithClients)
+{
+    auto mk = [](unsigned clients) {
+        ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+        wal::BlockWal log(dev, {});
+        db::minirocks::MiniRocks db(log, dev, {});
+        YcsbConfig cfg = ycsbWorkloadA(128);
+        cfg.recordCount = 500;
+        sim::Tick loaded = loadRocks(db, cfg, 500);
+        return runYcsbOnRocks(db, cfg, clients, sim::msOf(30), 2, loaded)
+            .opsPerSec;
+    };
+    double one = mk(1);
+    double four = mk(4);
+    EXPECT_GT(four, one * 1.5); // group commit lets clients scale
+}
+
+TEST(Runner, YcsbOnRedisIsSingleThreaded)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+    wal::BlockWal aof(dev, {});
+    db::miniredis::MiniRedis r(aof);
+    YcsbConfig cfg = ycsbWorkloadA(128);
+    cfg.recordCount = 500;
+    sim::Tick loaded = loadRedis(r, cfg, 500);
+    auto res = runYcsbOnRedis(r, cfg, sim::msOf(30), 3, loaded);
+    EXPECT_GT(res.ops, 100u);
+}
+
+TEST(Runner, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+        wal::BlockWalConfig wc;
+        wc.regionBytes = 2 * sim::MiB;
+        wal::BlockWal log(dev, wc);
+        db::minipg::MiniPg pg(log);
+        LinkbenchConfig cfg;
+        cfg.nodeCount = 500;
+        return runLinkbenchOnPg(pg, cfg, 2, sim::msOf(20), 9).ops;
+    };
+    EXPECT_EQ(once(), once());
+}
