@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_overhead.dir/bench_commit_overhead.cc.o"
+  "CMakeFiles/bench_commit_overhead.dir/bench_commit_overhead.cc.o.d"
+  "bench_commit_overhead"
+  "bench_commit_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_bandwidth.cc" "bench/CMakeFiles/bench_fig8_bandwidth.dir/bench_fig8_bandwidth.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_bandwidth.dir/bench_fig8_bandwidth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bssd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fio_sweep.dir/bench_fio_sweep.cc.o"
+  "CMakeFiles/bench_fio_sweep.dir/bench_fio_sweep.cc.o.d"
+  "bench_fio_sweep"
+  "bench_fio_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fio_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

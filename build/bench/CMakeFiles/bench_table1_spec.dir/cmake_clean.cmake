@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_spec.dir/bench_table1_spec.cc.o"
+  "CMakeFiles/bench_table1_spec.dir/bench_table1_spec.cc.o.d"
+  "bench_table1_spec"
+  "bench_table1_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_iot_telemetry.dir/iot_telemetry.cpp.o"
+  "CMakeFiles/example_iot_telemetry.dir/iot_telemetry.cpp.o.d"
+  "example_iot_telemetry"
+  "example_iot_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_iot_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

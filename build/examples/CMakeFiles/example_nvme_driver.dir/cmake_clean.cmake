@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nvme_driver.dir/nvme_driver.cpp.o"
+  "CMakeFiles/example_nvme_driver.dir/nvme_driver.cpp.o.d"
+  "example_nvme_driver"
+  "example_nvme_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nvme_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

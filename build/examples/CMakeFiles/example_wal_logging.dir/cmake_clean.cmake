@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wal_logging.dir/wal_logging.cpp.o"
+  "CMakeFiles/example_wal_logging.dir/wal_logging.cpp.o.d"
+  "example_wal_logging"
+  "example_wal_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wal_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ba/ba_buffer.cc" "src/CMakeFiles/bssd_ba.dir/ba/ba_buffer.cc.o" "gcc" "src/CMakeFiles/bssd_ba.dir/ba/ba_buffer.cc.o.d"
+  "/root/repo/src/ba/bar_manager.cc" "src/CMakeFiles/bssd_ba.dir/ba/bar_manager.cc.o" "gcc" "src/CMakeFiles/bssd_ba.dir/ba/bar_manager.cc.o.d"
+  "/root/repo/src/ba/read_dma.cc" "src/CMakeFiles/bssd_ba.dir/ba/read_dma.cc.o" "gcc" "src/CMakeFiles/bssd_ba.dir/ba/read_dma.cc.o.d"
+  "/root/repo/src/ba/recovery.cc" "src/CMakeFiles/bssd_ba.dir/ba/recovery.cc.o" "gcc" "src/CMakeFiles/bssd_ba.dir/ba/recovery.cc.o.d"
+  "/root/repo/src/ba/two_b_ssd.cc" "src/CMakeFiles/bssd_ba.dir/ba/two_b_ssd.cc.o" "gcc" "src/CMakeFiles/bssd_ba.dir/ba/two_b_ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bssd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

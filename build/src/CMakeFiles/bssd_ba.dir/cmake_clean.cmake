@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_ba.dir/ba/ba_buffer.cc.o"
+  "CMakeFiles/bssd_ba.dir/ba/ba_buffer.cc.o.d"
+  "CMakeFiles/bssd_ba.dir/ba/bar_manager.cc.o"
+  "CMakeFiles/bssd_ba.dir/ba/bar_manager.cc.o.d"
+  "CMakeFiles/bssd_ba.dir/ba/read_dma.cc.o"
+  "CMakeFiles/bssd_ba.dir/ba/read_dma.cc.o.d"
+  "CMakeFiles/bssd_ba.dir/ba/recovery.cc.o"
+  "CMakeFiles/bssd_ba.dir/ba/recovery.cc.o.d"
+  "CMakeFiles/bssd_ba.dir/ba/two_b_ssd.cc.o"
+  "CMakeFiles/bssd_ba.dir/ba/two_b_ssd.cc.o.d"
+  "libbssd_ba.a"
+  "libbssd_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

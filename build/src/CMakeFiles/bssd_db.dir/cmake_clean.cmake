@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_db.dir/db/minipg/minipg.cc.o"
+  "CMakeFiles/bssd_db.dir/db/minipg/minipg.cc.o.d"
+  "CMakeFiles/bssd_db.dir/db/miniredis/miniredis.cc.o"
+  "CMakeFiles/bssd_db.dir/db/miniredis/miniredis.cc.o.d"
+  "CMakeFiles/bssd_db.dir/db/minirocks/minirocks.cc.o"
+  "CMakeFiles/bssd_db.dir/db/minirocks/minirocks.cc.o.d"
+  "libbssd_db.a"
+  "libbssd_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

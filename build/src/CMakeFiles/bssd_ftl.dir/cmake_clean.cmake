@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_ftl.dir/ftl/ftl.cc.o"
+  "CMakeFiles/bssd_ftl.dir/ftl/ftl.cc.o.d"
+  "libbssd_ftl.a"
+  "libbssd_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

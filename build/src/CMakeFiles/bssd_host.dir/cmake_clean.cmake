@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_host.dir/host/host_memory.cc.o"
+  "CMakeFiles/bssd_host.dir/host/host_memory.cc.o.d"
+  "CMakeFiles/bssd_host.dir/host/wc_buffer.cc.o"
+  "CMakeFiles/bssd_host.dir/host/wc_buffer.cc.o.d"
+  "libbssd_host.a"
+  "libbssd_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

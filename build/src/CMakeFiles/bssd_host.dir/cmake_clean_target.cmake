@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbssd_host.a"
+)

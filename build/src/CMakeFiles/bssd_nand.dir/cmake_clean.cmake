@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_nand.dir/nand/nand_flash.cc.o"
+  "CMakeFiles/bssd_nand.dir/nand/nand_flash.cc.o.d"
+  "libbssd_nand.a"
+  "libbssd_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_pcie.dir/pcie/pcie_link.cc.o"
+  "CMakeFiles/bssd_pcie.dir/pcie/pcie_link.cc.o.d"
+  "libbssd_pcie.a"
+  "libbssd_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_sim.dir/sim/client.cc.o"
+  "CMakeFiles/bssd_sim.dir/sim/client.cc.o.d"
+  "CMakeFiles/bssd_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/bssd_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/bssd_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/bssd_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/bssd_sim.dir/sim/resource.cc.o"
+  "CMakeFiles/bssd_sim.dir/sim/resource.cc.o.d"
+  "CMakeFiles/bssd_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/bssd_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/bssd_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/bssd_sim.dir/sim/stats.cc.o.d"
+  "libbssd_sim.a"
+  "libbssd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/nvme_queue.cc" "src/CMakeFiles/bssd_ssd.dir/ssd/nvme_queue.cc.o" "gcc" "src/CMakeFiles/bssd_ssd.dir/ssd/nvme_queue.cc.o.d"
+  "/root/repo/src/ssd/ssd_device.cc" "src/CMakeFiles/bssd_ssd.dir/ssd/ssd_device.cc.o" "gcc" "src/CMakeFiles/bssd_ssd.dir/ssd/ssd_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

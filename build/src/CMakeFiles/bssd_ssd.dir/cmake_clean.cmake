@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_ssd.dir/ssd/nvme_queue.cc.o"
+  "CMakeFiles/bssd_ssd.dir/ssd/nvme_queue.cc.o.d"
+  "CMakeFiles/bssd_ssd.dir/ssd/ssd_device.cc.o"
+  "CMakeFiles/bssd_ssd.dir/ssd/ssd_device.cc.o.d"
+  "libbssd_ssd.a"
+  "libbssd_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/async_wal.cc" "src/CMakeFiles/bssd_wal.dir/wal/async_wal.cc.o" "gcc" "src/CMakeFiles/bssd_wal.dir/wal/async_wal.cc.o.d"
+  "/root/repo/src/wal/ba_wal.cc" "src/CMakeFiles/bssd_wal.dir/wal/ba_wal.cc.o" "gcc" "src/CMakeFiles/bssd_wal.dir/wal/ba_wal.cc.o.d"
+  "/root/repo/src/wal/block_wal.cc" "src/CMakeFiles/bssd_wal.dir/wal/block_wal.cc.o" "gcc" "src/CMakeFiles/bssd_wal.dir/wal/block_wal.cc.o.d"
+  "/root/repo/src/wal/pm_wal.cc" "src/CMakeFiles/bssd_wal.dir/wal/pm_wal.cc.o" "gcc" "src/CMakeFiles/bssd_wal.dir/wal/pm_wal.cc.o.d"
+  "/root/repo/src/wal/pmr_wal.cc" "src/CMakeFiles/bssd_wal.dir/wal/pmr_wal.cc.o" "gcc" "src/CMakeFiles/bssd_wal.dir/wal/pmr_wal.cc.o.d"
+  "/root/repo/src/wal/record.cc" "src/CMakeFiles/bssd_wal.dir/wal/record.cc.o" "gcc" "src/CMakeFiles/bssd_wal.dir/wal/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bssd_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_wal.dir/wal/async_wal.cc.o"
+  "CMakeFiles/bssd_wal.dir/wal/async_wal.cc.o.d"
+  "CMakeFiles/bssd_wal.dir/wal/ba_wal.cc.o"
+  "CMakeFiles/bssd_wal.dir/wal/ba_wal.cc.o.d"
+  "CMakeFiles/bssd_wal.dir/wal/block_wal.cc.o"
+  "CMakeFiles/bssd_wal.dir/wal/block_wal.cc.o.d"
+  "CMakeFiles/bssd_wal.dir/wal/pm_wal.cc.o"
+  "CMakeFiles/bssd_wal.dir/wal/pm_wal.cc.o.d"
+  "CMakeFiles/bssd_wal.dir/wal/pmr_wal.cc.o"
+  "CMakeFiles/bssd_wal.dir/wal/pmr_wal.cc.o.d"
+  "CMakeFiles/bssd_wal.dir/wal/record.cc.o"
+  "CMakeFiles/bssd_wal.dir/wal/record.cc.o.d"
+  "libbssd_wal.a"
+  "libbssd_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

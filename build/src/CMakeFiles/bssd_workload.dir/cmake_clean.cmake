@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssd_workload.dir/workload/fio.cc.o"
+  "CMakeFiles/bssd_workload.dir/workload/fio.cc.o.d"
+  "CMakeFiles/bssd_workload.dir/workload/linkbench.cc.o"
+  "CMakeFiles/bssd_workload.dir/workload/linkbench.cc.o.d"
+  "CMakeFiles/bssd_workload.dir/workload/runner.cc.o"
+  "CMakeFiles/bssd_workload.dir/workload/runner.cc.o.d"
+  "CMakeFiles/bssd_workload.dir/workload/ycsb.cc.o"
+  "CMakeFiles/bssd_workload.dir/workload/ycsb.cc.o.d"
+  "libbssd_workload.a"
+  "libbssd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ba/test_ba_buffer.cc" "tests/CMakeFiles/test_ba.dir/ba/test_ba_buffer.cc.o" "gcc" "tests/CMakeFiles/test_ba.dir/ba/test_ba_buffer.cc.o.d"
+  "/root/repo/tests/ba/test_ba_property.cc" "tests/CMakeFiles/test_ba.dir/ba/test_ba_property.cc.o" "gcc" "tests/CMakeFiles/test_ba.dir/ba/test_ba_property.cc.o.d"
+  "/root/repo/tests/ba/test_bar_and_dma.cc" "tests/CMakeFiles/test_ba.dir/ba/test_bar_and_dma.cc.o" "gcc" "tests/CMakeFiles/test_ba.dir/ba/test_bar_and_dma.cc.o.d"
+  "/root/repo/tests/ba/test_recovery.cc" "tests/CMakeFiles/test_ba.dir/ba/test_recovery.cc.o" "gcc" "tests/CMakeFiles/test_ba.dir/ba/test_recovery.cc.o.d"
+  "/root/repo/tests/ba/test_two_b_ssd.cc" "tests/CMakeFiles/test_ba.dir/ba/test_two_b_ssd.cc.o" "gcc" "tests/CMakeFiles/test_ba.dir/ba/test_two_b_ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bssd_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bssd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ba.dir/ba/test_ba_buffer.cc.o"
+  "CMakeFiles/test_ba.dir/ba/test_ba_buffer.cc.o.d"
+  "CMakeFiles/test_ba.dir/ba/test_ba_property.cc.o"
+  "CMakeFiles/test_ba.dir/ba/test_ba_property.cc.o.d"
+  "CMakeFiles/test_ba.dir/ba/test_bar_and_dma.cc.o"
+  "CMakeFiles/test_ba.dir/ba/test_bar_and_dma.cc.o.d"
+  "CMakeFiles/test_ba.dir/ba/test_recovery.cc.o"
+  "CMakeFiles/test_ba.dir/ba/test_recovery.cc.o.d"
+  "CMakeFiles/test_ba.dir/ba/test_two_b_ssd.cc.o"
+  "CMakeFiles/test_ba.dir/ba/test_two_b_ssd.cc.o.d"
+  "test_ba"
+  "test_ba.pdb"
+  "test_ba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

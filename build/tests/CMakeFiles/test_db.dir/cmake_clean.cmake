@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db.dir/db/test_minipg.cc.o"
+  "CMakeFiles/test_db.dir/db/test_minipg.cc.o.d"
+  "CMakeFiles/test_db.dir/db/test_miniredis.cc.o"
+  "CMakeFiles/test_db.dir/db/test_miniredis.cc.o.d"
+  "CMakeFiles/test_db.dir/db/test_minirocks.cc.o"
+  "CMakeFiles/test_db.dir/db/test_minirocks.cc.o.d"
+  "test_db"
+  "test_db.pdb"
+  "test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

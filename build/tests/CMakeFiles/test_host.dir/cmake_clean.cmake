@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host.dir/host/test_host_memory.cc.o"
+  "CMakeFiles/test_host.dir/host/test_host_memory.cc.o.d"
+  "CMakeFiles/test_host.dir/host/test_wc_buffer.cc.o"
+  "CMakeFiles/test_host.dir/host/test_wc_buffer.cc.o.d"
+  "CMakeFiles/test_host.dir/host/test_wc_property.cc.o"
+  "CMakeFiles/test_host.dir/host/test_wc_property.cc.o.d"
+  "test_host"
+  "test_host.pdb"
+  "test_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

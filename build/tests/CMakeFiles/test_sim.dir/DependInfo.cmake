@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_client.cc" "tests/CMakeFiles/test_sim.dir/sim/test_client.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_client.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/sim/test_resource.cc" "tests/CMakeFiles/test_sim.dir/sim/test_resource.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_resource.cc.o.d"
+  "/root/repo/tests/sim/test_rng.cc" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cc.o.d"
+  "/root/repo/tests/sim/test_stats.cc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bssd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

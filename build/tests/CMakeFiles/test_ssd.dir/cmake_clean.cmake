@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd.dir/ssd/test_nvme_queue.cc.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_nvme_queue.cc.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/test_ssd_device.cc.o"
+  "CMakeFiles/test_ssd.dir/ssd/test_ssd_device.cc.o.d"
+  "test_ssd"
+  "test_ssd.pdb"
+  "test_ssd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

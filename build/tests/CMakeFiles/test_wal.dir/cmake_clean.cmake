@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wal.dir/wal/test_pmr_wal.cc.o"
+  "CMakeFiles/test_wal.dir/wal/test_pmr_wal.cc.o.d"
+  "CMakeFiles/test_wal.dir/wal/test_record.cc.o"
+  "CMakeFiles/test_wal.dir/wal/test_record.cc.o.d"
+  "CMakeFiles/test_wal.dir/wal/test_wal_devices.cc.o"
+  "CMakeFiles/test_wal.dir/wal/test_wal_devices.cc.o.d"
+  "test_wal"
+  "test_wal.pdb"
+  "test_wal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
