@@ -9,6 +9,9 @@
  *   PM + DC-SSD       - same with a DC-SSD log device
  *   ASYNC             - asynchronous commit upper bound
  *
+ * The four configurations run concurrently on the sweep harness
+ * (self-contained rigs, results identical to serial execution).
+ *
  * Paper result (Section V-C): all four are nearly identical - PM+DC
  * about 0.6% BELOW and PM+ULL about 0.4% ABOVE the 2B-SSD baseline,
  * all close to ASYNC. The point: the hybrid store matches the
@@ -16,15 +19,14 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <vector>
 
-#include "ba/two_b_ssd.hh"
+#include "bench_rigs.hh"
 #include "bench_util.hh"
 #include "db/minipg/minipg.hh"
-#include "host/host_memory.hh"
-#include "ssd/ssd_device.hh"
-#include "wal/async_wal.hh"
-#include "wal/ba_wal.hh"
+#include "sim/sweep.hh"
 #include "wal/pm_wal.hh"
 #include "workload/runner.hh"
 
@@ -52,41 +54,45 @@ run(wal::LogDevice &log)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fig. 10",
            "heterogeneous memory vs hybrid store (minipg + Linkbench)");
 
-    std::printf("%-14s %12s %12s\n", "config", "txn/s", "vs baseline");
+    const char *labels[] = {"2B-SSD", "PM + ULL-SSD", "PM + DC-SSD",
+                            "ASYNC"};
+    std::vector<double> txns(4);
+    std::vector<std::function<void()>> jobs = {
+        [&txns] {
+            ba::TwoBSsd dev;
+            wal::BaWal log(dev, {});
+            txns[0] = run(log);
+        },
+        [&txns] {
+            host::PersistentMemory pm;
+            ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+            wal::PmWal log(pm, dev, {});
+            txns[1] = run(log);
+        },
+        [&txns] {
+            host::PersistentMemory pm;
+            ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
+            wal::PmWal log(pm, dev, {});
+            txns[2] = run(log);
+        },
+        [&txns] {
+            wal::AsyncWal log;
+            txns[3] = run(log);
+        },
+    };
+    sim::runParallel(jobs, threadsArg(argc, argv));
 
-    double base;
-    {
-        ba::TwoBSsd dev;
-        wal::BaWal log(dev, {});
-        base = run(log);
-        std::printf("%-14s %12.0f %11.2f%%\n", "2B-SSD", base, 0.0);
-    }
-    {
-        host::PersistentMemory pm;
-        ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
-        wal::PmWal log(pm, dev, {});
-        double v = run(log);
-        std::printf("%-14s %12.0f %+11.2f%%\n", "PM + ULL-SSD", v,
-                    (v / base - 1.0) * 100.0);
-    }
-    {
-        host::PersistentMemory pm;
-        ssd::SsdDevice dev(ssd::SsdConfig::dcSsd());
-        wal::PmWal log(pm, dev, {});
-        double v = run(log);
-        std::printf("%-14s %12.0f %+11.2f%%\n", "PM + DC-SSD", v,
-                    (v / base - 1.0) * 100.0);
-    }
-    {
-        wal::AsyncWal log;
-        double v = run(log);
-        std::printf("%-14s %12.0f %+11.2f%%\n", "ASYNC", v,
-                    (v / base - 1.0) * 100.0);
+    std::printf("%-14s %12s %12s\n", "config", "txn/s", "vs baseline");
+    double base = txns[0];
+    std::printf("%-14s %12.0f %11.2f%%\n", labels[0], base, 0.0);
+    for (std::size_t i = 1; i < txns.size(); ++i) {
+        std::printf("%-14s %12.0f %+11.2f%%\n", labels[i], txns[i],
+                    (txns[i] / base - 1.0) * 100.0);
     }
 
     std::printf("\npaper: PM+DC ~ -0.6%%, PM+ULL ~ +0.4%%, all close "

@@ -10,6 +10,10 @@
  *   ASYNC    - asynchronous commit (theoretical maximum, data loss
  *              risk)
  *
+ * All cells run concurrently on the sweep harness (each rig is
+ * self-contained, so numbers are identical to a serial run); pass
+ * --threads=1 to force serial execution.
+ *
  * Paper shape targets (Section V-C):
  *   - 2B-SSD vs DC-SSD: 1.2x - 2.8x; vs ULL-SSD: 1.15x - 2.3x
  *   - 2B-SSD reaches 75-95% of ASYNC
@@ -19,19 +23,16 @@
  */
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <vector>
 
-#include "ba/two_b_ssd.hh"
+#include "bench_rigs.hh"
 #include "bench_util.hh"
 #include "db/minipg/minipg.hh"
 #include "db/miniredis/miniredis.hh"
 #include "db/minirocks/minirocks.hh"
-#include "host/host_memory.hh"
-#include "ssd/ssd_device.hh"
-#include "wal/async_wal.hh"
-#include "wal/ba_wal.hh"
-#include "wal/block_wal.hh"
+#include "sim/sweep.hh"
 #include "workload/runner.hh"
 
 using namespace bssd;
@@ -46,123 +47,76 @@ constexpr sim::Tick kHorizon = sim::msOf(300);
 constexpr std::uint64_t kRecords = 2000;
 constexpr std::uint64_t kSeed = 20180601; // ISCA'18
 
-/** A log device plus everything backing it, kept alive together. */
-struct LogRig
+constexpr RigKind kRigs[] = {RigKind::dc, RigKind::ull, RigKind::twoB,
+                             RigKind::async};
+
+RunResult
+runPgCell(RigKind kind)
 {
-    std::unique_ptr<ssd::SsdDevice> blockDev;
-    std::unique_ptr<ba::TwoBSsd> twoB;
-    std::unique_ptr<host::PersistentMemory> pm;
-    std::unique_ptr<wal::LogDevice> log;
-    std::string label;
-
-    /** The device SSTs/manifest live on (for minirocks). */
-    ssd::SsdDevice &
-    dataDevice()
-    {
-        return twoB ? twoB->device() : *blockDev;
-    }
-};
-
-enum class Config { dc, ull, twoB, async };
-
-const char *
-configName(Config c)
-{
-    switch (c) {
-      case Config::dc: return "DC-SSD";
-      case Config::ull: return "ULL-SSD";
-      case Config::twoB: return "2B-SSD";
-      case Config::async: return "ASYNC";
-    }
-    return "?";
+    auto rig = makeRig(kind, 4 * sim::MiB, true);
+    db::minipg::MiniPg pg(*rig.log);
+    LinkbenchConfig cfg;
+    cfg.nodeCount = 50'000;
+    return runLinkbenchOnPg(pg, cfg, kClients, kHorizon, kSeed);
 }
 
-/**
- * Build a log rig. @p baWalHalf selects the BA-WAL window size
- * (paper: half buffer for minipg, quarter for minirocks, whole for
- * miniredis), and @p doubleBuffer is off for miniredis.
- */
-LogRig
-makeRig(Config c, std::uint64_t baWalHalf, bool doubleBuffer)
+RunResult
+runRocksCell(RigKind kind, std::uint32_t payload)
 {
-    LogRig rig;
-    rig.label = configName(c);
-    switch (c) {
-      case Config::dc:
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::dcSsd());
-        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev,
-                                                  wal::BlockWalConfig{});
-        break;
-      case Config::ull:
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::ullSsd());
-        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev,
-                                                  wal::BlockWalConfig{});
-        break;
-      case Config::twoB: {
-        rig.twoB = std::make_unique<ba::TwoBSsd>();
-        wal::BaWalConfig wc;
-        wc.halfBytes = baWalHalf;
-        wc.doubleBuffer = doubleBuffer;
-        rig.log = std::make_unique<wal::BaWal>(*rig.twoB, wc);
-        break;
-      }
-      case Config::async:
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::ullSsd());
-        rig.log = std::make_unique<wal::AsyncWal>();
-        break;
-    }
-    return rig;
+    auto rig = makeRig(kind, 2 * sim::MiB, true); // quarter buffer
+    db::minirocks::MiniRocks db(*rig.log, rig.dataDevice());
+    YcsbConfig cfg = ycsbWorkloadA(payload);
+    cfg.recordCount = kRecords;
+    sim::Tick loaded = loadRocks(db, cfg, cfg.recordCount);
+    return runYcsbOnRocks(db, cfg, kClients, kHorizon, kSeed, loaded);
+}
+
+RunResult
+runRedisCell(RigKind kind, std::uint32_t payload)
+{
+    // Single-threaded engine: whole buffer, no double buffering.
+    auto rig = makeRig(kind, 0, false);
+    db::miniredis::MiniRedis db(*rig.log);
+    YcsbConfig cfg = ycsbWorkloadA(payload);
+    cfg.recordCount = kRecords;
+    sim::Tick loaded = loadRedis(db, cfg, cfg.recordCount);
+    return runYcsbOnRedis(db, cfg, kHorizon, kSeed, loaded);
 }
 
 void
-runPgLinkbench()
+printPg(const std::vector<RunResult> &res)
 {
     section("minipg + Linkbench (normalized to DC-SSD)");
     std::printf("%-10s %12s %10s %10s %10s\n", "config", "txn/s",
                 "norm", "mean(us)", "p99(us)");
-    double base = 0;
-    for (Config c :
-         {Config::dc, Config::ull, Config::twoB, Config::async}) {
-        auto rig = makeRig(c, 4 * sim::MiB, true);
-        db::minipg::MiniPg pg(*rig.log);
-        LinkbenchConfig cfg;
-        cfg.nodeCount = 50'000;
-        auto res = runLinkbenchOnPg(pg, cfg, kClients, kHorizon, kSeed);
-        if (base == 0)
-            base = res.opsPerSec;
+    double base = res[0].opsPerSec;
+    for (std::size_t i = 0; i < res.size(); ++i) {
         std::printf("%-10s %12.0f %9.2fx %10.1f %10.1f\n",
-                    configName(c), res.opsPerSec, res.opsPerSec / base,
-                    res.meanLatencyUs, res.p99LatencyUs);
+                    rigName(kRigs[i]), res[i].opsPerSec,
+                    res[i].opsPerSec / base, res[i].meanLatencyUs,
+                    res[i].p99LatencyUs);
     }
     std::printf("paper: 2B-SSD gains 1.2-2.8x over DC, 75-95%% of "
                 "ASYNC\n");
 }
 
-template <typename MakeEngine, typename RunFn>
+/** @p res is indexed [payload][rig], filled by the parallel phase. */
 void
-runKv(const char *title, std::uint64_t baWalHalf, bool doubleBuffer,
-      MakeEngine make_engine, RunFn run)
+printKv(const char *title,
+        const std::vector<std::vector<RunResult>> &res,
+        const std::vector<std::uint32_t> &payloads)
 {
     section(title);
     std::printf("%-8s %-10s %12s %10s %10s\n", "payload", "config",
                 "ops/s", "norm", "mean(us)");
-    for (std::uint32_t payload : {16u, 128u, 1024u}) {
-        double base = 0;
-        for (Config c :
-             {Config::dc, Config::ull, Config::twoB, Config::async}) {
-            auto rig = makeRig(c, baWalHalf, doubleBuffer);
-            auto engine = make_engine(rig);
-            YcsbConfig cfg = ycsbWorkloadA(payload);
-            cfg.recordCount = kRecords;
-            auto res = run(*engine, cfg);
-            if (base == 0)
-                base = res.opsPerSec;
-            std::printf("%-8u %-10s %12.0f %9.2fx %10.1f\n", payload,
-                        configName(c), res.opsPerSec,
-                        res.opsPerSec / base, res.meanLatencyUs);
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+        double base = res[p][0].opsPerSec;
+        for (std::size_t i = 0; i < res[p].size(); ++i) {
+            std::printf("%-8u %-10s %12.0f %9.2fx %10.1f\n",
+                        payloads[p], rigName(kRigs[i]),
+                        res[p][i].opsPerSec,
+                        res[p][i].opsPerSec / base,
+                        res[p][i].meanLatencyUs);
         }
     }
 }
@@ -170,36 +124,39 @@ runKv(const char *title, std::uint64_t baWalHalf, bool doubleBuffer,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fig. 9", "application-level throughput "
                      "(DC / ULL / 2B-SSD / ASYNC)");
 
-    runPgLinkbench();
+    const std::vector<std::uint32_t> payloads = {16, 128, 1024};
 
-    runKv(
-        "minirocks + YCSB-A (normalized to DC-SSD per payload)",
-        2 * sim::MiB, true, // log = quarter of the 8 MB BA-buffer
-        [](LogRig &rig) {
-            return std::make_unique<db::minirocks::MiniRocks>(
-                *rig.log, rig.dataDevice());
-        },
-        [](db::minirocks::MiniRocks &db, const YcsbConfig &cfg) {
-            sim::Tick loaded = loadRocks(db, cfg, cfg.recordCount);
-            return runYcsbOnRocks(db, cfg, kClients, kHorizon, kSeed,
-                                  loaded);
-        });
+    std::vector<RunResult> pg(4);
+    std::vector<std::vector<RunResult>> rocks(payloads.size(),
+                                              std::vector<RunResult>(4));
+    std::vector<std::vector<RunResult>> redis(payloads.size(),
+                                              std::vector<RunResult>(4));
 
-    runKv(
-        "miniredis + YCSB-A (normalized to DC-SSD per payload)",
-        0 /* whole buffer */, false /* single-threaded: no double buf */,
-        [](LogRig &rig) {
-            return std::make_unique<db::miniredis::MiniRedis>(*rig.log);
-        },
-        [](db::miniredis::MiniRedis &db, const YcsbConfig &cfg) {
-            sim::Tick loaded = loadRedis(db, cfg, cfg.recordCount);
-            return runYcsbOnRedis(db, cfg, kHorizon, kSeed, loaded);
-        });
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < 4; ++i)
+        jobs.push_back([&pg, i] { pg[i] = runPgCell(kRigs[i]); });
+    for (std::size_t p = 0; p < payloads.size(); ++p) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            jobs.push_back([&rocks, &payloads, p, i] {
+                rocks[p][i] = runRocksCell(kRigs[i], payloads[p]);
+            });
+            jobs.push_back([&redis, &payloads, p, i] {
+                redis[p][i] = runRedisCell(kRigs[i], payloads[p]);
+            });
+        }
+    }
+    sim::runParallel(jobs, threadsArg(argc, argv));
+
+    printPg(pg);
+    printKv("minirocks + YCSB-A (normalized to DC-SSD per payload)",
+            rocks, payloads);
+    printKv("miniredis + YCSB-A (normalized to DC-SSD per payload)",
+            redis, payloads);
 
     std::printf("\npaper: gains grow as payload shrinks; ULL/DC up to "
                 "~1.5x (minirocks 1KB);\n       miniredis sees ULL "

@@ -4,11 +4,19 @@
  * scaling of the two comparison devices through the NVMe queue layer.
  * The paper reports QD1 only (Figs. 7/8); this table shows the model
  * behaves sanely across the rest of the operating envelope.
+ *
+ * Every (device, pattern, block size, queue depth) cell is an
+ * independent simulation, so the whole sweep runs concurrently on the
+ * sweep harness; pass --threads=1 to force serial execution.
  */
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "bench_rigs.hh"
 #include "bench_util.hh"
+#include "sim/sweep.hh"
 #include "ssd/ssd_device.hh"
 #include "workload/fio.hh"
 
@@ -35,44 +43,68 @@ run(const ssd::SsdConfig &cfg, FioPattern p, std::uint32_t bs,
     return runFio(dev, job);
 }
 
+/** One cell: ULL and DC results for a (pattern, bs, qd) point. */
+struct Cell
+{
+    FioPattern pattern;
+    std::uint32_t bs;
+    std::uint16_t qd;
+    FioResult ull;
+    FioResult dc;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("FIO sweep", "4 KB random reads/writes across queue depths "
                         "(extension)");
 
+    std::vector<Cell> cells;
+    for (std::uint16_t qd : {1, 2, 4, 8, 16, 32})
+        cells.push_back({FioPattern::randRead, 4096, qd, {}, {}});
+    for (std::uint16_t qd : {1, 4, 16})
+        cells.push_back({FioPattern::randWrite, 4096, qd, {}, {}});
+    for (std::uint32_t bs : {4096u, 65536u, 1048576u, 4194304u})
+        cells.push_back({FioPattern::seqRead, bs, 4, {}, {}});
+
+    std::vector<std::function<void()>> jobs;
+    for (auto &cell : cells) {
+        jobs.push_back([&cell] {
+            cell.ull = run(ssd::SsdConfig::ullSsd(), cell.pattern,
+                           cell.bs, cell.qd);
+        });
+        jobs.push_back([&cell] {
+            cell.dc = run(ssd::SsdConfig::dcSsd(), cell.pattern,
+                          cell.bs, cell.qd);
+        });
+    }
+    sim::runParallel(jobs, threadsArg(argc, argv));
+
     section("4 KB random read IOPS vs queue depth");
     std::printf("%6s %12s %12s\n", "QD", "ULL-SSD", "DC-SSD");
-    for (std::uint16_t qd : {1, 2, 4, 8, 16, 32}) {
-        auto u = run(ssd::SsdConfig::ullSsd(), FioPattern::randRead,
-                     4096, qd);
-        auto d = run(ssd::SsdConfig::dcSsd(), FioPattern::randRead,
-                     4096, qd);
-        std::printf("%6u %12.0f %12.0f\n", qd, u.iops, d.iops);
+    for (const auto &c : cells) {
+        if (c.pattern != FioPattern::randRead)
+            continue;
+        std::printf("%6u %12.0f %12.0f\n", c.qd, c.ull.iops, c.dc.iops);
     }
 
     section("4 KB random write IOPS vs queue depth");
     std::printf("%6s %12s %12s\n", "QD", "ULL-SSD", "DC-SSD");
-    for (std::uint16_t qd : {1, 4, 16}) {
-        auto u = run(ssd::SsdConfig::ullSsd(), FioPattern::randWrite,
-                     4096, qd);
-        auto d = run(ssd::SsdConfig::dcSsd(), FioPattern::randWrite,
-                     4096, qd);
-        std::printf("%6u %12.0f %12.0f\n", qd, u.iops, d.iops);
+    for (const auto &c : cells) {
+        if (c.pattern != FioPattern::randWrite)
+            continue;
+        std::printf("%6u %12.0f %12.0f\n", c.qd, c.ull.iops, c.dc.iops);
     }
 
     section("sequential read bandwidth vs block size (QD4) [GB/s]");
     std::printf("%-8s %12s %12s\n", "bs", "ULL-SSD", "DC-SSD");
-    for (std::uint32_t bs :
-         {4096u, 65536u, 1048576u, 4194304u}) {
-        auto u = run(ssd::SsdConfig::ullSsd(), FioPattern::seqRead, bs,
-                     4);
-        auto d = run(ssd::SsdConfig::dcSsd(), FioPattern::seqRead, bs,
-                     4);
-        std::printf("%-8s %12.2f %12.2f\n", sizeLabel(bs).c_str(),
-                    u.bandwidthGBps, d.bandwidthGBps);
+    for (const auto &c : cells) {
+        if (c.pattern != FioPattern::seqRead)
+            continue;
+        std::printf("%-8s %12.2f %12.2f\n", sizeLabel(c.bs).c_str(),
+                    c.ull.bandwidthGBps, c.dc.bandwidthGBps);
     }
 
     std::printf("\nexpected shape: IOPS scale with QD until the "

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared log-device rigs for the application-level benches.
+ *
+ * Fig. 9, Fig. 10 and the sweep harness all compare the same four
+ * log-device configurations (DC-SSD, ULL-SSD, 2B-SSD, ASYNC); this
+ * header owns the rig construction so every binary builds them
+ * identically. Each rig is fully self-contained (own device, own
+ * event queue, own RNG streams), which is what lets the sweep harness
+ * run rigs on concurrent worker threads with bit-identical results.
+ */
+
+#ifndef BSSD_BENCH_BENCH_RIGS_HH
+#define BSSD_BENCH_BENCH_RIGS_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "ba/two_b_ssd.hh"
+#include "host/host_memory.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/async_wal.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+
+namespace bssd::bench
+{
+
+/** The four log-device configurations of Figs. 9/10. */
+enum class RigKind
+{
+    dc,
+    ull,
+    twoB,
+    async,
+};
+
+inline const char *
+rigName(RigKind k)
+{
+    switch (k) {
+      case RigKind::dc: return "DC-SSD";
+      case RigKind::ull: return "ULL-SSD";
+      case RigKind::twoB: return "2B-SSD";
+      case RigKind::async: return "ASYNC";
+    }
+    return "?";
+}
+
+/** A log device plus everything backing it, kept alive together. */
+struct LogRig
+{
+    std::unique_ptr<ssd::SsdDevice> blockDev;
+    std::unique_ptr<ba::TwoBSsd> twoB;
+    std::unique_ptr<host::PersistentMemory> pm;
+    std::unique_ptr<wal::LogDevice> log;
+    std::string label;
+
+    /** The device SSTs/manifest live on (for minirocks). */
+    ssd::SsdDevice &
+    dataDevice()
+    {
+        return twoB ? twoB->device() : *blockDev;
+    }
+
+    /** Simulation events fired by the rig's device (0 if none). */
+    std::uint64_t
+    eventsFired() const
+    {
+        return twoB ? twoB->events().totalFired() : 0;
+    }
+};
+
+/**
+ * Build a log rig. @p baWalHalf selects the BA-WAL window size
+ * (paper: half buffer for minipg, quarter for minirocks, whole for
+ * miniredis), and @p doubleBuffer is off for miniredis.
+ */
+inline LogRig
+makeRig(RigKind k, std::uint64_t baWalHalf, bool doubleBuffer)
+{
+    LogRig rig;
+    rig.label = rigName(k);
+    switch (k) {
+      case RigKind::dc:
+        rig.blockDev =
+            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::dcSsd());
+        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev,
+                                                  wal::BlockWalConfig{});
+        break;
+      case RigKind::ull:
+        rig.blockDev =
+            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::ullSsd());
+        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev,
+                                                  wal::BlockWalConfig{});
+        break;
+      case RigKind::twoB: {
+        rig.twoB = std::make_unique<ba::TwoBSsd>();
+        wal::BaWalConfig wc;
+        wc.halfBytes = baWalHalf;
+        wc.doubleBuffer = doubleBuffer;
+        rig.log = std::make_unique<wal::BaWal>(*rig.twoB, wc);
+        break;
+      }
+      case RigKind::async:
+        rig.blockDev =
+            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::ullSsd());
+        rig.log = std::make_unique<wal::AsyncWal>();
+        break;
+    }
+    return rig;
+}
+
+/** Parse an optional `--threads=N` argument (0 = auto). */
+inline unsigned
+threadsArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--threads=", 0) != 0)
+            continue;
+        std::string v = a.substr(a.find('=') + 1);
+        unsigned n = 0;
+        if (v.empty() || v.find_first_not_of("0123456789") !=
+                             std::string::npos) {
+            std::fprintf(stderr,
+                         "error: --threads expects a number, got "
+                         "'%s'\n",
+                         v.c_str());
+            std::exit(2);
+        }
+        for (char c : v)
+            n = n * 10 + static_cast<unsigned>(c - '0');
+        return n;
+    }
+    return 0;
+}
+
+} // namespace bssd::bench
+
+#endif // BSSD_BENCH_BENCH_RIGS_HH

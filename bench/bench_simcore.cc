@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Simulation-kernel self-benchmark: raw event throughput of the slab
+ * event pool versus the legacy kernel design, plus wall-clock spot
+ * checks of two real figure benches.
+ *
+ * The legacy implementation (std::function callbacks, one heap
+ * allocation per event, an unordered_set membership probe per
+ * schedule/fire/cancel) is kept here verbatim as the comparison
+ * baseline, so the ≥ 2x kernel-throughput acceptance bar stays
+ * checkable in-tree forever.
+ *
+ * Emits BENCH_simcore.json (see baselines/BENCH_simcore.json for the
+ * recorded trajectory).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "ba/two_b_ssd.hh"
+#include "db/minipg/minipg.hh"
+#include "workload/fio.hh"
+#include "workload/runner.hh"
+
+using namespace bssd;
+using namespace bssd::bench;
+
+namespace
+{
+
+/** The seed kernel, verbatim: the "before" side of the comparison. */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using EventId = std::uint64_t;
+
+    sim::Tick now() const { return now_; }
+
+    EventId
+    schedule(sim::Tick when, Callback cb)
+    {
+        EventId id = nextId_++;
+        pq_.push(Entry{when, id, std::move(cb)});
+        pendingIds_.insert(id);
+        return id;
+    }
+
+    EventId
+    scheduleIn(sim::Tick delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    bool deschedule(EventId id) { return pendingIds_.erase(id) > 0; }
+
+    std::size_t
+    run(std::size_t limit = ~std::size_t(0))
+    {
+        std::size_t fired = 0;
+        while (fired < limit && !pq_.empty()) {
+            Entry e = pq_.top();
+            pq_.pop();
+            if (pendingIds_.erase(e.id) == 0)
+                continue;
+            now_ = e.when;
+            ++fired;
+            e.cb();
+        }
+        return fired;
+    }
+
+  private:
+    struct Entry
+    {
+        sim::Tick when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq_;
+    std::unordered_set<EventId> pendingIds_;
+    sim::Tick now_ = 0;
+    EventId nextId_ = 1;
+};
+
+double
+wallMs(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Scenario 1 — timer chains: K concurrent self-rescheduling timers
+ * (the shape of destage timers and DMA completion interrupts), run
+ * until @p total events have fired.
+ */
+template <typename Queue>
+double
+timerChains(std::size_t total)
+{
+    Queue q;
+    constexpr std::size_t kChains = 64;
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t ticks[kChains] = {};
+    std::function<void(std::size_t)> arm = [&](std::size_t c) {
+        q.scheduleIn(1 + (c % 7), [&, c] {
+            ++ticks[c];
+            arm(c);
+        });
+    };
+    for (std::size_t c = 0; c < kChains; ++c)
+        arm(c);
+    std::size_t fired = q.run(total);
+    double ms = wallMs(t0);
+    if (fired != total)
+        sim::fatal("timerChains fired ", fired, " != ", total);
+    return static_cast<double>(total) / (ms / 1000.0);
+}
+
+/**
+ * Scenario 2 — schedule/cancel churn: every I/O arms a timeout that
+ * is almost always cancelled (the common pattern for watchdogs).
+ * Throughput counts scheduled-then-cancelled pairs plus fired events.
+ */
+template <typename Queue>
+double
+cancelChurn(std::size_t total)
+{
+    Queue q;
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t done = 0;
+    for (std::size_t i = 0; done < total; ++i) {
+        auto timeout = q.schedule(q.now() + 1000, [] {});
+        q.schedule(q.now() + 1, [&done] { ++done; });
+        q.deschedule(timeout);
+        q.run(1);
+        done += 1; // the cancelled pair counts as one unit of work
+    }
+    double ms = wallMs(t0);
+    return static_cast<double>(total) / (ms / 1000.0);
+}
+
+/**
+ * Scenario 3 — bursty fan-out: batches of events land at scattered
+ * future ticks (GC relocations, power-loss dump), then drain.
+ */
+template <typename Queue>
+double
+burstDrain(std::size_t total)
+{
+    Queue q;
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t fired = 0;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    while (fired < total) {
+        for (int i = 0; i < 4096; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule(q.now() + 1 + (x & 0xffff), [&fired] { ++fired; });
+        }
+        q.run();
+    }
+    double ms = wallMs(t0);
+    return static_cast<double>(fired) / (ms / 1000.0);
+}
+
+struct Row
+{
+    const char *name;
+    double legacyEps;
+    double pooledEps;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("simcore", "event-kernel throughput: slab pool vs legacy");
+
+    constexpr std::size_t kEvents = 2'000'000;
+
+    std::vector<Row> rows;
+    rows.push_back({"timer-chains",
+                    timerChains<LegacyEventQueue>(kEvents),
+                    timerChains<sim::EventQueue>(kEvents)});
+    rows.push_back({"cancel-churn",
+                    cancelChurn<LegacyEventQueue>(kEvents),
+                    cancelChurn<sim::EventQueue>(kEvents)});
+    rows.push_back({"burst-drain",
+                    burstDrain<LegacyEventQueue>(kEvents),
+                    burstDrain<sim::EventQueue>(kEvents)});
+
+    section("kernel events/sec (2M events per scenario)");
+    std::printf("%-14s %14s %14s %9s\n", "scenario", "legacy",
+                "slab-pool", "speedup");
+    double worst = 1e300;
+    double geo = 1.0;
+    for (const Row &r : rows) {
+        double s = r.pooledEps / r.legacyEps;
+        worst = std::min(worst, s);
+        geo *= s;
+        std::printf("%-14s %14.0f %14.0f %8.2fx\n", r.name, r.legacyEps,
+                    r.pooledEps, s);
+    }
+    geo = std::pow(geo, 1.0 / static_cast<double>(rows.size()));
+    std::printf("geomean speedup: %.2fx (target >= 2x)\n", geo);
+
+    // Wall-clock spot checks of real figure benches, for the perf
+    // trajectory in baselines/BENCH_simcore.json.
+    section("figure-bench wall-clock (ms)");
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+        workload::FioJob job;
+        job.pattern = workload::FioPattern::randRead;
+        job.ios = 2048;
+        job.regionBytes = 64 * sim::MiB;
+        workload::runFio(dev, job);
+    }
+    double fioMs = wallMs(t0);
+    std::printf("%-28s %10.1f\n", "fig7-style fio 4k randread", fioMs);
+
+    t0 = std::chrono::steady_clock::now();
+    {
+        ba::TwoBSsd dev;
+        wal::BaWal log(dev, {});
+        db::minipg::MiniPg pg(log);
+        workload::LinkbenchConfig cfg;
+        cfg.nodeCount = 10'000;
+        workload::runLinkbenchOnPg(pg, cfg, 4, sim::msOf(50), 1);
+    }
+    double pgMs = wallMs(t0);
+    std::printf("%-28s %10.1f\n", "fig9-style minipg linkbench", pgMs);
+
+    std::ofstream js("BENCH_simcore.json");
+    js << "{\n  \"events_per_scenario\": " << kEvents << ",\n";
+    js << "  \"kernel\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        js << "    {\"scenario\": \"" << rows[i].name
+           << "\", \"legacy_eps\": " << rows[i].legacyEps
+           << ", \"pooled_eps\": " << rows[i].pooledEps
+           << ", \"speedup\": "
+           << rows[i].pooledEps / rows[i].legacyEps << "}"
+           << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    js << "  ],\n  \"geomean_speedup\": " << geo
+       << ",\n  \"min_speedup\": " << worst
+       << ",\n  \"fig7_fio_wall_ms\": " << fioMs
+       << ",\n  \"fig9_minipg_wall_ms\": " << pgMs << "\n}\n";
+    std::printf("\nwrote BENCH_simcore.json\n");
+    return 0;
+}

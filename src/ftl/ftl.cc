@@ -196,6 +196,15 @@ Ftl::wearStats() const
 sim::Tick
 Ftl::collectGarbage(sim::Tick ready)
 {
+    sim::Tick t = doCollectGarbage(ready);
+    if (t > ready)
+        gcPause_.record(t - ready);
+    return t;
+}
+
+sim::Tick
+Ftl::doCollectGarbage(sim::Tick ready)
+{
     sim::Tick t = ready;
     while (freeList_.size() < cfg_.gcHighWaterBlocks) {
         std::uint32_t vi = pickVictim();
@@ -259,7 +268,9 @@ Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
     }
     // Unmapped pages are served from the mapping table alone; only
     // mapped pages cost NAND time.
-    return flash_.timedRead(ready, mapped);
+    auto iv = flash_.timedRead(ready, mapped);
+    readLat_.record(iv.end - ready);
+    return iv;
 }
 
 sim::Interval
@@ -282,6 +293,7 @@ Ftl::write(sim::Tick ready, Lpn lpn, std::uint64_t count,
     // One timed program for the whole request: pages coalesce into
     // multi-plane program chunks, exactly how the controller batches.
     auto iv = flash_.timedProgram(t, count * pageSize_);
+    writeLat_.record(iv.end - ready);
     return {t, iv.end};
 }
 

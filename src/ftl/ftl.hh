@@ -24,6 +24,7 @@
 
 #include "nand/nand_flash.hh"
 #include "sim/resource.hh"
+#include "sim/stats.hh"
 #include "sim/ticks.hh"
 
 namespace bssd::ftl
@@ -118,6 +119,13 @@ class Ftl
     /** Erase-count statistics (wear levelling health). */
     WearStats wearStats() const;
 
+    /** @name Per-request media-time histograms (hot-path cheap) @{ */
+    const sim::Histogram &readLatency() const { return readLat_; }
+    const sim::Histogram &writeLatency() const { return writeLat_; }
+    /** Foreground GC stall charged to host writes, per GC episode. */
+    const sim::Histogram &gcPauses() const { return gcPause_; }
+    /** @} */
+
   private:
     /** A physical block's bookkeeping. */
     struct BlockInfo
@@ -147,6 +155,10 @@ class Ftl
     std::uint64_t nandPages_ = 0;
     std::uint64_t gcPages_ = 0;
 
+    sim::Histogram readLat_{"ftl.readLat"};
+    sim::Histogram writeLat_{"ftl.writeLat"};
+    sim::Histogram gcPause_{"ftl.gcPause"};
+
     std::uint32_t blockIndex(std::uint32_t die, std::uint32_t block) const;
     BlockInfo &blockOf(nand::Ppa ppa);
 
@@ -161,6 +173,7 @@ class Ftl
 
     /** Run greedy GC until the high watermark is restored. */
     sim::Tick collectGarbage(sim::Tick ready);
+    sim::Tick doCollectGarbage(sim::Tick ready);
 
     std::uint32_t pickVictim() const;
 };

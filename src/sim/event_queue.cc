@@ -1,19 +1,50 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace bssd::sim
 {
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead_ != kNilSlot) {
+        std::uint32_t slot = freeHead_;
+        freeHead_ = slots_[slot].nextFree;
+        return slot;
+    }
+    if (slots_.size() >= kNilSlot)
+        panic("event slab exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.cb.reset(); // release captured state eagerly
+    ++s.gen;      // odd -> even: free; invalidates the id + heap entry
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+    --live_;
+}
 
 EventQueue::EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
     if (when < now_)
         panic("event scheduled in the past: ", when, " < ", now_);
-    EventId id = nextId_++;
-    pq_.push(Entry{when, id, std::move(cb)});
-    pendingIds_.insert(id);
-    return id;
+    std::uint32_t slot = allocSlot();
+    Slot &s = slots_[slot];
+    s.cb = std::move(cb);
+    ++s.gen; // even -> odd: occupied
+    heap_.push_back(HeapEntry{when, nextSeq_++, slot, s.gen});
+    std::push_heap(heap_.begin(), heap_.end(), LaterFirst{});
+    ++live_;
+    return makeId(slot, s.gen);
 }
 
 EventQueue::EventId
@@ -25,24 +56,70 @@ EventQueue::scheduleIn(Tick delay, Callback cb)
 bool
 EventQueue::deschedule(EventId id)
 {
-    // The priority queue does not support removal from the middle;
-    // dropping the id from the pending set makes run() skip the entry
-    // when it surfaces.
-    return pendingIds_.erase(id) > 0;
+    const auto slot = static_cast<std::uint32_t>(id >> 32);
+    const auto gen = static_cast<std::uint32_t>(id);
+    if (slot >= slots_.size() || (gen & 1u) == 0 ||
+        slots_[slot].gen != gen) {
+        return false; // already fired, already cancelled, or bogus
+    }
+    releaseSlot(slot);
+    ++stale_;
+    maybeCompact();
+    return true;
+}
+
+bool
+EventQueue::pruneTop()
+{
+    while (!heap_.empty()) {
+        const HeapEntry &e = heap_.front();
+        if (slots_[e.slot].gen == e.gen)
+            return true;
+        std::pop_heap(heap_.begin(), heap_.end(), LaterFirst{});
+        heap_.pop_back();
+        --stale_;
+    }
+    return false;
+}
+
+EventQueue::HeapEntry
+EventQueue::popTop()
+{
+    HeapEntry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), LaterFirst{});
+    heap_.pop_back();
+    return e;
+}
+
+void
+EventQueue::maybeCompact()
+{
+    // Heavy schedule/cancel churn would otherwise grow the heap without
+    // bound; once cancelled entries dominate, filter them in one pass.
+    if (stale_ < 1024 || stale_ * 2 < heap_.size())
+        return;
+    std::erase_if(heap_, [this](const HeapEntry &e) {
+        return slots_[e.slot].gen != e.gen;
+    });
+    std::make_heap(heap_.begin(), heap_.end(), LaterFirst{});
+    stale_ = 0;
 }
 
 std::size_t
 EventQueue::run(std::size_t limit)
 {
     std::size_t fired = 0;
-    while (fired < limit && !pq_.empty()) {
-        Entry e = pq_.top();
-        pq_.pop();
-        if (pendingIds_.erase(e.id) == 0)
-            continue; // cancelled
+    while (fired < limit && pruneTop()) {
+        HeapEntry e = popTop();
         now_ = e.when;
+        // Move the callback out and free the slot before invoking, so
+        // the callback can freely schedule/deschedule (including its
+        // own, now stale, id).
+        Callback cb = std::move(slots_[e.slot].cb);
+        releaseSlot(e.slot);
         ++fired;
-        e.cb();
+        ++fired_;
+        cb();
     }
     return fired;
 }
@@ -51,14 +128,14 @@ std::size_t
 EventQueue::runUntil(Tick when)
 {
     std::size_t fired = 0;
-    while (!pq_.empty() && pq_.top().when <= when) {
-        Entry e = pq_.top();
-        pq_.pop();
-        if (pendingIds_.erase(e.id) == 0)
-            continue; // cancelled
+    while (pruneTop() && heap_.front().when <= when) {
+        HeapEntry e = popTop();
         now_ = e.when;
+        Callback cb = std::move(slots_[e.slot].cb);
+        releaseSlot(e.slot);
         ++fired;
-        e.cb();
+        ++fired_;
+        cb();
     }
     advanceTo(when);
     return fired;

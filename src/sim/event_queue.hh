@@ -6,21 +6,143 @@
  * collection, the power-loss dump sequence, DMA completion interrupts)
  * runs as events on this queue. Host-facing operations use the timed
  * resource calendars in resource.hh instead; see DESIGN.md section 6.
+ *
+ * The hot path is allocation-free: callbacks live in a slab of
+ * fixed-size slots with inline storage for captures up to
+ * InlineCallback::kInlineBytes, and handles are generation-tagged slot
+ * references, so schedule/fire/deschedule never touch a hash table and
+ * deschedule() is an O(1) tag bump. Cancelled entries are dropped
+ * lazily when they surface at the top of the heap (with periodic
+ * compaction so churn-heavy workloads stay bounded); their callbacks —
+ * and anything the captures keep alive — are released eagerly at
+ * cancellation time.
  */
 
 #ifndef BSSD_SIM_EVENT_QUEUE_HH
 #define BSSD_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/ticks.hh"
 
 namespace bssd::sim
 {
+
+/**
+ * A move-only `void()` callable with small-buffer optimization.
+ *
+ * Captures up to kInlineBytes (with fundamental alignment and a
+ * noexcept move constructor) are stored inline — no heap allocation on
+ * the common path. Larger or throwing-move callables fall back to the
+ * heap transparently.
+ */
+class InlineCallback
+{
+  public:
+    /** Inline capture budget; larger callables go to the heap. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    InlineCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::remove_cvref_t<F> &>>>
+    InlineCallback(F &&f) // NOLINT: implicit by design, like std::function
+    {
+        using Fn = std::remove_cvref_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&o) noexcept { takeFrom(o); }
+
+    InlineCallback &
+    operator=(InlineCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            takeFrom(o);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Destroy the held callable (and release its captures) now. */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps{
+        [](void *b) { (*static_cast<Fn *>(b))(); },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *b) noexcept { static_cast<Fn *>(b)->~Fn(); }};
+
+    template <typename Fn>
+    static constexpr Ops heapOps{
+        [](void *b) { (**static_cast<Fn **>(b))(); },
+        [](void *dst, void *src) noexcept {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *b) noexcept { delete *static_cast<Fn **>(b); }};
+
+    void
+    takeFrom(InlineCallback &o) noexcept
+    {
+        if (o.ops_) {
+            ops_ = o.ops_;
+            ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
 
 /**
  * A time-ordered queue of callbacks. Events scheduled for the same tick
@@ -30,9 +152,14 @@ namespace bssd::sim
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
-    /** Opaque handle to a scheduled event, usable for cancellation. */
+    /**
+     * Opaque handle to a scheduled event, usable for cancellation.
+     * Encodes (slot, generation); a handle goes stale — and
+     * deschedule() on it becomes a no-op — the moment its event fires,
+     * is cancelled, or the slot is reused.
+     */
     using EventId = std::uint64_t;
 
     /** Current simulated time of this queue. */
@@ -49,16 +176,17 @@ class EventQueue
     EventId scheduleIn(Tick delay, Callback cb);
 
     /**
-     * Cancel a pending event. Cancelling an already-fired or unknown
-     * id is a no-op and returns false.
+     * Cancel a pending event: O(1) — bumps the slot's generation tag
+     * and releases the callback immediately. Cancelling an
+     * already-fired or unknown id is a no-op and returns false.
      */
     bool deschedule(EventId id);
 
     /** True if no runnable events remain. */
-    bool empty() const { return pendingIds_.empty(); }
+    bool empty() const { return live_ == 0; }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pending() const { return pendingIds_.size(); }
+    std::size_t pending() const { return live_; }
 
     /**
      * Run events until the queue is empty or @p limit events have fired.
@@ -75,24 +203,74 @@ class EventQueue
     /** Advance time without running anything. @pre when >= now(). */
     void advanceTo(Tick when);
 
+    /** @name Introspection (tests, self-benchmarks) @{ */
+
+    /** Events fired over this queue's lifetime. */
+    std::uint64_t totalFired() const { return fired_; }
+
+    /** Heap entries, including cancelled ones not yet dropped. */
+    std::size_t heapEntries() const { return heap_.size(); }
+
+    /** Slots ever allocated in the slab (high-water occupancy). */
+    std::size_t poolCapacity() const { return slots_.size(); }
+
+    /** @} */
+
   private:
-    struct Entry
+    /** POD heap node; the callback stays in the slab. */
+    struct HeapEntry
     {
         Tick when;
-        EventId id;
-        Callback cb;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
 
+    /** Min-heap order on (when, seq). */
+    struct LaterFirst
+    {
         bool
-        operator>(const Entry &o) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            return when != o.when ? when > o.when : id > o.id;
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq_;
-    std::unordered_set<EventId> pendingIds_;
+    /**
+     * One slab slot. The generation is odd while occupied, even while
+     * free; heap entries and EventIds carry the generation they were
+     * minted with, so one compare detects staleness.
+     */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNilSlot;
+    };
+
+    static constexpr std::uint32_t kNilSlot = ~std::uint32_t(0);
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(slot) << 32) | gen;
+    }
+
+    std::uint32_t allocSlot();
+    void releaseSlot(std::uint32_t slot);
+    bool pruneTop();
+    HeapEntry popTop();
+    void maybeCompact();
+
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = kNilSlot;
+    std::size_t live_ = 0;
+    /** Cancelled entries still sitting in the heap. */
+    std::size_t stale_ = 0;
     Tick now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t fired_ = 0;
 };
 
 } // namespace bssd::sim

@@ -1,16 +1,20 @@
 /**
  * @file
- * Lightweight statistics: counters and latency distributions.
+ * Lightweight statistics: counters, latency distributions and a
+ * fixed-footprint histogram for hot paths.
  *
  * Every experiment in the benchmark harness reports through these.
  * Distribution keeps exact min/max/mean plus a bounded reservoir for
  * percentile queries, so memory stays constant no matter how many
- * samples a run records.
+ * samples a run records. Histogram trades a bounded relative error
+ * for a record() that is a handful of bit operations — the right tool
+ * for per-I/O instrumentation inside the device models.
  */
 
 #ifndef BSSD_SIM_STATS_HH
 #define BSSD_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +49,11 @@ class Counter
  * Uses reservoir sampling (Vitter's algorithm R) with a fixed-size
  * reservoir; exact statistics (count/sum/min/max) are always precise,
  * percentiles are estimates over the reservoir.
+ *
+ * percentile() caches the sorted reservoir; once the reservoir is full
+ * most samples do not displace a slot, so the cache survives across
+ * interleaved sample()/percentile() calls and repeated percentile
+ * queries cost one binary-search-free lookup instead of a sort.
  */
 class Distribution
 {
@@ -66,7 +75,8 @@ class Distribution
     double mean() const;
 
     /**
-     * Estimated p-th percentile (p in [0, 100]).
+     * Estimated p-th percentile (p in [0, 100]; out-of-range values
+     * clamp to the min/max).
      * @return 0 when no samples were recorded.
      */
     std::uint64_t percentile(double p) const;
@@ -81,6 +91,69 @@ class Distribution
     mutable std::vector<std::uint64_t> sorted_;
     mutable bool sortedValid_ = false;
     Rng rng_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Fixed-bucket log-linear histogram for high-volume hot paths.
+ *
+ * Values below kSubBuckets are counted exactly; above that each
+ * power-of-two decade is split into kSubBuckets linear sub-buckets, so
+ * the relative quantization error of any percentile is bounded by
+ * 1 / kSubBuckets (3.125%) — percentile() answers with the bucket
+ * midpoint, clamped to the exact observed [min, max], which halves the
+ * worst case again. record() is branch-light: an index computation
+ * (count-leading-zeros plus shifts) and one increment. No allocation,
+ * no RNG, no cache invalidation — suitable for per-I/O instrumentation
+ * in the device and FTL models.
+ */
+class Histogram
+{
+  public:
+    /** Linear sub-buckets per power-of-two decade. */
+    static constexpr unsigned kSubBits = 5;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+    /** Documented relative error bound of percentile(). */
+    static constexpr double kRelativeError = 1.0 / kSubBuckets;
+
+    explicit Histogram(std::string name = "hist");
+
+    /** Record one sample; O(1), allocation-free. */
+    void record(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const;
+
+    /**
+     * p-th percentile (p in [0, 100]) with relative error bounded by
+     * kRelativeError. @return 0 when no samples were recorded.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Fold @p other into this histogram (exact: bucket-wise add). */
+    void merge(const Histogram &other);
+
+    void reset();
+    const std::string &name() const { return name_; }
+
+  private:
+    // Index space: [0, kSubBuckets) exact values, then one group of
+    // kSubBuckets per leading-bit position above kSubBits. A uint64
+    // value's top group is (63 - kSubBits) + 1, hence:
+    static constexpr unsigned kGroups = 64 - kSubBits;
+    static constexpr unsigned kBuckets = (kGroups + 1) * kSubBuckets;
+
+    static unsigned bucketIndex(std::uint64_t v);
+    static std::uint64_t bucketMidpoint(unsigned index);
+
+    std::string name_;
+    std::array<std::uint64_t, kBuckets> buckets_{};
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
     std::uint64_t min_ = ~std::uint64_t(0);

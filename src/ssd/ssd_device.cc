@@ -145,6 +145,7 @@ SsdDevice::blockRead(sim::Tick ready, std::uint64_t offset,
     // bounded by whichever finishes later.
     auto dma_iv = link_.dma(t, bytes);
     sim::Tick end = std::max(media_end, dma_iv.end);
+    readLat_.record(end - ready);
     return {ready, end};
 }
 
@@ -193,6 +194,7 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
     // back (and still loads the die calendars, contending with reads).
     sim::Tick admitted = writeBuffer_.admit(t, pages * ps);
     ftl_->write(admitted, lpn, pages, buf);
+    writeLat_.record(admitted - ready);
     return {ready, admitted};
 }
 

@@ -122,6 +122,10 @@ class SsdDevice
     std::uint64_t writesServed() const { return writes_.value(); }
     std::uint64_t flushesServed() const { return flushes_.value(); }
     std::uint64_t readAheadHits() const { return raHits_.value(); }
+
+    /** Per-command completion latency (ticks), host-observed. */
+    const sim::Histogram &readLatency() const { return readLat_; }
+    const sim::Histogram &writeLatency() const { return writeLat_; }
     /** @} */
 
     /**
@@ -152,6 +156,9 @@ class SsdDevice
     sim::Counter writes_{"ssd.writes"};
     sim::Counter flushes_{"ssd.flushes"};
     sim::Counter raHits_{"ssd.readAheadHits"};
+    // Log-linear histograms: O(1) record, fine for the per-I/O path.
+    sim::Histogram readLat_{"ssd.readLat"};
+    sim::Histogram writeLat_{"ssd.writeLat"};
 
     static sim::Bandwidth drainRate(const SsdConfig &cfg);
     bool prefetched(ftl::Lpn lpn, std::uint64_t pages) const;

@@ -1,10 +1,15 @@
 /**
  * @file
- * Unit tests for the discrete-event kernel.
+ * Unit tests for the discrete-event kernel: ordering and cancellation
+ * semantics, plus the slab-pool guarantees — prompt callback release
+ * on deschedule, bounded memory under schedule/cancel churn, and
+ * generation-tagged handle safety across slot reuse.
  */
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -28,6 +33,23 @@ TEST(EventQueue, SameTickFiresInScheduleOrder)
 {
     EventQueue q;
     std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickOrderSurvivesSlotReuse)
+{
+    // Slot indices get recycled; the separate sequence counter must
+    // still break same-tick ties in scheduling order.
+    EventQueue q;
+    std::vector<int> order;
+    auto a = q.schedule(5, [&] { order.push_back(-1); });
+    auto b = q.schedule(5, [&] { order.push_back(-2); });
+    q.deschedule(b);
+    q.deschedule(a); // free list now holds both slots
     q.schedule(5, [&] { order.push_back(1); });
     q.schedule(5, [&] { order.push_back(2); });
     q.schedule(5, [&] { order.push_back(3); });
@@ -74,6 +96,107 @@ TEST(EventQueue, DescheduleCancels)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, DescheduleOfFiredIdIsNoop)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    q.run();
+    EXPECT_FALSE(q.deschedule(id));
+}
+
+TEST(EventQueue, StaleIdDoesNotCancelSlotReuser)
+{
+    // After a slot is recycled, a stale handle to its previous tenant
+    // must not cancel the new event (the generation tag differs).
+    EventQueue q;
+    bool ran = false;
+    auto old = q.schedule(10, [] {});
+    q.deschedule(old);
+    q.schedule(10, [&] { ran = true; }); // likely reuses old's slot
+    EXPECT_FALSE(q.deschedule(old));
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, DescheduleReleasesCallbackState)
+{
+    // Cancelling must release the captured state immediately, not when
+    // the cancelled entry eventually surfaces from the heap.
+    EventQueue q;
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = token;
+    auto id = q.schedule(1000, [token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(watch.expired()); // capture keeps it alive
+    EXPECT_TRUE(q.deschedule(id));
+    EXPECT_TRUE(watch.expired()); // released at cancel time
+}
+
+TEST(EventQueue, FiredCallbackStateReleasedBeforeInvoke)
+{
+    // The slab slot must not pin the callback's captures after the
+    // event has fired.
+    EventQueue q;
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    q.schedule(10, [token] { (void)*token; });
+    token.reset();
+    q.run();
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, ChurnKeepsMemoryBounded)
+{
+    // Regression test for the cancelled-entry leak: a schedule/cancel
+    // churn of 1M events must not accumulate heap entries or slab
+    // slots. Each iteration leaves one pending keeper event so the
+    // queue is never trivially empty.
+    EventQueue q;
+    auto keeper = q.schedule(1u << 30, [] {});
+    for (int i = 0; i < 1'000'000; ++i) {
+        auto id = q.schedule(q.now() + 1000, [i] {
+            volatile int sink = i;
+            (void)sink;
+        });
+        ASSERT_TRUE(q.deschedule(id));
+    }
+    EXPECT_EQ(q.pending(), 1u);
+    // Lazy deletion plus compaction: transient garbage is fine, but it
+    // must stay within a constant factor, not O(churn).
+    EXPECT_LE(q.heapEntries(), 4096u);
+    EXPECT_LE(q.poolCapacity(), 64u);
+    EXPECT_TRUE(q.deschedule(keeper));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeap)
+{
+    EventQueue q;
+    struct Big
+    {
+        std::uint64_t payload[16]; // 128 B > inline budget
+    };
+    Big big{};
+    big.payload[0] = 1;
+    big.payload[15] = 99;
+    std::uint64_t seen = 0;
+    q.schedule(5, [big, &seen] { seen = big.payload[0] + big.payload[15]; });
+    q.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueue, CallbackCanCancelSibling)
+{
+    EventQueue q;
+    bool ran = false;
+    EventQueue::EventId victim = 0;
+    q.schedule(5, [&] { q.deschedule(victim); });
+    victim = q.schedule(10, [&] { ran = true; });
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, ScheduleInPastPanics)
 {
     EventQueue q;
@@ -93,10 +216,50 @@ TEST(EventQueue, RunWithLimit)
     EXPECT_EQ(q.pending(), 6u);
 }
 
+TEST(EventQueue, TotalFiredCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    auto cancelled = q.schedule(99, [] {});
+    q.deschedule(cancelled);
+    q.run();
+    EXPECT_EQ(q.totalFired(), 5u);
+}
+
 TEST(EventQueue, AdvanceToMovesTimeForward)
 {
     EventQueue q;
     q.advanceTo(100);
     EXPECT_EQ(q.now(), 100u);
     EXPECT_THROW(q.advanceTo(50), SimPanic);
+}
+
+TEST(InlineCallback, MoveTransfersOwnership)
+{
+    int hits = 0;
+    InlineCallback a = [&hits] { ++hits; };
+    InlineCallback b = std::move(a);
+    EXPECT_FALSE(a); // NOLINT: moved-from state is specified empty
+    EXPECT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineCallback, HeapFallbackDestroysExactlyOnce)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    struct Pad
+    {
+        std::uint64_t bytes[12];
+    };
+    {
+        InlineCallback cb = [token, pad = Pad{}] { (void)pad; };
+        token.reset();
+        EXPECT_FALSE(watch.expired());
+        InlineCallback cb2 = std::move(cb);
+        cb2();
+    }
+    EXPECT_TRUE(watch.expired());
 }

@@ -1,10 +1,14 @@
 /**
  * @file
- * Unit tests for counters and distributions.
+ * Unit tests for counters, distributions and the log-linear histogram.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 
 using namespace bssd::sim;
@@ -41,6 +45,24 @@ TEST(Distribution, EmptyIsZero)
     EXPECT_DOUBLE_EQ(d.mean(), 0.0);
 }
 
+TEST(Distribution, SingleSamplePercentiles)
+{
+    Distribution d;
+    d.sample(37);
+    EXPECT_EQ(d.percentile(0), 37u);
+    EXPECT_EQ(d.percentile(50), 37u);
+    EXPECT_EQ(d.percentile(100), 37u);
+}
+
+TEST(Distribution, OutOfRangePercentilesClamp)
+{
+    Distribution d;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        d.sample(v);
+    EXPECT_EQ(d.percentile(-5), 1u);
+    EXPECT_EQ(d.percentile(250), 100u);
+}
+
 TEST(Distribution, PercentilesOnUniformRamp)
 {
     Distribution d("ramp", 1 << 16);
@@ -64,6 +86,44 @@ TEST(Distribution, ReservoirKeepsPercentilesApproximate)
     EXPECT_EQ(d.count(), 200000u);
 }
 
+TEST(Distribution, DeterministicUnderFixedSeed)
+{
+    // Two distributions fed the same stream must agree exactly: the
+    // reservoir RNG is seeded from the reservoir size, not from any
+    // global state.
+    Distribution a("a", 512), b("b", 512);
+    Rng feed(1234);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 50000; ++i)
+        stream.push_back(feed.nextBelow(1'000'000));
+    for (std::uint64_t v : stream)
+        a.sample(v);
+    for (std::uint64_t v : stream)
+        b.sample(v);
+    for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0})
+        EXPECT_EQ(a.percentile(p), b.percentile(p)) << "p=" << p;
+}
+
+TEST(Distribution, CachedSortSurvivesNonDisplacingSamples)
+{
+    // Interleaved sample()/percentile() on a full reservoir must stay
+    // correct (the cache may only be reused while the reservoir is
+    // untouched).
+    Distribution d("cache", 64);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        d.sample(v);
+    std::uint64_t p50 = d.percentile(50);
+    for (std::uint64_t v = 0; v < 10000; ++v) {
+        d.sample(500 + (v % 100));
+        // Recompute every round; any stale cache shows up as a
+        // non-monotonic or out-of-range answer.
+        std::uint64_t p = d.percentile(50);
+        EXPECT_GE(p, d.min());
+        EXPECT_LE(p, d.max());
+    }
+    EXPECT_GE(d.percentile(50), p50);
+}
+
 TEST(Distribution, ResetClears)
 {
     Distribution d;
@@ -71,4 +131,141 @@ TEST(Distribution, ResetClears)
     d.reset();
     EXPECT_EQ(d.count(), 0u);
     EXPECT_EQ(d.percentile(50), 0u);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    // Values below the sub-bucket count land in exact unit buckets.
+    Histogram h;
+    for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v)
+        h.record(v);
+    for (double p : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+        std::uint64_t expect = static_cast<std::uint64_t>(
+            p / 100.0 * (Histogram::kSubBuckets - 1) + 0.5);
+        EXPECT_EQ(h.percentile(p), expect) << "p=" << p;
+    }
+}
+
+TEST(Histogram, ExactAggregates)
+{
+    Histogram h;
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : {3u, 70000u, 12u, 900u, 12345678u}) {
+        h.record(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), 12345678u);
+}
+
+TEST(Histogram, RelativeErrorBound)
+{
+    // Every recorded value, read back as the percentile at its rank,
+    // must sit within the documented relative error.
+    Histogram h;
+    std::vector<std::uint64_t> values;
+    Rng rng(77);
+    for (int i = 0; i < 20000; ++i) {
+        // Log-uniform spread over ~7 decades, the shape of latencies.
+        std::uint64_t v = 1ull << rng.nextBelow(24);
+        v += rng.nextBelow(v);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9}) {
+        auto idx = static_cast<std::size_t>(
+            p / 100.0 * static_cast<double>(values.size() - 1));
+        double exact = static_cast<double>(values[idx]);
+        double est = static_cast<double>(h.percentile(p));
+        EXPECT_NEAR(est, exact, exact * Histogram::kRelativeError + 1.0)
+            << "p=" << p;
+    }
+}
+
+TEST(Histogram, AgreesWithDistributionWithinBound)
+{
+    // The histogram mode must reproduce the reservoir distribution's
+    // percentiles within the documented quantization error (both see
+    // the full stream here, so sampling error is out of the picture).
+    Distribution d("ref", 1 << 16);
+    Histogram h("hist");
+    Rng rng(4242);
+    for (int i = 0; i < 50000; ++i) {
+        std::uint64_t v = 100 + rng.nextBelow(1'000'000);
+        d.sample(v);
+        h.record(v);
+    }
+    for (double p : {5.0, 50.0, 95.0, 99.0}) {
+        double ref = static_cast<double>(d.percentile(p));
+        double est = static_cast<double>(h.percentile(p));
+        // Documented bound plus a little slack for the reservoir's own
+        // nearest-rank rounding.
+        EXPECT_NEAR(est, ref, ref * (Histogram::kRelativeError + 0.01))
+            << "p=" << p;
+    }
+}
+
+TEST(Histogram, PercentileEdges)
+{
+    Histogram h;
+    h.record(1000);
+    EXPECT_EQ(h.percentile(0), 1000u);
+    EXPECT_EQ(h.percentile(50), 1000u);
+    EXPECT_EQ(h.percentile(100), 1000u);
+    h.record(4000);
+    EXPECT_EQ(h.percentile(0), 1000u);
+    EXPECT_EQ(h.percentile(100), 4000u);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream)
+{
+    Histogram a("a"), b("b"), all("all");
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = rng.nextBelow(1 << 20);
+        (i % 2 ? a : b).record(v);
+        all.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sum(), all.sum());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    for (double p : {10.0, 50.0, 99.0})
+        EXPECT_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(123456);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(99), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflowIndex)
+{
+    Histogram h;
+    h.record(~std::uint64_t(0));
+    h.record(1ull << 63);
+    h.record(0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.max(), ~std::uint64_t(0));
+    EXPECT_EQ(h.percentile(0), 0u);
+    EXPECT_EQ(h.percentile(100), ~std::uint64_t(0));
 }

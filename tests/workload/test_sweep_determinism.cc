@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Acceptance test for the parallel sweep harness: the same benchmark
+ * configurations, executed serially and on a multi-threaded pool,
+ * must produce bit-identical results. Each simulation is
+ * single-threaded and self-contained; the pool only changes which OS
+ * thread hosts a cell, never what the cell computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "db/minipg/minipg.hh"
+#include "db/miniredis/miniredis.hh"
+#include "sim/sweep.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+#include "workload/fio.hh"
+#include "workload/runner.hh"
+
+using namespace bssd;
+using namespace bssd::workload;
+
+namespace
+{
+
+/** Small but non-trivial cells spanning the main code paths. */
+constexpr sim::Tick kHorizon = sim::msOf(20);
+
+RunResult
+linkbenchCell(bool onTwoB, unsigned clients, std::uint64_t seed)
+{
+    LinkbenchConfig cfg;
+    cfg.nodeCount = 5'000;
+    if (onTwoB) {
+        ba::TwoBSsd dev;
+        wal::BaWal log(dev, {});
+        db::minipg::MiniPg pg(log);
+        return runLinkbenchOnPg(pg, cfg, clients, kHorizon, seed);
+    }
+    ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
+    wal::BlockWal log(dev, {});
+    db::minipg::MiniPg pg(log);
+    return runLinkbenchOnPg(pg, cfg, clients, kHorizon, seed);
+}
+
+RunResult
+redisCell(std::uint64_t seed)
+{
+    ba::TwoBSsd dev;
+    wal::BaWalConfig wc;
+    wc.doubleBuffer = false;
+    wal::BaWal log(dev, wc);
+    db::miniredis::MiniRedis db(log);
+    YcsbConfig cfg = ycsbWorkloadA(64);
+    cfg.recordCount = 300;
+    sim::Tick loaded = loadRedis(db, cfg, cfg.recordCount);
+    return runYcsbOnRedis(db, cfg, kHorizon, seed, loaded);
+}
+
+FioResult
+fioCell(std::uint16_t qd, std::uint64_t seed)
+{
+    ssd::SsdDevice dev(ssd::SsdConfig::tiny());
+    FioJob job;
+    job.pattern = FioPattern::randRw;
+    job.queueDepth = qd;
+    job.ios = 256;
+    job.regionBytes = sim::MiB;
+    job.seed = seed;
+    return runFio(dev, job);
+}
+
+struct AllResults
+{
+    std::vector<RunResult> runs;
+    std::vector<FioResult> fios;
+};
+
+AllResults
+runMatrix(unsigned threads)
+{
+    AllResults all;
+    all.runs.resize(5);
+    all.fios.resize(3);
+    std::vector<std::function<void()>> jobs = {
+        [&all] { all.runs[0] = linkbenchCell(false, 4, 1); },
+        [&all] { all.runs[1] = linkbenchCell(true, 4, 1); },
+        [&all] { all.runs[2] = linkbenchCell(true, 8, 2); },
+        [&all] { all.runs[3] = redisCell(1); },
+        [&all] { all.runs[4] = redisCell(7); },
+        [&all] { all.fios[0] = fioCell(1, 3); },
+        [&all] { all.fios[1] = fioCell(8, 3); },
+        [&all] { all.fios[2] = fioCell(8, 9); },
+    };
+    sim::runParallel(jobs, threads);
+    return all;
+}
+
+void
+expectIdentical(const AllResults &a, const AllResults &b)
+{
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].ops, b.runs[i].ops) << "cell " << i;
+        // Bit-identical, not approximately equal: the sweep must not
+        // perturb a single floating-point operation.
+        EXPECT_EQ(a.runs[i].opsPerSec, b.runs[i].opsPerSec)
+            << "cell " << i;
+        EXPECT_EQ(a.runs[i].meanLatencyUs, b.runs[i].meanLatencyUs)
+            << "cell " << i;
+        EXPECT_EQ(a.runs[i].p99LatencyUs, b.runs[i].p99LatencyUs)
+            << "cell " << i;
+    }
+    ASSERT_EQ(a.fios.size(), b.fios.size());
+    for (std::size_t i = 0; i < a.fios.size(); ++i) {
+        EXPECT_EQ(a.fios[i].completed, b.fios[i].completed);
+        EXPECT_EQ(a.fios[i].iops, b.fios[i].iops) << "fio " << i;
+        EXPECT_EQ(a.fios[i].bandwidthGBps, b.fios[i].bandwidthGBps);
+        EXPECT_EQ(a.fios[i].meanLatencyUs, b.fios[i].meanLatencyUs);
+        EXPECT_EQ(a.fios[i].p99LatencyUs, b.fios[i].p99LatencyUs);
+    }
+}
+
+} // namespace
+
+TEST(SweepDeterminism, ParallelMatchesSerialBitExactly)
+{
+    AllResults serial = runMatrix(1);
+    AllResults parallel = runMatrix(4);
+    expectIdentical(serial, parallel);
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree)
+{
+    // Two parallel executions with different worker counts (hence
+    // different cell-to-thread assignments) must also agree.
+    AllResults four = runMatrix(4);
+    AllResults eight = runMatrix(8);
+    expectIdentical(four, eight);
+}
