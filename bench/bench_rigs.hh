@@ -3,11 +3,11 @@
  * Shared log-device rigs for the application-level benches.
  *
  * Fig. 9, Fig. 10 and the sweep harness all compare the same four
- * log-device configurations (DC-SSD, ULL-SSD, 2B-SSD, ASYNC); this
- * header owns the rig construction so every binary builds them
- * identically. Each rig is fully self-contained (own device, own
- * event queue, own RNG streams), which is what lets the sweep harness
- * run rigs on concurrent worker threads with bit-identical results.
+ * log-device configurations (DC-SSD, ULL-SSD, 2B-SSD, ASYNC). Rig
+ * construction itself lives in tests/support/rig.hh (shared with the
+ * crash matrix and the fault-injection campaign, so repro lines are
+ * replayable everywhere); this header maps the bench-facing RigKind
+ * onto those specs and keeps the CLI helpers.
  */
 
 #ifndef BSSD_BENCH_BENCH_RIGS_HH
@@ -16,15 +16,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
 
-#include "ba/two_b_ssd.hh"
-#include "host/host_memory.hh"
-#include "ssd/ssd_device.hh"
-#include "wal/async_wal.hh"
-#include "wal/ba_wal.hh"
-#include "wal/block_wal.hh"
+#include "../tests/support/rig.hh"
 
 namespace bssd::bench
 {
@@ -51,28 +45,7 @@ rigName(RigKind k)
 }
 
 /** A log device plus everything backing it, kept alive together. */
-struct LogRig
-{
-    std::unique_ptr<ssd::SsdDevice> blockDev;
-    std::unique_ptr<ba::TwoBSsd> twoB;
-    std::unique_ptr<host::PersistentMemory> pm;
-    std::unique_ptr<wal::LogDevice> log;
-    std::string label;
-
-    /** The device SSTs/manifest live on (for minirocks). */
-    ssd::SsdDevice &
-    dataDevice()
-    {
-        return twoB ? twoB->device() : *blockDev;
-    }
-
-    /** Simulation events fired by the rig's device (0 if none). */
-    std::uint64_t
-    eventsFired() const
-    {
-        return twoB ? twoB->events().totalFired() : 0;
-    }
-};
+using LogRig = rigs::Rig;
 
 /**
  * Build a log rig. @p baWalHalf selects the BA-WAL window size
@@ -82,35 +55,27 @@ struct LogRig
 inline LogRig
 makeRig(RigKind k, std::uint64_t baWalHalf, bool doubleBuffer)
 {
-    LogRig rig;
-    rig.label = rigName(k);
+    rigs::RigSpec spec;
+    spec.device = rigs::RigSpec::Device::ull;
     switch (k) {
       case RigKind::dc:
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::dcSsd());
-        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev,
-                                                  wal::BlockWalConfig{});
+        spec.wal = rigs::WalKind::block;
+        spec.device = rigs::RigSpec::Device::dc;
         break;
       case RigKind::ull:
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::ullSsd());
-        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev,
-                                                  wal::BlockWalConfig{});
+        spec.wal = rigs::WalKind::block;
         break;
-      case RigKind::twoB: {
-        rig.twoB = std::make_unique<ba::TwoBSsd>();
-        wal::BaWalConfig wc;
-        wc.halfBytes = baWalHalf;
-        wc.doubleBuffer = doubleBuffer;
-        rig.log = std::make_unique<wal::BaWal>(*rig.twoB, wc);
+      case RigKind::twoB:
+        spec.wal = doubleBuffer ? rigs::WalKind::ba
+                                : rigs::WalKind::baSingle;
+        spec.halfBytes = baWalHalf;
         break;
-      }
       case RigKind::async:
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::ullSsd());
-        rig.log = std::make_unique<wal::AsyncWal>();
+        spec.wal = rigs::WalKind::async;
         break;
     }
+    LogRig rig = rigs::makeRig(spec);
+    rig.label = rigName(k);
     return rig;
 }
 

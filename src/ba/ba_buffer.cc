@@ -153,9 +153,9 @@ BaBuffer::settleTo(sim::Tick t)
 }
 
 std::uint64_t
-BaBuffer::powerLossAt(sim::Tick t)
+BaBuffer::powerLossAt(sim::Tick t, sim::Tick dropAfter)
 {
-    settleTo(t);
+    settleTo(std::min(t, dropAfter));
     std::uint64_t lost = 0;
     for (const auto &p : pending_)
         lost += p.data.size();

@@ -82,9 +82,15 @@ class BaBuffer
     /**
      * Power failure at time @p t: arrived writes are kept (the
      * recovery manager will dump them), in-flight ones are lost.
+     * @param dropAfter additionally drop posted writes that arrived
+     *        after this tick - queued in the root complex when the
+     *        power died, never committed to device DRAM (the
+     *        fault-injection posted-drop window). Defaults to "keep
+     *        everything that arrived by @p t".
      * @return number of bytes lost.
      */
-    std::uint64_t powerLossAt(sim::Tick t);
+    std::uint64_t powerLossAt(sim::Tick t,
+                              sim::Tick dropAfter = sim::maxTick);
 
     /** Direct device-side write (internal datapath, BA_PIN fill). */
     void deviceWrite(std::uint64_t offset,

@@ -12,40 +12,80 @@ RecoveryManager::RecoveryManager(const BaConfig &cfg, BaBuffer &buffer)
 {
 }
 
+std::uint64_t
+RecoveryManager::metaBytes(std::uint32_t entryCount) const
+{
+    // Mapping-table metadata rides along with the buffer image.
+    return std::uint64_t(entryCount) * sizeof(MapEntry) + 64;
+}
+
+double
+RecoveryManager::dumpEnergyJoules(std::uint32_t entryCount) const
+{
+    const std::uint64_t bytes = buffer_.size() + metaBytes(entryCount);
+    const sim::Tick duration =
+        cfg_.internalSetup + cfg_.internalBw.transferTime(bytes);
+    return sim::toSec(duration) * cfg_.dumpPowerWatts;
+}
+
+bool
+RecoveryManager::canBackUp(std::uint32_t entryCount) const
+{
+    return dumpEnergyJoules(entryCount) <= cfg_.backupEnergyJoules();
+}
+
 DumpReport
 RecoveryManager::powerLoss(sim::Tick t, sim::EventQueue &queue)
 {
     DumpReport rep;
     rep.attempted = true;
-    rep.joulesBudget = cfg_.backupEnergyJoules();
+    const double scale = faults_ ? faults_->capacitorEnergyScale() : 1.0;
+    rep.joulesBudget = cfg_.backupEnergyJoules() * scale;
 
-    // Mapping-table metadata rides along with the buffer image.
     const std::uint64_t meta =
-        buffer_.entries().size() * sizeof(MapEntry) + 64;
+        metaBytes(static_cast<std::uint32_t>(buffer_.entries().size()));
     rep.bytes = buffer_.size() + meta;
 
     rep.duration = cfg_.internalSetup +
                    cfg_.internalBw.transferTime(rep.bytes);
     rep.joulesUsed = sim::toSec(rep.duration) * cfg_.dumpPowerWatts;
 
-    if (rep.joulesUsed > rep.joulesBudget) {
-        sim::warn("power-loss dump needs ", rep.joulesUsed,
-                  " J but capacitors hold ", rep.joulesBudget,
-                  " J; BA-buffer contents lost");
-        rep.success = false;
-        imageValid_ = false;
-        lastDump_ = rep;
-        return rep;
+    // Chunk-wise energy accounting against the (possibly degraded)
+    // budget: the firmware keeps dumping until the rail sags. The
+    // tiny mapping table goes first so a truncated image is still
+    // interpretable: the saved prefix restores, the tail reads as
+    // zeros, and the loss is visible in the report.
+    imageValid_ = false;
+    partialBytes_ = 0;
+    tableSaved_ = false;
+    image_.assign(buffer_.size(), 0);
+
+    auto chunkEnergy = [this](std::uint64_t n) {
+        return sim::toSec(cfg_.internalBw.transferTime(n)) *
+               cfg_.dumpPowerWatts;
+    };
+
+    double drawn = sim::toSec(cfg_.internalSetup) * cfg_.dumpPowerWatts;
+    sim::Tick when = t + cfg_.internalSetup;
+
+    if (drawn + chunkEnergy(meta) <= rep.joulesBudget) {
+        drawn += chunkEnergy(meta);
+        when += cfg_.internalBw.transferTime(meta);
+        queue.schedule(when, [this] {
+            imageTable_ = buffer_.entries();
+            tableSaved_ = true;
+        });
     }
 
-    // Firmware dumps in 1 MiB chunks; model each as an event so the
-    // sequence is visible on the device's event timeline.
     const std::uint64_t chunk = sim::MiB;
     std::uint64_t done = 0;
-    sim::Tick when = t + cfg_.internalSetup;
-    image_.assign(buffer_.size(), 0);
     while (done < buffer_.size()) {
         std::uint64_t n = std::min(chunk, buffer_.size() - done);
+        if (drawn + chunkEnergy(n) > rep.joulesBudget)
+            break; // capacitors exhausted mid-sequence
+        if (faults_)
+            faults_->hit(sim::Tp::baDumpChunk);
+        drawn += chunkEnergy(n);
         when += cfg_.internalBw.transferTime(n);
         std::uint64_t off = done;
         queue.schedule(when, [this, off, n] {
@@ -53,17 +93,24 @@ RecoveryManager::powerLoss(sim::Tick t, sim::EventQueue &queue)
             buffer_.read(off, tmp);
             std::copy(tmp.begin(), tmp.end(),
                       image_.begin() + static_cast<std::ptrdiff_t>(off));
+            partialBytes_ = off + n;
         });
         done += n;
     }
-    sim::Tick table_done = when + cfg_.internalBw.transferTime(meta);
-    queue.schedule(table_done, [this] {
-        imageTable_ = buffer_.entries();
-        imageValid_ = true;
-    });
-    queue.runUntil(table_done);
+    queue.runUntil(when);
 
-    rep.success = true;
+    rep.savedBytes = done;
+    rep.truncatedBytes = buffer_.size() - done;
+    rep.tableSaved = tableSaved_;
+    rep.success = tableSaved_ && done == buffer_.size();
+    if (rep.success) {
+        imageValid_ = true;
+    } else {
+        sim::warn("power-loss dump needs ", rep.joulesUsed,
+                  " J but capacitors hold ", rep.joulesBudget, " J; ",
+                  rep.truncatedBytes, " BA-buffer bytes lost",
+                  tableSaved_ ? "" : " (mapping table lost too)");
+    }
     lastDump_ = rep;
     return rep;
 }
@@ -71,12 +118,20 @@ RecoveryManager::powerLoss(sim::Tick t, sim::EventQueue &queue)
 bool
 RecoveryManager::restore()
 {
-    if (!imageValid_) {
-        buffer_.clear();
+    if (imageValid_) {
+        buffer_.restore(image_, imageTable_);
+        return true;
+    }
+    if (tableSaved_ && partialBytes_ > 0) {
+        // Degraded restore: the dumped prefix and the mapping table
+        // come back, the unsaved tail reads as zeros. The caller sees
+        // false and lastDump() quantifies the loss - data is degraded
+        // as documented, never silently dropped.
+        buffer_.restore(image_, imageTable_);
         return false;
     }
-    buffer_.restore(image_, imageTable_);
-    return true;
+    buffer_.clear();
+    return false;
 }
 
 } // namespace bssd::ba

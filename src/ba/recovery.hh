@@ -20,6 +20,7 @@
 #include "ba/ba_buffer.hh"
 #include "ba/ba_types.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/ticks.hh"
 
 namespace bssd::ba
@@ -31,13 +32,22 @@ struct DumpReport
     bool attempted = false;
     /** True if the capacitor budget covered the dump. */
     bool success = false;
-    /** Bytes written to the reserved NAND area. */
+    /** Size of the full dump (buffer + table metadata). */
     std::uint64_t bytes = 0;
-    /** Wall-clock (simulated) duration of the dump. */
+    /** Buffer bytes actually persisted before the energy ran out. */
+    std::uint64_t savedBytes = 0;
+    /** Buffer bytes NOT persisted (the truncated tail). Non-zero only
+     *  on a partial dump; a partial dump is always reported, never
+     *  silent. */
+    std::uint64_t truncatedBytes = 0;
+    /** True if the mapping table made it to NAND (dumped first, so a
+     *  truncated image is still interpretable). */
+    bool tableSaved = false;
+    /** Wall-clock (simulated) duration of the full dump sequence. */
     sim::Tick duration = 0;
-    /** Energy drawn from the capacitors. */
+    /** Energy the full dump requires. */
     double joulesUsed = 0.0;
-    /** Energy that was available. */
+    /** Energy that was available (after capacitor degradation). */
     double joulesBudget = 0.0;
 };
 
@@ -57,27 +67,54 @@ class RecoveryManager
 
     /**
      * Power-on: restore BA-buffer contents and mapping table from the
-     * reserved area. @return false when there is nothing to restore
-     * (clean first boot) - the buffer is left cleared.
+     * reserved area. A complete image restores fully and returns true.
+     * A partial image (energy-truncated dump with the table saved)
+     * restores the saved prefix - the unsaved tail reads as zeros -
+     * and returns false; the loss is reported through lastDump().
+     * With nothing saved the buffer is cleared and false is returned.
      */
     bool restore();
 
-    /** True if a successful dump image is held in the reserved area. */
+    /** True if a complete dump image is held in the reserved area. */
     bool hasImage() const { return imageValid_; }
 
     /** The last dump's report (for diagnostics and tests). */
     const DumpReport &lastDump() const { return lastDump_; }
 
+    /**
+     * Energy (joules) a full dump would need with @p entryCount
+     * mapping entries installed, at nameplate capacitor health.
+     */
+    double dumpEnergyJoules(std::uint32_t entryCount) const;
+
+    /**
+     * True if a full dump fits the nameplate capacitor budget. The
+     * LBA checker path consults this at BA_PIN time so an over-budget
+     * configuration refuses the pin instead of silently losing the
+     * tail at power-loss time.
+     */
+    bool canBackUp(std::uint32_t entryCount) const;
+
+    /** Install the rig's fault injector (capacitor degradation,
+     *  dump-chunk tracepoints). nullptr disables. */
+    void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
+
   private:
     BaConfig cfg_;
     BaBuffer &buffer_;
+    sim::FaultInjector *faults_ = nullptr;
 
     /** The reserved NAND area: image + table, outside the FTL's
      *  logical space. */
     std::vector<std::uint8_t> image_;
     std::vector<MapEntry> imageTable_;
     bool imageValid_ = false;
+    /** Partial-dump state: prefix length saved and table presence. */
+    std::uint64_t partialBytes_ = 0;
+    bool tableSaved_ = false;
     DumpReport lastDump_;
+
+    std::uint64_t metaBytes(std::uint32_t entryCount) const;
 };
 
 } // namespace bssd::ba

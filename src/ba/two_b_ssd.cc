@@ -42,6 +42,21 @@ TwoBSsd::TwoBSsd(const ssd::SsdConfig &baseCfg, const BaConfig &baCfg)
     device_.setWriteGate([this](std::uint64_t off, std::uint64_t len) {
         return checker_.allowWrite(off, len);
     });
+    // Power-cut delivery path for torn WC lines: bytes that had left
+    // the CPU when the power died land in device DRAM directly.
+    wc_.setCrashSink(
+        [this](std::uint64_t off, std::span<const std::uint8_t> data) {
+            buffer_.deviceWrite(off, data);
+        });
+}
+
+void
+TwoBSsd::installFaultInjector(sim::FaultInjector *f)
+{
+    faults_ = f;
+    device_.setFaultInjector(f);
+    wc_.setFaultInjector(f);
+    recovery_.setFaultInjector(f);
 }
 
 MapEntry
@@ -92,6 +107,15 @@ TwoBSsd::baPin(sim::Tick ready, Eid eid, std::uint64_t offset,
     const std::uint32_t ps = device_.pageSize();
     if (lba + length > device_.capacityBytes())
         throw BaError("BA_PIN LBA range exceeds device capacity");
+    // Pinning creates a durability obligation: refuse it up front if
+    // the capacitors could not dump the whole buffer at power loss.
+    if (!recovery_.canBackUp(buffer_.entryCount() + 1)) {
+        throw BaError(
+            "BA_PIN refused: power-loss dump would exceed the capacitor "
+            "energy budget");
+    }
+    if (faults_)
+        faults_->hit(sim::Tp::baPin);
     // Table checks happen before any data movement.
     buffer_.addEntry(eid, offset, lba, length, ps);
 
@@ -109,6 +133,8 @@ sim::Interval
 TwoBSsd::baFlush(sim::Tick ready, Eid eid)
 {
     const MapEntry e = requireEntry(eid);
+    if (faults_)
+        faults_->hit(sim::Tp::baFlush);
     const std::uint32_t ps = device_.pageSize();
 
     sim::Tick t = ready + baCfg_.apiCost;
@@ -141,6 +167,8 @@ TwoBSsd::baSyncRange(sim::Tick now, Eid eid, std::uint64_t offset,
         offset + len > e.startOffset + e.length) {
         throw BaError("BA_SYNC range outside entry " + std::to_string(eid));
     }
+    if (faults_)
+        faults_->hit(sim::Tp::baSync);
     // (1) the pinned pages are known host-side from BA_GET_ENTRY_INFO
     //     at pin time; (2) clflush + mfence over them; (3) the
     //     write-verify read orders behind the posted data.
@@ -155,6 +183,8 @@ TwoBSsd::mmioSync(sim::Tick now, std::uint64_t windowOff,
                   std::uint64_t len)
 {
     bar_.translate(bar_.base() + windowOff, len);
+    if (faults_)
+        faults_->hit(sim::Tp::baSync);
     now = wc_.flushRange(now, windowOff, len);
     sim::Tick durable = device_.link().writeVerifyRead(now);
     buffer_.settleTo(durable);
@@ -188,8 +218,16 @@ PowerLossReport
 TwoBSsd::powerLoss(sim::Tick t)
 {
     PowerLossReport rep;
+    // Settle/drop the posted queue first: torn WC-line bytes delivered
+    // below are the NEWEST stores to their offsets and must not be
+    // overwritten by older queued writes.
+    sim::Tick drop_after = sim::maxTick;
+    if (faults_ && faults_->postedDropWindow() > 0) {
+        sim::Tick w = faults_->postedDropWindow();
+        drop_after = t > w ? t - w : 0;
+    }
+    rep.postedBytesLost = buffer_.powerLossAt(t, drop_after);
     rep.wcBytesLost = wc_.dropAll();
-    rep.postedBytesLost = buffer_.powerLossAt(t);
     rep.dump = recovery_.powerLoss(t, events_);
     return rep;
 }

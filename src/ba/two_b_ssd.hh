@@ -166,6 +166,13 @@ class TwoBSsd
 
     /** @} */
 
+    /**
+     * Install the rig's fault injector into every layer of this
+     * device's stack: the WC buffer, the PCIe link, the block SSD
+     * (FTL + NAND) and the recovery manager. nullptr uninstalls.
+     */
+    void installFaultInjector(sim::FaultInjector *f);
+
     /** @name Power events @{ */
 
     /** Pull the plug at time @p t. */
@@ -200,6 +207,7 @@ class TwoBSsd
     RecoveryManager recovery_;
     LbaChecker checker_;
     sim::EventQueue events_;
+    sim::FaultInjector *faults_ = nullptr;
     /** The firmware-driven internal datapath (ARM cores). */
     sim::FifoResource internal_{"ba.internalPath"};
 

@@ -138,14 +138,59 @@ Ftl::invalidate(Lpn lpn)
 void
 Ftl::writeOnePage(Lpn lpn, std::span<const std::uint8_t> page)
 {
-    nand::Ppa ppa = allocatePage();
-    flash_.programPage(ppa, page);
-    ++nandPages_;
-    auto &blk = blockOf(ppa);
-    invalidate(lpn);
-    blk.pageLpn[ppa.page] = lpn;
-    ++blk.validPages;
-    l2p_[lpn] = ppa;
+    // A program failure retires the frontier block and rewrites the
+    // page elsewhere; bound the attempts so a hostile fault plan
+    // cannot spin forever.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        nand::Ppa ppa = allocatePage();
+        if (faults_)
+            faults_->hit(sim::Tp::ftlProgram);
+        if (!flash_.programPage(ppa, page)) {
+            retireBlock(ppa.die, ppa.block);
+            continue;
+        }
+        ++nandPages_;
+        auto &blk = blockOf(ppa);
+        invalidate(lpn);
+        blk.pageLpn[ppa.page] = lpn;
+        ++blk.validPages;
+        l2p_[lpn] = ppa;
+        return;
+    }
+    sim::panic("FTL page program kept failing after retiring 8 blocks");
+}
+
+void
+Ftl::retireBlock(std::uint32_t die, std::uint32_t block)
+{
+    const std::uint32_t idx = blockIndex(die, block);
+    auto &blk = blocks_[idx];
+    if (frontier_[die] == static_cast<std::int32_t>(idx))
+        frontier_[die] = -1;
+    flash_.markBad(die, block);
+    ++grownBad_;
+
+    // Relocate every page still mapped into the dying block before
+    // abandoning it. The block is already marked bad, so the recursive
+    // writeOnePage cannot allocate from it again.
+    std::vector<std::uint8_t> buf(pageSize_);
+    const std::uint32_t wp = flash_.writePointer(die, block);
+    for (std::uint32_t p = 0; p < wp && p < blk.pageLpn.size(); ++p) {
+        Lpn lpn = blk.pageLpn[p];
+        if (lpn == ~Lpn(0))
+            continue; // stale page
+        nand::Ppa src{die, block, p};
+        auto it = l2p_.find(lpn);
+        if (it == l2p_.end() || !(it->second == src))
+            continue; // remapped since
+        flash_.readPage(src, buf);
+        writeOnePage(lpn, buf);
+        ++gcPages_;
+    }
+    blk.free = false;
+    blk.open = false;
+    blk.validPages = 0;
+    blk.pageLpn.clear();
 }
 
 std::uint32_t
@@ -235,7 +280,21 @@ Ftl::doCollectGarbage(sim::Tick ready)
         t = std::max(t,
                      flash_.timedProgram(t, std::uint64_t(relocated) *
                                                 pageSize_).end);
-        flash_.eraseBlock(victim.die, victim.block);
+        if (faults_)
+            faults_->hit(sim::Tp::ftlGcErase);
+        if (!flash_.eraseBlock(victim.die, victim.block)) {
+            // Erase failure: grown defect. Retire the victim instead
+            // of freeing it; its valid pages were relocated above, so
+            // nothing is lost, but the pool shrinks by one block.
+            flash_.markBad(victim.die, victim.block);
+            ++grownBad_;
+            victim.free = false;
+            victim.open = false;
+            victim.validPages = 0;
+            victim.pageLpn.clear();
+            t = flash_.timedErase(t).end;
+            continue;
+        }
         t = flash_.timedErase(t).end;
         victim.free = true;
         victim.open = false;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "nand/nand_flash.hh"
+#include "sim/fault.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -119,6 +120,12 @@ class Ftl
     /** Erase-count statistics (wear levelling health). */
     WearStats wearStats() const;
 
+    /** Install the rig's fault injector (nullptr disables). */
+    void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
+
+    /** Blocks retired at runtime after program/erase failures. */
+    std::uint64_t grownBadBlocks() const { return grownBad_; }
+
     /** @name Per-request media-time histograms (hot-path cheap) @{ */
     const sim::Histogram &readLatency() const { return readLat_; }
     const sim::Histogram &writeLatency() const { return writeLat_; }
@@ -151,9 +158,12 @@ class Ftl
     std::vector<std::int32_t> frontier_;
     std::uint32_t nextDie_ = 0;
 
+    sim::FaultInjector *faults_ = nullptr;
+
     std::uint64_t hostPages_ = 0;
     std::uint64_t nandPages_ = 0;
     std::uint64_t gcPages_ = 0;
+    std::uint64_t grownBad_ = 0;
 
     sim::Histogram readLat_{"ftl.readLat"};
     sim::Histogram writeLat_{"ftl.writeLat"};
@@ -170,6 +180,12 @@ class Ftl
 
     /** Invalidate the old location of @p lpn, if any. */
     void invalidate(Lpn lpn);
+
+    /**
+     * Retire a block after a media failure: mark it bad, relocate any
+     * pages still mapped into it, and drop it from circulation.
+     */
+    void retireBlock(std::uint32_t die, std::uint32_t block);
 
     /** Run greedy GC until the high watermark is restored. */
     sim::Tick collectGarbage(sim::Tick ready);

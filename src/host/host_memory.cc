@@ -26,6 +26,10 @@ PersistentMemory::write(sim::Tick now, std::uint64_t offset,
 {
     if (offset + data.size() > data_.size())
         sim::fatal("PM write out of range: ", offset, "+", data.size());
+    // The hit precedes the copy: a power cut here means the store
+    // never reached the DIMM.
+    if (faults_)
+        faults_->hit(sim::Tp::pmWrite);
     std::copy(data.begin(), data.end(),
               data_.begin() + static_cast<std::ptrdiff_t>(offset));
     return now + lineCost(data.size(), cfg_.storeCostPerLine);
@@ -45,6 +49,8 @@ PersistentMemory::read(sim::Tick now, std::uint64_t offset,
 sim::Tick
 PersistentMemory::persistBarrier(sim::Tick now) const
 {
+    if (faults_)
+        faults_->hit(sim::Tp::pmBarrier);
     return now + cfg_.persistBarrierCost;
 }
 

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/fault.hh"
 #include "sim/ticks.hh"
 
 namespace bssd::host
@@ -61,9 +62,13 @@ class PersistentMemory
     /** Direct access for verification in tests. */
     std::span<const std::uint8_t> bytes() const { return data_; }
 
+    /** Install the rig's fault injector (nullptr disables). */
+    void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
+
   private:
     PmConfig cfg_;
     std::vector<std::uint8_t> data_;
+    sim::FaultInjector *faults_ = nullptr;
 
     sim::Tick lineCost(std::uint64_t bytes, sim::Tick per_line) const;
 };

@@ -37,6 +37,8 @@ WcBuffer::evict(sim::Tick now, Line &line)
 {
     if (!line.dirty)
         return now;
+    if (faults_)
+        faults_->hit(sim::Tp::wcEvict);
     // Post each contiguous run of valid bytes within the line.
     std::size_t i = 0;
     while (i < line.validMask.size()) {
@@ -131,6 +133,8 @@ WcBuffer::write(sim::Tick now, std::uint64_t offset,
 sim::Tick
 WcBuffer::flushRange(sim::Tick now, std::uint64_t offset, std::uint64_t len)
 {
+    if (faults_)
+        faults_->hit(sim::Tp::wcFlush);
     std::uint64_t end =
         len > ~std::uint64_t(0) - offset ? ~std::uint64_t(0) : offset + len;
     // clflush executes once per cache line covered by the range,
@@ -153,6 +157,8 @@ WcBuffer::flushRange(sim::Tick now, std::uint64_t offset, std::uint64_t len)
 sim::Tick
 WcBuffer::flushAll(sim::Tick now)
 {
+    if (faults_)
+        faults_->hit(sim::Tp::wcFlush);
     for (auto &l : lines_) {
         if (!l.dirty)
             continue;
@@ -175,9 +181,41 @@ WcBuffer::drainAll(sim::Tick now)
 std::uint64_t
 WcBuffer::dropAll()
 {
-    std::uint64_t lost = dirtyBytes();
-    for (auto &l : lines_)
+    const bool torn = faults_ && faults_->wcPartialLineOnPowerCut() &&
+                      crashSink_;
+    std::uint64_t lost = 0;
+    for (auto &l : lines_) {
+        if (!l.dirty)
+            continue;
+        std::uint64_t valid = 0;
+        for (bool v : l.validMask)
+            valid += v ? 1 : 0;
+        std::uint64_t keep = torn ? faults_->wcPartialKeep(valid) : 0;
+        if (keep > 0) {
+            // Deliver the first `keep` valid bytes (address order), as
+            // contiguous runs: those stores had already been posted.
+            std::size_t i = 0;
+            std::uint64_t delivered = 0;
+            while (i < l.validMask.size() && delivered < keep) {
+                if (!l.validMask[i]) {
+                    ++i;
+                    continue;
+                }
+                std::size_t j = i;
+                while (j < l.validMask.size() && l.validMask[j] &&
+                       delivered + (j - i) < keep) {
+                    ++j;
+                }
+                crashSink_(l.base + i,
+                           std::span<const std::uint8_t>(
+                               l.data.data() + i, j - i));
+                delivered += j - i;
+                i = j;
+            }
+        }
+        lost += valid - keep;
         l.dirty = false;
+    }
     return lost;
 }
 

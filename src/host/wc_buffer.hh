@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/fault.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
@@ -93,9 +94,23 @@ class WcBuffer
     sim::Tick drainAll(sim::Tick now);
 
     /**
+     * Untimed delivery sink used only at power-cut time: bytes that
+     * had already left the CPU as posted stores when the power died
+     * land in device memory directly (no posted-queue transit).
+     */
+    using CrashSink = std::function<void(
+        std::uint64_t offset, std::span<const std::uint8_t> data)>;
+
+    /** Install the power-cut delivery sink (nullptr disables). */
+    void setCrashSink(CrashSink sink) { crashSink_ = std::move(sink); }
+
+    /**
      * Drop the contents of all dirty lines without posting them -
      * what a power failure does to data the application never flushed.
-     * @return number of bytes that were lost.
+     * With an injector requesting torn lines (and a crash sink
+     * installed), a random prefix of each dirty line's valid bytes is
+     * delivered instead of lost: the stores had already been posted
+     * when the power died. @return number of bytes that were lost.
      */
     std::uint64_t dropAll();
 
@@ -107,6 +122,9 @@ class WcBuffer
 
     /** Total lines evicted due to capacity pressure. */
     std::uint64_t capacityEvictions() const { return evictions_.value(); }
+
+    /** Install the rig's fault injector (nullptr disables). */
+    void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
 
   private:
     struct Line
@@ -120,6 +138,8 @@ class WcBuffer
 
     WcConfig cfg_;
     Sink sink_;
+    CrashSink crashSink_;
+    sim::FaultInjector *faults_ = nullptr;
     std::vector<Line> lines_;
     std::uint64_t lruCounter_ = 0;
     sim::Counter evictions_{"wc.capacityEvictions"};

@@ -120,13 +120,12 @@ NandFlash::readPage(Ppa ppa, std::span<std::uint8_t> out) const
     std::copy(it->second.begin(), it->second.end(), out.begin());
 }
 
-void
+bool
 NandFlash::programPage(Ppa ppa, std::span<const std::uint8_t> data)
 {
     checkPpa(ppa);
     if (data.size() > cfg_.geometry.pageSize)
         sim::panic("programPage data larger than a page");
-    pagesProgrammed_.add();
     if (isBad(ppa.die, ppa.block))
         sim::panic("program to bad block ", ppa.block, " on die ",
                    ppa.die);
@@ -136,24 +135,45 @@ NandFlash::programPage(Ppa ppa, std::span<const std::uint8_t> data)
                    ppa.block, " page ", ppa.page, " expected ",
                    blk.writePtr);
     }
+    // Consult the fault schedule before announcing the hit: the fail
+    // schedule is keyed by the hit index of *this* program.
+    const bool fail = faults_ && faults_->failNandProgram();
+    if (faults_)
+        faults_->hit(sim::Tp::nandProgram);
+    pagesProgrammed_.add();
+    // A failed program still consumes the page (its cells are
+    // disturbed); the FTL must not retry the same page.
     blk.writePtr = ppa.page + 1;
+    if (fail) {
+        programFails_.add();
+        return false;
+    }
     auto &store = pages_[ppa.packed()];
     store.assign(cfg_.geometry.pageSize, 0xff);
     std::copy(data.begin(), data.end(), store.begin());
+    return true;
 }
 
-void
+bool
 NandFlash::eraseBlock(std::uint32_t die, std::uint32_t block)
 {
     checkPpa(Ppa{die, block, 0});
     if (isBad(die, block))
         sim::panic("erase of bad block ", block, " on die ", die);
+    const bool fail = faults_ && faults_->failNandErase();
+    if (faults_)
+        faults_->hit(sim::Tp::nandErase);
+    if (fail) {
+        eraseFails_.add();
+        return false;
+    }
     blocksErased_.add();
     auto &blk = blocks_[blockKey(die, block)];
     for (std::uint32_t p = 0; p < blk.writePtr; ++p)
         pages_.erase(Ppa{die, block, p}.packed());
     blk.writePtr = 0;
     ++blk.eraseCount;
+    return true;
 }
 
 bool

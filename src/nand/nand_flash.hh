@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "nand/nand_config.hh"
+#include "sim/fault.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -72,11 +73,19 @@ class NandFlash
      * Program one page. @pre the block is erased at or beyond this
      * page, and @p page equals the block's next unwritten page (NAND
      * in-order programming rule).
+     *
+     * @return false when the program operation fails (injected grown
+     *         defect): the page is consumed but holds no data, and
+     *         the FTL must retire the block and rewrite elsewhere.
      */
-    void programPage(Ppa ppa, std::span<const std::uint8_t> data);
+    bool programPage(Ppa ppa, std::span<const std::uint8_t> data);
 
-    /** Erase a whole block, releasing its pages. */
-    void eraseBlock(std::uint32_t die, std::uint32_t block);
+    /**
+     * Erase a whole block, releasing its pages.
+     * @return false when the erase fails (injected grown defect); the
+     *         block keeps its contents and must be retired.
+     */
+    bool eraseBlock(std::uint32_t die, std::uint32_t block);
 
     /** True if the given page has been programmed since last erase. */
     bool isProgrammed(Ppa ppa) const;
@@ -125,6 +134,14 @@ class NandFlash
     /** Reset timing calendars (not contents) for a fresh measurement. */
     void resetTiming();
 
+    /** Install the rig's fault injector (nullptr disables). */
+    void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
+
+    /** Program operations that failed (injected faults). */
+    std::uint64_t programFailures() const { return programFails_.value(); }
+    /** Erase operations that failed (injected faults). */
+    std::uint64_t eraseFailures() const { return eraseFails_.value(); }
+
   private:
     NandConfig cfg_;
 
@@ -141,10 +158,13 @@ class NandFlash
 
     sim::MultiResource dies_;
     sim::MultiResource channels_;
+    sim::FaultInjector *faults_ = nullptr;
     /// mutable: reads are logically const but still counted.
     mutable sim::Counter pagesRead_{"nand.pagesRead"};
     sim::Counter pagesProgrammed_{"nand.pagesProgrammed"};
     sim::Counter blocksErased_{"nand.blocksErased"};
+    sim::Counter programFails_{"nand.programFails"};
+    sim::Counter eraseFails_{"nand.eraseFails"};
 
     std::uint64_t blockKey(std::uint32_t die, std::uint32_t block) const;
     void checkPpa(Ppa ppa) const;

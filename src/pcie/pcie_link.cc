@@ -18,6 +18,8 @@ PcieLink::postedWrite(sim::Tick ready, std::uint64_t bytes)
 {
     if (bytes == 0)
         return ready;
+    if (faults_)
+        faults_->hit(sim::Tp::pciePosted);
     const std::uint64_t bursts =
         (bytes + cfg_.writeBurstBytes - 1) / cfg_.writeBurstBytes;
     postedBursts_.add(bursts);
@@ -60,6 +62,8 @@ PcieLink::mmioRead(sim::Tick ready, std::uint64_t bytes)
 sim::Tick
 PcieLink::writeVerifyRead(sim::Tick ready)
 {
+    if (faults_)
+        faults_->hit(sim::Tp::pcieVerify);
     nonPosted_.add();
     // Non-posted reads are sequentialised behind posted writes at the
     // root complex: completion cannot precede the arrival of any write

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -117,8 +118,12 @@ class PcieLink
     /** Reset calendars and counters for a fresh measurement. */
     void reset();
 
+    /** Install the rig's fault injector (nullptr disables). */
+    void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
+
   private:
     PcieConfig cfg_;
+    sim::FaultInjector *faults_ = nullptr;
     sim::FifoResource wire_{"pcie.wire"};
     /** Arrival time of the most recent posted write at the device. */
     sim::Tick postedLanded_ = 0;

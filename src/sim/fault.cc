@@ -1,0 +1,73 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+
+namespace bssd::sim
+{
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed)
+{
+}
+
+bool
+FaultInjector::scheduled(const std::vector<std::uint64_t> &hits,
+                         std::uint64_t index)
+{
+    return std::find(hits.begin(), hits.end(), index) != hits.end();
+}
+
+void
+FaultInjector::hit(Tp tp)
+{
+    perTp_[static_cast<std::size_t>(tp)] += 1;
+    const std::uint64_t index = globalHits_++;
+    if (recording_)
+        hitLog_.push_back(tp);
+    if (index == armedHit_) {
+        // Disarm before throwing: recovery-time activity (block reads,
+        // window overlays, WC drains) re-enters instrumented code and
+        // must not cut the power a second time.
+        armedHit_ = noCrash;
+        cutFired_ = true;
+        throw PowerCut(tp, index);
+    }
+}
+
+bool
+FaultInjector::failNandProgram()
+{
+    // The per-tracepoint counter has not been bumped for this program
+    // yet (hit() runs after the consult), so hits() IS its index.
+    const std::uint64_t index = hits(Tp::nandProgram);
+    bool fail = scheduled(plan_.nandProgramFailHits, index);
+    if (!fail && plan_.nandProgramFailRate > 0.0)
+        fail = rng_.chance(plan_.nandProgramFailRate);
+    if (fail)
+        ++progFails_;
+    return fail;
+}
+
+bool
+FaultInjector::failNandErase()
+{
+    const std::uint64_t index = hits(Tp::nandErase);
+    bool fail = scheduled(plan_.nandEraseFailHits, index);
+    if (!fail && plan_.nandEraseFailRate > 0.0)
+        fail = rng_.chance(plan_.nandEraseFailRate);
+    if (fail)
+        ++eraseFails_;
+    return fail;
+}
+
+std::uint64_t
+FaultInjector::wcPartialKeep(std::uint64_t validBytes)
+{
+    if (validBytes == 0)
+        return 0;
+    // Any split may occur, including "nothing arrived" and "the whole
+    // line arrived" - both are legal posted-write outcomes.
+    return rng_.nextBelow(validBytes + 1);
+}
+
+} // namespace bssd::sim

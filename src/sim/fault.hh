@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Deterministic fault injection for durability testing (DESIGN.md
+ * section 8).
+ *
+ * A FaultInjector is a per-simulation object installed into every
+ * layer of one rig (NAND, FTL, SSD frontend, PCIe link, WC buffer,
+ * host PM, BA extensions). Layers consult it at named durability
+ * tracepoints (sim/tracepoint.hh); the injector counts hits, may
+ * declare a component-level fault (NAND program failure, partial WC
+ * line loss, ...), and may throw PowerCut to crash the simulation at
+ * an exact protocol stage.
+ *
+ * Determinism contract: the injector draws randomness only from its
+ * own Rng seeded by FaultPlan::seed, and all scheduled faults are
+ * keyed by per-tracepoint hit indices. The same op stream driven
+ * against the same plan therefore produces the same hit sequence, the
+ * same fault schedule and the same crash point, bit for bit - which is
+ * what lets the crash-point campaign print (seed, crash-point index)
+ * as a complete repro line.
+ */
+
+#ifndef BSSD_SIM_FAULT_HH
+#define BSSD_SIM_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/ticks.hh"
+#include "sim/tracepoint.hh"
+
+namespace bssd::sim
+{
+
+/**
+ * Thrown by FaultInjector::hit() when an armed power cut fires. The
+ * harness catches it at the op-stream level, pulls the plug on the rig
+ * and verifies recovery; it must never escape a test unhandled.
+ */
+class PowerCut : public std::exception
+{
+  public:
+    PowerCut(Tp tp, std::uint64_t global_hit) noexcept
+        : tp_(tp), globalHit_(global_hit)
+    {}
+
+    const char *what() const noexcept override { return "sim::PowerCut"; }
+
+    /** Tracepoint whose hit triggered the cut. */
+    Tp tracepoint() const noexcept { return tp_; }
+    /** Global durability-hit index at which the cut fired. */
+    std::uint64_t globalHit() const noexcept { return globalHit_; }
+
+  private:
+    Tp tp_;
+    std::uint64_t globalHit_;
+};
+
+/**
+ * One scheduled component fault: the @p hitIndex-th hit of @p tp (per
+ * tracepoint counting, zero based) misbehaves.
+ */
+struct ScheduledFault
+{
+    Tp tp = Tp::count_;
+    std::uint64_t hitIndex = 0;
+};
+
+/** The full, declarative description of a run's injected faults. */
+struct FaultPlan
+{
+    /** Seed for all injector-internal randomness. */
+    std::uint64_t seed = 1;
+
+    /** @name NAND media faults @{ */
+    /** Per-tracepoint hit indices of nand.program hits that fail
+     *  (grown bad block; the FTL must retire and remap). */
+    std::vector<std::uint64_t> nandProgramFailHits;
+    /** Hit indices of nand.erase hits that fail. */
+    std::vector<std::uint64_t> nandEraseFailHits;
+    /** Additionally fail each program/erase with this probability
+     *  (deterministic given the seed). */
+    double nandProgramFailRate = 0.0;
+    double nandEraseFailRate = 0.0;
+    /** @} */
+
+    /** @name Host / interconnect power-cut faults @{ */
+    /**
+     * On power cut, each dirty WC line loses a random suffix instead
+     * of the whole line: a prefix of its valid bytes had already been
+     * posted and arrives at the device (torn-line hazard).
+     */
+    bool wcPartialLineOnPowerCut = false;
+    /**
+     * On power cut, posted TLPs that arrived within this window before
+     * the cut are dropped anyway (queued in the root complex, never
+     * committed to device DRAM). Bytes confirmed by a write-verify
+     * read are already settled and cannot be dropped - the hazard only
+     * affects unacknowledged data, as on real hardware.
+     */
+    Tick postedDropWindow = 0;
+    /** @} */
+
+    /** @name Capacitor degradation @{ */
+    /**
+     * Scale factor on the back-up energy available at power-loss time
+     * (aged electrolytics). Below 1.0 the BA dump may run out of
+     * energy mid-sequence and persist only a prefix of the buffer.
+     */
+    double capacitorEnergyScale = 1.0;
+    /** @} */
+};
+
+/**
+ * The per-simulation fault injector. One instance is shared by every
+ * layer of one rig; it is not thread-safe (one rig == one thread, the
+ * sweep-harness invariant).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan = {});
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** @name Tracepoint protocol (called by instrumented layers) @{ */
+
+    /**
+     * Announce one hit of @p tp. Counts the hit and, if a power cut is
+     * armed at the current global hit index, throws PowerCut (then
+     * disarms, so recovery-time activity runs unharmed).
+     */
+    void hit(Tp tp);
+
+    /** Hits of @p tp so far. */
+    std::uint64_t hits(Tp tp) const
+    {
+        return perTp_[static_cast<std::size_t>(tp)];
+    }
+
+    /** Total durability hits across all tracepoints. */
+    std::uint64_t totalHits() const { return globalHits_; }
+
+    /** @} */
+
+    /** @name Crash-point control (campaign harness) @{ */
+
+    /** Arm a power cut at global hit index @p n (0-based). */
+    void armCrashAtHit(std::uint64_t n)
+    {
+        armedHit_ = n;
+        cutFired_ = false;
+    }
+
+    /** Disarm any pending power cut. */
+    void disarm() { armedHit_ = noCrash; }
+
+    /** True once an armed power cut has fired. */
+    bool cutFired() const { return cutFired_; }
+
+    /** @} */
+
+    /** @name Hit recording (campaign enumeration + determinism) @{ */
+
+    /** Record the tracepoint of every hit into hitLog(). */
+    void setRecording(bool on) { recording_ = on; }
+
+    const std::vector<Tp> &hitLog() const { return hitLog_; }
+
+    /** @} */
+
+    /** @name Component fault queries @{ */
+
+    /** Consult-and-advance: does the current nand.program hit fail?
+     *  (Call exactly once per program, before hit().) */
+    bool failNandProgram();
+    /** Does the current nand.erase hit fail? */
+    bool failNandErase();
+
+    bool wcPartialLineOnPowerCut() const
+    {
+        return plan_.wcPartialLineOnPowerCut;
+    }
+
+    /**
+     * Deterministic split point for one torn WC line: how many of its
+     * @p validBytes leading valid bytes reached the device.
+     */
+    std::uint64_t wcPartialKeep(std::uint64_t validBytes);
+
+    Tick postedDropWindow() const { return plan_.postedDropWindow; }
+
+    double capacitorEnergyScale() const
+    {
+        return plan_.capacitorEnergyScale;
+    }
+
+    /** @} */
+
+    /** Faults actually delivered (diagnostics). */
+    std::uint64_t nandProgramFailsInjected() const { return progFails_; }
+    std::uint64_t nandEraseFailsInjected() const { return eraseFails_; }
+
+  private:
+    static constexpr std::uint64_t noCrash = ~std::uint64_t(0);
+
+    FaultPlan plan_;
+    Rng rng_;
+
+    std::array<std::uint64_t, tpCount> perTp_{};
+    std::uint64_t globalHits_ = 0;
+    std::uint64_t armedHit_ = noCrash;
+    bool cutFired_ = false;
+
+    bool recording_ = false;
+    std::vector<Tp> hitLog_;
+
+    std::uint64_t progFails_ = 0;
+    std::uint64_t eraseFails_ = 0;
+
+    static bool scheduled(const std::vector<std::uint64_t> &hits,
+                          std::uint64_t index);
+};
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_FAULT_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Durability tracepoints: the named protocol stages at which the
+ * fault-injection framework can observe, perturb, or power-cut a
+ * simulation (DESIGN.md section 8).
+ *
+ * Every layer of the stack that participates in making bytes durable
+ * announces its protocol steps by calling FaultInjector::hit() with
+ * one of these identifiers. The set is deliberately closed (an enum,
+ * not strings): the crash-point campaign enumerates every hit of every
+ * tracepoint during a run, so the namespace must be stable and cheap
+ * to index.
+ */
+
+#ifndef BSSD_SIM_TRACEPOINT_HH
+#define BSSD_SIM_TRACEPOINT_HH
+
+#include <cstdint>
+
+namespace bssd::sim
+{
+
+/**
+ * Durability-relevant protocol stages, one per instrumented call site
+ * class. Ordering is part of the determinism contract: the global hit
+ * index of a run depends only on the op stream and the fault plan.
+ */
+enum class Tp : std::uint8_t
+{
+    /** WC-buffer line eviction (bytes leave the CPU as a posted burst). */
+    wcEvict,
+    /** clflush+mfence flush of a WC range (the BA_SYNC first half). */
+    wcFlush,
+    /** A posted-write burst handed to the PCIe root complex. */
+    pciePosted,
+    /** The zero-byte write-verify read (the durability barrier). */
+    pcieVerify,
+    /** BA_SYNC / mmioSync entry (about to flush + verify). */
+    baSync,
+    /** BA_PIN entry (about to install a mapping + fill the window). */
+    baPin,
+    /** BA_FLUSH entry (about to copy a window to NAND and unpin). */
+    baFlush,
+    /** One chunk of the capacitor-powered power-loss dump. */
+    baDumpChunk,
+    /** A store into host persistent memory (PM-WAL append path). */
+    pmWrite,
+    /** clwb+sfence persistence barrier on host PM. */
+    pmBarrier,
+    /** Block write accepted by the SSD frontend (past the LBA gate). */
+    ssdWriteStart,
+    /** Block write admitted to the capacitor-backed write buffer,
+     *  about to destage through the FTL. */
+    ssdWriteAdmit,
+    /** NVMe FLUSH processed by the frontend. */
+    ssdFlush,
+    /** FTL about to program one logical page (mid-destage). */
+    ftlProgram,
+    /** FTL garbage collection about to erase a victim block. */
+    ftlGcErase,
+    /** NAND page program operation. */
+    nandProgram,
+    /** NAND block erase operation. */
+    nandErase,
+
+    count_
+};
+
+/** Number of distinct tracepoints. */
+constexpr std::uint32_t tpCount = static_cast<std::uint32_t>(Tp::count_);
+
+/** Stable human-readable tracepoint name (logs, repro lines, docs). */
+constexpr const char *
+tpName(Tp tp)
+{
+    switch (tp) {
+      case Tp::wcEvict: return "wc.evict";
+      case Tp::wcFlush: return "wc.flush";
+      case Tp::pciePosted: return "pcie.posted";
+      case Tp::pcieVerify: return "pcie.verify";
+      case Tp::baSync: return "ba.sync";
+      case Tp::baPin: return "ba.pin";
+      case Tp::baFlush: return "ba.flush";
+      case Tp::baDumpChunk: return "ba.dumpChunk";
+      case Tp::pmWrite: return "pm.write";
+      case Tp::pmBarrier: return "pm.barrier";
+      case Tp::ssdWriteStart: return "ssd.writeStart";
+      case Tp::ssdWriteAdmit: return "ssd.writeAdmit";
+      case Tp::ssdFlush: return "ssd.flush";
+      case Tp::ftlProgram: return "ftl.program";
+      case Tp::ftlGcErase: return "ftl.gcErase";
+      case Tp::nandProgram: return "nand.program";
+      case Tp::nandErase: return "nand.erase";
+      case Tp::count_: break;
+    }
+    return "?";
+}
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_TRACEPOINT_HH

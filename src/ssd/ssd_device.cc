@@ -163,6 +163,8 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
             cfg_.name + ": block write rejected by LBA checker");
     }
     writes_.add();
+    if (faults_)
+        faults_->hit(sim::Tp::ssdWriteStart);
     // Writes invalidate any read-ahead window (the stream is broken).
     prefetchCount_ = 0;
 
@@ -193,6 +195,8 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
     // buffer; destage happens at the NAND drain rate behind the host's
     // back (and still loads the die calendars, contending with reads).
     sim::Tick admitted = writeBuffer_.admit(t, pages * ps);
+    if (faults_)
+        faults_->hit(sim::Tp::ssdWriteAdmit);
     ftl_->write(admitted, lpn, pages, buf);
     writeLat_.record(admitted - ready);
     return {ready, admitted};
@@ -201,6 +205,8 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
 sim::Tick
 SsdDevice::flush(sim::Tick ready)
 {
+    if (faults_)
+        faults_->hit(sim::Tp::ssdFlush);
     flushes_.add();
     auto fe = frontend_.reserve(ready, cfg_.flushCost);
     return fe.end;

@@ -137,8 +137,21 @@ class SsdDevice
                                          std::uint64_t len)>;
     void setWriteGate(WriteGate gate) { writeGate_ = std::move(gate); }
 
+    /**
+     * Install the rig's fault injector into the frontend and every
+     * sub-component (FTL, NAND, PCIe). nullptr uninstalls.
+     */
+    void setFaultInjector(sim::FaultInjector *f)
+    {
+        faults_ = f;
+        ftl_->setFaultInjector(f);
+        flash_->setFaultInjector(f);
+        link_.setFaultInjector(f);
+    }
+
   private:
     SsdConfig cfg_;
+    sim::FaultInjector *faults_ = nullptr;
     std::unique_ptr<nand::NandFlash> flash_;
     std::unique_ptr<ftl::Ftl> ftl_;
     pcie::PcieLink link_;

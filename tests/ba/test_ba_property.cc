@@ -125,3 +125,152 @@ TEST_P(BaDurabilityProperty, SyncedBytesAlwaysSurvivePowerLoss)
 INSTANTIATE_TEST_SUITE_P(Seeds, BaDurabilityProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77,
                                            88));
+
+namespace
+{
+
+class LbaGatingProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+} // namespace
+
+/**
+ * Dual-path coherence fuzz (Section III-A2): random interleavings of
+ * block writes, BA_PIN, MMIO writes (+ sync) and BA_FLUSH over
+ * overlapping LBA ranges. The LBA checker must reject every block
+ * write that intersects a pinned range, and whenever a range moves
+ * between the two paths (pin: NAND -> window; flush: window -> NAND)
+ * both paths must read back identical bytes.
+ */
+TEST_P(LbaGatingProperty, BlockWritesToPinnedRangesAreGated)
+{
+    constexpr std::uint32_t ps = 4096;
+    constexpr std::uint64_t regionBytes = 16 * ps;
+
+    BaConfig bc;
+    bc.bufferBytes = 128 * sim::KiB;
+    TwoBSsd ssd(ssd::SsdConfig::tiny(), bc);
+    sim::Rng rng(GetParam());
+
+    /** Logical content of the region as the block path should see it
+     *  (unwritten NAND reads as 0xff). */
+    std::vector<std::uint8_t> ref(regionBytes, 0xff);
+
+    struct Pin
+    {
+        std::uint64_t lba = 0;
+        std::uint64_t len = 0;
+        std::uint64_t offset = 0; // BA-buffer / window offset
+        std::vector<std::uint8_t> window;
+    };
+    std::map<Eid, Pin> pins;
+
+    auto intersectsPin = [&](std::uint64_t off, std::uint64_t len) {
+        for (const auto &[eid, p] : pins)
+            if (off < p.lba + p.len && p.lba < off + len)
+                return true;
+        return false;
+    };
+
+    sim::Tick t = sim::msOf(1);
+    std::uint64_t gatedSeen = 0;
+    const int ops = 250;
+    for (int op = 0; op < ops; ++op) {
+        const double dice = rng.nextDouble();
+        if (dice < 0.2 && pins.size() < 3) {
+            // BA_PIN a page-aligned range that is not already pinned.
+            Eid eid = 1;
+            while (pins.contains(eid))
+                ++eid;
+            Pin p;
+            p.len = ps * (1 + rng.nextBelow(4));
+            p.lba = ps * rng.nextBelow((regionBytes - p.len) / ps + 1);
+            if (intersectsPin(p.lba, p.len))
+                continue; // table forbids overlapping pins
+            p.offset = std::uint64_t(eid) * 32 * sim::KiB;
+            t = ssd.baPin(t, eid, p.offset, p.lba, p.len).end;
+            // Pin time: the window must equal the NAND contents.
+            p.window.resize(p.len);
+            t = ssd.mmioRead(t, p.offset, p.window);
+            ASSERT_TRUE(std::equal(p.window.begin(), p.window.end(),
+                                   ref.begin() + static_cast<std::ptrdiff_t>(
+                                                     p.lba)))
+                << "seed " << GetParam() << " op " << op
+                << ": window != NAND at pin time";
+            pins[eid] = std::move(p);
+        } else if (dice < 0.4 && !pins.empty()) {
+            // MMIO write + covering sync into a random pinned window.
+            auto it = pins.begin();
+            std::advance(it, rng.nextBelow(pins.size()));
+            Pin &p = it->second;
+            std::uint64_t off = rng.nextBelow(p.len - 1);
+            std::uint64_t len =
+                1 + rng.nextBelow(std::min<std::uint64_t>(96, p.len - off));
+            std::vector<std::uint8_t> data(len);
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            t = ssd.mmioWrite(t, p.offset + off, data);
+            t = ssd.baSyncRange(t, it->first, p.offset + off, len);
+            std::copy(data.begin(), data.end(),
+                      p.window.begin() + static_cast<std::ptrdiff_t>(off));
+        } else if (dice < 0.6 && !pins.empty()) {
+            // Block write INTO a pinned range: must be gated, and
+            // neither path may change.
+            auto it = pins.begin();
+            std::advance(it, rng.nextBelow(pins.size()));
+            const Pin &p = it->second;
+            std::uint64_t off = p.lba + rng.nextBelow(p.len);
+            std::vector<std::uint8_t> data(1 + rng.nextBelow(256), 0xa5);
+            EXPECT_THROW(ssd.blockWrite(t, off, data),
+                         ssd::WriteGatedError)
+                << "seed " << GetParam() << " op " << op;
+            ++gatedSeen;
+        } else if (dice < 0.8) {
+            // Block write to an unpinned range: must pass and land.
+            std::uint64_t len = 1 + rng.nextBelow(2 * ps);
+            std::uint64_t off = rng.nextBelow(regionBytes - len);
+            if (intersectsPin(off, len))
+                continue;
+            std::vector<std::uint8_t> data(len);
+            for (auto &b : data)
+                b = static_cast<std::uint8_t>(rng.next());
+            t = ssd.blockWrite(t, off, data).end;
+            std::copy(data.begin(), data.end(),
+                      ref.begin() + static_cast<std::ptrdiff_t>(off));
+        } else if (!pins.empty()) {
+            // BA_FLUSH a random pin: window contents reach NAND, the
+            // range is unpinned, and the block path now reads exactly
+            // the bytes the memory path held.
+            auto it = pins.begin();
+            std::advance(it, rng.nextBelow(pins.size()));
+            const Eid eid = it->first;
+            Pin p = std::move(it->second);
+            pins.erase(it);
+            t = ssd.baFlush(t, eid).end;
+            std::copy(p.window.begin(), p.window.end(),
+                      ref.begin() + static_cast<std::ptrdiff_t>(p.lba));
+            std::vector<std::uint8_t> got(p.len);
+            t = ssd.blockRead(t, p.lba, got).end;
+            ASSERT_EQ(got, p.window)
+                << "seed " << GetParam() << " op " << op
+                << ": block path diverged after flush";
+        }
+    }
+    EXPECT_GT(gatedSeen, 0u) << "fuzz never exercised the gate";
+
+    // Drain every remaining pin and compare the whole region across
+    // the block path one last time.
+    while (!pins.empty()) {
+        auto it = pins.begin();
+        t = ssd.baFlush(t, it->first).end;
+        std::copy(it->second.window.begin(), it->second.window.end(),
+                  ref.begin() + static_cast<std::ptrdiff_t>(it->second.lba));
+        pins.erase(it);
+    }
+    std::vector<std::uint8_t> got(regionBytes);
+    ssd.blockRead(t, 0, got);
+    EXPECT_EQ(got, ref) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbaGatingProperty,
+                         ::testing::Values(5, 17, 29, 41, 53, 65));

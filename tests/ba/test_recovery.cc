@@ -11,6 +11,7 @@
 
 #include "ba/ba_buffer.hh"
 #include "ba/recovery.hh"
+#include "ba/two_b_ssd.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
@@ -154,4 +155,115 @@ TEST(RecoveryManager, SecondDumpReplacesImage)
     std::vector<std::uint8_t> out(8);
     buf.read(0, out);
     EXPECT_EQ(out, v2);
+}
+
+namespace
+{
+
+/**
+ * Largest page-multiple buffer size whose full dump (with one mapping
+ * entry) still fits the nameplate 3 x 270 uF budget - the exact
+ * boundary Table I's sizing must respect.
+ */
+std::uint64_t
+maxBackableBufferBytes()
+{
+    constexpr std::uint64_t page = 4096;
+    auto fits = [](std::uint64_t bytes) {
+        auto cfg = cfgOf(bytes);
+        BaBuffer buf(cfg);
+        RecoveryManager rec(cfg, buf);
+        return rec.canBackUp(1);
+    };
+    std::uint64_t lo = 1, hi = 32 * sim::MiB / page; // pages
+    while (lo < hi) {
+        std::uint64_t mid = (lo + hi + 1) / 2;
+        if (fits(mid * page))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo * page;
+}
+
+} // namespace
+
+TEST(RecoveryManager, DumpExactlyAtEnergyBudgetSucceeds)
+{
+    const std::uint64_t limit = maxBackableBufferBytes();
+    // Sanity: the boundary is in the ~17 MB region the capacitor math
+    // implies (48.2 mJ / 6 W minus setup, at 2.2 GB/s).
+    EXPECT_GT(limit, 16 * sim::MiB);
+    EXPECT_LT(limit, 19 * sim::MiB);
+
+    auto cfg = cfgOf(limit);
+    BaBuffer buf(cfg);
+    RecoveryManager rec(cfg, buf);
+    buf.addEntry(1, 0, 0, 4096, 4096);
+    EXPECT_TRUE(rec.canBackUp(1));
+
+    sim::EventQueue q;
+    auto rep = rec.powerLoss(0, q);
+    EXPECT_TRUE(rep.success);
+    EXPECT_EQ(rep.savedBytes, limit);
+    EXPECT_EQ(rep.truncatedBytes, 0u);
+    EXPECT_TRUE(rec.hasImage());
+}
+
+TEST(RecoveryManager, DumpOnePageUnderBudgetSucceeds)
+{
+    auto cfg = cfgOf(maxBackableBufferBytes() - 4096);
+    BaBuffer buf(cfg);
+    RecoveryManager rec(cfg, buf);
+    buf.addEntry(1, 0, 0, 4096, 4096);
+    EXPECT_TRUE(rec.canBackUp(1));
+
+    sim::EventQueue q;
+    auto rep = rec.powerLoss(0, q);
+    EXPECT_TRUE(rep.success);
+    EXPECT_EQ(rep.truncatedBytes, 0u);
+}
+
+TEST(RecoveryManager, DumpOnePageOverBudgetReportsTheLostTail)
+{
+    sim::setLogQuiet(true);
+    auto cfg = cfgOf(maxBackableBufferBytes() + 4096);
+    BaBuffer buf(cfg);
+    RecoveryManager rec(cfg, buf);
+    buf.addEntry(1, 0, 0, 4096, 4096);
+    // The firmware knows this configuration cannot be backed up...
+    EXPECT_FALSE(rec.canBackUp(1));
+
+    // ...and if power dies anyway, the loss is REPORTED, not silent:
+    // the dump degrades to a maximal prefix with the table saved.
+    sim::EventQueue q;
+    auto rep = rec.powerLoss(0, q);
+    sim::setLogQuiet(false);
+    EXPECT_FALSE(rep.success);
+    EXPECT_TRUE(rep.tableSaved);
+    EXPECT_GT(rep.truncatedBytes, 0u);
+    EXPECT_EQ(rep.savedBytes + rep.truncatedBytes, cfg.bufferBytes);
+    EXPECT_FALSE(rec.hasImage());
+}
+
+TEST(TwoBSsdPinGate, OverBudgetBufferRefusesBaPin)
+{
+    // The pin-time gate: a 2B-SSD whose BA-buffer could not be dumped
+    // on the capacitors must refuse the durability obligation up
+    // front instead of losing the tail at power-loss time.
+    {
+        ba::BaConfig bc;
+        bc.bufferBytes = maxBackableBufferBytes() + 4096;
+        ba::TwoBSsd over(ssd::SsdConfig::tiny(), bc);
+        EXPECT_THROW(over.baPin(0, 1, 0, 0, 4096), BaError);
+        EXPECT_EQ(over.buffer().entryCount(), 0u)
+            << "a refused pin must not leave a table entry";
+    }
+    {
+        ba::BaConfig bc;
+        bc.bufferBytes = maxBackableBufferBytes() - 4096;
+        ba::TwoBSsd under(ssd::SsdConfig::tiny(), bc);
+        EXPECT_NO_THROW(under.baPin(0, 1, 0, 0, 4096));
+        EXPECT_EQ(under.buffer().entryCount(), 1u);
+    }
 }

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-injection framework: the
+ * injector's determinism contract, NAND grown-defect handling in the
+ * FTL (retire + remap, GC victims), torn WC lines and posted-TLP drops
+ * at power-cut time, and energy-truncated (partial) capacitor dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ba/ba_buffer.hh"
+#include "ba/recovery.hh"
+#include "ba/two_b_ssd.hh"
+#include "ftl/ftl.hh"
+#include "host/wc_buffer.hh"
+#include "nand/nand_flash.hh"
+#include "sim/event_queue.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+
+using namespace bssd;
+
+namespace
+{
+
+nand::NandConfig
+testNand()
+{
+    auto c = nand::NandConfig::tiny();
+    c.geometry.blocksPerDie = 16;
+    c.geometry.pagesPerBlock = 8;
+    return c;
+}
+
+ftl::FtlConfig
+testFtl()
+{
+    ftl::FtlConfig f;
+    f.overProvision = 0.1;
+    f.gcLowWaterBlocks = 4;
+    f.gcHighWaterBlocks = 8;
+    return f;
+}
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint64_t tag)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(tag * 131 + i);
+    return v;
+}
+
+} // namespace
+
+TEST(FaultInjector, RandomStreamsAreSeedDeterministic)
+{
+    sim::FaultPlan plan;
+    plan.seed = 99;
+    plan.nandProgramFailRate = 0.3;
+    sim::FaultInjector a(plan), b(plan);
+
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_EQ(a.wcPartialKeep(64), b.wcPartialKeep(64)) << i;
+        bool fa = a.failNandProgram();
+        bool fb = b.failNandProgram();
+        ASSERT_EQ(fa, fb) << i;
+        a.hit(sim::Tp::nandProgram);
+        b.hit(sim::Tp::nandProgram);
+    }
+
+    plan.seed = 100;
+    sim::FaultInjector c(plan);
+    bool diverged = false;
+    for (int i = 0; i < 200 && !diverged; ++i)
+        diverged = a.wcPartialKeep(64) != c.wcPartialKeep(64);
+    EXPECT_TRUE(diverged) << "different seeds produced identical streams";
+}
+
+TEST(FaultInjector, ScheduledFaultsHitExactPerTracepointIndices)
+{
+    sim::FaultPlan plan;
+    plan.nandProgramFailHits = {1, 3};
+    plan.nandEraseFailHits = {0};
+    sim::FaultInjector inj(plan);
+
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(inj.failNandProgram(), i == 1 || i == 3) << i;
+        inj.hit(sim::Tp::nandProgram);
+    }
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(inj.failNandErase(), i == 0) << i;
+        inj.hit(sim::Tp::nandErase);
+    }
+    EXPECT_EQ(inj.nandProgramFailsInjected(), 2u);
+    EXPECT_EQ(inj.nandEraseFailsInjected(), 1u);
+}
+
+TEST(FaultInjector, ArmedCutFiresAtExactGlobalHitThenDisarms)
+{
+    sim::FaultInjector inj;
+    inj.armCrashAtHit(3);
+    inj.setRecording(true);
+    inj.hit(sim::Tp::wcEvict);
+    inj.hit(sim::Tp::pciePosted);
+    inj.hit(sim::Tp::baSync);
+    try {
+        inj.hit(sim::Tp::ssdFlush);
+        FAIL() << "armed cut did not fire";
+    } catch (const sim::PowerCut &cut) {
+        EXPECT_EQ(cut.tracepoint(), sim::Tp::ssdFlush);
+        EXPECT_EQ(cut.globalHit(), 3u);
+    }
+    EXPECT_TRUE(inj.cutFired());
+    // Disarmed after throwing: recovery-time hits pass through.
+    EXPECT_NO_THROW(inj.hit(sim::Tp::nandProgram));
+    EXPECT_EQ(inj.totalHits(), 5u);
+    ASSERT_EQ(inj.hitLog().size(), 5u);
+    EXPECT_EQ(inj.hitLog()[3], sim::Tp::ssdFlush);
+}
+
+TEST(NandFlash, FailedProgramConsumesPageWithoutData)
+{
+    nand::NandFlash flash(testNand());
+    sim::FaultPlan plan;
+    plan.nandProgramFailHits = {0};
+    sim::FaultInjector inj(plan);
+    flash.setFaultInjector(&inj);
+
+    auto data = pattern(flash.config().geometry.pageSize, 1);
+    EXPECT_FALSE(flash.programPage({0, 0, 0}, data));
+    EXPECT_EQ(flash.programFailures(), 1u);
+    // The page is consumed (write pointer advanced) but holds no data.
+    EXPECT_EQ(flash.writePointer(0, 0), 1u);
+    EXPECT_FALSE(flash.isProgrammed({0, 0, 0}));
+    // The next program in order succeeds.
+    EXPECT_TRUE(flash.programPage({0, 0, 1}, data));
+    EXPECT_TRUE(flash.isProgrammed({0, 0, 1}));
+}
+
+TEST(Ftl, ProgramFailureRetiresBlockAndRemapsWrite)
+{
+    nand::NandFlash flash(testNand());
+    ftl::Ftl ftl(flash, testFtl());
+    sim::FaultPlan plan;
+    plan.nandProgramFailHits = {0}; // very first host-page program fails
+    sim::FaultInjector inj(plan);
+    flash.setFaultInjector(&inj);
+    ftl.setFaultInjector(&inj);
+
+    const std::uint32_t ps = ftl.pageSize();
+    const std::uint32_t before = flash.badBlockCount();
+    auto data = pattern(ps, 7);
+    ftl.write(0, 3, 1, data);
+
+    EXPECT_EQ(inj.nandProgramFailsInjected(), 1u);
+    EXPECT_EQ(ftl.grownBadBlocks(), 1u);
+    EXPECT_EQ(flash.badBlockCount(), before + 1);
+    // The write was remapped onto a healthy block: data reads back.
+    std::vector<std::uint8_t> out(ps);
+    ftl.read(0, 3, 1, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(Ftl, GcEraseFailureRetiresVictimAndKeepsData)
+{
+    sim::setLogQuiet(true);
+    nand::NandFlash flash(testNand());
+    ftl::Ftl ftl(flash, testFtl());
+    sim::FaultPlan plan;
+    plan.nandEraseFailHits = {0}; // first GC erase grows a bad block
+    sim::FaultInjector inj(plan);
+    flash.setFaultInjector(&inj);
+    ftl.setFaultInjector(&inj);
+
+    // Overwrite a small logical range until GC must run (and hit the
+    // scheduled erase failure).
+    const std::uint32_t ps = ftl.pageSize();
+    const std::uint64_t span = ftl.logicalPages() / 2;
+    sim::Tick t = 0;
+    std::uint64_t tag = 0;
+    std::vector<std::uint64_t> lastTag(span, 0);
+    for (int pass = 0; pass < 6; ++pass) {
+        for (std::uint64_t lpn = 0; lpn < span; ++lpn) {
+            auto data = pattern(ps, ++tag);
+            t = ftl.write(t, lpn, 1, data).end;
+            lastTag[lpn] = tag;
+        }
+    }
+    sim::setLogQuiet(false);
+
+    EXPECT_EQ(inj.nandEraseFailsInjected(), 1u);
+    EXPECT_GE(ftl.grownBadBlocks(), 1u);
+    // Every logical page still reads its latest contents.
+    for (std::uint64_t lpn = 0; lpn < span; ++lpn) {
+        std::vector<std::uint8_t> out(ps);
+        ftl.read(t, lpn, 1, out);
+        ASSERT_EQ(out, pattern(ps, lastTag[lpn])) << "lpn " << lpn;
+    }
+}
+
+TEST(WcBuffer, PowerCutTearsLinesIntoDeliveredPrefixAndLostSuffix)
+{
+    host::WcConfig cfg;
+    sim::FaultPlan plan;
+    plan.seed = 11;
+    plan.wcPartialLineOnPowerCut = true;
+
+    auto run = [&]() {
+        sim::FaultInjector inj(plan);
+        host::WcBuffer wc(cfg, [](sim::Tick r, std::uint64_t,
+                                  std::span<const std::uint8_t>) {
+            return r;
+        });
+        wc.setFaultInjector(&inj);
+        std::vector<std::uint8_t> arrived(cfg.lineBytes, 0);
+        std::uint64_t arrivedBytes = 0;
+        wc.setCrashSink([&](std::uint64_t off,
+                            std::span<const std::uint8_t> data) {
+            std::memcpy(arrived.data() + off, data.data(), data.size());
+            arrivedBytes += data.size();
+        });
+
+        auto data = pattern(40, 3); // partial line: 40 valid bytes
+        wc.write(0, 0, data);
+        std::uint64_t lost = wc.dropAll();
+        return std::tuple{arrived, arrivedBytes, lost};
+    };
+
+    auto [arrived, arrivedBytes, lost] = run();
+    EXPECT_EQ(arrivedBytes + lost, 40u);
+    // Delivered bytes are a PREFIX of the stores, never a scramble.
+    auto data = pattern(40, 3);
+    for (std::uint64_t i = 0; i < arrivedBytes; ++i)
+        ASSERT_EQ(arrived[i], data[i]) << i;
+
+    // Same seed, same tear point - the determinism contract.
+    auto [arrived2, arrivedBytes2, lost2] = run();
+    EXPECT_EQ(arrivedBytes, arrivedBytes2);
+    EXPECT_EQ(lost, lost2);
+    EXPECT_EQ(arrived, arrived2);
+}
+
+TEST(TwoBSsd, PostedDropWindowSparesVerifiedBytes)
+{
+    ba::TwoBSsd dev(ssd::SsdConfig::tiny());
+    sim::FaultPlan plan;
+    plan.postedDropWindow = sim::sOf(1); // drop every unverified TLP
+    sim::FaultInjector inj(plan);
+    dev.installFaultInjector(&inj);
+
+    const std::uint32_t ps = dev.device().pageSize();
+    dev.baPin(0, 1, 0, 0, 8 * ps);
+
+    // Range A: written and BA_SYNCed - the write-verify read settles
+    // it, so no posted-queue loss may touch it.
+    auto a = pattern(256, 1);
+    sim::Tick t = dev.mmioWrite(sim::msOf(1), 0, a);
+    t = dev.baSyncRange(t, 1, 0, 256);
+
+    // Range B: written and flushed out of the WC buffer but never
+    // verified - still in the posted queue, inside the drop window.
+    auto b = pattern(256, 2);
+    t = dev.mmioWrite(t, 4096, b);
+    t = dev.wc().flushRange(t, 4096, 256);
+
+    auto rep = dev.powerLoss(t);
+    EXPECT_GE(rep.postedBytesLost, 256u);
+    EXPECT_TRUE(rep.dump.success);
+    EXPECT_TRUE(dev.powerRestore());
+
+    std::vector<std::uint8_t> out(256);
+    dev.mmioRead(sim::msOf(2), 0, out);
+    EXPECT_EQ(out, a) << "verified bytes must survive the drop window";
+    dev.mmioRead(sim::msOf(2), 4096, out);
+    // The dropped bytes revert to the pin-time contents: erased NAND
+    // pages read as 0xff.
+    EXPECT_EQ(out, std::vector<std::uint8_t>(256, 0xff))
+        << "unverified bytes inside the window must be gone";
+}
+
+TEST(RecoveryManager, DegradedCapacitorsDumpReportedPrefix)
+{
+    sim::setLogQuiet(true);
+    ba::BaConfig cfg; // 8 MiB buffer: multiple 1 MiB dump chunks
+    ba::BaBuffer buf(cfg);
+    ba::RecoveryManager rec(cfg, buf);
+
+    // Scale the capacitor energy so roughly half the dump fits.
+    sim::FaultPlan plan;
+    plan.capacitorEnergyScale =
+        0.5 * rec.dumpEnergyJoules(1) / cfg.backupEnergyJoules();
+    sim::FaultInjector inj(plan);
+    rec.setFaultInjector(&inj);
+
+    auto head = pattern(128, 5);
+    auto tail = pattern(128, 6);
+    buf.deviceWrite(0, head);
+    buf.deviceWrite(cfg.bufferBytes - 128, tail);
+    buf.addEntry(1, 0, 0, 4096, 4096);
+
+    sim::EventQueue q;
+    auto rep = rec.powerLoss(sim::msOf(1), q);
+    sim::setLogQuiet(false);
+
+    // The loss is reported, never silent.
+    EXPECT_TRUE(rep.attempted);
+    EXPECT_FALSE(rep.success);
+    EXPECT_TRUE(rep.tableSaved) << "table dumps first";
+    EXPECT_GT(rep.savedBytes, 0u);
+    EXPECT_GT(rep.truncatedBytes, 0u);
+    EXPECT_EQ(rep.savedBytes + rep.truncatedBytes, cfg.bufferBytes);
+    EXPECT_LT(rep.savedBytes, cfg.bufferBytes);
+    EXPECT_GT(inj.hits(sim::Tp::baDumpChunk), 0u);
+
+    // A partial image restores its prefix (and the table) and returns
+    // false so the caller knows data was lost.
+    buf.clear();
+    EXPECT_FALSE(rec.restore());
+    std::vector<std::uint8_t> out(128);
+    buf.read(0, out);
+    EXPECT_EQ(out, head) << "saved prefix must restore";
+    buf.read(cfg.bufferBytes - 128, out);
+    EXPECT_EQ(out, std::vector<std::uint8_t>(128, 0))
+        << "truncated tail must read as zeros, not stale bytes";
+    EXPECT_TRUE(buf.entry(1).has_value()) << "table restored";
+}
+
+TEST(RecoveryManager, PartialDumpIsSeedDeterministic)
+{
+    sim::setLogQuiet(true);
+    auto run = [](std::uint64_t seed) {
+        ba::BaConfig cfg;
+        ba::BaBuffer buf(cfg);
+        ba::RecoveryManager rec(cfg, buf);
+        sim::FaultPlan plan;
+        plan.seed = seed;
+        plan.capacitorEnergyScale =
+            0.5 * rec.dumpEnergyJoules(0) / cfg.backupEnergyJoules();
+        sim::FaultInjector inj(plan);
+        rec.setFaultInjector(&inj);
+        sim::EventQueue q;
+        return rec.powerLoss(0, q).savedBytes;
+    };
+    EXPECT_EQ(run(1), run(1));
+    sim::setLogQuiet(false);
+}

@@ -19,104 +19,19 @@
 #include <string>
 #include <vector>
 
-#include "ba/two_b_ssd.hh"
 #include "db/minipg/minipg.hh"
 #include "db/miniredis/miniredis.hh"
 #include "db/minirocks/minirocks.hh"
-#include "host/host_memory.hh"
 #include "sim/rng.hh"
-#include "ssd/ssd_device.hh"
-#include "wal/ba_wal.hh"
-#include "wal/block_wal.hh"
-#include "wal/pm_wal.hh"
-#include "wal/pmr_wal.hh"
+
+#include "../support/rig.hh"
 
 using namespace bssd;
+using rigs::WalKind;
+using rigs::walName;
 
 namespace
 {
-
-enum class WalKind { block, ba, baSingle, pm, pmr };
-
-const char *
-walName(WalKind k)
-{
-    switch (k) {
-      case WalKind::block: return "block";
-      case WalKind::ba: return "ba";
-      case WalKind::baSingle: return "ba_single";
-      case WalKind::pm: return "pm";
-      case WalKind::pmr: return "pmr";
-    }
-    return "?";
-}
-
-/** Everything backing one log device, kept alive together. */
-struct Rig
-{
-    std::unique_ptr<ssd::SsdDevice> blockDev;
-    std::unique_ptr<ba::TwoBSsd> twoB;
-    std::unique_ptr<host::PersistentMemory> pm;
-    std::unique_ptr<wal::LogDevice> log;
-
-    ssd::SsdDevice &
-    dataDevice()
-    {
-        return twoB ? twoB->device() : *blockDev;
-    }
-};
-
-Rig
-makeRig(WalKind kind)
-{
-    Rig rig;
-    switch (kind) {
-      case WalKind::block: {
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::tiny());
-        wal::BlockWalConfig cfg;
-        cfg.regionBytes = sim::MiB;
-        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev, cfg);
-        break;
-      }
-      case WalKind::ba:
-      case WalKind::baSingle: {
-        ba::BaConfig bc;
-        bc.bufferBytes = 128 * sim::KiB;
-        rig.twoB =
-            std::make_unique<ba::TwoBSsd>(ssd::SsdConfig::tiny(), bc);
-        wal::BaWalConfig cfg;
-        cfg.regionBytes = sim::MiB;
-        cfg.halfBytes = 32 * sim::KiB;
-        cfg.doubleBuffer = kind == WalKind::ba;
-        rig.log = std::make_unique<wal::BaWal>(*rig.twoB, cfg);
-        break;
-      }
-      case WalKind::pm: {
-        rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(ssd::SsdConfig::tiny());
-        rig.pm = std::make_unique<host::PersistentMemory>();
-        wal::PmWalConfig cfg;
-        cfg.regionBytes = sim::MiB;
-        cfg.halfBytes = 32 * sim::KiB;
-        rig.log = std::make_unique<wal::PmWal>(*rig.pm, *rig.blockDev,
-                                               cfg);
-        break;
-      }
-      case WalKind::pmr: {
-        ba::BaConfig bc;
-        bc.bufferBytes = 128 * sim::KiB;
-        rig.twoB =
-            std::make_unique<ba::TwoBSsd>(ssd::SsdConfig::tiny(), bc);
-        wal::PmrWalConfig cfg;
-        cfg.regionBytes = sim::MiB;
-        cfg.halfBytes = 32 * sim::KiB;
-        rig.log = std::make_unique<wal::PmrWal>(*rig.twoB, cfg);
-        break;
-      }
-    }
-    return rig;
-}
 
 class CrashMatrix
     : public ::testing::TestWithParam<std::tuple<WalKind, std::uint64_t>>
@@ -127,7 +42,7 @@ class CrashMatrix
 TEST_P(CrashMatrix, RedisRecoversExactCommittedState)
 {
     auto [kind, seed] = GetParam();
-    auto rig = makeRig(kind);
+    auto rig = rigs::makeTinyRig(kind);
     db::miniredis::MiniRedis redis(*rig.log);
 
     sim::Rng rng(seed);
@@ -153,20 +68,22 @@ TEST_P(CrashMatrix, RedisRecoversExactCommittedState)
     rig.log->crash(t);
     redis.recover();
 
-    ASSERT_EQ(redis.keys(), expect.size()) << walName(kind);
+    ASSERT_EQ(redis.keys(), expect.size())
+        << rigs::reproLine("redis", kind, seed);
     for (const auto &[k, v] : expect) {
         std::optional<std::vector<std::uint8_t>> got;
         redis.get(0, k, &got);
-        ASSERT_TRUE(got.has_value()) << walName(kind) << " key " << k;
+        ASSERT_TRUE(got.has_value())
+            << rigs::reproLine("redis", kind, seed) << " key " << k;
         ASSERT_EQ(std::string(got->begin(), got->end()), v)
-            << walName(kind) << " key " << k;
+            << rigs::reproLine("redis", kind, seed) << " key " << k;
     }
 }
 
 TEST_P(CrashMatrix, PgRecoversExactCommittedState)
 {
     auto [kind, seed] = GetParam();
-    auto rig = makeRig(kind);
+    auto rig = rigs::makeTinyRig(kind);
     db::minipg::MiniPg pg(*rig.log);
 
     sim::Rng rng(seed * 31 + 7);
@@ -189,19 +106,22 @@ TEST_P(CrashMatrix, PgRecoversExactCommittedState)
     rig.log->crash(t);
     pg.recover();
 
-    ASSERT_EQ(pg.nodeCount(), nodes.size()) << walName(kind);
+    ASSERT_EQ(pg.nodeCount(), nodes.size())
+        << rigs::reproLine("pg", kind, seed);
     for (const auto &[id, tag] : nodes) {
         std::vector<std::uint8_t> got;
         pg.getNode(0, id, &got);
-        ASSERT_EQ(got.size(), 60u) << walName(kind) << " node " << id;
-        ASSERT_EQ(got[0], tag) << walName(kind) << " node " << id;
+        ASSERT_EQ(got.size(), 60u)
+            << rigs::reproLine("pg", kind, seed) << " node " << id;
+        ASSERT_EQ(got[0], tag)
+            << rigs::reproLine("pg", kind, seed) << " node " << id;
     }
 }
 
 TEST_P(CrashMatrix, RocksRecoversExactCommittedState)
 {
     auto [kind, seed] = GetParam();
-    auto rig = makeRig(kind);
+    auto rig = rigs::makeTinyRig(kind);
     db::minirocks::RocksConfig rcfg;
     rcfg.memtableBytes = 16 * sim::KiB; // force SST flushes mid-run
     rcfg.dataRegionOffset = sim::MiB + 512 * sim::KiB;
@@ -236,9 +156,10 @@ TEST_P(CrashMatrix, RocksRecoversExactCommittedState)
     for (const auto &[k, v] : expect) {
         std::optional<std::vector<std::uint8_t>> got;
         db.get(0, k, &got);
-        ASSERT_TRUE(got.has_value()) << walName(kind) << " key " << k;
+        ASSERT_TRUE(got.has_value())
+            << rigs::reproLine("rocks", kind, seed) << " key " << k;
         ASSERT_EQ(std::string(got->begin(), got->end()), v)
-            << walName(kind) << " key " << k;
+            << rigs::reproLine("rocks", kind, seed) << " key " << k;
     }
     // Nothing extra resurfaces.
     for (int i = 0; i < 50; ++i) {
@@ -247,7 +168,8 @@ TEST_P(CrashMatrix, RocksRecoversExactCommittedState)
             continue;
         std::optional<std::vector<std::uint8_t>> got;
         db.get(0, key, &got);
-        ASSERT_FALSE(got.has_value()) << walName(kind) << " key " << key;
+        ASSERT_FALSE(got.has_value())
+            << rigs::reproLine("rocks", kind, seed) << " key " << key;
     }
 }
 

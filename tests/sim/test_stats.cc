@@ -269,3 +269,85 @@ TEST(Histogram, HugeValuesDoNotOverflowIndex)
     EXPECT_EQ(h.percentile(0), 0u);
     EXPECT_EQ(h.percentile(100), ~std::uint64_t(0));
 }
+
+TEST(Distribution, CacheInvalidatedByReservoirDisplacement)
+{
+    // A tiny reservoir so displacements are frequent: once the cached
+    // sorted view is built, a displacing sample() must invalidate it -
+    // a stale cache would keep answering from the old contents.
+    Distribution d("displace", 4);
+    for (int i = 0; i < 4; ++i)
+        d.sample(10);
+    EXPECT_EQ(d.percentile(50), 10u); // builds the cache
+
+    // Pump large samples; reservoir sampling displaces old entries
+    // with probability cap/count each round. Recheck the percentile
+    // every round so a missed invalidation answers from the stale
+    // all-10s sorted view.
+    bool moved = false;
+    for (int i = 0; i < 2000 && !moved; ++i) {
+        d.sample(1000000);
+        moved = d.percentile(90) == 1000000u;
+    }
+    EXPECT_TRUE(moved)
+        << "2000 displacing samples never surfaced in percentile()";
+    EXPECT_EQ(d.max(), 1000000u);
+}
+
+TEST(Distribution, PercentileIsMonotoneInP)
+{
+    Distribution d("mono", 256);
+    Rng rng(31);
+    for (int i = 0; i < 5000; ++i)
+        d.sample(rng.nextBelow(1ull << 40));
+    std::uint64_t prev = 0;
+    for (double p = 0; p <= 100.0; p += 0.5) {
+        std::uint64_t v = d.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
+    EXPECT_EQ(d.percentile(0), d.min());
+    EXPECT_EQ(d.percentile(100), d.max());
+}
+
+TEST(Histogram, PercentileIsMonotoneInP)
+{
+    // Monotonicity must hold across bucket-group boundaries (values
+    // span many power-of-two decades, including the exact sub-bucket
+    // range below kSubBuckets).
+    Histogram h("mono");
+    Rng rng(32);
+    for (int i = 0; i < 5000; ++i)
+        h.record(rng.next() >> (rng.nextBelow(60)));
+    std::uint64_t prev = 0;
+    for (double p = 0; p <= 100.0; p += 0.5) {
+        std::uint64_t v = h.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
+}
+
+TEST(Histogram, MergePreservesPercentileMonotonicity)
+{
+    // Merge two histograms with disjoint ranges and walk the full
+    // percentile curve: the spliced distribution must still be
+    // monotone and the seam must sit between the two ranges.
+    Histogram low("low"), high("high");
+    Rng rng(33);
+    for (int i = 0; i < 3000; ++i) {
+        low.record(rng.nextBelow(1000));
+        high.record((1 << 20) + rng.nextBelow(1 << 20));
+    }
+    low.merge(high);
+    EXPECT_EQ(low.count(), 6000u);
+    std::uint64_t prev = 0;
+    for (double p = 0; p <= 100.0; p += 0.25) {
+        std::uint64_t v = low.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
+    // Below the seam the answers come from the low half, above from
+    // the high half (1/32 relative error at the boundary).
+    EXPECT_LT(low.percentile(25), 1100u);
+    EXPECT_GT(low.percentile(75), 1000000u);
+}

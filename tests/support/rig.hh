@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Shared WAL rig construction for tests, benches and tools.
+ *
+ * One log device plus everything backing it, built identically
+ * everywhere: the crash matrix, the fault-injection campaign, the
+ * crash_campaign tool and the application benches all construct rigs
+ * through this header, so a repro line printed by any of them can be
+ * replayed by all of them. Each rig is fully self-contained (own
+ * device, own event queue, own RNG streams), which is what lets the
+ * sweep harness run rigs on concurrent worker threads with
+ * bit-identical results.
+ */
+
+#ifndef BSSD_TESTS_SUPPORT_RIG_HH
+#define BSSD_TESTS_SUPPORT_RIG_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ba/two_b_ssd.hh"
+#include "host/host_memory.hh"
+#include "sim/fault.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/async_wal.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+#include "wal/pm_wal.hh"
+#include "wal/pmr_wal.hh"
+
+namespace bssd::rigs
+{
+
+/** Every WAL implementation a rig can host. */
+enum class WalKind
+{
+    block,    ///< page-aligned block WAL with fsync
+    ba,       ///< 2B-SSD BA-WAL, double-buffered halves
+    baSingle, ///< 2B-SSD BA-WAL, single buffer
+    pm,       ///< host persistent memory + block destage
+    pmr,      ///< PMR window + host destage
+    async,    ///< no durability (baseline)
+};
+
+inline const char *
+walName(WalKind k)
+{
+    switch (k) {
+      case WalKind::block: return "block";
+      case WalKind::ba: return "ba";
+      case WalKind::baSingle: return "ba_single";
+      case WalKind::pm: return "pm";
+      case WalKind::pmr: return "pmr";
+      case WalKind::async: return "async";
+    }
+    return "?";
+}
+
+/** How to build one rig. Zero-valued sizes mean "the WAL's default". */
+struct RigSpec
+{
+    WalKind wal = WalKind::block;
+
+    /** Which block-device preset backs the rig. */
+    enum class Device { tiny, dc, ull } device = Device::tiny;
+
+    /** WAL region size (block/ba/pm/pmr). 0 = WAL default. */
+    std::uint64_t regionBytes = 0;
+    /** Half/window size for half-based WALs. 0 = WAL default. */
+    std::uint64_t halfBytes = 0;
+    /** BA-buffer capacity for 2B-SSD rigs. 0 = BaConfig default. */
+    std::uint64_t baBufferBytes = 0;
+};
+
+/** A log device plus everything backing it, kept alive together. */
+struct Rig
+{
+    std::unique_ptr<ssd::SsdDevice> blockDev;
+    std::unique_ptr<ba::TwoBSsd> twoB;
+    std::unique_ptr<host::PersistentMemory> pm;
+    std::unique_ptr<wal::LogDevice> log;
+    std::string label;
+
+    /** The device SSTs/manifest live on (for minirocks). */
+    ssd::SsdDevice &
+    dataDevice()
+    {
+        return twoB ? twoB->device() : *blockDev;
+    }
+
+    /** Simulation events fired by the rig's device (0 if none). */
+    std::uint64_t
+    eventsFired() const
+    {
+        return twoB ? twoB->events().totalFired() : 0;
+    }
+
+    /**
+     * Install a fault injector into every layer this rig owns. Call
+     * AFTER construction so setup-time activity (half pinning, region
+     * truncation) is not counted as op-stream tracepoint hits.
+     */
+    void
+    installFaultInjector(sim::FaultInjector *f)
+    {
+        if (twoB)
+            twoB->installFaultInjector(f);
+        if (blockDev)
+            blockDev->setFaultInjector(f);
+        if (pm)
+            pm->setFaultInjector(f);
+    }
+};
+
+inline ssd::SsdConfig
+deviceConfig(RigSpec::Device d)
+{
+    switch (d) {
+      case RigSpec::Device::tiny: return ssd::SsdConfig::tiny();
+      case RigSpec::Device::dc: return ssd::SsdConfig::dcSsd();
+      case RigSpec::Device::ull: return ssd::SsdConfig::ullSsd();
+    }
+    return ssd::SsdConfig::tiny();
+}
+
+/** Build one rig from a spec. */
+inline Rig
+makeRig(const RigSpec &spec)
+{
+    Rig rig;
+    rig.label = walName(spec.wal);
+    switch (spec.wal) {
+      case WalKind::block: {
+        rig.blockDev =
+            std::make_unique<ssd::SsdDevice>(deviceConfig(spec.device));
+        wal::BlockWalConfig cfg;
+        if (spec.regionBytes)
+            cfg.regionBytes = spec.regionBytes;
+        rig.log = std::make_unique<wal::BlockWal>(*rig.blockDev, cfg);
+        break;
+      }
+      case WalKind::ba:
+      case WalKind::baSingle: {
+        ba::BaConfig bc;
+        if (spec.baBufferBytes)
+            bc.bufferBytes = spec.baBufferBytes;
+        rig.twoB = std::make_unique<ba::TwoBSsd>(
+            deviceConfig(spec.device), bc);
+        wal::BaWalConfig cfg;
+        if (spec.regionBytes)
+            cfg.regionBytes = spec.regionBytes;
+        if (spec.halfBytes)
+            cfg.halfBytes = spec.halfBytes;
+        cfg.doubleBuffer = spec.wal == WalKind::ba;
+        rig.log = std::make_unique<wal::BaWal>(*rig.twoB, cfg);
+        break;
+      }
+      case WalKind::pm: {
+        rig.blockDev =
+            std::make_unique<ssd::SsdDevice>(deviceConfig(spec.device));
+        rig.pm = std::make_unique<host::PersistentMemory>();
+        wal::PmWalConfig cfg;
+        if (spec.regionBytes)
+            cfg.regionBytes = spec.regionBytes;
+        if (spec.halfBytes)
+            cfg.halfBytes = spec.halfBytes;
+        rig.log = std::make_unique<wal::PmWal>(*rig.pm, *rig.blockDev,
+                                               cfg);
+        break;
+      }
+      case WalKind::pmr: {
+        ba::BaConfig bc;
+        if (spec.baBufferBytes)
+            bc.bufferBytes = spec.baBufferBytes;
+        rig.twoB = std::make_unique<ba::TwoBSsd>(
+            deviceConfig(spec.device), bc);
+        wal::PmrWalConfig cfg;
+        if (spec.regionBytes)
+            cfg.regionBytes = spec.regionBytes;
+        if (spec.halfBytes)
+            cfg.halfBytes = spec.halfBytes;
+        rig.log = std::make_unique<wal::PmrWal>(*rig.twoB, cfg);
+        break;
+      }
+      case WalKind::async:
+        rig.blockDev =
+            std::make_unique<ssd::SsdDevice>(deviceConfig(spec.device));
+        rig.log = std::make_unique<wal::AsyncWal>();
+        break;
+    }
+    return rig;
+}
+
+/** The crash-matrix preset: tiny device, 1 MiB region, 32 KiB halves,
+ *  128 KiB BA-buffer. Small enough that half switches and destage
+ *  paths are exercised by a ~100-op stream. */
+inline RigSpec
+tinySpec(WalKind k)
+{
+    RigSpec s;
+    s.wal = k;
+    s.device = RigSpec::Device::tiny;
+    s.regionBytes = sim::MiB;
+    s.halfBytes = 32 * sim::KiB;
+    s.baBufferBytes = 128 * sim::KiB;
+    return s;
+}
+
+inline Rig
+makeTinyRig(WalKind k)
+{
+    return makeRig(tinySpec(k));
+}
+
+/**
+ * One-line repro for a failing (engine, wal, seed[, crash point])
+ * cell, replayable via the crash_campaign tool.
+ */
+inline std::string
+reproLine(const std::string &engine, WalKind wal, std::uint64_t seed,
+          std::int64_t crashPoint = -1)
+{
+    std::string s = "repro: crash_campaign --engine=" + engine +
+                    " --wal=" + walName(wal) +
+                    " --seed=" + std::to_string(seed);
+    if (crashPoint >= 0)
+        s += " --point=" + std::to_string(crashPoint);
+    return s;
+}
+
+} // namespace bssd::rigs
+
+#endif // BSSD_TESTS_SUPPORT_RIG_HH
