@@ -19,10 +19,13 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "ba/two_b_ssd.hh"
 #include "bench_util.hh"
+#include "sim/report.hh"
+#include "sim/trace.hh"
 #include "ssd/ssd_device.hh"
 
 using namespace bssd;
@@ -63,9 +66,12 @@ blockWriteUs(ssd::SsdDevice &dev, std::uint64_t bytes, sim::Tick at,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fig. 7", "read/write latency vs request size");
+
+    const std::string tracePath = stringArg(argc, argv, "--trace");
+    const std::string metricsPath = stringArg(argc, argv, "--metrics");
 
     ssd::SsdDevice dc(ssd::SsdConfig::dcSsd());
     ssd::SsdDevice ull(ssd::SsdConfig::ullSsd());
@@ -80,6 +86,19 @@ main()
     for (int i = 0; i < 32; ++i) {
         dc.blockWrite(0, scatterOffset(i), pages);
         ull.blockWrite(0, scatterOffset(i), pages);
+    }
+
+    // Observability attaches AFTER setup so the trace and the metrics
+    // cover the measured op stream only, not the seeding writes.
+    sim::Tracer tracer;
+    sim::MetricRegistry registry;
+    if (!tracePath.empty() || !metricsPath.empty()) {
+        dc.setTracer(&tracer);
+        ull.setTracer(&tracer);
+        twoB.installTracer(&tracer);
+        dc.registerMetrics(registry, "dc");
+        ull.registerMetrics(registry, "ull");
+        twoB.registerMetrics(registry, "twob");
     }
 
     section("(a) read latency [us]");
@@ -133,5 +152,22 @@ main()
     }
     std::printf("paper:   blocks flat (DC ~17, ULL ~10); MMIO 0.63 "
                 "(8B) to ~2 (4KB); +15%%..47%% persistent\n");
+
+    if (!tracePath.empty()) {
+        std::ofstream os(tracePath);
+        tracer.writeChromeJson(os);
+        std::printf("\nwrote trace: %s (%zu events)\n",
+                    tracePath.c_str(), tracer.events().size());
+    }
+    if (!metricsPath.empty()) {
+        sim::RunReport rep;
+        rep.bench = "bench_fig7_latency";
+        rep.config = "dc+ull+2b, 8B-4KB read/write sweep";
+        rep.metrics = registry.snapshot();
+        rep.phases = tracer.phaseBreakdown();
+        std::ofstream os(metricsPath);
+        rep.writeJson(os);
+        std::printf("wrote metrics report: %s\n", metricsPath.c_str());
+    }
     return 0;
 }

@@ -9,9 +9,12 @@
  * test_sweep_determinism.cc asserts this); threads only change how
  * long you wait.
  *
- * Usage: bench_sweep_main [--threads=N] [--quick]
- *   --threads=N  worker threads (default: hardware concurrency)
- *   --quick      smaller matrix / shorter horizon (CI smoke)
+ * Usage: bench_sweep_main [--threads=N] [--quick] [--metrics=FILE]
+ *   --threads=N     worker threads (default: hardware concurrency)
+ *   --quick         smaller matrix / shorter horizon (CI smoke)
+ *   --metrics=FILE  per-cell metric snapshots merged in job order
+ *                   (deterministic regardless of worker scheduling)
+ *                   and written as one JSON report
  */
 
 #include <chrono>
@@ -26,6 +29,7 @@
 #include "db/minipg/minipg.hh"
 #include "db/miniredis/miniredis.hh"
 #include "db/minirocks/minirocks.hh"
+#include "sim/report.hh"
 #include "sim/sweep.hh"
 #include "workload/runner.hh"
 
@@ -63,7 +67,8 @@ struct Cell
 };
 
 sim::SweepRecord
-runCell(const Cell &cell, sim::Tick horizon)
+runCell(const Cell &cell, sim::Tick horizon,
+        sim::MetricsSnapshot *outMetrics)
 {
     auto t0 = std::chrono::steady_clock::now();
 
@@ -73,6 +78,10 @@ runCell(const Cell &cell, sim::Tick horizon)
                                                      : 0;
     bool doubleBuf = cell.app != App::ycsbaRedis;
     LogRig rig = makeRig(cell.rig, half, doubleBuf);
+
+    sim::MetricRegistry registry;
+    if (outMetrics)
+        rig.registerMetrics(registry, "rig");
 
     RunResult res;
     switch (cell.app) {
@@ -107,6 +116,9 @@ runCell(const Cell &cell, sim::Tick horizon)
                     std::chrono::steady_clock::now() - t0)
                     .count();
 
+    if (outMetrics)
+        *outMetrics = registry.snapshot();
+
     sim::SweepRecord rec;
     rec.device = rigName(cell.rig);
     rec.workload = appName(cell.app);
@@ -133,6 +145,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i)
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+    const std::string metricsPath = stringArg(argc, argv, "--metrics");
     unsigned threads = threadsArg(argc, argv);
     if (threads == 0)
         threads = sim::defaultSweepThreads();
@@ -167,12 +180,16 @@ main(int argc, char **argv)
                         std::to_string(threads) + " threads)");
 
     std::vector<sim::SweepRecord> records(cells.size());
+    std::vector<sim::MetricsSnapshot> snapshots(cells.size());
+    sim::MetricsSnapshot *snaps =
+        metricsPath.empty() ? nullptr : snapshots.data();
     std::vector<std::function<void()>> jobs;
     jobs.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i)
         jobs.push_back(
-            [&records, &cells, i, horizon] {
-                records[i] = runCell(cells[i], horizon);
+            [&records, &cells, i, horizon, snaps] {
+                records[i] = runCell(cells[i], horizon,
+                                     snaps ? snaps + i : nullptr);
             });
 
     auto t0 = std::chrono::steady_clock::now();
@@ -196,5 +213,20 @@ main(int argc, char **argv)
     std::ofstream os("BENCH_sweep.json");
     sim::writeSweepJson(os, records, threads, totalMs);
     std::printf("wrote BENCH_sweep.json (%zu runs)\n", records.size());
+
+    if (!metricsPath.empty()) {
+        // Merge the per-worker snapshots in JOB order, not completion
+        // order: the merged report is then a pure function of the cell
+        // matrix, bit-identical for any thread count.
+        sim::RunReport rep;
+        rep.bench = "bench_sweep_main";
+        rep.config = std::to_string(cells.size()) + " cells merged";
+        for (const auto &s : snapshots)
+            rep.metrics.merge(s);
+        std::ofstream mos(metricsPath);
+        rep.writeJson(mos);
+        std::printf("wrote merged metrics report: %s\n",
+                    metricsPath.c_str());
+    }
     return 0;
 }

@@ -36,6 +36,23 @@ section(const std::string &name)
     std::printf("\n--- %s ---\n", name.c_str());
 }
 
+/**
+ * Parse an optional string-valued flag (`--trace=<file>` or
+ * `--trace <file>`). @return empty string when absent.
+ */
+inline std::string
+stringArg(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind(flag + "=", 0) == 0)
+            return a.substr(flag.size() + 1);
+        if (a == flag && i + 1 < argc)
+            return argv[i + 1];
+    }
+    return {};
+}
+
 /** Human-readable byte size. */
 inline std::string
 sizeLabel(std::uint64_t bytes)

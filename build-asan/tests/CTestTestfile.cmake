@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nand[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ftl[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_pcie[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_host[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ssd[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ba[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_wal[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_db[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_fault[1]_include.cmake")

@@ -83,8 +83,7 @@ RecoveryManager::powerLoss(sim::Tick t, sim::EventQueue &queue)
         std::uint64_t n = std::min(chunk, buffer_.size() - done);
         if (drawn + chunkEnergy(n) > rep.joulesBudget)
             break; // capacitors exhausted mid-sequence
-        if (faults_)
-            faults_->hit(sim::Tp::baDumpChunk);
+        sim::tracepointHit(faults_, tracer_, sim::Tp::baDumpChunk, when);
         drawn += chunkEnergy(n);
         when += cfg_.internalBw.transferTime(n);
         std::uint64_t off = done;

@@ -22,6 +22,7 @@
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::ba
 {
@@ -99,10 +100,14 @@ class RecoveryManager
      *  dump-chunk tracepoints). nullptr disables. */
     void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
 
+    /** Install the rig's tracer (nullptr disables). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
   private:
     BaConfig cfg_;
     BaBuffer &buffer_;
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
 
     /** The reserved NAND area: image + table, outside the FTL's
      *  logical space. */

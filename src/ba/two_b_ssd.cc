@@ -59,6 +59,29 @@ TwoBSsd::installFaultInjector(sim::FaultInjector *f)
     recovery_.setFaultInjector(f);
 }
 
+void
+TwoBSsd::installTracer(sim::Tracer *t)
+{
+    tracer_ = t;
+    device_.setTracer(t);
+    wc_.setTracer(t);
+    recovery_.setTracer(t);
+}
+
+void
+TwoBSsd::registerMetrics(sim::MetricRegistry &reg,
+                         const std::string &prefix) const
+{
+    device_.registerMetrics(reg, prefix + ".ssd");
+    wc_.registerMetrics(reg, prefix + ".wc");
+    reg.addGauge(prefix + ".buffer.entries", [this] {
+        return static_cast<double>(buffer_.entryCount());
+    });
+    reg.addGauge(prefix + ".buffer.pending_bytes", [this] {
+        return static_cast<double>(buffer_.pendingBytes());
+    });
+}
+
 MapEntry
 TwoBSsd::requireEntry(Eid eid) const
 {
@@ -81,7 +104,15 @@ TwoBSsd::mmioWrite(sim::Tick now, std::uint64_t windowOff,
 {
     std::uint64_t off = bar_.translate(bar_.base() + windowOff,
                                        data.size());
-    return wc_.write(now, off, data);
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ba", "mmioWrite", now)
+        : 0;
+    sim::Tick end = wc_.write(now, off, data);
+    if (tracer_) {
+        tracer_->phase("store", now, end);
+        tracer_->endSpan(sp, end);
+    }
+    return end;
 }
 
 sim::Tick
@@ -90,6 +121,10 @@ TwoBSsd::mmioRead(sim::Tick now, std::uint64_t windowOff,
 {
     std::uint64_t off = bar_.translate(bar_.base() + windowOff,
                                        out.size());
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ba", "mmioRead", now)
+        : 0;
+    const sim::Tick start = now;
     // An uncacheable read drains the WC buffers first (x86 ordering),
     // then pays the split non-posted transactions; it is ordered
     // behind all posted writes at the root complex.
@@ -97,6 +132,12 @@ TwoBSsd::mmioRead(sim::Tick now, std::uint64_t windowOff,
     sim::Tick done = device_.link().mmioRead(now, out.size());
     buffer_.settleTo(done);
     buffer_.read(off, out);
+    if (tracer_) {
+        if (now > start)
+            tracer_->phase("wc_drain", start, now);
+        tracer_->phase("mmio", now, done);
+        tracer_->endSpan(sp, done);
+    }
     return done;
 }
 
@@ -114,8 +155,10 @@ TwoBSsd::baPin(sim::Tick ready, Eid eid, std::uint64_t offset,
             "BA_PIN refused: power-loss dump would exceed the capacitor "
             "energy budget");
     }
-    if (faults_)
-        faults_->hit(sim::Tp::baPin);
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ba", "pin", ready)
+        : 0;
+    sim::tracepointHit(faults_, tracer_, sim::Tp::baPin, ready);
     // Table checks happen before any data movement.
     buffer_.addEntry(eid, offset, lba, length, ps);
 
@@ -126,15 +169,25 @@ TwoBSsd::baPin(sim::Tick ready, Eid eid, std::uint64_t offset,
     auto media = device_.ftl().read(t, lba / ps, length / ps, staging);
     auto move = internalMove(t, length);
     buffer_.deviceWrite(offset, staging);
-    return {ready, std::max(media.end, move.end)};
+    sim::Tick end = std::max(media.end, move.end);
+    if (tracer_) {
+        tracer_->phase("api", ready, t);
+        tracer_->phase("media", t, media.end);
+        if (end > media.end)
+            tracer_->phase("internal", media.end, end);
+        tracer_->endSpan(sp, end);
+    }
+    return {ready, end};
 }
 
 sim::Interval
 TwoBSsd::baFlush(sim::Tick ready, Eid eid)
 {
     const MapEntry e = requireEntry(eid);
-    if (faults_)
-        faults_->hit(sim::Tp::baFlush);
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ba", "flush", ready)
+        : 0;
+    sim::tracepointHit(faults_, tracer_, sim::Tp::baFlush, ready);
     const std::uint32_t ps = device_.pageSize();
 
     sim::Tick t = ready + baCfg_.apiCost;
@@ -148,7 +201,15 @@ TwoBSsd::baFlush(sim::Tick ready, Eid eid)
                                      staging);
     // Success drops the entry (the paper's BA_FLUSH semantics).
     buffer_.removeEntry(eid);
-    return {ready, std::max(media.end, move.end)};
+    sim::Tick end = std::max(media.end, move.end);
+    if (tracer_) {
+        tracer_->phase("api", ready, t);
+        tracer_->phase("media", t, media.end);
+        if (end > media.end)
+            tracer_->phase("internal", media.end, end);
+        tracer_->endSpan(sp, end);
+    }
+    return {ready, end};
 }
 
 sim::Tick
@@ -167,14 +228,22 @@ TwoBSsd::baSyncRange(sim::Tick now, Eid eid, std::uint64_t offset,
         offset + len > e.startOffset + e.length) {
         throw BaError("BA_SYNC range outside entry " + std::to_string(eid));
     }
-    if (faults_)
-        faults_->hit(sim::Tp::baSync);
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ba", "sync", now)
+        : 0;
+    const sim::Tick start = now;
+    sim::tracepointHit(faults_, tracer_, sim::Tp::baSync, now);
     // (1) the pinned pages are known host-side from BA_GET_ENTRY_INFO
     //     at pin time; (2) clflush + mfence over them; (3) the
     //     write-verify read orders behind the posted data.
     now = wc_.flushRange(now, offset, len);
     sim::Tick durable = device_.link().writeVerifyRead(now);
     buffer_.settleTo(durable);
+    if (tracer_) {
+        tracer_->phase("wc_flush", start, now);
+        tracer_->phase("verify", now, durable);
+        tracer_->endSpan(sp, durable);
+    }
     return durable;
 }
 
@@ -183,11 +252,19 @@ TwoBSsd::mmioSync(sim::Tick now, std::uint64_t windowOff,
                   std::uint64_t len)
 {
     bar_.translate(bar_.base() + windowOff, len);
-    if (faults_)
-        faults_->hit(sim::Tp::baSync);
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ba", "mmioSync", now)
+        : 0;
+    const sim::Tick start = now;
+    sim::tracepointHit(faults_, tracer_, sim::Tp::baSync, now);
     now = wc_.flushRange(now, windowOff, len);
     sim::Tick durable = device_.link().writeVerifyRead(now);
     buffer_.settleTo(durable);
+    if (tracer_) {
+        tracer_->phase("wc_flush", start, now);
+        tracer_->phase("verify", now, durable);
+        tracer_->endSpan(sp, durable);
+    }
     return durable;
 }
 
@@ -205,12 +282,20 @@ TwoBSsd::baReadDma(sim::Tick ready, Eid eid, std::span<std::uint8_t> out)
         throw BaError("BA_READ_DMA length must be non-zero");
     if (out.size() > e.length)
         throw BaError("BA_READ_DMA length exceeds the pinned range");
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ba", "readDma", ready)
+        : 0;
     sim::Tick t = ready + baCfg_.apiCost;
     // The engine reads settled BA-buffer contents; in-flight posted
     // writes are ordered ahead of the DMA's descriptor fetch.
     buffer_.settleTo(t);
     buffer_.read(e.startOffset, out);
     auto iv = dma_.transfer(t, out.size());
+    if (tracer_) {
+        tracer_->phase("api", ready, t);
+        tracer_->phase("dma", t, iv.end);
+        tracer_->endSpan(sp, iv.end);
+    }
     return {ready, iv.end};
 }
 

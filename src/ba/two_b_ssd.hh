@@ -173,6 +173,21 @@ class TwoBSsd
      */
     void installFaultInjector(sim::FaultInjector *f);
 
+    /**
+     * Install the rig's tracer into every layer of this device's
+     * stack (same cascade as installFaultInjector). nullptr
+     * uninstalls.
+     */
+    void installTracer(sim::Tracer *t);
+
+    /**
+     * Attach the whole stack's statistics to @p reg under @p prefix
+     * ("ba0"): the base block device (with FTL/NAND/PCIe), the host WC
+     * buffer, and BA-buffer occupancy gauges.
+     */
+    void registerMetrics(sim::MetricRegistry &reg,
+                         const std::string &prefix) const;
+
     /** @name Power events @{ */
 
     /** Pull the plug at time @p t. */
@@ -208,6 +223,7 @@ class TwoBSsd
     LbaChecker checker_;
     sim::EventQueue events_;
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
     /** The firmware-driven internal datapath (ARM cores). */
     sim::FifoResource internal_{"ba.internalPath"};
 

@@ -136,17 +136,17 @@ Ftl::invalidate(Lpn lpn)
 }
 
 void
-Ftl::writeOnePage(Lpn lpn, std::span<const std::uint8_t> page)
+Ftl::writeOnePage(Lpn lpn, std::span<const std::uint8_t> page,
+                  sim::Tick at)
 {
     // A program failure retires the frontier block and rewrites the
     // page elsewhere; bound the attempts so a hostile fault plan
     // cannot spin forever.
     for (int attempt = 0; attempt < 8; ++attempt) {
         nand::Ppa ppa = allocatePage();
-        if (faults_)
-            faults_->hit(sim::Tp::ftlProgram);
+        sim::tracepointHit(faults_, tracer_, sim::Tp::ftlProgram, at);
         if (!flash_.programPage(ppa, page)) {
-            retireBlock(ppa.die, ppa.block);
+            retireBlock(ppa.die, ppa.block, at);
             continue;
         }
         ++nandPages_;
@@ -161,7 +161,7 @@ Ftl::writeOnePage(Lpn lpn, std::span<const std::uint8_t> page)
 }
 
 void
-Ftl::retireBlock(std::uint32_t die, std::uint32_t block)
+Ftl::retireBlock(std::uint32_t die, std::uint32_t block, sim::Tick at)
 {
     const std::uint32_t idx = blockIndex(die, block);
     auto &blk = blocks_[idx];
@@ -184,7 +184,7 @@ Ftl::retireBlock(std::uint32_t die, std::uint32_t block)
         if (it == l2p_.end() || !(it->second == src))
             continue; // remapped since
         flash_.readPage(src, buf);
-        writeOnePage(lpn, buf);
+        writeOnePage(lpn, buf, at);
         ++gcPages_;
     }
     blk.free = false;
@@ -241,9 +241,14 @@ Ftl::wearStats() const
 sim::Tick
 Ftl::collectGarbage(sim::Tick ready)
 {
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ftl", "gc", ready)
+        : 0;
     sim::Tick t = doCollectGarbage(ready);
     if (t > ready)
         gcPause_.record(t - ready);
+    if (tracer_)
+        tracer_->endSpan(sp, t);
     return t;
 }
 
@@ -270,7 +275,7 @@ Ftl::doCollectGarbage(sim::Tick ready)
             if (it == l2p_.end() || !(it->second == src))
                 continue; // remapped since
             flash_.readPage(src, buf);
-            writeOnePage(lpn, buf);
+            writeOnePage(lpn, buf, t);
             ++relocated;
             ++gcPages_;
         }
@@ -280,8 +285,7 @@ Ftl::doCollectGarbage(sim::Tick ready)
         t = std::max(t,
                      flash_.timedProgram(t, std::uint64_t(relocated) *
                                                 pageSize_).end);
-        if (faults_)
-            faults_->hit(sim::Tp::ftlGcErase);
+        sim::tracepointHit(faults_, tracer_, sim::Tp::ftlGcErase, t);
         if (!flash_.eraseBlock(victim.die, victim.block)) {
             // Erase failure: grown defect. Retire the victim instead
             // of freeing it; its valid pages were relocated above, so
@@ -327,7 +331,16 @@ Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
     }
     // Unmapped pages are served from the mapping table alone; only
     // mapped pages cost NAND time.
+    if (!tracer_) {
+        auto iv = flash_.timedRead(ready, mapped);
+        readLat_.record(iv.end - ready);
+        return iv;
+    }
+    sim::SpanId sp = tracer_->beginSpan("ftl", "read", ready);
     auto iv = flash_.timedRead(ready, mapped);
+    tracer_->phase("wait", ready, iv.start);
+    tracer_->phase("media", iv.start, iv.end);
+    tracer_->endSpan(sp, iv.end);
     readLat_.record(iv.end - ready);
     return iv;
 }
@@ -341,17 +354,28 @@ Ftl::write(sim::Tick ready, Lpn lpn, std::uint64_t count,
     if (data.size() < count * pageSize_)
         sim::panic("FTL write buffer too small");
 
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ftl", "write", ready)
+        : 0;
+
     sim::Tick t = ready;
     if (freeList_.size() <= cfg_.gcLowWaterBlocks)
         t = collectGarbage(t);
+    if (tracer_ && t > ready)
+        tracer_->phase("gc_stall", ready, t);
 
     for (std::uint64_t i = 0; i < count; ++i) {
-        writeOnePage(lpn + i, data.subspan(i * pageSize_, pageSize_));
+        writeOnePage(lpn + i, data.subspan(i * pageSize_, pageSize_), t);
         ++hostPages_;
     }
     // One timed program for the whole request: pages coalesce into
     // multi-plane program chunks, exactly how the controller batches.
     auto iv = flash_.timedProgram(t, count * pageSize_);
+    if (tracer_) {
+        tracer_->phase("wait", t, iv.start);
+        tracer_->phase("media", iv.start, iv.end);
+        tracer_->endSpan(sp, iv.end);
+    }
     writeLat_.record(iv.end - ready);
     return {t, iv.end};
 }
@@ -379,6 +403,31 @@ Ftl::trim(Lpn lpn, std::uint64_t count)
 {
     for (std::uint64_t i = 0; i < count; ++i)
         invalidate(lpn + i);
+}
+
+void
+Ftl::registerMetrics(sim::MetricRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.addHistogram(prefix + ".read_lat", readLat_);
+    reg.addHistogram(prefix + ".write_lat", writeLat_);
+    reg.addHistogram(prefix + ".gc.pause", gcPause_);
+    reg.addGauge(prefix + ".host_pages", [this] {
+        return static_cast<double>(hostPages_);
+    });
+    reg.addGauge(prefix + ".nand_pages", [this] {
+        return static_cast<double>(nandPages_);
+    });
+    reg.addGauge(prefix + ".gc.pages_moved", [this] {
+        return static_cast<double>(gcPages_);
+    });
+    reg.addGauge(prefix + ".grown_bad_blocks", [this] {
+        return static_cast<double>(grownBad_);
+    });
+    reg.addGauge(prefix + ".free_blocks", [this] {
+        return static_cast<double>(freeBlocks());
+    });
+    reg.addGauge(prefix + ".waf", [this] { return waf(); });
 }
 
 } // namespace bssd::ftl

@@ -24,9 +24,11 @@
 
 #include "nand/nand_flash.hh"
 #include "sim/fault.hh"
+#include "sim/metrics.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::ftl
 {
@@ -123,6 +125,17 @@ class Ftl
     /** Install the rig's fault injector (nullptr disables). */
     void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
 
+    /** Install the rig's tracer (nullptr disables). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
+    /**
+     * Attach this FTL's statistics to @p reg under @p prefix
+     * ("ssd0.ftl"): latency histograms, WAF counters and the
+     * free-blocks/WAF gauges.
+     */
+    void registerMetrics(sim::MetricRegistry &reg,
+                         const std::string &prefix) const;
+
     /** Blocks retired at runtime after program/erase failures. */
     std::uint64_t grownBadBlocks() const { return grownBad_; }
 
@@ -159,6 +172,7 @@ class Ftl
     std::uint32_t nextDie_ = 0;
 
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
 
     std::uint64_t hostPages_ = 0;
     std::uint64_t nandPages_ = 0;
@@ -175,8 +189,12 @@ class Ftl
     /** Allocate the next physical page on some die's frontier. */
     nand::Ppa allocatePage();
 
-    /** Map + program one logical page (functional only). */
-    void writeOnePage(Lpn lpn, std::span<const std::uint8_t> page);
+    /**
+     * Map + program one logical page (functional only; @p at is the
+     * simulated time the destage runs, for the ftl.program tracepoint).
+     */
+    void writeOnePage(Lpn lpn, std::span<const std::uint8_t> page,
+                      sim::Tick at);
 
     /** Invalidate the old location of @p lpn, if any. */
     void invalidate(Lpn lpn);
@@ -185,7 +203,8 @@ class Ftl
      * Retire a block after a media failure: mark it bad, relocate any
      * pages still mapped into it, and drop it from circulation.
      */
-    void retireBlock(std::uint32_t die, std::uint32_t block);
+    void retireBlock(std::uint32_t die, std::uint32_t block,
+                     sim::Tick at);
 
     /** Run greedy GC until the high watermark is restored. */
     sim::Tick collectGarbage(sim::Tick ready);

@@ -28,8 +28,7 @@ PersistentMemory::write(sim::Tick now, std::uint64_t offset,
         sim::fatal("PM write out of range: ", offset, "+", data.size());
     // The hit precedes the copy: a power cut here means the store
     // never reached the DIMM.
-    if (faults_)
-        faults_->hit(sim::Tp::pmWrite);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::pmWrite, now);
     std::copy(data.begin(), data.end(),
               data_.begin() + static_cast<std::ptrdiff_t>(offset));
     return now + lineCost(data.size(), cfg_.storeCostPerLine);
@@ -49,8 +48,7 @@ PersistentMemory::read(sim::Tick now, std::uint64_t offset,
 sim::Tick
 PersistentMemory::persistBarrier(sim::Tick now) const
 {
-    if (faults_)
-        faults_->hit(sim::Tp::pmBarrier);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::pmBarrier, now);
     return now + cfg_.persistBarrierCost;
 }
 

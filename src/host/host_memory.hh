@@ -19,6 +19,7 @@
 
 #include "sim/fault.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::host
 {
@@ -65,10 +66,14 @@ class PersistentMemory
     /** Install the rig's fault injector (nullptr disables). */
     void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
 
+    /** Install the rig's tracer (nullptr disables). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
   private:
     PmConfig cfg_;
     std::vector<std::uint8_t> data_;
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
 
     sim::Tick lineCost(std::uint64_t bytes, sim::Tick per_line) const;
 };

@@ -37,8 +37,7 @@ WcBuffer::evict(sim::Tick now, Line &line)
 {
     if (!line.dirty)
         return now;
-    if (faults_)
-        faults_->hit(sim::Tp::wcEvict);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::wcEvict, now);
     // Post each contiguous run of valid bytes within the line.
     std::size_t i = 0;
     while (i < line.validMask.size()) {
@@ -133,8 +132,7 @@ WcBuffer::write(sim::Tick now, std::uint64_t offset,
 sim::Tick
 WcBuffer::flushRange(sim::Tick now, std::uint64_t offset, std::uint64_t len)
 {
-    if (faults_)
-        faults_->hit(sim::Tp::wcFlush);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::wcFlush, now);
     std::uint64_t end =
         len > ~std::uint64_t(0) - offset ? ~std::uint64_t(0) : offset + len;
     // clflush executes once per cache line covered by the range,
@@ -157,8 +155,7 @@ WcBuffer::flushRange(sim::Tick now, std::uint64_t offset, std::uint64_t len)
 sim::Tick
 WcBuffer::flushAll(sim::Tick now)
 {
-    if (faults_)
-        faults_->hit(sim::Tp::wcFlush);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::wcFlush, now);
     for (auto &l : lines_) {
         if (!l.dirty)
             continue;

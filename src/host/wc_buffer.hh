@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "sim/fault.hh"
+#include "sim/metrics.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::host
 {
@@ -126,6 +128,23 @@ class WcBuffer
     /** Install the rig's fault injector (nullptr disables). */
     void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
 
+    /** Install the rig's tracer (nullptr disables). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
+    /** Attach eviction counter + occupancy gauges under @p prefix ("wc"). */
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".capacity_evictions", evictions_);
+        reg.addGauge(prefix + ".dirty_lines", [this] {
+            return static_cast<double>(dirtyLines());
+        });
+        reg.addGauge(prefix + ".dirty_bytes", [this] {
+            return static_cast<double>(dirtyBytes());
+        });
+    }
+
   private:
     struct Line
     {
@@ -140,6 +159,7 @@ class WcBuffer
     Sink sink_;
     CrashSink crashSink_;
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
     std::vector<Line> lines_;
     std::uint64_t lruCounter_ = 0;
     sim::Counter evictions_{"wc.capacityEvictions"};

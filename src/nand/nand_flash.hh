@@ -25,6 +25,7 @@
 
 #include "nand/nand_config.hh"
 #include "sim/fault.hh"
+#include "sim/metrics.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -141,6 +142,18 @@ class NandFlash
     std::uint64_t programFailures() const { return programFails_.value(); }
     /** Erase operations that failed (injected faults). */
     std::uint64_t eraseFailures() const { return eraseFails_.value(); }
+
+    /** Attach the array's counters to @p reg under @p prefix ("ssd0.nand"). */
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".pages_read", pagesRead_);
+        reg.addCounter(prefix + ".pages_programmed", pagesProgrammed_);
+        reg.addCounter(prefix + ".blocks_erased", blocksErased_);
+        reg.addCounter(prefix + ".program_fails", programFails_);
+        reg.addCounter(prefix + ".erase_fails", eraseFails_);
+    }
 
   private:
     NandConfig cfg_;

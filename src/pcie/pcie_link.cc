@@ -18,8 +18,7 @@ PcieLink::postedWrite(sim::Tick ready, std::uint64_t bytes)
 {
     if (bytes == 0)
         return ready;
-    if (faults_)
-        faults_->hit(sim::Tp::pciePosted);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::pciePosted, ready);
     const std::uint64_t bursts =
         (bytes + cfg_.writeBurstBytes - 1) / cfg_.writeBurstBytes;
     postedBursts_.add(bursts);
@@ -62,8 +61,7 @@ PcieLink::mmioRead(sim::Tick ready, std::uint64_t bytes)
 sim::Tick
 PcieLink::writeVerifyRead(sim::Tick ready)
 {
-    if (faults_)
-        faults_->hit(sim::Tp::pcieVerify);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::pcieVerify, ready);
     nonPosted_.add();
     // Non-posted reads are sequentialised behind posted writes at the
     // root complex: completion cannot precede the arrival of any write

@@ -24,9 +24,11 @@
 #include <cstdint>
 
 #include "sim/fault.hh"
+#include "sim/metrics.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::pcie
 {
@@ -121,9 +123,23 @@ class PcieLink
     /** Install the rig's fault injector (nullptr disables). */
     void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
 
+    /** Install the rig's tracer (nullptr disables). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
+    /** Attach the link's counters to @p reg under @p prefix ("pcie0"). */
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".posted_bursts", postedBursts_);
+        reg.addCounter(prefix + ".non_posted_reads", nonPosted_);
+        reg.addCounter(prefix + ".dma_bytes", dmaBytes_);
+    }
+
   private:
     PcieConfig cfg_;
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
     sim::FifoResource wire_{"pcie.wire"};
     /** Arrival time of the most recent posted write at the device. */
     sim::Tick postedLanded_ = 0;

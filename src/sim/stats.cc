@@ -70,11 +70,41 @@ Distribution::percentile(double p) const
 }
 
 void
+Distribution::merge(const Distribution &other)
+{
+    // Exact statistics add exactly; the retained samples run through
+    // the same algorithm-R stream this instance uses for sample(), so
+    // the result depends only on the merge order (deterministic for
+    // the sweep coordinator's fixed job order).
+    for (std::uint64_t v : other.reservoir_) {
+        if (reservoir_.size() < cap_) {
+            reservoir_.push_back(v);
+            sortedValid_ = false;
+            continue;
+        }
+        std::uint64_t j = rng_.nextBelow(count_ + 1);
+        if (j < cap_) {
+            reservoir_[static_cast<std::size_t>(j)] = v;
+            sortedValid_ = false;
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+}
+
+void
 Distribution::reset()
 {
     reservoir_.clear();
     sorted_.clear();
     sortedValid_ = false;
+    // Re-seed so a reset instance replays the exact slot choices of a
+    // fresh one - reset-and-rerun stays bit-identical to a new run.
+    rng_ = Rng(0xd157 + cap_);
     count_ = 0;
     sum_ = 0;
     min_ = ~std::uint64_t(0);

@@ -81,6 +81,26 @@ class Distribution
      */
     std::uint64_t percentile(double p) const;
 
+    /**
+     * Fold @p other into this distribution. Exact statistics
+     * (count/sum/min/max) add exactly; the reservoir absorbs the
+     * other side's retained samples through the same algorithm-R
+     * stream, so the result is deterministic for a fixed merge order.
+     * Invalidates the cached sorted reservoir.
+     */
+    void merge(const Distribution &other);
+
+    /** Retained reservoir samples (registry snapshots, tests). */
+    const std::vector<std::uint64_t> &samples() const
+    {
+        return reservoir_;
+    }
+
+    /**
+     * Forget all samples: empties the reservoir, invalidates the
+     * cached sorted copy and restores the min/max sentinels, so a
+     * reused instance is indistinguishable from a fresh one.
+     */
     void reset();
     const std::string &name() const { return name_; }
 
@@ -139,8 +159,33 @@ class Histogram
     /** Fold @p other into this histogram (exact: bucket-wise add). */
     void merge(const Histogram &other);
 
+    /**
+     * Zero every bucket and restore the min/max sentinels so a reused
+     * instance is indistinguishable from a fresh one.
+     */
     void reset();
     const std::string &name() const { return name_; }
+
+    /** @name Bucket introspection (registry snapshots, exporters) @{ */
+
+    /** Total number of buckets in the index space. */
+    static constexpr unsigned bucketCount() { return kBuckets; }
+
+    /** Occupancy of bucket @p index. */
+    std::uint64_t
+    bucketAt(unsigned index) const
+    {
+        return buckets_[index];
+    }
+
+    /** Representative (midpoint) value of bucket @p index. */
+    static std::uint64_t
+    bucketMid(unsigned index)
+    {
+        return bucketMidpoint(index);
+    }
+
+    /** @} */
 
   private:
     // Index space: [0, kSubBuckets) exact values, then one group of

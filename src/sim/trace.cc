@@ -1,0 +1,224 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace bssd::sim
+{
+
+std::uint32_t
+Tracer::intern(const char *s)
+{
+    auto it = internIds_.find(s);
+    if (it != internIds_.end())
+        return it->second;
+    auto id = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    internIds_.emplace(strings_.back(), id);
+    return id;
+}
+
+const std::string &
+Tracer::string(std::uint32_t id) const
+{
+    if (id >= strings_.size())
+        panic("Tracer::string: unknown interned id ", id);
+    return strings_[id];
+}
+
+SpanId
+Tracer::doBeginSpan(const char *cat, const char *name, Tick start)
+{
+    if (!enabled_)
+        return 0;
+    Event e;
+    e.kind = Event::Kind::span;
+    e.cat = intern(cat);
+    e.name = intern(name);
+    e.parent = stack_.empty() ? 0 : stack_.back();
+    e.start = start;
+    e.end = start;
+    e.id = static_cast<SpanId>(events_.size() + 1);
+    events_.push_back(e);
+    stack_.push_back(e.id);
+    return e.id;
+}
+
+void
+Tracer::doEndSpan(SpanId id, Tick end)
+{
+    if (id == 0 || !enabled_)
+        return;
+    if (id > events_.size() ||
+        events_[id - 1].kind != Event::Kind::span) {
+        panic("Tracer::endSpan: unknown span id ", id);
+    }
+    events_[id - 1].end = end;
+    // Pop the span together with anything abandoned above it (a span
+    // interrupted by PowerCut never sees its endSpan; closing the
+    // enclosing span sweeps it off the stack).
+    for (std::size_t i = stack_.size(); i-- > 0;) {
+        if (stack_[i] == id) {
+            stack_.resize(i);
+            break;
+        }
+    }
+}
+
+void
+Tracer::doPhase(const char *name, Tick start, Tick end)
+{
+    if (!enabled_)
+        return;
+    Event e;
+    e.kind = Event::Kind::phase;
+    e.parent = stack_.empty() ? 0 : stack_.back();
+    // A phase inherits its component lane from the enclosing span.
+    e.cat = e.parent ? events_[e.parent - 1].cat : intern("phase");
+    e.name = intern(name);
+    e.start = start;
+    e.end = end;
+    events_.push_back(e);
+}
+
+void
+Tracer::doInstant(const char *cat, const char *name, Tick at)
+{
+    if (!enabled_)
+        return;
+    Event e;
+    e.kind = Event::Kind::instant;
+    e.cat = intern(cat);
+    e.name = intern(name);
+    e.parent = stack_.empty() ? 0 : stack_.back();
+    e.start = at;
+    e.end = at;
+    events_.push_back(e);
+}
+
+void
+Tracer::clear()
+{
+    events_.clear();
+    stack_.clear();
+}
+
+namespace
+{
+
+/**
+ * Exact tick-to-microsecond decimal string (ticks are nanoseconds).
+ * Printed from integers, never through floating point, so the text is
+ * reproducible byte for byte.
+ */
+std::string
+usString(Tick ticks)
+{
+    const Tick whole = ticks / 1000;
+    const Tick frac = ticks % 1000;
+    std::string out = std::to_string(whole);
+    out += '.';
+    out += static_cast<char>('0' + frac / 100);
+    out += static_cast<char>('0' + frac / 10 % 10);
+    out += static_cast<char>('0' + frac % 10);
+    return out;
+}
+
+} // namespace
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    // Stable order by start tick: Perfetto and trace_dump --validate
+    // both expect non-decreasing ts, and stability keeps the file a
+    // pure function of the recorded event sequence.
+    std::vector<std::uint32_t> order(events_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return events_[a].start < events_[b].start;
+                     });
+
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+
+    // One named lane per category keeps unrelated components from
+    // stacking into one another in the Perfetto UI.
+    std::vector<bool> catSeen(strings_.size(), false);
+    for (const Event &e : events_)
+        catSeen[e.cat] = true;
+    for (std::uint32_t c = 0; c < catSeen.size(); ++c) {
+        if (!catSeen[c])
+            continue;
+        os << (first ? "" : ",\n") << "  {\"name\": \"thread_name\", "
+           << "\"ph\": \"M\", \"pid\": 1, \"tid\": " << c + 1
+           << ", \"args\": {\"name\": \"" << strings_[c] << "\"}}";
+        first = false;
+    }
+
+    for (std::uint32_t idx : order) {
+        const Event &e = events_[idx];
+        os << (first ? "" : ",\n") << "  {\"name\": \""
+           << strings_[e.name] << "\", \"cat\": \"" << strings_[e.cat]
+           << "\", ";
+        if (e.kind == Event::Kind::instant) {
+            os << "\"ph\": \"i\", \"s\": \"t\", \"ts\": "
+               << usString(e.start);
+        } else {
+            os << "\"ph\": \"X\", \"ts\": " << usString(e.start)
+               << ", \"dur\": " << usString(e.end - e.start);
+        }
+        os << ", \"pid\": 1, \"tid\": " << e.cat + 1
+           << ", \"args\": {\"start_ticks\": " << e.start
+           << ", \"end_ticks\": " << e.end << ", \"kind\": \""
+           << (e.kind == Event::Kind::span
+                   ? "span"
+                   : e.kind == Event::Kind::phase ? "phase" : "instant")
+           << "\", \"id\": " << e.id << ", \"parent\": " << e.parent
+           << "}}";
+        first = false;
+    }
+    os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+}
+
+std::vector<Tracer::PhaseStat>
+Tracer::phaseBreakdown() const
+{
+    std::map<std::pair<std::string, std::string>,
+             std::vector<std::uint64_t>>
+        durations;
+    for (const Event &e : events_) {
+        if (e.kind != Event::Kind::phase)
+            continue;
+        durations[{strings_[e.cat], strings_[e.name]}].push_back(
+            e.end - e.start);
+    }
+
+    std::vector<PhaseStat> out;
+    out.reserve(durations.size());
+    for (auto &[key, ds] : durations) {
+        std::sort(ds.begin(), ds.end());
+        PhaseStat ps;
+        ps.cat = key.first;
+        ps.name = key.second;
+        ps.count = ds.size();
+        ps.totalTicks = std::accumulate(ds.begin(), ds.end(),
+                                        std::uint64_t{0});
+        ps.minTicks = ds.front();
+        ps.maxTicks = ds.back();
+        auto rank = [&](double p) {
+            auto idx = static_cast<std::size_t>(
+                p / 100.0 * static_cast<double>(ds.size() - 1) + 0.5);
+            return ds[std::min(idx, ds.size() - 1)];
+        };
+        ps.p50 = rank(50.0);
+        ps.p99 = rank(99.0);
+        out.push_back(std::move(ps));
+    }
+    return out;
+}
+
+} // namespace bssd::sim

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Span-based request tracing on simulated ticks (DESIGN.md section 9).
+ *
+ * A Tracer records three event kinds, all stamped with simulated Ticks
+ * rather than wall time:
+ *
+ *  - spans:    one per request or device-internal operation, opened at
+ *              submission and closed at completion. Spans nest through
+ *              an implicit stack - an ftl.write span opened while an
+ *              ssd.blockWrite span is live becomes its child.
+ *  - phases:   contiguous sub-intervals of the innermost live span
+ *              (frontend, xfer, media, ...). The instrumented layers
+ *              guarantee that the phases of a span partition it, which
+ *              is what makes the per-phase sums reconcile with the
+ *              end-to-end latency (tools/trace_dump --validate).
+ *  - instants: point events. The 17 durability tracepoints
+ *              (sim/tracepoint.hh) are recorded as instants through
+ *              tracepointHit(), so fault injection and tracing share
+ *              one instrumentation surface.
+ *
+ * Determinism: the tracer has no clock and no randomness of its own -
+ * events land in call order and carry only simulated ticks, so the
+ * same seed produces a byte-identical trace file.
+ *
+ * Cost: call sites hold a `Tracer *` and skip everything when none is
+ * installed (one predictable branch). Defining BSSD_TRACING_DISABLED
+ * (CMake option BSSD_DISABLE_TRACING) additionally compiles every
+ * public entry point down to an empty inline body, for hot-path builds
+ * that must not pay even the branch.
+ */
+
+#ifndef BSSD_SIM_TRACE_HH
+#define BSSD_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/fault.hh"
+#include "sim/ticks.hh"
+#include "sim/tracepoint.hh"
+
+namespace bssd::sim
+{
+
+/** True when tracing is compiled in (see BSSD_TRACING_DISABLED). */
+#ifdef BSSD_TRACING_DISABLED
+inline constexpr bool traceCompiled = false;
+#else
+inline constexpr bool traceCompiled = true;
+#endif
+
+/** Identifier of a live or finished span; 0 means "no span". */
+using SpanId = std::uint32_t;
+
+/**
+ * Deterministic span/phase/instant recorder. One instance per rig,
+ * single-threaded (the sweep-harness invariant), installed into the
+ * component layers next to the FaultInjector.
+ */
+class Tracer
+{
+  public:
+    struct Event
+    {
+        enum class Kind : std::uint8_t { span, phase, instant };
+
+        Kind kind = Kind::instant;
+        /** Interned category (component) string id. */
+        std::uint32_t cat = 0;
+        /** Interned name string id. */
+        std::uint32_t name = 0;
+        /** Span id (spans only; phases/instants leave it 0). */
+        SpanId id = 0;
+        /** Enclosing span at record time, or 0 at top level. */
+        SpanId parent = 0;
+        Tick start = 0;
+        Tick end = 0;
+    };
+
+    /** Aggregated per-phase latency row (see phaseBreakdown()). */
+    struct PhaseStat
+    {
+        std::string cat;
+        std::string name;
+        std::uint64_t count = 0;
+        std::uint64_t totalTicks = 0;
+        std::uint64_t minTicks = 0;
+        std::uint64_t maxTicks = 0;
+        std::uint64_t p50 = 0;
+        std::uint64_t p99 = 0;
+    };
+
+    /** @name Recording @{ */
+
+    /**
+     * Open a span for one operation. @p cat is the component lane
+     * ("ssd", "ftl", "ba", ...), @p name the operation. Returns the
+     * span's id; pass it to endSpan() when the operation's completion
+     * tick is known. While live, the span is the implicit parent of
+     * nested spans, phases and instants.
+     */
+    SpanId
+    beginSpan(const char *cat, const char *name, Tick start)
+    {
+        if constexpr (traceCompiled)
+            return doBeginSpan(cat, name, start);
+        return 0;
+    }
+
+    /** Close span @p id at @p end. Ignores id 0 (disabled tracer). */
+    void
+    endSpan(SpanId id, Tick end)
+    {
+        if constexpr (traceCompiled)
+            doEndSpan(id, end);
+    }
+
+    /**
+     * Record one phase [@p start, @p end) of the innermost live span.
+     * The caller is responsible for phases partitioning their span.
+     */
+    void
+    phase(const char *name, Tick start, Tick end)
+    {
+        if constexpr (traceCompiled)
+            doPhase(name, start, end);
+    }
+
+    /** Record a point event under the innermost live span. */
+    void
+    instant(const char *cat, const char *name, Tick at)
+    {
+        if constexpr (traceCompiled)
+            doInstant(cat, name, at);
+    }
+
+    /** Innermost live span, or 0. */
+    SpanId
+    currentSpan() const
+    {
+        if constexpr (traceCompiled)
+            return stack_.empty() ? 0 : stack_.back();
+        return 0;
+    }
+
+    /** Runtime enable toggle (records nothing while disabled). */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return traceCompiled && enabled_; }
+
+    /** @} */
+
+    /** @name Inspection and export @{ */
+
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Resolve an interned string id (Event::cat / Event::name). */
+    const std::string &string(std::uint32_t id) const;
+
+    /** Drop every recorded event (string table survives). */
+    void clear();
+
+    /**
+     * Emit the trace as Chrome trace_event JSON ("X" complete events
+     * for spans and phases, "i" instants), loadable by Perfetto and
+     * chrome://tracing. Events are stably ordered by start tick, ts
+     * and dur are exact tick-derived microsecond strings, and args
+     * carry the raw tick values - the output of a same-seed run is
+     * byte-identical.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /**
+     * Aggregate phase events into per-(category, name) latency rows,
+     * sorted by category then name. Percentiles are exact (computed
+     * over every recorded duration).
+     */
+    std::vector<PhaseStat> phaseBreakdown() const;
+
+    /** @} */
+
+  private:
+    SpanId doBeginSpan(const char *cat, const char *name, Tick start);
+    void doEndSpan(SpanId id, Tick end);
+    void doPhase(const char *name, Tick start, Tick end);
+    void doInstant(const char *cat, const char *name, Tick at);
+
+    std::uint32_t intern(const char *s);
+
+    bool enabled_ = true;
+    std::vector<Event> events_;
+    std::vector<SpanId> stack_;
+    std::vector<std::string> strings_;
+    std::map<std::string, std::uint32_t> internIds_;
+};
+
+/**
+ * The shared fault-injection / tracing surface. Every durability
+ * tracepoint call site announces the hit to both sinks through this
+ * helper; the trace instant is recorded *before* FaultInjector::hit()
+ * so that a thrown PowerCut still leaves the protocol edge visible in
+ * the trace. Either pointer may be null.
+ */
+inline void
+tracepointHit(FaultInjector *faults, Tracer *tracer, Tp tp, Tick at)
+{
+    if (tracer)
+        tracer->instant("tp", tpName(tp), at);
+    if (faults)
+        faults->hit(tp);
+}
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_TRACE_HH

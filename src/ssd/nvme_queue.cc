@@ -32,6 +32,14 @@ NvmeQueuePair::submit(sim::Tick now, NvmeCommand cmd)
         return std::nullopt; // SQ full: reap completions first
     submitted_.add();
 
+    sim::SpanId sp = 0;
+    if (tracer_) {
+        const char *op = cmd.opc == NvmeOpcode::read ? "read"
+            : cmd.opc == NvmeOpcode::write           ? "write"
+                                                     : "flush";
+        sp = tracer_->beginSpan("nvme", op, now);
+    }
+
     // SQE write + doorbell; the CPU is free once the doorbell lands.
     sim::Tick cpu_free = now + cfg_.doorbellCost;
 
@@ -76,6 +84,13 @@ NvmeQueuePair::submit(sim::Tick now, NvmeCommand cmd)
     if (cpl.status != NvmeStatus::success)
         errors_.add();
     cpl.completedAt = device_done + cfg_.completionCost;
+    if (tracer_) {
+        tracer_->phase("doorbell", now, cpu_free);
+        if (device_done > cpu_free)
+            tracer_->phase("exec", cpu_free, device_done);
+        tracer_->phase("completion", device_done, cpl.completedAt);
+        tracer_->endSpan(sp, cpl.completedAt);
+    }
     insertCompletion(cpl);
     return cpu_free;
 }

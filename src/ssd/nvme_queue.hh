@@ -127,9 +127,26 @@ class NvmeQueuePair
     std::uint64_t errors() const { return errors_.value(); }
     /** @} */
 
+    /** Install the rig's tracer (nullptr disables). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
+    /** Attach queue counters to @p reg under @p prefix ("nvme0"). */
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".submitted", submitted_);
+        reg.addCounter(prefix + ".completed", completed_);
+        reg.addCounter(prefix + ".errors", errors_);
+        reg.addGauge(prefix + ".in_flight", [this] {
+            return static_cast<double>(inFlight());
+        });
+    }
+
   private:
     SsdDevice &dev_;
     NvmeQueueConfig cfg_;
+    sim::Tracer *tracer_ = nullptr;
     /** Completions pending reap, sorted by completedAt. */
     std::deque<NvmeCompletion> cq_;
 

@@ -117,8 +117,13 @@ SsdDevice::blockRead(sim::Tick ready, std::uint64_t offset,
     const std::uint64_t last = (offset + bytes - 1) / ps;
     const std::uint64_t pages = last - lpn + 1;
 
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ssd", "blockRead", ready)
+        : 0;
     auto fe = frontend_.reserve(ready, cfg_.readFrontend);
     sim::Tick t = fe.end;
+    if (tracer_)
+        tracer_->phase("frontend", ready, t);
 
     std::vector<std::uint8_t> buf(pages * ps);
     sim::Tick media_end;
@@ -145,6 +150,12 @@ SsdDevice::blockRead(sim::Tick ready, std::uint64_t offset,
     // bounded by whichever finishes later.
     auto dma_iv = link_.dma(t, bytes);
     sim::Tick end = std::max(media_end, dma_iv.end);
+    if (tracer_) {
+        tracer_->phase("media", t, media_end);
+        if (end > media_end)
+            tracer_->phase("xfer", media_end, end);
+        tracer_->endSpan(sp, end);
+    }
     readLat_.record(end - ready);
     return {ready, end};
 }
@@ -163,8 +174,10 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
             cfg_.name + ": block write rejected by LBA checker");
     }
     writes_.add();
-    if (faults_)
-        faults_->hit(sim::Tp::ssdWriteStart);
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ssd", "blockWrite", ready)
+        : 0;
+    sim::tracepointHit(faults_, tracer_, sim::Tp::ssdWriteStart, ready);
     // Writes invalidate any read-ahead window (the stream is broken).
     prefetchCount_ = 0;
 
@@ -176,6 +189,10 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
     auto fe = frontend_.reserve(ready, cfg_.writeFrontend);
     auto dma_iv = link_.dma(fe.end, bytes);
     sim::Tick t = dma_iv.end;
+    if (tracer_) {
+        tracer_->phase("frontend", ready, fe.end);
+        tracer_->phase("xfer", fe.end, t);
+    }
 
     // Unaligned head/tail: read-modify-write the surrounding pages.
     std::vector<std::uint8_t> buf(pages * ps);
@@ -195,9 +212,16 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
     // buffer; destage happens at the NAND drain rate behind the host's
     // back (and still loads the die calendars, contending with reads).
     sim::Tick admitted = writeBuffer_.admit(t, pages * ps);
-    if (faults_)
-        faults_->hit(sim::Tp::ssdWriteAdmit);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::ssdWriteAdmit,
+                       admitted);
+    if (tracer_)
+        tracer_->phase("buffer", t, admitted);
+    // The destage span nests under this command's span: GC storms the
+    // write triggers show up attributed to it, even though the host
+    // sees only the buffer-admission latency.
     ftl_->write(admitted, lpn, pages, buf);
+    if (tracer_)
+        tracer_->endSpan(sp, admitted);
     writeLat_.record(admitted - ready);
     return {ready, admitted};
 }
@@ -205,11 +229,32 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
 sim::Tick
 SsdDevice::flush(sim::Tick ready)
 {
-    if (faults_)
-        faults_->hit(sim::Tp::ssdFlush);
+    sim::SpanId sp = tracer_
+        ? tracer_->beginSpan("ssd", "flush", ready)
+        : 0;
+    sim::tracepointHit(faults_, tracer_, sim::Tp::ssdFlush, ready);
     flushes_.add();
     auto fe = frontend_.reserve(ready, cfg_.flushCost);
+    if (tracer_) {
+        tracer_->phase("frontend", ready, fe.end);
+        tracer_->endSpan(sp, fe.end);
+    }
     return fe.end;
+}
+
+void
+SsdDevice::registerMetrics(sim::MetricRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".reads", reads_);
+    reg.addCounter(prefix + ".writes", writes_);
+    reg.addCounter(prefix + ".flushes", flushes_);
+    reg.addCounter(prefix + ".read_ahead_hits", raHits_);
+    reg.addHistogram(prefix + ".read_lat", readLat_);
+    reg.addHistogram(prefix + ".write_lat", writeLat_);
+    ftl_->registerMetrics(reg, prefix + ".ftl");
+    flash_->registerMetrics(reg, prefix + ".nand");
+    link_.registerMetrics(reg, prefix + ".pcie");
 }
 
 void

@@ -26,9 +26,11 @@
 #include "ftl/ftl.hh"
 #include "nand/nand_flash.hh"
 #include "pcie/pcie_link.hh"
+#include "sim/metrics.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::ssd
 {
@@ -149,9 +151,28 @@ class SsdDevice
         link_.setFaultInjector(f);
     }
 
+    /**
+     * Install the rig's tracer into the frontend and every
+     * sub-component. nullptr uninstalls.
+     */
+    void setTracer(sim::Tracer *t)
+    {
+        tracer_ = t;
+        ftl_->setTracer(t);
+        link_.setTracer(t);
+    }
+
+    /**
+     * Attach this device's statistics (and its FTL/NAND/PCIe
+     * sub-components) to @p reg under @p prefix ("ssd0").
+     */
+    void registerMetrics(sim::MetricRegistry &reg,
+                         const std::string &prefix) const;
+
   private:
     SsdConfig cfg_;
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
     std::unique_ptr<nand::NandFlash> flash_;
     std::unique_ptr<ftl::Ftl> ftl_;
     pcie::PcieLink link_;

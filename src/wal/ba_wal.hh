@@ -80,6 +80,14 @@ class BaWal : public LogDevice
     /** Half switches performed (each is one BA_FLUSH + one BA_PIN). */
     std::uint64_t halfSwitches() const { return switches_.value(); }
 
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        LogDevice::registerMetrics(reg, prefix);
+        reg.addCounter(prefix + ".half_switches", switches_);
+    }
+
   private:
     ba::TwoBSsd &dev_;
     BaWalConfig cfg_;

@@ -63,6 +63,14 @@ class BlockWal : public LogDevice
     /** Commits issued (each is a write+fsync pair). */
     std::uint64_t commits() const { return commits_.value(); }
 
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        LogDevice::registerMetrics(reg, prefix);
+        reg.addCounter(prefix + ".commits", commits_);
+    }
+
   private:
     ssd::SsdDevice &dev_;
     BlockWalConfig cfg_;

@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/metrics.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::wal
 {
@@ -86,6 +88,30 @@ class LogDevice
      * (the double-buffered logs). Feed to wal::parseLogStream().
      */
     virtual std::uint64_t recoveryChunkBytes() const { return 0; }
+
+    /**
+     * Install the rig's tracer into the log path. Default: no-op (the
+     * underlying device is traced by the rig; implementations that add
+     * log-level spans override this).
+     */
+    virtual void setTracer(sim::Tracer *t) { (void)t; }
+
+    /**
+     * Attach the log's statistics to @p reg under @p prefix ("wal").
+     * The default covers the byte counters every implementation has;
+     * overrides add their own and should call this base version.
+     */
+    virtual void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addGauge(prefix + ".bytes_appended", [this] {
+            return static_cast<double>(bytesAppended());
+        });
+        reg.addGauge(prefix + ".bytes_to_store", [this] {
+            return static_cast<double>(bytesToStore());
+        });
+    }
 };
 
 } // namespace bssd::wal

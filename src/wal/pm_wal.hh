@@ -72,6 +72,14 @@ class PmWal : public LogDevice
     /** Background destages issued. */
     std::uint64_t destages() const { return destages_.value(); }
 
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        LogDevice::registerMetrics(reg, prefix);
+        reg.addCounter(prefix + ".destages", destages_);
+    }
+
   private:
     host::PersistentMemory &pm_;
     ssd::SsdDevice &dev_;

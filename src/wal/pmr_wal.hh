@@ -80,6 +80,14 @@ class PmrWal : public LogDevice
     /** Host-mediated destages performed. */
     std::uint64_t destages() const { return destages_.value(); }
 
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const override
+    {
+        LogDevice::registerMetrics(reg, prefix);
+        reg.addCounter(prefix + ".destages", destages_);
+    }
+
   private:
     ba::TwoBSsd &dev_;
     PmrWalConfig cfg_;

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the hierarchical metric registry: registration rules,
+ * snapshot detachment, and the deterministic sweep-worker merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/stats.hh"
+
+using namespace bssd::sim;
+
+TEST(MetricRegistry, RegistersEveryKind)
+{
+    Counter c("c");
+    Distribution d("d", 64);
+    Histogram h("h");
+    double gaugeState = 3.5;
+
+    MetricRegistry reg;
+    reg.addCounter("ssd0.writes", c);
+    reg.addDistribution("ssd0.write_lat", d);
+    reg.addHistogram("ssd0.ftl.gc.pause", h);
+    reg.addGauge("ssd0.ftl.waf", [&] { return gaugeState; });
+
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_TRUE(reg.contains("ssd0.ftl.gc.pause"));
+    EXPECT_FALSE(reg.contains("ssd0.nope"));
+
+    // paths() comes back sorted (std::map order).
+    auto paths = reg.paths();
+    ASSERT_EQ(paths.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+
+    auto gauges = reg.gaugePaths();
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_EQ(gauges[0], "ssd0.ftl.waf");
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("ssd0.ftl.waf"), 3.5);
+    gaugeState = 7.0;
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("ssd0.ftl.waf"), 7.0);
+}
+
+TEST(MetricRegistry, DuplicatePathPanics)
+{
+    Counter a("a"), b("b");
+    MetricRegistry reg;
+    reg.addCounter("x.ops", a);
+    EXPECT_THROW(reg.addCounter("x.ops", b), SimPanic);
+    // Cross-kind shadowing is just as much a bug.
+    EXPECT_THROW(reg.addGauge("x.ops", [] { return 0.0; }), SimPanic);
+    Histogram h("h");
+    EXPECT_THROW(reg.addHistogram("x.ops", h), SimPanic);
+}
+
+TEST(MetricRegistry, GaugeValueOnNonGaugePanics)
+{
+    Counter c("c");
+    MetricRegistry reg;
+    reg.addCounter("x.ops", c);
+    EXPECT_THROW(reg.gaugeValue("x.ops"), SimPanic);
+    EXPECT_THROW(reg.gaugeValue("missing"), SimPanic);
+}
+
+TEST(MetricsSnapshot, DetachesFromComponents)
+{
+    Counter c("c");
+    c.add(10);
+    MetricRegistry reg;
+    reg.addCounter("ops", c);
+
+    MetricsSnapshot snap = reg.snapshot();
+    ASSERT_NE(snap.find("ops"), nullptr);
+    EXPECT_DOUBLE_EQ(snap.find("ops")->value, 10.0);
+
+    c.add(5); // later activity must not leak into the snapshot
+    EXPECT_DOUBLE_EQ(snap.find("ops")->value, 10.0);
+    EXPECT_DOUBLE_EQ(reg.snapshot().find("ops")->value, 15.0);
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndGauges)
+{
+    Counter c1("c"), c2("c");
+    c1.add(3);
+    c2.add(4);
+    MetricRegistry r1, r2;
+    r1.addCounter("ops", c1);
+    r1.addGauge("backlog", [] { return 2.0; });
+    r2.addCounter("ops", c2);
+    r2.addGauge("backlog", [] { return 5.0; });
+
+    MetricsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    EXPECT_DOUBLE_EQ(merged.find("ops")->value, 7.0);
+    EXPECT_DOUBLE_EQ(merged.find("backlog")->value, 7.0);
+}
+
+TEST(MetricsSnapshot, MergeHistogramsBucketWise)
+{
+    Histogram h1("h"), h2("h");
+    for (int i = 0; i < 100; ++i)
+        h1.record(10);
+    for (int i = 0; i < 50; ++i)
+        h2.record(1000);
+    MetricRegistry r1, r2;
+    r1.addHistogram("lat", h1);
+    r2.addHistogram("lat", h2);
+
+    MetricsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    const MetricValue *v = merged.find("lat");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->count, 150u);
+    EXPECT_EQ(v->sum, 100u * 10 + 50u * 1000);
+    EXPECT_EQ(v->min, 10u);
+    EXPECT_EQ(v->max, 1000u);
+    // The merged percentile sees both populations.
+    EXPECT_LE(v->percentile(50.0), 12u);
+    EXPECT_GE(v->percentile(99.0), 900u);
+}
+
+TEST(MetricsSnapshot, MergeDistributionsKeepsExactStats)
+{
+    Distribution d1("d", 64), d2("d", 64);
+    d1.sample(1);
+    d1.sample(3);
+    d2.sample(100);
+    MetricRegistry r1, r2;
+    r1.addDistribution("lat", d1);
+    r2.addDistribution("lat", d2);
+
+    MetricsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    const MetricValue *v = merged.find("lat");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->count, 3u);
+    EXPECT_EQ(v->sum, 104u);
+    EXPECT_EQ(v->min, 1u);
+    EXPECT_EQ(v->max, 100u);
+    EXPECT_EQ(v->samples.size(), 3u);
+}
+
+TEST(MetricsSnapshot, MergeKindMismatchPanics)
+{
+    Counter c("c");
+    Histogram h("h");
+    MetricRegistry r1, r2;
+    r1.addCounter("x", c);
+    r2.addHistogram("x", h);
+    MetricsSnapshot s = r1.snapshot();
+    EXPECT_THROW(s.merge(r2.snapshot()), SimPanic);
+}
+
+TEST(MetricsSnapshot, MergeKeepsOneSidedPaths)
+{
+    Counter c("c");
+    Histogram h("h");
+    c.add(2);
+    h.record(9);
+    MetricRegistry r1, r2;
+    r1.addCounter("only.left", c);
+    r2.addHistogram("only.right", h);
+
+    MetricsSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+    ASSERT_NE(merged.find("only.left"), nullptr);
+    ASSERT_NE(merged.find("only.right"), nullptr);
+    EXPECT_EQ(merged.find("only.right")->count, 1u);
+}
+
+TEST(MetricsSnapshot, SweepWorkerMergeIsDeterministic)
+{
+    // The sweep coordinator merges worker snapshots in job order. The
+    // serialized result of that fold must be a pure function of the
+    // inputs - run the whole pipeline twice and compare bytes.
+    auto fold = [] {
+        MetricsSnapshot acc;
+        for (int w = 0; w < 4; ++w) {
+            Counter c("c");
+            Distribution d("d", 32);
+            Histogram h("h");
+            c.add(static_cast<std::uint64_t>(10 + w));
+            Rng rng(500 + static_cast<std::uint64_t>(w));
+            for (int i = 0; i < 200; ++i) {
+                d.sample(rng.nextBelow(100000));
+                h.record(rng.nextBelow(100000));
+            }
+            MetricRegistry reg;
+            reg.addCounter("rig.ops", c);
+            reg.addDistribution("rig.lat", d);
+            reg.addHistogram("rig.hist", h);
+            reg.addGauge("rig.free", [&] { return double(w); });
+            acc.merge(reg.snapshot());
+        }
+        std::ostringstream os;
+        acc.writeJson(os);
+        return os.str();
+    };
+    EXPECT_EQ(fold(), fold());
+}
+
+TEST(MetricsSnapshot, WriteJsonShape)
+{
+    Counter c("c");
+    c.add(3);
+    Distribution d("d", 16);
+    d.sample(5);
+    MetricRegistry reg;
+    reg.addCounter("a.ops", c);
+    reg.addDistribution("a.lat", d);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"a.ops\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\": \"dist\""), std::string::npos);
+    // Deterministic output: same registry, same bytes.
+    std::ostringstream os2;
+    reg.writeJson(os2);
+    EXPECT_EQ(json, os2.str());
+}

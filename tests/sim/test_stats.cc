@@ -351,3 +351,128 @@ TEST(Histogram, MergePreservesPercentileMonotonicity)
     EXPECT_LT(low.percentile(25), 1100u);
     EXPECT_GT(low.percentile(75), 1000000u);
 }
+
+TEST(Distribution, ResetInvalidatesCachedPercentiles)
+{
+    // Regression: percentile() caches the sorted reservoir; reset()
+    // must invalidate it, or the first percentile query after a reset
+    // answers from the dead run's samples.
+    Distribution d("cache", 64);
+    for (std::uint64_t v = 1000; v < 1064; ++v)
+        d.sample(v);
+    EXPECT_GE(d.percentile(50), 1000u); // populate the cache
+    d.reset();
+    EXPECT_EQ(d.percentile(50), 0u);
+    for (std::uint64_t v = 1; v <= 10; ++v)
+        d.sample(v);
+    EXPECT_LE(d.percentile(99), 10u);
+    EXPECT_GE(d.percentile(50), 1u);
+}
+
+TEST(Distribution, ResetZeroesMinMax)
+{
+    Distribution d("mm", 16);
+    d.sample(7);
+    d.sample(123456);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    // The sentinels must also re-arm: the next sample is both min and
+    // max again.
+    d.sample(42);
+    EXPECT_EQ(d.min(), 42u);
+    EXPECT_EQ(d.max(), 42u);
+}
+
+TEST(Distribution, ResetReplaysFreshRngStream)
+{
+    // A reset instance must replay the exact reservoir slot choices of
+    // a freshly constructed one, or reset-and-rerun sweeps lose their
+    // bit-identical guarantee.
+    Distribution fresh("fresh", 32), reused("reused", 32);
+    Rng warm(77);
+    for (int i = 0; i < 5000; ++i)
+        reused.sample(warm.next());
+    reused.reset();
+
+    Rng a(7), b(7);
+    for (int i = 0; i < 5000; ++i) {
+        fresh.sample(a.next());
+        reused.sample(b.next());
+    }
+    EXPECT_EQ(fresh.samples(), reused.samples());
+    for (double p : {1.0, 50.0, 99.0})
+        EXPECT_EQ(fresh.percentile(p), reused.percentile(p));
+}
+
+TEST(Distribution, MergeAddsExactStats)
+{
+    Distribution a("a", 128), b("b", 128);
+    for (std::uint64_t v : {10u, 20u, 30u})
+        a.sample(v);
+    for (std::uint64_t v : {1u, 100u})
+        b.sample(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(a.sum(), 161u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 100u);
+    // Small enough to fit the reservoir: percentiles are exact.
+    EXPECT_EQ(a.percentile(0), 1u);
+    EXPECT_EQ(a.percentile(100), 100u);
+}
+
+TEST(Distribution, MergeWithEmptyKeepsMinMax)
+{
+    Distribution a("a", 16), empty("e", 16);
+    a.sample(5);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 5u);
+}
+
+TEST(Distribution, MergeIsDeterministicForFixedOrder)
+{
+    // The sweep coordinator merges worker snapshots in job order; the
+    // same inputs merged in the same order must agree bit for bit.
+    auto build = [] {
+        std::vector<Distribution> parts;
+        for (int w = 0; w < 4; ++w) {
+            parts.emplace_back("w" + std::to_string(w), 64);
+            Rng rng(100 + static_cast<std::uint64_t>(w));
+            for (int i = 0; i < 1000; ++i)
+                parts.back().sample(rng.next());
+        }
+        Distribution merged("m", 64);
+        for (const auto &p : parts)
+            merged.merge(p);
+        return merged;
+    };
+    Distribution m1 = build(), m2 = build();
+    EXPECT_EQ(m1.samples(), m2.samples());
+    EXPECT_EQ(m1.count(), m2.count());
+    EXPECT_EQ(m1.sum(), m2.sum());
+    for (double p = 0; p <= 100.0; p += 5.0)
+        EXPECT_EQ(m1.percentile(p), m2.percentile(p));
+}
+
+TEST(Histogram, ResetZeroesMinMaxAndBuckets)
+{
+    Histogram h("hm");
+    h.record(3);
+    h.record(999999);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    for (unsigned i = 0; i < Histogram::bucketCount(); ++i)
+        EXPECT_EQ(h.bucketAt(i), 0u) << "bucket " << i;
+    h.record(17);
+    EXPECT_EQ(h.min(), 17u);
+    EXPECT_EQ(h.max(), 17u);
+    EXPECT_EQ(h.percentile(50), 17u);
+}

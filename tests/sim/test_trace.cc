@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the span tracer: nesting, the phase-partition
+ * invariant on a real device stack, byte-identical same-seed traces,
+ * the disabled path, and the shared tracepoint surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+using namespace bssd;
+using namespace bssd::sim;
+
+TEST(Tracer, SpansNestThroughTheImplicitStack)
+{
+    Tracer t;
+    SpanId outer = t.beginSpan("ssd", "blockWrite", 100);
+    EXPECT_EQ(t.currentSpan(), outer);
+    SpanId inner = t.beginSpan("ftl", "write", 110);
+    EXPECT_NE(inner, outer);
+    EXPECT_EQ(t.currentSpan(), inner);
+
+    t.phase("media", 110, 150);
+    t.endSpan(inner, 150);
+    EXPECT_EQ(t.currentSpan(), outer);
+    t.endSpan(outer, 160);
+    EXPECT_EQ(t.currentSpan(), 0u);
+
+    ASSERT_EQ(t.events().size(), 3u);
+    const auto &events = t.events();
+    EXPECT_EQ(events[0].kind, Tracer::Event::Kind::span);
+    EXPECT_EQ(events[0].parent, 0u);
+    EXPECT_EQ(events[1].parent, outer);   // inner span
+    EXPECT_EQ(events[2].parent, inner);   // phase under inner
+    // The phase inherits the inner span's category lane.
+    EXPECT_EQ(t.string(events[2].cat), "ftl");
+}
+
+TEST(Tracer, EndSpanSweepsAbandonedChildren)
+{
+    // A PowerCut unwinds past children without their endSpan; closing
+    // the enclosing span must sweep them off the stack.
+    Tracer t;
+    SpanId outer = t.beginSpan("ba", "sync", 0);
+    t.beginSpan("ssd", "flush", 5);
+    t.beginSpan("ftl", "write", 7);
+    t.endSpan(outer, 50);
+    EXPECT_EQ(t.currentSpan(), 0u);
+}
+
+TEST(Tracer, UnknownSpanIdPanics)
+{
+    Tracer t;
+    EXPECT_THROW(t.endSpan(42, 0), SimPanic);
+    t.endSpan(0, 0); // id 0 = disabled tracer handle: a no-op
+}
+
+TEST(Tracer, RuntimeDisabledRecordsNothing)
+{
+    Tracer t;
+    t.setEnabled(false);
+    EXPECT_EQ(t.beginSpan("ssd", "blockRead", 0), 0u);
+    t.phase("media", 0, 10);
+    t.instant("tp", "wc.evict", 5);
+    EXPECT_TRUE(t.events().empty());
+    EXPECT_EQ(t.currentSpan(), 0u);
+
+    t.setEnabled(true);
+    EXPECT_NE(t.beginSpan("ssd", "blockRead", 0), 0u);
+    EXPECT_EQ(t.events().size(), 1u);
+}
+
+TEST(Tracer, ClearKeepsInternedStrings)
+{
+    Tracer t;
+    SpanId sp = t.beginSpan("ssd", "blockRead", 0);
+    std::uint32_t cat = t.events()[0].cat;
+    t.endSpan(sp, 10);
+    t.clear();
+    EXPECT_TRUE(t.events().empty());
+    EXPECT_EQ(t.string(cat), "ssd");
+}
+
+TEST(TracepointHit, NullSinksAreFine)
+{
+    tracepointHit(nullptr, nullptr, Tp::wcEvict, 0);
+    Tracer t;
+    tracepointHit(nullptr, &t, Tp::baSync, 7);
+    ASSERT_EQ(t.events().size(), 1u);
+    EXPECT_EQ(t.string(t.events()[0].name), "ba.sync");
+}
+
+TEST(TracepointHit, InstantSurvivesPowerCut)
+{
+    // The trace instant is recorded BEFORE FaultInjector::hit() so a
+    // thrown PowerCut still leaves the protocol edge in the trace.
+    FaultPlan plan;
+    FaultInjector faults(plan);
+    faults.armCrashAtHit(0);
+    Tracer t;
+    EXPECT_THROW(tracepointHit(&faults, &t, Tp::ssdFlush, 3), PowerCut);
+    ASSERT_EQ(t.events().size(), 1u);
+    EXPECT_EQ(t.string(t.events()[0].name), "ssd.flush");
+    EXPECT_EQ(t.events()[0].start, 3u);
+}
+
+namespace
+{
+
+/** A representative op stream across the block and BA paths. */
+void
+driveOps(ba::TwoBSsd &dev)
+{
+    std::vector<std::uint8_t> buf(8192, 0x5a);
+    std::vector<std::uint8_t> out(8192);
+    sim::Tick t = sOf(1);
+    dev.baPin(t, 1, 0, 0, 16 * 4096);
+    t += msOf(1);
+    for (int i = 0; i < 8; ++i) {
+        dev.blockWrite(t, 256 * MiB + std::uint64_t(i) * 64 * 4096, buf);
+        t += msOf(1);
+        dev.blockRead(t, 256 * MiB + std::uint64_t(i) * 64 * 4096, out);
+        t += msOf(1);
+        t = dev.mmioWrite(t, 0, std::span(buf).first(256));
+        t = dev.baSyncRange(t, 1, 0, 256);
+        t += msOf(1);
+    }
+    dev.mmioRead(t, 0, std::span(out).first(512));
+    t += msOf(1);
+    dev.baReadDma(t, 1, std::span(out).first(4096));
+    dev.baFlush(t + msOf(1), 1);
+}
+
+} // namespace
+
+TEST(Tracer, PhasesPartitionTheirSpanOnTheRealStack)
+{
+    // The reconciliation invariant behind trace_dump --validate: every
+    // span's phases sum to its end-to-end duration within one tick.
+    ba::TwoBSsd dev;
+    Tracer t;
+    dev.installTracer(&t);
+    driveOps(dev);
+
+    std::size_t spansWithPhases = 0;
+    const auto &events = t.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto &e = events[i];
+        if (e.kind != Tracer::Event::Kind::span)
+            continue;
+        std::uint64_t sum = 0;
+        bool any = false;
+        for (const auto &p : events) {
+            if (p.kind == Tracer::Event::Kind::phase &&
+                p.parent == e.id) {
+                sum += p.end - p.start;
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        ++spansWithPhases;
+        std::uint64_t spanTicks = e.end - e.start;
+        std::uint64_t diff =
+            spanTicks > sum ? spanTicks - sum : sum - spanTicks;
+        EXPECT_LE(diff, 1u)
+            << t.string(e.cat) << "." << t.string(e.name) << " span "
+            << e.id << ": phases sum " << sum << " vs span "
+            << spanTicks;
+    }
+    EXPECT_GT(spansWithPhases, 30u);
+}
+
+TEST(Tracer, SameSeedTracesAreByteIdentical)
+{
+    auto run = [] {
+        ba::TwoBSsd dev;
+        Tracer t;
+        dev.installTracer(&t);
+        driveOps(dev);
+        std::ostringstream os;
+        t.writeChromeJson(os);
+        return os.str();
+    };
+    const std::string a = run();
+    const std::string b = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Tracer, ChromeJsonTsIsMonotonic)
+{
+    ba::TwoBSsd dev;
+    Tracer t;
+    dev.installTracer(&t);
+    driveOps(dev);
+    std::ostringstream os;
+    t.writeChromeJson(os);
+    const std::string json = os.str();
+
+    // Scan the emitted "ts": fields in file order.
+    double last = -1.0;
+    std::size_t pos = 0, seen = 0;
+    while ((pos = json.find("\"ts\": ", pos)) != std::string::npos) {
+        pos += 6;
+        double ts = std::strtod(json.c_str() + pos, nullptr);
+        EXPECT_GE(ts, last);
+        last = ts;
+        ++seen;
+    }
+    EXPECT_GT(seen, 100u);
+    // And the dur fields are non-negative by construction (unsigned
+    // ticks), so any "dur": -  substring would be a format bug.
+    EXPECT_EQ(json.find("\"dur\": -"), std::string::npos);
+}
+
+TEST(Tracer, PhaseBreakdownAggregates)
+{
+    Tracer t;
+    SpanId sp = t.beginSpan("ssd", "blockWrite", 0);
+    t.phase("frontend", 0, 10);
+    t.phase("xfer", 10, 14);
+    t.endSpan(sp, 14);
+    sp = t.beginSpan("ssd", "blockWrite", 100);
+    t.phase("frontend", 100, 130);
+    t.phase("xfer", 130, 134);
+    t.endSpan(sp, 134);
+
+    auto rows = t.phaseBreakdown();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].name, "frontend");
+    EXPECT_EQ(rows[0].count, 2u);
+    EXPECT_EQ(rows[0].totalTicks, 40u);
+    EXPECT_EQ(rows[0].minTicks, 10u);
+    EXPECT_EQ(rows[0].maxTicks, 30u);
+    EXPECT_EQ(rows[1].name, "xfer");
+    EXPECT_EQ(rows[1].totalTicks, 8u);
+}
+
+TEST(Tracer, CompileTimeGuardIsConsistent)
+{
+    // In the default build tracing is compiled in; the CI pipeline
+    // additionally configures a BSSD_DISABLE_TRACING build to prove
+    // the compiled-out path still builds (wrappers fold to no-ops).
+#ifdef BSSD_TRACING_DISABLED
+    static_assert(!traceCompiled);
+#else
+    static_assert(traceCompiled);
+#endif
+    SUCCEED();
+}

@@ -111,6 +111,41 @@ struct Rig
         if (pm)
             pm->setFaultInjector(f);
     }
+
+    /**
+     * Install a tracer into every layer this rig owns (same cascade
+     * and same call-after-construction advice as the fault injector;
+     * setup-time spans would otherwise pollute the op-stream trace).
+     */
+    void
+    installTracer(sim::Tracer *t)
+    {
+        if (twoB)
+            twoB->installTracer(t);
+        if (blockDev)
+            blockDev->setTracer(t);
+        if (pm)
+            pm->setTracer(t);
+        if (log)
+            log->setTracer(t);
+    }
+
+    /**
+     * Attach every statistic this rig owns to @p reg. The device
+     * stack lands under "<prefix>.ba" / "<prefix>.ssd" and the log
+     * under "<prefix>.wal".
+     */
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix = "rig") const
+    {
+        if (twoB)
+            twoB->registerMetrics(reg, prefix + ".ba");
+        if (blockDev)
+            blockDev->registerMetrics(reg, prefix + ".ssd");
+        if (log)
+            log->registerMetrics(reg, prefix + ".wal");
+    }
 };
 
 inline ssd::SsdConfig

@@ -23,11 +23,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/report.hh"
 
 #include "../tests/support/crash_harness.hh"
 
@@ -51,8 +53,20 @@ struct Options
     std::optional<std::uint64_t> point;
     std::size_t maxPoints = 0; // 0 = exhaustive
     bool shrink = false;
+    std::string metricsPath;
     sim::FaultPlan plan;
 };
+
+/** Campaign-wide totals, exported through --metrics. */
+struct Totals
+{
+    std::uint64_t cells = 0;
+    std::uint64_t enumeratedHits = 0;
+    std::uint64_t pointsTested = 0;
+    std::uint64_t pointsSurvived = 0;
+    std::uint64_t lossReported = 0;
+    std::uint64_t failures = 0;
+} totals;
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -62,7 +76,7 @@ usage(const char *argv0)
         "usage: %s [--engine=redis|pg|all] [--wal=NAME|all] [--seed=N]\n"
         "          [--seeds=N] [--point=K] [--max-points=N] [--shrink]\n"
         "          [--nand-fail-rate=F] [--cap-scale=F] [--torn-wc]\n"
-        "          [--posted-drop-ns=N]\n",
+        "          [--posted-drop-ns=N] [--metrics=FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -109,6 +123,8 @@ parseArgs(int argc, char **argv)
             o.plan.wcPartialLineOnPowerCut = true;
         } else if (key == "--posted-drop-ns") {
             o.plan.postedDropWindow = num();
+        } else if (key == "--metrics") {
+            o.metricsPath = val;
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
             usage(argv[0]);
@@ -221,6 +237,12 @@ runCells(const Options &o, WalKind wal)
         cc.maxPoints = o.maxPoints;
         cc.plan = o.plan;
         CellResult res = campaign::runCell<A>(wal, s, cc);
+        ++totals.cells;
+        totals.enumeratedHits += res.enumeratedHits;
+        totals.pointsTested += res.pointsTested;
+        totals.pointsSurvived += res.pointsSurvived;
+        totals.lossReported += res.lossReported;
+        totals.failures += res.failures.size();
         std::printf("%-5s %-9s seed %-4llu hits %-5llu tested %-5zu "
                     "survived %-5zu loss %-4zu %s\n",
                     A::name, walName(wal),
@@ -286,6 +308,39 @@ main(int argc, char **argv)
                                 : runCells<PgAdapter>(o, wal);
         }
     }
+    if (!o.metricsPath.empty()) {
+        // Campaign totals through the standard report path, so the
+        // nightly matrix lands in the same machine-readable shape as
+        // the bench reports.
+        sim::MetricRegistry registry;
+        registry.addGauge("campaign.cells", [] {
+            return static_cast<double>(totals.cells);
+        });
+        registry.addGauge("campaign.enumerated_hits", [] {
+            return static_cast<double>(totals.enumeratedHits);
+        });
+        registry.addGauge("campaign.points_tested", [] {
+            return static_cast<double>(totals.pointsTested);
+        });
+        registry.addGauge("campaign.points_survived", [] {
+            return static_cast<double>(totals.pointsSurvived);
+        });
+        registry.addGauge("campaign.loss_reported", [] {
+            return static_cast<double>(totals.lossReported);
+        });
+        registry.addGauge("campaign.failures", [] {
+            return static_cast<double>(totals.failures);
+        });
+        sim::RunReport rep;
+        rep.bench = "crash_campaign";
+        rep.config = "engine=" + o.engine + " wal=" + o.wal;
+        rep.seed = o.seed;
+        rep.metrics = registry.snapshot();
+        std::ofstream os(o.metricsPath);
+        rep.writeJson(os);
+        std::printf("wrote metrics report: %s\n", o.metricsPath.c_str());
+    }
+
     if (failures) {
         std::printf("%d crash point(s) violated the acknowledged-prefix "
                     "invariant\n",

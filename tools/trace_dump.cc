@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Trace inspection CLI for the Chrome trace_event JSON files emitted
+ * by sim::Tracer::writeChromeJson() (DESIGN.md section 9).
+ *
+ * Modes:
+ *   trace_dump FILE                      list events (after filters)
+ *   trace_dump --breakdown FILE          per-phase latency table
+ *   trace_dump --validate FILE           schema + invariant check
+ *
+ * Filters (compose, apply to listing and breakdown):
+ *   --cat=ssd          only events of one category lane
+ *   --name=blockWrite  only events with this name
+ *   --from-us=N        only events starting at or after N us
+ *   --to-us=N          only events starting before N us
+ *
+ * --validate asserts what every consumer of these traces relies on:
+ * the JSON parses, every event is one of ph "X"/"i"/"M", ts is
+ * non-decreasing in file order, durations are non-negative, and every
+ * span's phases partition it - per-phase tick sums reconcile with the
+ * span's end-to-end duration within one tick. Exit status 1 on any
+ * violation (CI runs this against a freshly generated trace).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Minimal JSON document model (enough for trace_event files). */
+struct Json
+{
+    enum class Kind { null, boolean, number, string, array, object };
+
+    Kind kind = Kind::null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+
+    const Json *
+    field(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+/** Recursive-descent JSON parser (throws std::runtime_error). */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Json
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return stringValue();
+          case 't':
+          case 'f': return boolean();
+          case 'n': return null();
+          default: return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Kind::object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            Json key = stringValue();
+            expect(':');
+            v.obj.emplace_back(std::move(key.str), value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Kind::array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json
+    stringValue()
+    {
+        expect('"');
+        Json v;
+        v.kind = Json::Kind::string;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    fail("bad escape");
+                char e = s_[pos_++];
+                switch (e) {
+                  case 'n': v.str += '\n'; break;
+                  case 't': v.str += '\t'; break;
+                  case '"':
+                  case '\\':
+                  case '/': v.str += e; break;
+                  default: fail("unsupported escape");
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        if (pos_ >= s_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    Json
+    boolean()
+    {
+        Json v;
+        v.kind = Json::Kind::boolean;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.b = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    Json
+    null()
+    {
+        if (s_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return Json{};
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                std::strchr("+-.eE", s_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        Json v;
+        v.kind = Json::Kind::number;
+        v.num = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                            nullptr);
+        return v;
+    }
+};
+
+/** One trace event, decoded from its JSON row. */
+struct TraceEvent
+{
+    std::string ph;   // "X", "i" or "M"
+    std::string cat;
+    std::string name;
+    std::string kind; // args.kind: span / phase / instant
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    std::uint64_t startTicks = 0;
+    std::uint64_t endTicks = 0;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+};
+
+struct Options
+{
+    std::string file;
+    bool validate = false;
+    bool breakdown = false;
+    std::string cat;
+    std::string name;
+    double fromUs = -1.0;
+    double toUs = -1.0;
+};
+
+bool
+matches(const TraceEvent &e, const Options &opt)
+{
+    if (!opt.cat.empty() && e.cat != opt.cat)
+        return false;
+    if (!opt.name.empty() && e.name != opt.name)
+        return false;
+    if (opt.fromUs >= 0.0 && e.tsUs < opt.fromUs)
+        return false;
+    if (opt.toUs >= 0.0 && e.tsUs >= opt.toUs)
+        return false;
+    return true;
+}
+
+int
+fail(const std::string &why)
+{
+    std::fprintf(stderr, "trace_dump: %s\n", why.c_str());
+    return 1;
+}
+
+/** Decode the traceEvents rows; "M" metadata rows are skipped. */
+int
+decode(const Json &doc, std::vector<TraceEvent> &out,
+       bool validate)
+{
+    const Json *events = doc.field("traceEvents");
+    if (!events || events->kind != Json::Kind::array)
+        return fail("no traceEvents array");
+
+    double lastTs = -1.0;
+    for (const Json &row : events->arr) {
+        if (row.kind != Json::Kind::object)
+            return fail("traceEvents row is not an object");
+        const Json *ph = row.field("ph");
+        if (!ph || ph->kind != Json::Kind::string)
+            return fail("event without ph");
+        if (ph->str == "M")
+            continue;
+        if (ph->str != "X" && ph->str != "i")
+            return fail("unexpected ph \"" + ph->str + "\"");
+
+        TraceEvent e;
+        e.ph = ph->str;
+        const Json *cat = row.field("cat");
+        const Json *name = row.field("name");
+        const Json *ts = row.field("ts");
+        if (!cat || !name || !ts)
+            return fail("event missing cat/name/ts");
+        e.cat = cat->str;
+        e.name = name->str;
+        e.tsUs = ts->num;
+        if (e.ph == "X") {
+            const Json *dur = row.field("dur");
+            if (!dur)
+                return fail("complete event without dur");
+            e.durUs = dur->num;
+            if (validate && e.durUs < 0.0)
+                return fail("negative dur at ts " +
+                            std::to_string(e.tsUs));
+        }
+        if (validate && e.tsUs < lastTs) {
+            return fail("ts not monotonic: " + std::to_string(e.tsUs) +
+                        " after " + std::to_string(lastTs));
+        }
+        lastTs = e.tsUs;
+
+        if (const Json *args = row.field("args")) {
+            auto u64 = [&](const char *key, std::uint64_t &dst) {
+                if (const Json *f = args->field(key))
+                    dst = static_cast<std::uint64_t>(f->num);
+            };
+            u64("start_ticks", e.startTicks);
+            u64("end_ticks", e.endTicks);
+            u64("id", e.id);
+            u64("parent", e.parent);
+            if (const Json *k = args->field("kind"))
+                e.kind = k->str;
+        }
+        out.push_back(std::move(e));
+    }
+    return 0;
+}
+
+/**
+ * The reconciliation invariant: for every span that has phases, the
+ * phase tick-durations sum to the span's end-to-end tick duration
+ * within one tick (the instrumented layers emit phases that partition
+ * their span).
+ */
+int
+checkReconciliation(const std::vector<TraceEvent> &events)
+{
+    std::map<std::uint64_t, const TraceEvent *> spans;
+    std::map<std::uint64_t, std::uint64_t> phaseSum;
+    for (const auto &e : events) {
+        if (e.kind == "span")
+            spans[e.id] = &e;
+        else if (e.kind == "phase" && e.parent != 0)
+            phaseSum[e.parent] += e.endTicks - e.startTicks;
+    }
+
+    std::size_t checked = 0;
+    for (const auto &[id, sum] : phaseSum) {
+        auto it = spans.find(id);
+        if (it == spans.end())
+            return fail("phase references unknown span id " +
+                        std::to_string(id));
+        const TraceEvent &s = *it->second;
+        std::uint64_t spanTicks = s.endTicks - s.startTicks;
+        std::uint64_t diff = spanTicks > sum ? spanTicks - sum
+                                             : sum - spanTicks;
+        if (diff > 1) {
+            return fail("span " + std::to_string(id) + " (" + s.cat +
+                        "." + s.name + "): phases sum to " +
+                        std::to_string(sum) + " ticks but span is " +
+                        std::to_string(spanTicks) + " ticks");
+        }
+        ++checked;
+    }
+    std::printf("reconciled %zu spans against their phases "
+                "(<= 1 tick)\n",
+                checked);
+    return 0;
+}
+
+void
+printBreakdown(const std::vector<TraceEvent> &events,
+               const Options &opt)
+{
+    std::map<std::pair<std::string, std::string>,
+             std::vector<std::uint64_t>>
+        durations;
+    for (const auto &e : events) {
+        if (e.kind != "phase" || !matches(e, opt))
+            continue;
+        durations[{e.cat, e.name}].push_back(e.endTicks - e.startTicks);
+    }
+
+    std::printf("%-8s %-12s %6s %10s %10s %10s %10s\n", "cat", "phase",
+                "count", "mean(us)", "p50(us)", "p99(us)", "max(us)");
+    for (auto &[key, ds] : durations) {
+        std::sort(ds.begin(), ds.end());
+        std::uint64_t total = 0;
+        for (std::uint64_t d : ds)
+            total += d;
+        auto rank = [&](double p) {
+            auto idx = static_cast<std::size_t>(
+                p / 100.0 * static_cast<double>(ds.size() - 1) + 0.5);
+            return ds[std::min(idx, ds.size() - 1)];
+        };
+        std::printf("%-8s %-12s %6zu %10.3f %10.3f %10.3f %10.3f\n",
+                    key.first.c_str(), key.second.c_str(), ds.size(),
+                    static_cast<double>(total) /
+                        static_cast<double>(ds.size()) / 1000.0,
+                    static_cast<double>(rank(50.0)) / 1000.0,
+                    static_cast<double>(rank(99.0)) / 1000.0,
+                    static_cast<double>(ds.back()) / 1000.0);
+    }
+}
+
+void
+printListing(const std::vector<TraceEvent> &events, const Options &opt)
+{
+    std::printf("%-12s %-10s %-8s %-8s %-14s %6s %6s\n", "ts(us)",
+                "dur(us)", "kind", "cat", "name", "id", "parent");
+    std::size_t shown = 0;
+    for (const auto &e : events) {
+        if (!matches(e, opt))
+            continue;
+        std::printf("%-12.3f %-10.3f %-8s %-8s %-14s %6llu %6llu\n",
+                    e.tsUs, e.durUs, e.kind.c_str(), e.cat.c_str(),
+                    e.name.c_str(),
+                    static_cast<unsigned long long>(e.id),
+                    static_cast<unsigned long long>(e.parent));
+        ++shown;
+    }
+    std::printf("%zu of %zu events shown\n", shown, events.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *flag) -> const char * {
+            std::size_t n = std::strlen(flag);
+            if (a.compare(0, n, flag) == 0 && a[n] == '=')
+                return a.c_str() + n + 1;
+            return nullptr;
+        };
+        if (a == "--validate") {
+            opt.validate = true;
+        } else if (a == "--breakdown") {
+            opt.breakdown = true;
+        } else if (const char *v = val("--cat")) {
+            opt.cat = v;
+        } else if (const char *v = val("--name")) {
+            opt.name = v;
+        } else if (const char *v = val("--from-us")) {
+            opt.fromUs = std::strtod(v, nullptr);
+        } else if (const char *v = val("--to-us")) {
+            opt.toUs = std::strtod(v, nullptr);
+        } else if (!a.empty() && a[0] != '-') {
+            opt.file = a;
+        } else {
+            return fail("unknown option " + a +
+                        " (see the header comment for usage)");
+        }
+    }
+    if (opt.file.empty())
+        return fail("usage: trace_dump [--validate] [--breakdown] "
+                    "[--cat=C] [--name=N] [--from-us=T] [--to-us=T] "
+                    "FILE");
+
+    std::ifstream is(opt.file);
+    if (!is)
+        return fail("cannot open " + opt.file);
+    std::stringstream ss;
+    ss << is.rdbuf();
+
+    Json doc;
+    try {
+        doc = Parser(ss.str()).parse();
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+
+    std::vector<TraceEvent> events;
+    if (int rc = decode(doc, events, opt.validate))
+        return rc;
+
+    if (opt.validate) {
+        if (int rc = checkReconciliation(events))
+            return rc;
+        std::printf("OK: %zu events valid\n", events.size());
+        return 0;
+    }
+    if (opt.breakdown) {
+        printBreakdown(events, opt);
+        return 0;
+    }
+    printListing(events, opt);
+    return 0;
+}
