@@ -15,6 +15,23 @@ Ftl::Ftl(nand::NandFlash &flash, const FtlConfig &cfg)
     const std::uint64_t total_blocks =
         std::uint64_t(g.totalDies()) * g.blocksPerDie;
 
+    // Reject or repair configurations that would livelock or corrupt
+    // capacity accounting before any I/O runs (they used to surface as
+    // mid-run panics, or as silent UB for a negative over-provision).
+    if (!(cfg_.overProvision >= 0.0 && cfg_.overProvision <= 0.9)) {
+        sim::fatal("FTL over-provision fraction must be in [0, 0.9], got ",
+                   cfg_.overProvision);
+    }
+    if (cfg_.gcLowWaterBlocks == 0) {
+        sim::warn("FTL GC low watermark 0 would let the free pool empty "
+                  "before GC engages; clamping to 1");
+        cfg_.gcLowWaterBlocks = 1;
+    }
+    if (cfg_.backgroundGc && cfg_.gcStepPages == 0) {
+        sim::warn("FTL background GC with gcStepPages 0 would never "
+                  "relocate; clamping to 1");
+        cfg_.gcStepPages = 1;
+    }
     if (cfg_.gcHighWaterBlocks <= cfg_.gcLowWaterBlocks)
         sim::fatal("FTL GC high watermark must exceed the low watermark");
     if (total_blocks <= cfg_.gcHighWaterBlocks + g.totalDies())
@@ -309,6 +326,109 @@ Ftl::doCollectGarbage(sim::Tick ready)
     return t;
 }
 
+void
+Ftl::backgroundGcSteps(sim::Tick now)
+{
+    if (freeList_.size() >= cfg_.gcHighWaterBlocks)
+        return;
+    // One step rides along with every host op while the pool is low;
+    // an idle gap since the last op earns up to three catch-up steps.
+    std::uint32_t steps = 1;
+    if (cfg_.gcIdleThreshold > 0 && now > lastHostEnd_) {
+        sim::Tick gap = now - lastHostEnd_;
+        steps += static_cast<std::uint32_t>(
+            std::min<sim::Tick>(3, gap / cfg_.gcIdleThreshold));
+    }
+    for (std::uint32_t s = 0;
+         s < steps && freeList_.size() < cfg_.gcHighWaterBlocks; ++s) {
+        backgroundGcStep(now);
+    }
+}
+
+void
+Ftl::backgroundGcStep(sim::Tick now)
+{
+    // Revalidate the in-flight victim: a foreground fallback episode
+    // or a block retirement may have recycled it between steps.
+    if (gcVictim_ >= 0) {
+        const auto &v = blocks_[static_cast<std::size_t>(gcVictim_)];
+        if (v.free || v.open || flash_.isBad(v.die, v.block) ||
+            flash_.eraseCount(v.die, v.block) != gcVictimWear_) {
+            gcVictim_ = -1;
+        }
+    }
+    if (gcVictim_ < 0) {
+        std::uint32_t vi = pickVictim();
+        if (vi == ~std::uint32_t(0))
+            return; // nothing collectable yet
+        gcVictim_ = vi;
+        gcScanPage_ = 0;
+        gcVictimWear_ =
+            flash_.eraseCount(blocks_[vi].die, blocks_[vi].block);
+    }
+
+    sim::SpanId sp =
+        tracer_ ? tracer_->beginSpan("ftl", "gc_step", now) : 0;
+    sim::tracepointHit(faults_, tracer_, sim::Tp::ftlGcStep, now);
+    ++gcSteps_;
+
+    auto &victim = blocks_[static_cast<std::size_t>(gcVictim_)];
+    std::vector<std::uint8_t> buf(pageSize_);
+    const std::uint32_t wp = flash_.writePointer(victim.die, victim.block);
+    std::uint32_t relocated = 0;
+    while (gcScanPage_ < wp && relocated < cfg_.gcStepPages) {
+        std::uint32_t p = gcScanPage_++;
+        Lpn lpn = victim.pageLpn[p];
+        if (lpn == ~Lpn(0))
+            continue; // stale page
+        nand::Ppa src{victim.die, victim.block, p};
+        auto it = l2p_.find(lpn);
+        if (it == l2p_.end() || !(it->second == src))
+            continue; // remapped since
+        flash_.readPage(src, buf);
+        writeOnePage(lpn, buf, now);
+        ++relocated;
+        ++gcPages_;
+    }
+    // Background reservations: later host reads may claim these slots
+    // (read priority) and the erase below is suspendable.
+    sim::Tick t = now;
+    t = std::max(t, flash_.timedGcRead(t, relocated).end);
+    t = std::max(t, flash_.timedGcProgram(
+                        t, std::uint64_t(relocated) * pageSize_).end);
+    const sim::Tick relocEnd = t;
+
+    if (gcScanPage_ >= wp) {
+        // Victim fully scanned: erase it and return it to the pool.
+        sim::tracepointHit(faults_, tracer_, sim::Tp::ftlGcErase, t);
+        const auto vi = static_cast<std::uint32_t>(gcVictim_);
+        if (!flash_.eraseBlock(victim.die, victim.block)) {
+            // Grown defect: retire instead of freeing (pages already
+            // relocated, but the pool shrinks by one block).
+            flash_.markBad(victim.die, victim.block);
+            ++grownBad_;
+        } else {
+            victim.free = true;
+            freeList_.insert(freeList_.begin(), vi);
+        }
+        victim.open = false;
+        victim.validPages = 0;
+        victim.pageLpn.clear();
+        t = flash_.timedGcErase(t).end;
+        gcVictim_ = -1;
+    }
+
+    if (t > now)
+        gcStepLat_.record(t - now);
+    if (tracer_) {
+        if (relocEnd > now)
+            tracer_->phase("relocate", now, relocEnd);
+        if (t > relocEnd)
+            tracer_->phase("erase", relocEnd, t);
+        tracer_->endSpan(sp, t);
+    }
+}
+
 sim::Interval
 Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
           std::span<std::uint8_t> out)
@@ -317,6 +437,11 @@ Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
         sim::fatal("FTL read past logical capacity: lpn ", lpn, "+", count);
     if (out.size() < count * pageSize_)
         sim::panic("FTL read buffer too small");
+
+    // Background GC reserves its die time first; the host read then
+    // bypasses or suspends it per the scheduler knobs.
+    if (cfg_.backgroundGc)
+        backgroundGcSteps(ready);
 
     std::uint64_t mapped = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -334,6 +459,7 @@ Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
     if (!tracer_) {
         auto iv = flash_.timedRead(ready, mapped);
         readLat_.record(iv.end - ready);
+        lastHostEnd_ = std::max(lastHostEnd_, iv.end);
         return iv;
     }
     sim::SpanId sp = tracer_->beginSpan("ftl", "read", ready);
@@ -342,6 +468,7 @@ Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
     tracer_->phase("media", iv.start, iv.end);
     tracer_->endSpan(sp, iv.end);
     readLat_.record(iv.end - ready);
+    lastHostEnd_ = std::max(lastHostEnd_, iv.end);
     return iv;
 }
 
@@ -353,6 +480,12 @@ Ftl::write(sim::Tick ready, Lpn lpn, std::uint64_t count,
         sim::fatal("FTL write past logical capacity: lpn ", lpn, "+", count);
     if (data.size() < count * pageSize_)
         sim::panic("FTL write buffer too small");
+
+    // Background steps run as their own top-level spans, before the
+    // write span opens; the foreground path below stays as the hard
+    // floor when the pool hits the low watermark anyway.
+    if (cfg_.backgroundGc)
+        backgroundGcSteps(ready);
 
     sim::SpanId sp = tracer_
         ? tracer_->beginSpan("ftl", "write", ready)
@@ -377,6 +510,7 @@ Ftl::write(sim::Tick ready, Lpn lpn, std::uint64_t count,
         tracer_->endSpan(sp, iv.end);
     }
     writeLat_.record(iv.end - ready);
+    lastHostEnd_ = std::max(lastHostEnd_, iv.end);
     return {t, iv.end};
 }
 
@@ -412,6 +546,13 @@ Ftl::registerMetrics(sim::MetricRegistry &reg,
     reg.addHistogram(prefix + ".read_lat", readLat_);
     reg.addHistogram(prefix + ".write_lat", writeLat_);
     reg.addHistogram(prefix + ".gc.pause", gcPause_);
+    reg.addHistogram(prefix + ".gc.step_lat", gcStepLat_);
+    reg.addGauge(prefix + ".gc.steps", [this] {
+        return static_cast<double>(gcSteps_);
+    });
+    reg.addGauge(prefix + ".gc.background", [this] {
+        return cfg_.backgroundGc ? 1.0 : 0.0;
+    });
     reg.addGauge(prefix + ".host_pages", [this] {
         return static_cast<double>(hostPages_);
     });

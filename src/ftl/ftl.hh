@@ -39,12 +39,27 @@ using Lpn = std::uint64_t;
 /** FTL tuning parameters. */
 struct FtlConfig
 {
-    /** Fraction of physical capacity reserved as over-provisioning. */
+    /** Fraction of physical capacity reserved as over-provisioning.
+     *  Must lie in [0, 0.9]; the constructor rejects anything else. */
     double overProvision = 0.07;
-    /** GC engages when free blocks drop to this count. */
+    /** Foreground GC engages when free blocks drop to this count.
+     *  0 would let the pool empty before GC runs; clamped to 1. */
     std::uint32_t gcLowWaterBlocks = 4;
     /** GC relocates until free blocks recover to this count. */
     std::uint32_t gcHighWaterBlocks = 8;
+
+    /**
+     * Incremental background GC (DESIGN.md section 10): relocate the
+     * victim's pages in small rate-controlled steps woven between host
+     * I/Os instead of stalling the write that crosses the low
+     * watermark. Foreground GC remains as the fallback when the pool
+     * hits the low watermark anyway.
+     */
+    bool backgroundGc = false;
+    /** Valid pages relocated per background step (clamped to >= 1). */
+    std::uint32_t gcStepPages = 8;
+    /** Host idle gap that earns extra catch-up steps (0 disables). */
+    sim::Tick gcIdleThreshold = sim::usOf(30);
 };
 
 /**
@@ -96,6 +111,8 @@ class Ftl
     std::uint64_t hostPagesWritten() const { return hostPages_; }
     std::uint64_t nandPagesWritten() const { return nandPages_; }
     std::uint64_t gcRelocatedPages() const { return gcPages_; }
+    /** Incremental background GC steps executed. */
+    std::uint64_t gcBackgroundSteps() const { return gcSteps_; }
 
     /** Write amplification factor: NAND page programs per host page. */
     double
@@ -144,6 +161,8 @@ class Ftl
     const sim::Histogram &writeLatency() const { return writeLat_; }
     /** Foreground GC stall charged to host writes, per GC episode. */
     const sim::Histogram &gcPauses() const { return gcPause_; }
+    /** Die time consumed per background GC step (not host-visible). */
+    const sim::Histogram &gcStepLatency() const { return gcStepLat_; }
     /** @} */
 
   private:
@@ -179,9 +198,23 @@ class Ftl
     std::uint64_t gcPages_ = 0;
     std::uint64_t grownBad_ = 0;
 
+    /** @name Incremental background GC state @{ */
+    /** In-flight victim block index, or -1 between episodes. */
+    std::int64_t gcVictim_ = -1;
+    /** Next page of the victim to scan. */
+    std::uint32_t gcScanPage_ = 0;
+    /** Victim's erase count at selection; a mismatch at step time
+     *  means a foreground episode recycled it under us. */
+    std::uint64_t gcVictimWear_ = 0;
+    /** End of the latest host op (idle-gap detection). */
+    sim::Tick lastHostEnd_ = 0;
+    std::uint64_t gcSteps_ = 0;
+    /** @} */
+
     sim::Histogram readLat_{"ftl.readLat"};
     sim::Histogram writeLat_{"ftl.writeLat"};
     sim::Histogram gcPause_{"ftl.gcPause"};
+    sim::Histogram gcStepLat_{"ftl.gcStepLat"};
 
     std::uint32_t blockIndex(std::uint32_t die, std::uint32_t block) const;
     BlockInfo &blockOf(nand::Ppa ppa);
@@ -209,6 +242,19 @@ class Ftl
     /** Run greedy GC until the high watermark is restored. */
     sim::Tick collectGarbage(sim::Tick ready);
     sim::Tick doCollectGarbage(sim::Tick ready);
+
+    /**
+     * Run the background steps a host op at @p now has earned: one
+     * when the pool is below the high watermark, plus catch-up steps
+     * after an idle gap. Die time is reserved through the background
+     * NAND variants, so host latency is only affected through die
+     * contention - never charged directly.
+     */
+    void backgroundGcSteps(sim::Tick now);
+
+    /** One incremental step: relocate up to gcStepPages pages of the
+     *  current victim, erasing and freeing it when fully scanned. */
+    void backgroundGcStep(sim::Tick now);
 
     std::uint32_t pickVictim() const;
 };

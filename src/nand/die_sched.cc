@@ -1,0 +1,146 @@
+#include "nand/die_sched.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::nand
+{
+
+DieScheduler::DieScheduler(std::size_t dies, const NandSchedConfig &cfg,
+                           std::string name)
+    : name_(std::move(name)), cfg_(cfg), dies_(dies)
+{
+    if (dies == 0)
+        sim::fatal("DieScheduler '", name_, "' needs at least one die");
+}
+
+std::size_t
+DieScheduler::pickDie() const
+{
+    // Least-loaded die, lowest index on ties: the exact policy
+    // MultiResource::pickServer used, so knob-off grants are identical.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < dies_.size(); ++i)
+        if (dies_[i].free < dies_[best].free)
+            best = i;
+    return best;
+}
+
+DieScheduler::Grant
+DieScheduler::hostRead(Die &d, sim::Tick earliest, sim::Tick duration)
+{
+    Grant g;
+
+    // Read priority: claim the slot of the die's unstarted background
+    // tail op; the background work is re-granted after the read.
+    if (cfg_.readPriority && d.bgTail && earliest <= d.bgStart) {
+        sim::Tick start = std::max(earliest, d.bgFreeBefore);
+        sim::Tick end = start + duration;
+        d.bgFreeBefore = end;
+        d.bgStart = end;
+        d.free = end + d.bgDuration;
+        if (d.eraseTail && d.bgOp == Op::erase) {
+            // The shifted background op is an erase: keep its suspend
+            // window in sync with the new grant.
+            d.eraseStart = d.bgStart;
+            d.eraseEnd = d.free;
+        }
+        ++readBypasses_;
+        g.bypassedBackground = true;
+        g.iv = {start, end};
+        return g;
+    }
+
+    // Erase suspend: the die is mid-erase when the read arrives; park
+    // the erase, run the read, resume with a fixed overhead. The
+    // erase is the die's tail reservation (only tails are tracked),
+    // so extending it is extending the calendar.
+    if (cfg_.eraseSuspend && d.eraseTail && earliest >= d.eraseStart &&
+        earliest < d.eraseEnd &&
+        d.suspends < cfg_.maxSuspendsPerErase) {
+        sim::Tick start = earliest + cfg_.eraseSuspendLatency;
+        sim::Tick end = start + duration;
+        sim::Tick stretch = cfg_.eraseSuspendLatency + duration +
+                            cfg_.eraseResumeOverhead;
+        d.eraseEnd += stretch;
+        d.free = std::max(d.free, d.eraseEnd);
+        ++d.suspends;
+        ++eraseSuspends_;
+        suspendOverhead_ +=
+            cfg_.eraseSuspendLatency + cfg_.eraseResumeOverhead;
+        g.suspendedErase = true;
+        g.iv = {start, end};
+        return g;
+    }
+
+    // Plain FIFO: the read queues like any other op and the die's
+    // previous tail is no longer preemptible.
+    sim::Tick start = std::max(earliest, d.free);
+    d.free = start + duration;
+    d.bgTail = false;
+    d.eraseTail = false;
+    g.iv = {start, d.free};
+    return g;
+}
+
+DieScheduler::Grant
+DieScheduler::reserve(sim::Tick earliest, sim::Tick duration, Op op,
+                      bool background)
+{
+    Die &d = dies_[pickDie()];
+    Grant g;
+
+    if (op == Op::read && !background) {
+        g = hostRead(d, earliest, duration);
+    } else {
+        sim::Tick prevFree = d.free;
+        sim::Tick start = std::max(earliest, prevFree);
+        sim::Tick end = start + duration;
+        d.free = end;
+
+        // This grant is the die's new tail; re-point the preemption
+        // bookkeeping at it.
+        d.bgTail = background;
+        if (background) {
+            d.bgStart = start;
+            d.bgDuration = duration;
+            d.bgFreeBefore = prevFree;
+            d.bgOp = op;
+        }
+        d.eraseTail = op == Op::erase;
+        if (d.eraseTail) {
+            d.eraseStart = start;
+            d.eraseEnd = end;
+            d.suspends = 0;
+        }
+        g.iv = {start, end};
+    }
+
+    busy_ += duration;
+    ++grants_;
+    return g;
+}
+
+sim::Tick
+DieScheduler::nextFree() const
+{
+    sim::Tick best = dies_[0].free;
+    for (const auto &d : dies_)
+        best = std::min(best, d.free);
+    return best;
+}
+
+void
+DieScheduler::reset()
+{
+    for (auto &d : dies_)
+        d = Die{};
+    busy_ = 0;
+    grants_ = 0;
+    eraseSuspends_ = 0;
+    readBypasses_ = 0;
+    suspendOverhead_ = 0;
+}
+
+} // namespace bssd::nand

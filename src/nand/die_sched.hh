@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Die-level I/O scheduler (DESIGN.md section 10).
+ *
+ * Replaces the plain least-loaded-die calendar inside NandFlash with a
+ * scheduler that knows what each die is doing. Two mechanisms, both
+ * knob-gated (NandSchedConfig) and both deterministic:
+ *
+ *  - read priority: a host read arriving before a *background*
+ *    reservation (GC relocation program or GC erase) has started may
+ *    claim its slot; the background operation is pushed back behind
+ *    the read. Only the die's tail reservation is preemptible, which
+ *    bounds the lookback to one operation and keeps grants O(1).
+ *
+ *  - erase suspend/resume: a host read arriving while a suspendable
+ *    block erase occupies the die parks the erase (suspend latency),
+ *    runs, and extends the erase by the read's service time plus a
+ *    resume overhead. A per-erase suspension cap bounds starvation.
+ *
+ * With both knobs off every grant is identical to what
+ * sim::MultiResource would have produced: pick the least-loaded die
+ * (lowest index on ties), start at max(ready, free), advance the
+ * calendar. That equivalence is asserted by tests/nand/test_die_sched
+ * and is what keeps every pre-existing timing result bit-identical.
+ *
+ * Determinism: per-rig state only, no randomness, grants depend only
+ * on call order - the sweep harness invariant holds unchanged.
+ */
+
+#ifndef BSSD_NAND_DIE_SCHED_HH
+#define BSSD_NAND_DIE_SCHED_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nand/nand_config.hh"
+#include "sim/resource.hh"
+#include "sim/ticks.hh"
+
+namespace bssd::nand
+{
+
+/**
+ * Per-die operation calendars with background-aware scheduling. One
+ * instance models all dies of one NAND array.
+ */
+class DieScheduler
+{
+  public:
+    /** Operation classes the scheduler distinguishes. */
+    enum class Op : std::uint8_t { read, program, erase };
+
+    /** What one reservation was granted, plus how it was scheduled. */
+    struct Grant
+    {
+        sim::Interval iv;
+        /** The read suspended an in-flight erase on its die. */
+        bool suspendedErase = false;
+        /** The read claimed the slot of an unstarted background op. */
+        bool bypassedBackground = false;
+    };
+
+    DieScheduler(std::size_t dies, const NandSchedConfig &cfg,
+                 std::string name = "nand.dies");
+
+    /**
+     * Reserve one die for @p duration ticks, no earlier than
+     * @p earliest. @p background marks GC work: it is scheduled FIFO
+     * like any other op but becomes preemptible by later host reads
+     * (read priority) and, for erases, suspendable (erase suspend).
+     */
+    Grant reserve(sim::Tick earliest, sim::Tick duration, Op op,
+                  bool background = false);
+
+    /** Earliest time any die frees up. */
+    sim::Tick nextFree() const;
+
+    std::size_t dies() const { return dies_.size(); }
+    sim::Tick busyTime() const { return busy_; }
+    std::uint64_t grants() const { return grants_; }
+
+    /** @name Scheduler-event counters @{ */
+    /** Erases suspended by host reads. */
+    std::uint64_t eraseSuspends() const { return eraseSuspends_; }
+    /** Host reads that claimed an unstarted background op's slot. */
+    std::uint64_t readBypasses() const { return readBypasses_; }
+    /** Extra die time spent on suspend/resume overhead. */
+    sim::Tick suspendOverhead() const { return suspendOverhead_; }
+    /** @} */
+
+    /** Forget all reservations (fresh measurement). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    /** One die's calendar plus its preemptible tail reservation. */
+    struct Die
+    {
+        sim::Tick free = 0;
+
+        /** Tail background reservation not yet started (bypass
+         *  target); freeBefore is the calendar before it was granted,
+         *  so a read can be placed exactly where it would have run. */
+        bool bgTail = false;
+        sim::Tick bgStart = 0;
+        sim::Tick bgDuration = 0;
+        sim::Tick bgFreeBefore = 0;
+        Op bgOp = Op::program;
+
+        /** Tail erase reservation (suspend target). */
+        bool eraseTail = false;
+        sim::Tick eraseStart = 0;
+        sim::Tick eraseEnd = 0;
+        std::uint32_t suspends = 0;
+    };
+
+    std::string name_;
+    NandSchedConfig cfg_;
+    std::vector<Die> dies_;
+    sim::Tick busy_ = 0;
+    std::uint64_t grants_ = 0;
+    std::uint64_t eraseSuspends_ = 0;
+    std::uint64_t readBypasses_ = 0;
+    sim::Tick suspendOverhead_ = 0;
+
+    std::size_t pickDie() const;
+    Grant hostRead(Die &d, sim::Tick earliest, sim::Tick duration);
+};
+
+} // namespace bssd::nand
+
+#endif // BSSD_NAND_DIE_SCHED_HH

@@ -63,11 +63,38 @@ struct NandTiming
     sim::Bandwidth channelBw = sim::mbPerSec(800);
 };
 
+/**
+ * Die-level scheduler policy (DESIGN.md section 10).
+ *
+ * The knobs gate the two mechanisms that keep host reads fast while
+ * background GC owns die time: read-over-program priority (a host read
+ * may claim the slot of a queued-but-unstarted background operation)
+ * and erase suspend/resume (a host read arriving mid-erase pauses the
+ * erase, runs, and lets the erase resume with a fixed overhead). Both
+ * default off, which makes the scheduler grant-for-grant identical to
+ * the plain least-loaded-die calendar the model used before.
+ */
+struct NandSchedConfig
+{
+    /** Host reads may preempt queued background programs/erases. */
+    bool readPriority = false;
+    /** Host reads may suspend an in-flight block erase. */
+    bool eraseSuspend = false;
+    /** Latency to park an erase pulse before the read runs (tESPD). */
+    sim::Tick eraseSuspendLatency = sim::usOf(5);
+    /** Re-ramp overhead added when the suspended erase resumes. */
+    sim::Tick eraseResumeOverhead = sim::usOf(10);
+    /** Suspensions allowed per erase before it runs to completion
+     *  unpreemptible (bounds erase starvation). */
+    std::uint32_t maxSuspendsPerErase = 4;
+};
+
 /** Full NAND array configuration. */
 struct NandConfig
 {
     NandGeometry geometry;
     NandTiming timing;
+    NandSchedConfig sched;
 
     /** Fraction of blocks shipped factory-bad (typically < 2%). */
     double factoryBadBlockRate = 0.0;

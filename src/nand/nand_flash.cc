@@ -50,7 +50,7 @@ NandConfig::tiny()
 
 NandFlash::NandFlash(const NandConfig &cfg)
     : cfg_(cfg),
-      dies_(cfg.geometry.totalDies(), "nand.dies"),
+      dies_(cfg.geometry.totalDies(), cfg.sched, "nand.dies"),
       channels_(cfg.geometry.channels, "nand.channels")
 {
     if (cfg_.geometry.pageSize == 0 || cfg_.geometry.pagesPerBlock == 0 ||
@@ -204,7 +204,8 @@ NandFlash::pageTransferTime() const
 }
 
 sim::Interval
-NandFlash::timedRead(sim::Tick ready, std::uint64_t pages)
+NandFlash::doTimedRead(sim::Tick ready, std::uint64_t pages,
+                       bool background)
 {
     if (pages == 0)
         return {ready, ready};
@@ -212,16 +213,22 @@ NandFlash::timedRead(sim::Tick ready, std::uint64_t pages)
     sim::Tick last = 0;
     const sim::Tick xfer = pageTransferTime();
     for (std::uint64_t i = 0; i < pages; ++i) {
-        auto die_iv = dies_.reserve(ready, cfg_.timing.readPage);
-        auto ch_iv = channels_.reserve(die_iv.end, xfer);
-        first = std::min(first, die_iv.start);
+        auto g = dies_.reserve(ready, cfg_.timing.readPage,
+                               DieScheduler::Op::read, background);
+        if (g.suspendedErase) {
+            sim::tracepointHit(faults_, tracer_, sim::Tp::nandEraseSuspend,
+                               g.iv.start);
+        }
+        auto ch_iv = channels_.reserve(g.iv.end, xfer);
+        first = std::min(first, g.iv.start);
         last = std::max(last, ch_iv.end);
     }
     return {first, last};
 }
 
 sim::Interval
-NandFlash::timedProgram(sim::Tick ready, std::uint64_t bytes)
+NandFlash::doTimedProgram(sim::Tick ready, std::uint64_t bytes,
+                          bool background)
 {
     if (bytes == 0)
         return {ready, ready};
@@ -233,17 +240,57 @@ NandFlash::timedProgram(sim::Tick ready, std::uint64_t bytes)
         std::uint64_t sz = std::min(chunk, bytes - i * chunk);
         auto ch_iv =
             channels_.reserve(ready, cfg_.timing.channelBw.transferTime(sz));
-        auto die_iv = dies_.reserve(ch_iv.end, cfg_.timing.programChunk);
+        auto g = dies_.reserve(ch_iv.end, cfg_.timing.programChunk,
+                               DieScheduler::Op::program, background);
         first = std::min(first, ch_iv.start);
-        last = std::max(last, die_iv.end);
+        last = std::max(last, g.iv.end);
     }
     return {first, last};
 }
 
 sim::Interval
+NandFlash::doTimedErase(sim::Tick ready, bool background)
+{
+    return dies_
+        .reserve(ready, cfg_.timing.eraseBlock, DieScheduler::Op::erase,
+                 background)
+        .iv;
+}
+
+sim::Interval
+NandFlash::timedRead(sim::Tick ready, std::uint64_t pages)
+{
+    return doTimedRead(ready, pages, false);
+}
+
+sim::Interval
+NandFlash::timedProgram(sim::Tick ready, std::uint64_t bytes)
+{
+    return doTimedProgram(ready, bytes, false);
+}
+
+sim::Interval
 NandFlash::timedErase(sim::Tick ready)
 {
-    return dies_.reserve(ready, cfg_.timing.eraseBlock);
+    return doTimedErase(ready, false);
+}
+
+sim::Interval
+NandFlash::timedGcRead(sim::Tick ready, std::uint64_t pages)
+{
+    return doTimedRead(ready, pages, true);
+}
+
+sim::Interval
+NandFlash::timedGcProgram(sim::Tick ready, std::uint64_t bytes)
+{
+    return doTimedProgram(ready, bytes, true);
+}
+
+sim::Interval
+NandFlash::timedGcErase(sim::Tick ready)
+{
+    return doTimedErase(ready, true);
 }
 
 void

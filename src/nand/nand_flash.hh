@@ -23,12 +23,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "nand/die_sched.hh"
 #include "nand/nand_config.hh"
 #include "sim/fault.hh"
 #include "sim/metrics.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::nand
 {
@@ -126,6 +128,20 @@ class NandFlash
 
     /** @} */
 
+    /** @name Timed background (GC) operations @{
+     *
+     * Same resource model as the host-facing variants, but the grants
+     * are marked background in the die scheduler: later host reads may
+     * claim their slot (read priority) and background erases are
+     * suspendable, when NandSchedConfig enables those knobs.
+     */
+
+    sim::Interval timedGcRead(sim::Tick ready, std::uint64_t pages);
+    sim::Interval timedGcProgram(sim::Tick ready, std::uint64_t bytes);
+    sim::Interval timedGcErase(sim::Tick ready);
+
+    /** @} */
+
     /** @name Statistics @{ */
     std::uint64_t pagesRead() const { return pagesRead_.value(); }
     std::uint64_t pagesProgrammed() const { return pagesProgrammed_.value(); }
@@ -138,10 +154,18 @@ class NandFlash
     /** Install the rig's fault injector (nullptr disables). */
     void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
 
+    /** Install the rig's tracer (nullptr disables). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
     /** Program operations that failed (injected faults). */
     std::uint64_t programFailures() const { return programFails_.value(); }
     /** Erase operations that failed (injected faults). */
     std::uint64_t eraseFailures() const { return eraseFails_.value(); }
+
+    /** Erases suspended by host reads (scheduler events). */
+    std::uint64_t eraseSuspends() const { return dies_.eraseSuspends(); }
+    /** Host reads that claimed a background op's slot. */
+    std::uint64_t readBypasses() const { return dies_.readBypasses(); }
 
     /** Attach the array's counters to @p reg under @p prefix ("ssd0.nand"). */
     void
@@ -153,6 +177,12 @@ class NandFlash
         reg.addCounter(prefix + ".blocks_erased", blocksErased_);
         reg.addCounter(prefix + ".program_fails", programFails_);
         reg.addCounter(prefix + ".erase_fails", eraseFails_);
+        reg.addGauge(prefix + ".erase_suspends", [this] {
+            return static_cast<double>(dies_.eraseSuspends());
+        });
+        reg.addGauge(prefix + ".read_bypasses", [this] {
+            return static_cast<double>(dies_.readBypasses());
+        });
     }
 
   private:
@@ -169,9 +199,10 @@ class NandFlash
     std::unordered_map<std::uint64_t, BlockState> blocks_;
     std::unordered_set<std::uint64_t> badBlocks_;
 
-    sim::MultiResource dies_;
+    DieScheduler dies_;
     sim::MultiResource channels_;
     sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
     /// mutable: reads are logically const but still counted.
     mutable sim::Counter pagesRead_{"nand.pagesRead"};
     sim::Counter pagesProgrammed_{"nand.pagesProgrammed"};
@@ -182,6 +213,11 @@ class NandFlash
     std::uint64_t blockKey(std::uint32_t die, std::uint32_t block) const;
     void checkPpa(Ppa ppa) const;
     sim::Tick pageTransferTime() const;
+    sim::Interval doTimedRead(sim::Tick ready, std::uint64_t pages,
+                              bool background);
+    sim::Interval doTimedProgram(sim::Tick ready, std::uint64_t bytes,
+                                 bool background);
+    sim::Interval doTimedErase(sim::Tick ready, bool background);
 };
 
 } // namespace bssd::nand

@@ -14,7 +14,7 @@
  *              guarantee that the phases of a span partition it, which
  *              is what makes the per-phase sums reconcile with the
  *              end-to-end latency (tools/trace_dump --validate).
- *  - instants: point events. The 17 durability tracepoints
+ *  - instants: point events. The 19 durability tracepoints
  *              (sim/tracepoint.hh) are recorded as instants through
  *              tracepointHit(), so fault injection and tracing share
  *              one instrumentation surface.

@@ -62,6 +62,10 @@ enum class Tp : std::uint8_t
     nandProgram,
     /** NAND block erase operation. */
     nandErase,
+    /** Background GC about to run one incremental relocation step. */
+    ftlGcStep,
+    /** A host read suspended an in-flight NAND block erase. */
+    nandEraseSuspend,
 
     count_
 };
@@ -91,6 +95,8 @@ tpName(Tp tp)
       case Tp::ftlGcErase: return "ftl.gcErase";
       case Tp::nandProgram: return "nand.program";
       case Tp::nandErase: return "nand.erase";
+      case Tp::ftlGcStep: return "ftl.gcStep";
+      case Tp::nandEraseSuspend: return "nand.eraseSuspend";
       case Tp::count_: break;
     }
     return "?";

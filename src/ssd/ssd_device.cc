@@ -18,6 +18,11 @@ SsdConfig::dcSsd()
     c.flushCost = sim::usOf(20);
     c.writeBufferBytes = 64 * sim::MiB;
     c.readAhead = true;
+    // Production firmware collects in the background and prioritizes
+    // host reads over internal traffic (DESIGN.md section 10).
+    c.ftlCfg.backgroundGc = true;
+    c.nandCfg.sched.readPriority = true;
+    c.nandCfg.sched.eraseSuspend = true;
     return c;
 }
 
@@ -32,6 +37,9 @@ SsdConfig::ullSsd()
     c.flushCost = sim::usOf(12);
     c.writeBufferBytes = 64 * sim::MiB;
     c.readAhead = true;
+    c.ftlCfg.backgroundGc = true;
+    c.nandCfg.sched.readPriority = true;
+    c.nandCfg.sched.eraseSuspend = true;
     return c;
 }
 
@@ -218,12 +226,19 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
         tracer_->phase("buffer", t, admitted);
     // The destage span nests under this command's span: GC storms the
     // write triggers show up attributed to it, even though the host
-    // sees only the buffer-admission latency.
-    ftl_->write(admitted, lpn, pages, buf);
-    if (tracer_)
-        tracer_->endSpan(sp, admitted);
-    writeLat_.record(admitted - ready);
-    return {ready, admitted};
+    // sees only the buffer-admission latency (unless writeThrough,
+    // where the command completes with the destage itself).
+    auto ftl_iv = ftl_->write(admitted, lpn, pages, buf);
+    sim::Tick done = cfg_.writeThrough
+        ? std::max(admitted, ftl_iv.end)
+        : admitted;
+    if (tracer_) {
+        if (done > admitted)
+            tracer_->phase("destage", admitted, done);
+        tracer_->endSpan(sp, done);
+    }
+    writeLat_.record(done - ready);
+    return {ready, done};
 }
 
 sim::Tick

@@ -68,6 +68,15 @@ struct SsdConfig
     bool readAhead = false;
     /** Pages fetched ahead on a sequential stream. */
     std::uint32_t readAheadPages = 64;
+    /**
+     * FUA-style writes: the command completes only when the FTL
+     * destage (including any GC stall charged to it) finishes, not at
+     * buffer admission. Default off - the capacitor-backed buffer is
+     * what the paper's devices expose. bench_tail_latency turns this
+     * on so the foreground-vs-background GC ablation measures the
+     * stall at the host.
+     */
+    bool writeThrough = false;
 
     /** Datacenter-class NVMe SSD (PM963-like). */
     static SsdConfig dcSsd();
@@ -159,6 +168,7 @@ class SsdDevice
     {
         tracer_ = t;
         ftl_->setTracer(t);
+        flash_->setTracer(t);
         link_.setTracer(t);
     }
 

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the die-level I/O scheduler (DESIGN.md section 10):
+ * the knobs-off grant-for-grant equivalence with sim::MultiResource
+ * (the compatibility invariant every pre-existing timing result rests
+ * on), read bypass of unstarted background work, erase suspend/resume
+ * timing, the per-erase suspension cap, and the event counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nand/die_sched.hh"
+#include "sim/resource.hh"
+#include "sim/rng.hh"
+
+using namespace bssd;
+using nand::DieScheduler;
+using Op = nand::DieScheduler::Op;
+
+namespace
+{
+
+nand::NandSchedConfig
+knobsOff()
+{
+    nand::NandSchedConfig c;
+    c.readPriority = false;
+    c.eraseSuspend = false;
+    return c;
+}
+
+nand::NandSchedConfig
+knobsOn()
+{
+    nand::NandSchedConfig c;
+    c.readPriority = true;
+    c.eraseSuspend = true;
+    return c;
+}
+
+} // namespace
+
+/** With both knobs off, every grant - across a long random mixed
+ *  sequence, including background ops - must be identical to what
+ *  MultiResource produces for the same (earliest, duration) stream. */
+TEST(DieScheduler, KnobsOffGrantsMatchMultiResource)
+{
+    constexpr std::size_t kDies = 4;
+    DieScheduler sched(kDies, knobsOff());
+    sim::MultiResource ref(kDies);
+
+    sim::Rng rng(17);
+    sim::Tick t = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const sim::Tick earliest = t + rng.nextBelow(50);
+        const sim::Tick duration = 1 + rng.nextBelow(200);
+        const Op op = static_cast<Op>(rng.nextBelow(3));
+        const bool background = rng.chance(0.3);
+
+        auto g = sched.reserve(earliest, duration, op, background);
+        auto iv = ref.reserve(earliest, duration);
+        ASSERT_EQ(g.iv.start, iv.start) << "grant " << i;
+        ASSERT_EQ(g.iv.end, iv.end) << "grant " << i;
+        EXPECT_FALSE(g.suspendedErase);
+        EXPECT_FALSE(g.bypassedBackground);
+
+        // Advance unevenly so dies go idle and contend in waves.
+        if (i % 7 == 0)
+            t += rng.nextBelow(300);
+    }
+    EXPECT_EQ(sched.busyTime(), ref.busyTime());
+    EXPECT_EQ(sched.grants(), ref.grants());
+    EXPECT_EQ(sched.nextFree(), ref.nextFree());
+    EXPECT_EQ(sched.eraseSuspends(), 0u);
+    EXPECT_EQ(sched.readBypasses(), 0u);
+    EXPECT_EQ(sched.suspendOverhead(), 0u);
+}
+
+/** A host read arriving before an unstarted background program has
+ *  begun claims its slot; the background work is pushed back behind
+ *  the read and the die calendar stays gap-free. */
+TEST(DieScheduler, ReadBypassesUnstartedBackgroundWork)
+{
+    DieScheduler sched(1, knobsOn());
+
+    // Host program occupies [0, 100); background GC program queues at
+    // [100, 300).
+    auto host = sched.reserve(0, 100, Op::program);
+    EXPECT_EQ(host.iv.start, 0u);
+    auto bg = sched.reserve(0, 200, Op::program, /*background=*/true);
+    EXPECT_EQ(bg.iv.start, 100u);
+    EXPECT_EQ(bg.iv.end, 300u);
+
+    // A read arriving at t=50 (before the background op starts) takes
+    // the background op's slot: it runs at [100, 130), where the GC
+    // program would have started.
+    auto rd = sched.reserve(50, 30, Op::read);
+    EXPECT_TRUE(rd.bypassedBackground);
+    EXPECT_FALSE(rd.suspendedErase);
+    EXPECT_EQ(rd.iv.start, 100u);
+    EXPECT_EQ(rd.iv.end, 130u);
+    EXPECT_EQ(sched.readBypasses(), 1u);
+    // The background op now runs after the read: die frees at 330.
+    EXPECT_EQ(sched.nextFree(), 330u);
+
+    // A second bypassing read stacks behind the first, still ahead of
+    // the (still unstarted) background op.
+    auto rd2 = sched.reserve(60, 30, Op::read);
+    EXPECT_TRUE(rd2.bypassedBackground);
+    EXPECT_EQ(rd2.iv.start, 130u);
+    EXPECT_EQ(rd2.iv.end, 160u);
+    EXPECT_EQ(sched.readBypasses(), 2u);
+    EXPECT_EQ(sched.nextFree(), 360u);
+}
+
+/** A read arriving after the background op has started cannot bypass
+ *  it; with the erase knob off it queues FIFO behind the tail. */
+TEST(DieScheduler, ReadArrivingAfterBackgroundStartQueuesFifo)
+{
+    auto cfg = knobsOn();
+    cfg.eraseSuspend = false;
+    DieScheduler sched(1, cfg);
+
+    auto bg = sched.reserve(0, 200, Op::program, /*background=*/true);
+    EXPECT_EQ(bg.iv.start, 0u);
+    // The background op started at 0; a read at t=10 is too late.
+    auto rd = sched.reserve(10, 30, Op::read);
+    EXPECT_FALSE(rd.bypassedBackground);
+    EXPECT_EQ(rd.iv.start, 200u);
+    EXPECT_EQ(sched.readBypasses(), 0u);
+}
+
+/** A host read landing inside an in-flight erase parks it: the read
+ *  starts after the suspend latency and the erase end stretches by
+ *  suspend latency + read time + resume overhead. */
+TEST(DieScheduler, EraseSuspendTimingAndCounters)
+{
+    auto cfg = knobsOn();
+    cfg.eraseSuspendLatency = 5;
+    cfg.eraseResumeOverhead = 10;
+    DieScheduler sched(1, cfg);
+
+    auto er = sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    EXPECT_EQ(er.iv.start, 0u);
+    EXPECT_EQ(er.iv.end, 1000u);
+
+    // Read arrives mid-erase at t=400.
+    auto rd = sched.reserve(400, 30, Op::read);
+    EXPECT_TRUE(rd.suspendedErase);
+    EXPECT_FALSE(rd.bypassedBackground);
+    EXPECT_EQ(rd.iv.start, 405u); // 400 + suspend latency
+    EXPECT_EQ(rd.iv.end, 435u);
+    // Erase stretches by 5 + 30 + 10 = 45.
+    EXPECT_EQ(sched.nextFree(), 1045u);
+    EXPECT_EQ(sched.eraseSuspends(), 1u);
+    EXPECT_EQ(sched.suspendOverhead(), 15u);
+
+    // A later op queues behind the stretched erase.
+    auto pg = sched.reserve(500, 100, Op::program);
+    EXPECT_EQ(pg.iv.start, 1045u);
+}
+
+/** The per-erase suspension cap: after maxSuspendsPerErase reads the
+ *  next read waits for the erase to finish instead of parking it
+ *  again (starvation bound). */
+TEST(DieScheduler, EraseSuspendCapBoundsStarvation)
+{
+    auto cfg = knobsOn();
+    cfg.eraseSuspendLatency = 5;
+    cfg.eraseResumeOverhead = 10;
+    cfg.maxSuspendsPerErase = 2;
+    DieScheduler sched(1, cfg);
+
+    sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    auto r1 = sched.reserve(100, 30, Op::read);
+    auto r2 = sched.reserve(200, 30, Op::read);
+    EXPECT_TRUE(r1.suspendedErase);
+    EXPECT_TRUE(r2.suspendedErase);
+    EXPECT_EQ(sched.eraseSuspends(), 2u);
+
+    // Third read inside the (now stretched) erase: cap reached, so it
+    // queues FIFO after the erase completes.
+    const sim::Tick eraseEnd = sched.nextFree();
+    auto r3 = sched.reserve(300, 30, Op::read);
+    EXPECT_FALSE(r3.suspendedErase);
+    EXPECT_EQ(r3.iv.start, eraseEnd);
+    EXPECT_EQ(sched.eraseSuspends(), 2u);
+}
+
+/** A fresh erase resets the suspension budget, and a host (non-
+ *  background) erase is suspendable too - suspend keys off the op
+ *  class, not the background flag. */
+TEST(DieScheduler, HostEraseIsSuspendableAndBudgetResets)
+{
+    auto cfg = knobsOn();
+    cfg.maxSuspendsPerErase = 1;
+    DieScheduler sched(1, cfg);
+
+    sched.reserve(0, 1000, Op::erase); // host erase
+    auto r1 = sched.reserve(100, 30, Op::read);
+    EXPECT_TRUE(r1.suspendedErase);
+    // Budget exhausted on this erase.
+    auto r2 = sched.reserve(200, 30, Op::read);
+    EXPECT_FALSE(r2.suspendedErase);
+
+    // New erase on the (single) die: budget is back.
+    const sim::Tick t0 = sched.nextFree();
+    sched.reserve(t0, 1000, Op::erase);
+    auto r3 = sched.reserve(t0 + 50, 30, Op::read);
+    EXPECT_TRUE(r3.suspendedErase);
+}
+
+/** Any non-read grant clears the die's preemptible tail: reads can
+ *  no longer bypass or suspend work that is not the tail anymore. */
+TEST(DieScheduler, NewTailGrantClearsPreemptibility)
+{
+    DieScheduler sched(1, knobsOn());
+
+    sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    // A host program queues behind the erase and becomes the new tail.
+    sched.reserve(0, 100, Op::program);
+    // A read at t=400 lands inside the erase's window, but the erase
+    // is no longer the tail: plain FIFO behind the program.
+    auto rd = sched.reserve(400, 30, Op::read);
+    EXPECT_FALSE(rd.suspendedErase);
+    EXPECT_FALSE(rd.bypassedBackground);
+    EXPECT_EQ(rd.iv.start, 1100u);
+}
+
+/** Bypassing a background *erase* keeps its suspend window in sync:
+ *  a later read can still suspend the pushed-back erase at its new
+ *  position. */
+TEST(DieScheduler, BypassShiftsEraseSuspendWindow)
+{
+    DieScheduler sched(1, knobsOn());
+
+    // Background erase queued at [100, 1100) behind a host program.
+    sched.reserve(0, 100, Op::program);
+    sched.reserve(0, 1000, Op::erase, /*background=*/true);
+
+    // Read bypasses the unstarted erase: runs [100, 130), erase now
+    // [130, 1130).
+    auto rd = sched.reserve(50, 30, Op::read);
+    EXPECT_TRUE(rd.bypassedBackground);
+    EXPECT_EQ(rd.iv.start, 100u);
+    EXPECT_EQ(sched.nextFree(), 1130u);
+
+    // A read at t=500 lands inside the shifted erase and suspends it.
+    auto rd2 = sched.reserve(500, 30, Op::read);
+    EXPECT_TRUE(rd2.suspendedErase);
+    EXPECT_EQ(rd2.iv.start, 500u + 5000u); // default 5 us latency
+}
+
+/** reset() forgets calendars, tails and counters. */
+TEST(DieScheduler, ResetClearsAllState)
+{
+    DieScheduler sched(2, knobsOn());
+    sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    sched.reserve(100, 30, Op::read);
+    ASSERT_EQ(sched.eraseSuspends(), 1u);
+
+    sched.reset();
+    EXPECT_EQ(sched.busyTime(), 0u);
+    EXPECT_EQ(sched.grants(), 0u);
+    EXPECT_EQ(sched.eraseSuspends(), 0u);
+    EXPECT_EQ(sched.readBypasses(), 0u);
+    EXPECT_EQ(sched.suspendOverhead(), 0u);
+    EXPECT_EQ(sched.nextFree(), 0u);
+    // Post-reset grants start from an empty calendar.
+    auto g = sched.reserve(7, 10, Op::program);
+    EXPECT_EQ(g.iv.start, 7u);
+}

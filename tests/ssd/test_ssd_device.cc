@@ -237,3 +237,47 @@ TEST(SsdCalibration, UllSustainedWritePcieBound)
     double gbps = static_cast<double>(total) / static_cast<double>(t);
     EXPECT_NEAR(gbps, 3.2, 0.4);
 }
+
+/** writeThrough (FUA-style) completion: the command finishes with the
+ *  destage instead of the buffer admission, so it is never earlier -
+ *  and the stored bytes are identical either way. */
+TEST(SsdDevice, WriteThroughCompletesWithDestage)
+{
+    auto cfg = SsdConfig::tiny();
+    SsdDevice buffered(cfg);
+    cfg.writeThrough = true;
+    SsdDevice through(cfg);
+
+    std::vector<std::uint8_t> page(buffered.pageSize());
+    for (std::size_t i = 0; i < page.size(); ++i)
+        page[i] = static_cast<std::uint8_t>(i * 7 + 1);
+
+    sim::Tick tb = 0;
+    sim::Tick tt = 0;
+    for (int i = 0; i < 32; ++i) {
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(i) * page.size();
+        auto bi = buffered.blockWrite(tb, off, page);
+        auto ti = through.blockWrite(tt, off, page);
+        // Same submit time, same op: write-through can only complete
+        // later (it waits for the FTL destage, not just admission).
+        EXPECT_GE(ti.end - tt, bi.end - tb) << "write " << i;
+        tb = bi.end;
+        tt = ti.end;
+    }
+    // At least one write must actually have been held back by the
+    // destage, or the knob is a no-op.
+    EXPECT_GT(tt, tb);
+
+    // Functional state is identical: every page reads back the same.
+    std::vector<std::uint8_t> a(page.size());
+    std::vector<std::uint8_t> b(page.size());
+    for (int i = 0; i < 32; ++i) {
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(i) * page.size();
+        buffered.blockRead(sim::sOf(1), off, a);
+        through.blockRead(sim::sOf(1), off, b);
+        ASSERT_EQ(a, b) << "page " << i;
+        ASSERT_EQ(a, page) << "page " << i;
+    }
+}

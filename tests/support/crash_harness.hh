@@ -269,10 +269,11 @@ struct CellResult
  */
 template <typename A>
 std::uint64_t
-countHits(WalKind wal, const std::vector<typename A::Op> &ops,
+countHits(const rigs::RigSpec &spec,
+          const std::vector<typename A::Op> &ops,
           const sim::FaultPlan &plan, std::vector<sim::Tp> *log = nullptr)
 {
-    auto rig = rigs::makeTinyRig(wal);
+    auto rig = rigs::makeRig(spec);
     typename A::Db db(*rig.log);
     sim::FaultInjector inj(plan);
     inj.setRecording(log != nullptr);
@@ -285,6 +286,14 @@ countHits(WalKind wal, const std::vector<typename A::Op> &ops,
     return inj.totalHits();
 }
 
+template <typename A>
+std::uint64_t
+countHits(WalKind wal, const std::vector<typename A::Op> &ops,
+          const sim::FaultPlan &plan, std::vector<sim::Tp> *log = nullptr)
+{
+    return countHits<A>(rigs::tinySpec(wal), ops, plan, log);
+}
+
 /**
  * Crash one cell at global hit index @p point, recover, and check the
  * acknowledged-prefix invariant. A fresh rig is built so the run is
@@ -292,10 +301,11 @@ countHits(WalKind wal, const std::vector<typename A::Op> &ops,
  */
 template <typename A>
 PointOutcome
-runPoint(WalKind wal, const std::vector<typename A::Op> &ops,
+runPoint(const rigs::RigSpec &spec,
+         const std::vector<typename A::Op> &ops,
          const sim::FaultPlan &plan, std::uint64_t point)
 {
-    auto rig = rigs::makeTinyRig(wal);
+    auto rig = rigs::makeRig(spec);
     typename A::Db db(*rig.log);
     sim::FaultInjector inj(plan);
     inj.armCrashAtHit(point);
@@ -358,6 +368,14 @@ runPoint(WalKind wal, const std::vector<typename A::Op> &ops,
                      std::to_string(inj.totalHits()) + ")";
     }
     return out;
+}
+
+template <typename A>
+PointOutcome
+runPoint(WalKind wal, const std::vector<typename A::Op> &ops,
+         const sim::FaultPlan &plan, std::uint64_t point)
+{
+    return runPoint<A>(rigs::tinySpec(wal), ops, plan, point);
 }
 
 /** Campaign knobs for one cell. */

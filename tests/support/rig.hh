@@ -71,6 +71,19 @@ struct RigSpec
     std::uint64_t halfBytes = 0;
     /** BA-buffer capacity for 2B-SSD rigs. 0 = BaConfig default. */
     std::uint64_t baBufferBytes = 0;
+
+    /** Blocks per die override (0 = preset default). Shrinking the
+     *  array is how GC-focused rigs make a short op stream churn the
+     *  free pool. */
+    std::uint32_t blocksPerDie = 0;
+    /** Enable incremental background GC plus the die-scheduler knobs
+     *  (read priority, erase suspend) on the rig's device. */
+    bool backgroundGc = false;
+    /** Pages relocated per background GC step (0 = FTL default).
+     *  Setting this below pagesPerBlock leaves victims partially
+     *  relocated between steps - the state mid-relocation crash points
+     *  need to exist. */
+    std::uint32_t gcStepPages = 0;
 };
 
 /** A log device plus everything backing it, kept alive together. */
@@ -159,6 +172,23 @@ deviceConfig(RigSpec::Device d)
     return ssd::SsdConfig::tiny();
 }
 
+/** Device preset with the spec's geometry/GC overrides applied. */
+inline ssd::SsdConfig
+deviceConfig(const RigSpec &spec)
+{
+    ssd::SsdConfig cfg = deviceConfig(spec.device);
+    if (spec.blocksPerDie)
+        cfg.nandCfg.geometry.blocksPerDie = spec.blocksPerDie;
+    if (spec.backgroundGc) {
+        cfg.ftlCfg.backgroundGc = true;
+        cfg.nandCfg.sched.readPriority = true;
+        cfg.nandCfg.sched.eraseSuspend = true;
+    }
+    if (spec.gcStepPages)
+        cfg.ftlCfg.gcStepPages = spec.gcStepPages;
+    return cfg;
+}
+
 /** Build one rig from a spec. */
 inline Rig
 makeRig(const RigSpec &spec)
@@ -168,7 +198,7 @@ makeRig(const RigSpec &spec)
     switch (spec.wal) {
       case WalKind::block: {
         rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(deviceConfig(spec.device));
+            std::make_unique<ssd::SsdDevice>(deviceConfig(spec));
         wal::BlockWalConfig cfg;
         if (spec.regionBytes)
             cfg.regionBytes = spec.regionBytes;
@@ -181,7 +211,7 @@ makeRig(const RigSpec &spec)
         if (spec.baBufferBytes)
             bc.bufferBytes = spec.baBufferBytes;
         rig.twoB = std::make_unique<ba::TwoBSsd>(
-            deviceConfig(spec.device), bc);
+            deviceConfig(spec), bc);
         wal::BaWalConfig cfg;
         if (spec.regionBytes)
             cfg.regionBytes = spec.regionBytes;
@@ -193,7 +223,7 @@ makeRig(const RigSpec &spec)
       }
       case WalKind::pm: {
         rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(deviceConfig(spec.device));
+            std::make_unique<ssd::SsdDevice>(deviceConfig(spec));
         rig.pm = std::make_unique<host::PersistentMemory>();
         wal::PmWalConfig cfg;
         if (spec.regionBytes)
@@ -209,7 +239,7 @@ makeRig(const RigSpec &spec)
         if (spec.baBufferBytes)
             bc.bufferBytes = spec.baBufferBytes;
         rig.twoB = std::make_unique<ba::TwoBSsd>(
-            deviceConfig(spec.device), bc);
+            deviceConfig(spec), bc);
         wal::PmrWalConfig cfg;
         if (spec.regionBytes)
             cfg.regionBytes = spec.regionBytes;
@@ -220,7 +250,7 @@ makeRig(const RigSpec &spec)
       }
       case WalKind::async:
         rig.blockDev =
-            std::make_unique<ssd::SsdDevice>(deviceConfig(spec.device));
+            std::make_unique<ssd::SsdDevice>(deviceConfig(spec));
         rig.log = std::make_unique<wal::AsyncWal>();
         break;
     }
@@ -246,6 +276,30 @@ inline Rig
 makeTinyRig(WalKind k)
 {
     return makeRig(tinySpec(k));
+}
+
+/**
+ * The GC-campaign preset: the tiny rig shrunk to 6 blocks per die
+ * (24 blocks, 83 logical pages) with background GC and the scheduler
+ * knobs on, so a ~2000-op stream wraps the WAL region dozens of times
+ * and keeps the incremental GC engine (ftl.gcStep / ftl.gcErase
+ * tracepoints) continuously active. The default tiny crash rigs stay
+ * foreground-GC: their enumerated hit sequences are a compatibility
+ * surface.
+ */
+inline RigSpec
+gcSpec(WalKind k)
+{
+    RigSpec s = tinySpec(k);
+    s.regionBytes = 128 * sim::KiB;
+    s.halfBytes = 16 * sim::KiB;
+    s.baBufferBytes = 64 * sim::KiB;
+    s.blocksPerDie = 6;
+    s.backgroundGc = true;
+    // 3 < pagesPerBlock (8): victims stay partially relocated across
+    // steps, so enumerated ftl.gcStep cuts land mid-relocation.
+    s.gcStepPages = 3;
+    return s;
 }
 
 /**

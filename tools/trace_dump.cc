@@ -393,6 +393,47 @@ checkReconciliation(const std::vector<TraceEvent> &events)
     return 0;
 }
 
+/**
+ * Background-GC invariant: every non-empty ftl.gc_step span is
+ * partitioned by "relocate" / "erase" phases and nothing else - a
+ * step that consumed die time but reported no phase (or an unknown
+ * one) means the engine's instrumentation drifted from its timing.
+ * The generic reconciliation above already checks the sums; this
+ * checks presence and vocabulary.
+ */
+int
+checkGcSteps(const std::vector<TraceEvent> &events)
+{
+    std::map<std::uint64_t, const TraceEvent *> steps;
+    std::map<std::uint64_t, std::size_t> stepPhases;
+    for (const auto &e : events) {
+        if (e.kind == "span" && e.cat == "ftl" && e.name == "gc_step")
+            steps[e.id] = &e;
+    }
+    for (const auto &e : events) {
+        if (e.kind != "phase" || !steps.contains(e.parent))
+            continue;
+        if (e.name != "relocate" && e.name != "erase") {
+            return fail("gc_step span " + std::to_string(e.parent) +
+                        " has unexpected phase \"" + e.name + "\"");
+        }
+        ++stepPhases[e.parent];
+    }
+    for (const auto &[id, s] : steps) {
+        if (s->endTicks > s->startTicks && !stepPhases.contains(id)) {
+            return fail("gc_step span " + std::to_string(id) +
+                        " consumed ticks but recorded no "
+                        "relocate/erase phase");
+        }
+    }
+    if (!steps.empty()) {
+        std::printf("validated %zu gc_step spans "
+                    "(relocate/erase phase coverage)\n",
+                    steps.size());
+    }
+    return 0;
+}
+
 void
 printBreakdown(const std::vector<TraceEvent> &events,
                const Options &opt)
@@ -504,6 +545,8 @@ main(int argc, char **argv)
 
     if (opt.validate) {
         if (int rc = checkReconciliation(events))
+            return rc;
+        if (int rc = checkGcSteps(events))
             return rc;
         std::printf("OK: %zu events valid\n", events.size());
         return 0;
