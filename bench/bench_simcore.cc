@@ -15,7 +15,6 @@
  */
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -25,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "support/stopwatch.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "ssd/ssd_device.hh"
@@ -97,18 +97,13 @@ class LegacyEventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq_;
+    // bssd-lint: allow(det-unordered-member) legacy comparison kernel,
+    // kept verbatim; the set is only probed for membership, never
+    // iterated, so its order cannot reach any output.
     std::unordered_set<EventId> pendingIds_;
     sim::Tick now_ = 0;
     EventId nextId_ = 1;
 };
-
-double
-wallMs(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
 
 /**
  * Scenario 1 — timer chains: K concurrent self-rescheduling timers
@@ -121,7 +116,7 @@ timerChains(std::size_t total)
 {
     Queue q;
     constexpr std::size_t kChains = 64;
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch sw;
     std::uint64_t ticks[kChains] = {};
     std::function<void(std::size_t)> arm = [&](std::size_t c) {
         q.scheduleIn(1 + (c % 7), [&, c] {
@@ -132,7 +127,7 @@ timerChains(std::size_t total)
     for (std::size_t c = 0; c < kChains; ++c)
         arm(c);
     std::size_t fired = q.run(total);
-    double ms = wallMs(t0);
+    double ms = sw.ms();
     if (fired != total)
         sim::fatal("timerChains fired ", fired, " != ", total);
     return static_cast<double>(total) / (ms / 1000.0);
@@ -148,16 +143,16 @@ double
 cancelChurn(std::size_t total)
 {
     Queue q;
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch sw;
     std::size_t done = 0;
     for (std::size_t i = 0; done < total; ++i) {
-        auto timeout = q.schedule(q.now() + 1000, [] {});
+        auto timeout = q.schedule(q.now() + sim::usOf(1), [] {});
         q.schedule(q.now() + 1, [&done] { ++done; });
         q.deschedule(timeout);
         q.run(1);
         done += 1; // the cancelled pair counts as one unit of work
     }
-    double ms = wallMs(t0);
+    double ms = sw.ms();
     return static_cast<double>(total) / (ms / 1000.0);
 }
 
@@ -170,7 +165,7 @@ double
 burstDrain(std::size_t total)
 {
     Queue q;
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch sw;
     std::size_t fired = 0;
     std::uint64_t x = 0x9e3779b97f4a7c15ull;
     while (fired < total) {
@@ -182,7 +177,7 @@ burstDrain(std::size_t total)
         }
         q.run();
     }
-    double ms = wallMs(t0);
+    double ms = sw.ms();
     return static_cast<double>(fired) / (ms / 1000.0);
 }
 
@@ -231,7 +226,7 @@ main()
     // Wall-clock spot checks of real figure benches, for the perf
     // trajectory in baselines/BENCH_simcore.json.
     section("figure-bench wall-clock (ms)");
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch sw;
     {
         ssd::SsdDevice dev(ssd::SsdConfig::ullSsd());
         workload::FioJob job;
@@ -240,10 +235,10 @@ main()
         job.regionBytes = 64 * sim::MiB;
         workload::runFio(dev, job);
     }
-    double fioMs = wallMs(t0);
+    double fioMs = sw.ms();
     std::printf("%-28s %10.1f\n", "fig7-style fio 4k randread", fioMs);
 
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     {
         ba::TwoBSsd dev;
         wal::BaWal log(dev, {});
@@ -252,7 +247,7 @@ main()
         cfg.nodeCount = 10'000;
         workload::runLinkbenchOnPg(pg, cfg, 4, sim::msOf(50), 1);
     }
-    double pgMs = wallMs(t0);
+    double pgMs = sw.ms();
     std::printf("%-28s %10.1f\n", "fig9-style minipg linkbench", pgMs);
 
     std::ofstream js("BENCH_simcore.json");

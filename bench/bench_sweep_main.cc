@@ -17,7 +17,6 @@
  *                   and written as one JSON report
  */
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +25,7 @@
 
 #include "bench_rigs.hh"
 #include "bench_util.hh"
+#include "support/stopwatch.hh"
 #include "db/minipg/minipg.hh"
 #include "db/miniredis/miniredis.hh"
 #include "db/minirocks/minirocks.hh"
@@ -70,7 +70,7 @@ sim::SweepRecord
 runCell(const Cell &cell, sim::Tick horizon,
         sim::MetricsSnapshot *outMetrics)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch sw;
 
     // Window sizes per app, matching Fig. 9.
     std::uint64_t half = cell.app == App::linkbenchPg ? 4 * sim::MiB
@@ -112,9 +112,7 @@ runCell(const Cell &cell, sim::Tick horizon,
       }
     }
 
-    double ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+    double ms = sw.ms();
 
     if (outMetrics)
         *outMetrics = registry.snapshot();
@@ -192,11 +190,9 @@ main(int argc, char **argv)
                                      snaps ? snaps + i : nullptr);
             });
 
-    auto t0 = std::chrono::steady_clock::now();
+    Stopwatch sw;
     sim::runParallel(jobs, threads);
-    double totalMs = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+    double totalMs = sw.ms();
 
     std::printf("%-9s %-20s %3s %4s %12s %9s %9s %8s\n", "device",
                 "workload", "cl", "seed", "ops/s", "mean(us)",

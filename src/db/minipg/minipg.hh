@@ -149,11 +149,17 @@ class MiniPg
     PgConfig cfg_;
     wal::GroupCommitter gc_;
 
+    // Audited (DESIGN.md section 11): the heap is read per node id and
+    // the checkpoint/recovery path copies it wholesale (snapshotNodes_
+    // = nodes_) then replays WAL records in log order; only links_,
+    // which range scans, needs ordering - and it is a std::map.
+    // bssd-lint: allow(det-unordered-member) keyed access only, never iterated
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> nodes_;
     std::map<LinkKey, std::vector<std::uint8_t>> links_;
     std::uint64_t seq_ = 0;
 
     /** Checkpoint image (lives on the data device in the model). */
+    // bssd-lint: allow(det-unordered-member) wholesale copy of nodes_, never iterated
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
         snapshotNodes_;
     std::map<LinkKey, std::vector<std::uint8_t>> snapshotLinks_;

@@ -77,9 +77,15 @@ class MiniRedis
   private:
     wal::LogDevice &aof_;
     RedisConfig cfg_;
+    // Audited (DESIGN.md section 11): GET/SET/DEL address the store by
+    // key and AOF rewrite copies it wholesale (snapshot_ = store_);
+    // recovery replays AOF records in append order, so hash order
+    // never reaches any output.
+    // bssd-lint: allow(det-unordered-member) keyed access only, never iterated
     std::unordered_map<std::string, std::vector<std::uint8_t>> store_;
     std::uint64_t seq_ = 0;
     /** Dataset snapshot backing the last AOF rewrite. */
+    // bssd-lint: allow(det-unordered-member) wholesale copy of store_, never iterated
     std::unordered_map<std::string, std::vector<std::uint8_t>> snapshot_;
     std::uint64_t snapshotSeq_ = 0;
 

@@ -183,6 +183,11 @@ class Ftl
     std::uint32_t pageSize_;
     std::uint64_t logicalPages_;
 
+    // Audited (DESIGN.md section 11): the mapping table is looked up
+    // and updated per-LPN; GC victim selection scans the ordered
+    // blocks_ vector, and relocation revalidates via l2p_.find(), so
+    // map order never reaches any output.
+    // bssd-lint: allow(det-unordered-member) keyed access only, never iterated
     std::unordered_map<Lpn, nand::Ppa> l2p_;
     std::vector<BlockInfo> blocks_;
     std::vector<std::uint32_t> freeList_;

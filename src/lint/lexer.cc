@@ -1,0 +1,261 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace bssd::lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest-match-first. */
+const char *const kPuncts[] = {
+    "...", "<<=", ">>=", "->*", "::",  "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  ".*",
+};
+
+} // namespace
+
+bool
+LexedFile::isHeader() const
+{
+    return path.size() >= 3 && path.compare(path.size() - 3, 3, ".hh") == 0;
+}
+
+int
+LexedFile::nextCodeLine(int line) const
+{
+    auto it = codeLines.lower_bound(line);
+    return it == codeLines.end() ? 0 : *it;
+}
+
+LexedFile
+lex(const std::string &path, const std::string &content)
+{
+    LexedFile out;
+    out.path = path;
+
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool atLineStart = true;
+
+    auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? content[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (c == '\\' && peek(1) == '\n') { // line continuation
+            ++line;
+            i += 2;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t start = i + 2;
+            while (i < n && content[i] != '\n')
+                ++i;
+            out.comments.push_back(
+                {content.substr(start, i - start), line, false});
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            int startLine = line;
+            std::size_t start = i + 2;
+            i += 2;
+            while (i < n && !(content[i] == '*' && peek(1) == '/')) {
+                if (content[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            out.comments.push_back(
+                {content.substr(start, i - start), startLine, false});
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+
+        // #include directive (other preprocessor lines lex as tokens).
+        if (c == '#' && atLineStart) {
+            std::size_t j = i + 1;
+            while (j < n && (content[j] == ' ' || content[j] == '\t'))
+                ++j;
+            if (content.compare(j, 7, "include") == 0) {
+                j += 7;
+                while (j < n && (content[j] == ' ' || content[j] == '\t'))
+                    ++j;
+                char open = j < n ? content[j] : '\0';
+                char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+                if (close != '\0') {
+                    std::size_t hs = j + 1;
+                    std::size_t he = content.find(close, hs);
+                    if (he != std::string::npos && he > hs) {
+                        out.includes.push_back(
+                            {content.substr(hs, he - hs), line,
+                             open == '<'});
+                        out.codeLines.insert(line);
+                        i = he + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        atLineStart = false;
+
+        // Raw string literal: R"delim( ... )delim"
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t d0 = i + 2;
+            std::size_t dp = content.find('(', d0);
+            if (dp != std::string::npos) {
+                std::string delim =
+                    ")" + content.substr(d0, dp - d0) + "\"";
+                std::size_t end = content.find(delim, dp + 1);
+                if (end == std::string::npos)
+                    end = n;
+                std::string body = content.substr(dp + 1, end - dp - 1);
+                out.tokens.push_back({TokKind::str, body, line});
+                out.codeLines.insert(line);
+                for (char bc : body)
+                    if (bc == '\n')
+                        ++line;
+                i = end == n ? n : end + delim.size();
+                continue;
+            }
+        }
+
+        // String literal.
+        if (c == '"') {
+            std::size_t start = ++i;
+            std::string body;
+            while (i < n && content[i] != '"') {
+                if (content[i] == '\\' && i + 1 < n) {
+                    body += content[i];
+                    body += content[i + 1];
+                    i += 2;
+                    continue;
+                }
+                if (content[i] == '\n') // unterminated; be forgiving
+                    break;
+                body += content[i];
+                ++i;
+            }
+            (void)start;
+            if (i < n && content[i] == '"')
+                ++i;
+            out.tokens.push_back({TokKind::str, body, line});
+            out.codeLines.insert(line);
+            continue;
+        }
+
+        // Char literal.
+        if (c == '\'') {
+            std::size_t start = ++i;
+            while (i < n && content[i] != '\'') {
+                if (content[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (content[i] == '\n')
+                    break;
+                ++i;
+            }
+            out.tokens.push_back(
+                {TokKind::chr, content.substr(start, i - start), line});
+            out.codeLines.insert(line);
+            if (i < n && content[i] == '\'')
+                ++i;
+            continue;
+        }
+
+        // Number (digit separators allowed; hex/float suffixes kept).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t start = i;
+            ++i;
+            while (i < n) {
+                char d = content[i];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.' || d == '\'') {
+                    ++i;
+                    continue;
+                }
+                // Exponent sign: 1e-3, 0x1p+4.
+                if ((d == '+' || d == '-') && i > start) {
+                    char p = content[i - 1];
+                    if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+                        ++i;
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.tokens.push_back(
+                {TokKind::number, content.substr(start, i - start), line});
+            out.codeLines.insert(line);
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t start = i;
+            while (i < n && identChar(content[i]))
+                ++i;
+            out.tokens.push_back(
+                {TokKind::ident, content.substr(start, i - start), line});
+            out.codeLines.insert(line);
+            continue;
+        }
+
+        // Punctuation (longest match first).
+        {
+            bool matched = false;
+            for (const char *p : kPuncts) {
+                std::size_t len = std::char_traits<char>::length(p);
+                if (content.compare(i, len, p) == 0) {
+                    out.tokens.push_back({TokKind::punct, p, line});
+                    out.codeLines.insert(line);
+                    i += len;
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+        }
+        out.tokens.push_back({TokKind::punct, std::string(1, c), line});
+        out.codeLines.insert(line);
+        ++i;
+    }
+
+    out.lineCount = line;
+
+    for (auto &cm : out.comments)
+        cm.ownLine = out.codeLines.count(cm.line) == 0;
+
+    return out;
+}
+
+} // namespace bssd::lint

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal C++ lexer for bssd-lint (DESIGN.md section 11).
+ *
+ * This is not a compiler front end: it splits a translation unit into
+ * identifiers, numbers, string/char literals and punctuation, strips
+ * comments (retaining them separately for suppression markers), and
+ * records `#include` directives. That is enough structure for every
+ * rule the project enforces, and it keeps the analyzer free of any
+ * external dependency.
+ */
+
+#ifndef BSSD_LINT_LEXER_HH
+#define BSSD_LINT_LEXER_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bssd::lint
+{
+
+enum class TokKind : unsigned char
+{
+    ident,
+    number,
+    str,
+    chr,
+    punct,
+};
+
+/** One lexical token; `line` is 1-based. */
+struct Token
+{
+    TokKind kind = TokKind::punct;
+    std::string text;
+    int line = 0;
+};
+
+/** A comment, retained for suppression-marker scanning. */
+struct Comment
+{
+    std::string text;
+    int line = 0;
+    /** True when no code token shares the comment's start line. */
+    bool ownLine = false;
+};
+
+/** One `#include` directive. */
+struct IncludeDirective
+{
+    std::string header;
+    int line = 0;
+    bool angled = false;
+};
+
+/** A fully lexed source file. */
+struct LexedFile
+{
+    /** Root-relative path with '/' separators. */
+    std::string path;
+
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<IncludeDirective> includes;
+
+    /** Lines holding at least one code token. */
+    std::set<int> codeLines;
+
+    int lineCount = 0;
+
+    bool isHeader() const;
+
+    /** First code line at or after @p line, or 0 when none. */
+    int nextCodeLine(int line) const;
+};
+
+/** Lex @p content; @p path is stored verbatim into the result. */
+LexedFile lex(const std::string &path, const std::string &content);
+
+} // namespace bssd::lint
+
+#endif // BSSD_LINT_LEXER_HH

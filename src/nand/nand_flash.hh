@@ -195,8 +195,16 @@ class NandFlash
         std::uint64_t eraseCount = 0;
     };
 
+    // Audited (DESIGN.md section 11): all three tables are accessed by
+    // packed-PPA/block key only - reads, programs and erases address
+    // explicit (die, block, page) coordinates and erase walks the
+    // block's writePtr range, so no iteration order can reach
+    // recovery, snapshot or report output.
+    // bssd-lint: allow(det-unordered-member) keyed access only, never iterated
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+    // bssd-lint: allow(det-unordered-member) keyed access only, never iterated
     std::unordered_map<std::uint64_t, BlockState> blocks_;
+    // bssd-lint: allow(det-unordered-member) keyed membership probes only
     std::unordered_set<std::uint64_t> badBlocks_;
 
     DieScheduler dies_;

@@ -117,8 +117,10 @@ namespace
 std::string
 usString(Tick ticks)
 {
-    const Tick whole = ticks / 1000;
-    const Tick frac = ticks % 1000;
+    constexpr Tick ticksPerUs = usOf(1);
+    const Tick whole = ticks / ticksPerUs;
+    const unsigned frac =
+        static_cast<unsigned>(ticks % ticksPerUs);
     std::string out = std::to_string(whole);
     out += '.';
     out += static_cast<char>('0' + frac / 100);

@@ -16,6 +16,8 @@
 #define BSSD_SIM_TRACEPOINT_HH
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 namespace bssd::sim
 {
@@ -100,6 +102,23 @@ tpName(Tp tp)
       case Tp::count_: break;
     }
     return "?";
+}
+
+/**
+ * Inverse of tpName(): resolve a canonical name back to its enum
+ * value, or nullopt for anything that is not exactly a tracepoint
+ * name. Used by tooling (bssd-lint cross-checks, repro-line parsers)
+ * and round-trip tested in tests/sim/test_tracepoint.cc.
+ */
+constexpr std::optional<Tp>
+tpFromName(std::string_view name)
+{
+    for (std::uint32_t i = 0; i < tpCount; ++i) {
+        const Tp tp = static_cast<Tp>(i);
+        if (name == tpName(tp))
+            return tp;
+    }
+    return std::nullopt;
 }
 
 } // namespace bssd::sim

@@ -247,5 +247,6 @@ TEST(MiniPgTxn, TransactionCommitCheaperThanIndividualCommits)
     sim::Tick u0 = 0, u = u0;
     for (std::uint64_t i = 0; i < 10; ++i)
         u = pg2.addNode(u, i, payload(64, 1));
+    // bssd-lint: allow(hyg-ticks-literal) dimensionless speedup factor
     EXPECT_LT(batched * 2, u - u0);
 }

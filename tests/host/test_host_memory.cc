@@ -56,5 +56,6 @@ TEST(PersistentMemory, CostScalesWithLines)
     std::vector<std::uint8_t> one(64), four(256);
     sim::Tick t1 = pm.write(0, 0, one);
     sim::Tick t4 = pm.write(0, 0, four);
+    // bssd-lint: allow(hyg-ticks-literal) dimensionless scale factor
     EXPECT_EQ(t4, 4 * t1);
 }

@@ -17,6 +17,7 @@
 
 #include "host/wc_buffer.hh"
 #include "sim/rng.hh"
+#include "sim/ticks.hh"
 
 using namespace bssd;
 using namespace bssd::host;
@@ -123,7 +124,7 @@ TEST_P(WcProperty, MatchesReferenceModel)
                          std::span<const std::uint8_t> data) {
         for (std::size_t i = 0; i < data.size(); ++i)
             sink_mem[off + i] = data[i];
-        return ready + 5;
+        return ready + sim::nsOf(5);
     });
     Reference ref(cfg.lineBytes);
 

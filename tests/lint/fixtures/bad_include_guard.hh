@@ -1,0 +1,12 @@
+// Fixture: hyg-include-guard must flag a guard that does not follow
+// the BSSD_<PATH>_HH convention.
+#ifndef WRONG_GUARD_HH
+#define WRONG_GUARD_HH
+
+inline int
+one()
+{
+    return 1;
+}
+
+#endif // WRONG_GUARD_HH

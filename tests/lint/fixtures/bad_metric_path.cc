@@ -1,0 +1,13 @@
+// Fixture: xcheck-metric-path must flag a literal that violates the
+// a.b.c grammar, and a duplicate registration on one registry.
+#include "sim/metrics.hh"
+#include "sim/stats.hh"
+
+void
+attach(bssd::sim::MetricRegistry &reg, bssd::sim::Counter &c,
+       bssd::sim::Counter &d)
+{
+    reg.addCounter("NotDotted", c);
+    reg.addCounter("rig.ops", c);
+    reg.addCounter("rig.ops", d);
+}

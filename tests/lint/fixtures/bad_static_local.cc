@@ -1,0 +1,7 @@
+// Fixture: det-static-local must flag hidden mutable cross-run state.
+int
+nextId()
+{
+    static int counter = 0;
+    return ++counter;
+}

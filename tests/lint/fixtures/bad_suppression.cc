@@ -1,0 +1,8 @@
+// Fixture: lint-suppression must flag a marker naming an unknown rule
+// and a marker that suppresses nothing.
+
+// bssd-lint: allow(no-such-rule) typo in the rule id
+int alpha = 1;
+
+// bssd-lint: allow(det-wallclock) nothing below uses wall-clock time
+int beta = 2;

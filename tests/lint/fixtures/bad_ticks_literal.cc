@@ -1,0 +1,9 @@
+// Fixture: hyg-ticks-literal must flag a raw integer mixed into Tick
+// arithmetic - the unit (ns? us?) is invisible at the call site.
+#include "sim/ticks.hh"
+
+bssd::sim::Tick
+deadline(bssd::sim::Tick start)
+{
+    return start + 1000;
+}

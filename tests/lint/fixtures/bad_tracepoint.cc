@@ -1,0 +1,9 @@
+// Fixture: xcheck-tracepoint must flag a tracepoint-shaped literal
+// in an instant() call that is not in the canonical table.
+#include "sim/trace.hh"
+
+void
+emit(bssd::sim::Tracer &tracer)
+{
+    tracer.instant(0, "wc.bogus");
+}

@@ -1,0 +1,21 @@
+// Fixture: det-unordered-iter must flag the range-for - its visit
+// order is the hash order, which can differ across implementations.
+#include <unordered_map>
+#include <vector>
+
+class Table
+{
+  public:
+    std::vector<int>
+    keysInHashOrder() const
+    {
+        std::vector<int> out;
+        for (const auto &kv : cells_)
+            out.push_back(kv.first);
+        return out;
+    }
+
+  private:
+    // bssd-lint: allow(det-unordered-member) fixture isolates the iter rule
+    std::unordered_map<int, int> cells_;
+};

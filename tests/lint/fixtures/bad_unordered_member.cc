@@ -1,0 +1,8 @@
+// Fixture: det-unordered-member must flag the unreviewed declaration.
+#include <unordered_map>
+
+class Cache
+{
+  private:
+    std::unordered_map<int, int> entries_;
+};

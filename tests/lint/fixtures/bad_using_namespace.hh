@@ -1,0 +1,16 @@
+// Fixture: hyg-using-namespace must flag a using-directive in a
+// header - it leaks into every includer.
+#ifndef BSSD_TESTS_LINT_FIXTURES_BAD_USING_NAMESPACE_HH
+#define BSSD_TESTS_LINT_FIXTURES_BAD_USING_NAMESPACE_HH
+
+#include <string>
+
+using namespace std;
+
+inline string
+greeting()
+{
+    return "hi";
+}
+
+#endif // BSSD_TESTS_LINT_FIXTURES_BAD_USING_NAMESPACE_HH

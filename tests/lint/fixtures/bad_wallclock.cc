@@ -1,0 +1,11 @@
+// Fixture: det-wallclock must flag ambient wall-clock time outside
+// the allowlisted bench stopwatch shim.
+#include <chrono>
+
+double
+elapsedSeconds()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,11 @@
+// Fixture: guard spelled exactly as the path dictates.
+#ifndef BSSD_TESTS_LINT_FIXTURES_GOOD_INCLUDE_GUARD_HH
+#define BSSD_TESTS_LINT_FIXTURES_GOOD_INCLUDE_GUARD_HH
+
+inline int
+one()
+{
+    return 1;
+}
+
+#endif // BSSD_TESTS_LINT_FIXTURES_GOOD_INCLUDE_GUARD_HH

@@ -1,0 +1,11 @@
+// Fixture: well-formed, unique metric paths.
+#include "sim/metrics.hh"
+#include "sim/stats.hh"
+
+void
+attach(bssd::sim::MetricRegistry &reg, bssd::sim::Counter &c,
+       bssd::sim::Counter &d)
+{
+    reg.addCounter("rig.ops", c);
+    reg.addCounter("rig.errors", d);
+}

@@ -1,0 +1,8 @@
+// Fixture: an immutable function-local static carries no state
+// between runs, so det-static-local stays quiet.
+int
+fourthPrime()
+{
+    static const int primes[4] = {2, 3, 5, 7};
+    return primes[3];
+}

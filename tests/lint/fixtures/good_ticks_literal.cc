@@ -1,0 +1,9 @@
+// Fixture: durations spelled through the unit helpers carry their
+// unit in the source text.
+#include "sim/ticks.hh"
+
+bssd::sim::Tick
+deadline(bssd::sim::Tick start)
+{
+    return start + bssd::sim::usOf(1);
+}

@@ -1,0 +1,8 @@
+// Fixture: a canonical tracepoint name resolves against the table.
+#include "sim/trace.hh"
+
+void
+emit(bssd::sim::Tracer &tracer)
+{
+    tracer.instant(0, "wc.evict");
+}

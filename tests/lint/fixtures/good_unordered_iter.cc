@@ -1,0 +1,18 @@
+// Fixture: keyed access into an unordered container is fine - only
+// iteration exposes the hash order.
+#include <unordered_map>
+
+class Table
+{
+  public:
+    int
+    lookup(int key) const
+    {
+        auto it = cells_.find(key);
+        return it == cells_.end() ? 0 : it->second;
+    }
+
+  private:
+    // bssd-lint: allow(det-unordered-member) keyed lookups only, never iterated
+    std::unordered_map<int, int> cells_;
+};

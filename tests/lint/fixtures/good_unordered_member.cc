@@ -1,0 +1,8 @@
+// Fixture: an ordered container needs no determinism review.
+#include <map>
+
+class Cache
+{
+  private:
+    std::map<int, int> entries_;
+};

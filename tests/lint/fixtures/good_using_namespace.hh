@@ -1,0 +1,16 @@
+// Fixture: a using-declaration names one symbol; only the directive
+// form is banned in headers.
+#ifndef BSSD_TESTS_LINT_FIXTURES_GOOD_USING_NAMESPACE_HH
+#define BSSD_TESTS_LINT_FIXTURES_GOOD_USING_NAMESPACE_HH
+
+#include <string>
+
+using std::string;
+
+inline string
+greeting()
+{
+    return "hi";
+}
+
+#endif // BSSD_TESTS_LINT_FIXTURES_GOOD_USING_NAMESPACE_HH

@@ -1,0 +1,8 @@
+// Fixture: simulated time only - nothing for det-wallclock to flag.
+#include "sim/ticks.hh"
+
+bssd::sim::Tick
+deadline(bssd::sim::Tick start)
+{
+    return start + bssd::sim::usOf(10);
+}

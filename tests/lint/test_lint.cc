@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for bssd-lint itself: the fixture corpus under
+ * tests/lint/fixtures/ (one bad + one good file per rule), suppression
+ * semantics, byte-stable --json output, and the cross-check that the
+ * table the analyzer parses out of src/sim/tracepoint.hh is the same
+ * table the runtime compiles in.
+ *
+ * BSSD_SOURCE_ROOT is injected by tests/CMakeLists.txt and points at
+ * the repository root, so runLint() here sees exactly what the CI gate
+ * sees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hh"
+#include "sim/tracepoint.hh"
+
+using namespace bssd::lint;
+
+namespace
+{
+
+constexpr const char *kRoot = BSSD_SOURCE_ROOT;
+const std::string kFixtures = "tests/lint/fixtures/";
+
+LintResult
+lintPath(const std::string &relPath)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    opts.paths = {relPath};
+    return runLint(opts);
+}
+
+/** Rules hit in @p result, as a set of ids. */
+std::set<std::string>
+rulesIn(const LintResult &result)
+{
+    std::set<std::string> out;
+    for (const auto &v : result.violations)
+        out.insert(v.rule);
+    return out;
+}
+
+} // namespace
+
+TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule)
+{
+    const std::map<std::string, std::string> expect = {
+        {"bad_wallclock.cc", "det-wallclock"},
+        {"bad_unordered_member.cc", "det-unordered-member"},
+        {"bad_unordered_iter.cc", "det-unordered-iter"},
+        {"bad_static_local.cc", "det-static-local"},
+        {"bad_include_guard.hh", "hyg-include-guard"},
+        {"bad_using_namespace.hh", "hyg-using-namespace"},
+        {"bad_ticks_literal.cc", "hyg-ticks-literal"},
+        {"bad_tracepoint.cc", "xcheck-tracepoint"},
+        {"bad_metric_path.cc", "xcheck-metric-path"},
+        {"bad_suppression.cc", "lint-suppression"},
+    };
+    for (const auto &[file, rule] : expect) {
+        LintResult r = lintPath(kFixtures + file);
+        EXPECT_TRUE(r.errors.empty()) << file;
+        ASSERT_FALSE(r.violations.empty()) << file;
+        // Exactly the expected rule fires: bad fixtures are built to
+        // isolate one rule each (extra hazards are suppressed inline).
+        EXPECT_EQ(rulesIn(r), std::set<std::string>{rule}) << file;
+        for (const auto &v : r.violations) {
+            EXPECT_EQ(v.file, kFixtures + file);
+            EXPECT_GT(v.line, 0);
+            EXPECT_FALSE(v.message.empty());
+        }
+    }
+}
+
+TEST(LintFixtures, GoodFixturesAreClean)
+{
+    const std::vector<std::string> good = {
+        "good_wallclock.cc",       "good_unordered_member.cc",
+        "good_unordered_iter.cc",  "good_static_local.cc",
+        "good_include_guard.hh",   "good_using_namespace.hh",
+        "good_ticks_literal.cc",   "good_tracepoint.cc",
+        "good_metric_path.cc",     "good_suppression.cc",
+    };
+    for (const auto &file : good) {
+        LintResult r = lintPath(kFixtures + file);
+        EXPECT_TRUE(r.clean()) << file << ": "
+                               << (r.violations.empty()
+                                       ? std::string("io error")
+                                       : r.violations[0].message);
+    }
+}
+
+TEST(LintFixtures, SuppressionCasesAreViolationsThemselves)
+{
+    // bad_suppression.cc holds one unknown-rule marker and one marker
+    // that matches nothing; both must surface as lint-suppression.
+    LintResult r = lintPath(kFixtures + "bad_suppression.cc");
+    ASSERT_EQ(r.violations.size(), 2u);
+    EXPECT_NE(r.violations[0].message.find("unknown rule"),
+              std::string::npos);
+    EXPECT_NE(r.violations[1].message.find("matches no violation"),
+              std::string::npos);
+}
+
+TEST(LintFixtures, WholeCorpusScanIsDeterministicJson)
+{
+    // Pointing the driver at the fixture directory opts into scanning
+    // it (normal directory walks skip it); two runs must serialize to
+    // identical bytes - the property CI relies on for clean diffs.
+    auto run = [] {
+        LintResult r = lintPath("tests/lint/fixtures");
+        std::ostringstream os;
+        writeJson(r, os);
+        return os.str();
+    };
+    const std::string a = run();
+    const std::string b = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+    // All bad fixtures surfaced in one scan.
+    EXPECT_NE(a.find("det-wallclock"), std::string::npos);
+    EXPECT_NE(a.find("xcheck-tracepoint"), std::string::npos);
+    EXPECT_NE(a.find("lint-suppression"), std::string::npos);
+}
+
+TEST(LintTracepoints, ParsedTableMatchesRuntimeTable)
+{
+    // The analyzer parses src/sim/tracepoint.hh; the runtime compiles
+    // it. Both views must agree name-for-name, in enum order.
+    LintResult r = lintPath("tests/lint/fixtures/good_tracepoint.cc");
+    ASSERT_TRUE(r.tracepointTableLoaded);
+    ASSERT_EQ(r.tracepointNames.size(), bssd::sim::tpCount);
+    for (std::uint32_t i = 0; i < bssd::sim::tpCount; ++i) {
+        const auto tp = static_cast<bssd::sim::Tp>(i);
+        EXPECT_EQ(r.tracepointNames[i], bssd::sim::tpName(tp)) << i;
+        EXPECT_EQ(bssd::sim::tpFromName(r.tracepointNames[i]), tp) << i;
+    }
+}
+
+TEST(LintTracepoints, MalformedTableIsFlagged)
+{
+    // A duplicate name, a grammar violation, and an enum/name count
+    // mismatch, delivered through lintBuffer at the canonical path so
+    // the table self-check rule engages.
+    const std::string path = "src/sim/tracepoint.hh";
+    const std::string src = R"(
+#ifndef BSSD_SIM_TRACEPOINT_HH
+#define BSSD_SIM_TRACEPOINT_HH
+
+enum class Tp : std::uint8_t
+{
+    aOne,
+    aTwo,
+    aThree,
+    count_
+};
+
+constexpr const char *
+tpName(Tp tp)
+{
+    switch (tp) {
+      case Tp::aOne: return "a.one";
+      case Tp::aTwo: return "a.one";
+      case Tp::count_: break;
+    }
+    return "?";
+}
+
+#endif // BSSD_SIM_TRACEPOINT_HH
+)";
+    LexedFile f = lex(path, src);
+    ProjectTables tables;
+    parseTracepointTable(f, tables);
+    tables.tracepointTableLoaded = true;
+    collectFileTables(f, tables);
+    auto violations = lintBuffer(path, src, tables);
+    std::set<std::string> messages;
+    for (const auto &v : violations) {
+        EXPECT_EQ(v.rule, "xcheck-tracepoint-table");
+        messages.insert(v.message);
+    }
+    EXPECT_TRUE(messages.count("duplicate tracepoint name 'a.one'"));
+    bool countMismatch = false;
+    for (const auto &m : messages)
+        if (m.find("enum class Tp has 3 entries") != std::string::npos)
+            countMismatch = true;
+    EXPECT_TRUE(countMismatch);
+}
+
+TEST(LintCatalog, RuleIdsAreSortedAndKnown)
+{
+    const auto &cat = ruleCatalog();
+    ASSERT_FALSE(cat.empty());
+    for (std::size_t i = 1; i < cat.size(); ++i)
+        EXPECT_LT(cat[i - 1].id, cat[i].id);
+    for (const auto &info : cat) {
+        EXPECT_TRUE(knownRule(info.id));
+        EXPECT_FALSE(info.summary.empty()) << info.id;
+    }
+    EXPECT_FALSE(knownRule("no-such-rule"));
+}
+
+TEST(LintRepo, TreeIsCleanUnderTheSameGateAsCi)
+{
+    // The whole point of the PR: zero unsuppressed violations across
+    // the same path set the CI gate scans.
+    LintOptions opts;
+    opts.root = kRoot;
+    opts.paths = {"src", "tools", "bench", "tests"};
+    LintResult r = runLint(opts);
+    EXPECT_TRUE(r.errors.empty());
+    for (const auto &v : r.violations)
+        ADD_FAILURE() << v.file << ":" << v.line << " [" << v.rule
+                      << "] " << v.message;
+    EXPECT_TRUE(r.tracepointTableLoaded);
+}

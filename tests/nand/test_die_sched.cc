@@ -14,6 +14,7 @@
 #include "nand/die_sched.hh"
 #include "sim/resource.hh"
 #include "sim/rng.hh"
+#include "sim/ticks.hh"
 
 using namespace bssd;
 using nand::DieScheduler;
@@ -208,7 +209,7 @@ TEST(DieScheduler, HostEraseIsSuspendableAndBudgetResets)
     // New erase on the (single) die: budget is back.
     const sim::Tick t0 = sched.nextFree();
     sched.reserve(t0, 1000, Op::erase);
-    auto r3 = sched.reserve(t0 + 50, 30, Op::read);
+    auto r3 = sched.reserve(t0 + sim::nsOf(50), 30, Op::read);
     EXPECT_TRUE(r3.suspendedErase);
 }
 

@@ -14,6 +14,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/ticks.hh"
 
 using namespace bssd::sim;
 
@@ -154,7 +155,7 @@ TEST(EventQueue, ChurnKeepsMemoryBounded)
     EventQueue q;
     auto keeper = q.schedule(1u << 30, [] {});
     for (int i = 0; i < 1'000'000; ++i) {
-        auto id = q.schedule(q.now() + 1000, [i] {
+        auto id = q.schedule(q.now() + usOf(1), [i] {
             volatile int sink = i;
             (void)sink;
         });

@@ -52,11 +52,17 @@ TEST(MetricRegistry, DuplicatePathPanics)
 {
     Counter a("a"), b("b");
     MetricRegistry reg;
+    // Re-registering a path on the SAME registry is the run-time panic
+    // this test asserts, so every duplicate below is intentional.
+    // bssd-lint: allow(xcheck-metric-path) duplicate registration under test
     reg.addCounter("x.ops", a);
+    // bssd-lint: allow(xcheck-metric-path) duplicate registration under test
     EXPECT_THROW(reg.addCounter("x.ops", b), SimPanic);
     // Cross-kind shadowing is just as much a bug.
+    // bssd-lint: allow(xcheck-metric-path) duplicate registration under test
     EXPECT_THROW(reg.addGauge("x.ops", [] { return 0.0; }), SimPanic);
     Histogram h("h");
+    // bssd-lint: allow(xcheck-metric-path) duplicate registration under test
     EXPECT_THROW(reg.addHistogram("x.ops", h), SimPanic);
 }
 
@@ -74,15 +80,15 @@ TEST(MetricsSnapshot, DetachesFromComponents)
     Counter c("c");
     c.add(10);
     MetricRegistry reg;
-    reg.addCounter("ops", c);
+    reg.addCounter("rig.ops", c);
 
     MetricsSnapshot snap = reg.snapshot();
-    ASSERT_NE(snap.find("ops"), nullptr);
-    EXPECT_DOUBLE_EQ(snap.find("ops")->value, 10.0);
+    ASSERT_NE(snap.find("rig.ops"), nullptr);
+    EXPECT_DOUBLE_EQ(snap.find("rig.ops")->value, 10.0);
 
     c.add(5); // later activity must not leak into the snapshot
-    EXPECT_DOUBLE_EQ(snap.find("ops")->value, 10.0);
-    EXPECT_DOUBLE_EQ(reg.snapshot().find("ops")->value, 15.0);
+    EXPECT_DOUBLE_EQ(snap.find("rig.ops")->value, 10.0);
+    EXPECT_DOUBLE_EQ(reg.snapshot().find("rig.ops")->value, 15.0);
 }
 
 TEST(MetricsSnapshot, MergeAddsCountersAndGauges)
@@ -91,15 +97,15 @@ TEST(MetricsSnapshot, MergeAddsCountersAndGauges)
     c1.add(3);
     c2.add(4);
     MetricRegistry r1, r2;
-    r1.addCounter("ops", c1);
-    r1.addGauge("backlog", [] { return 2.0; });
-    r2.addCounter("ops", c2);
-    r2.addGauge("backlog", [] { return 5.0; });
+    r1.addCounter("rig.ops", c1);
+    r1.addGauge("rig.backlog", [] { return 2.0; });
+    r2.addCounter("rig.ops", c2);
+    r2.addGauge("rig.backlog", [] { return 5.0; });
 
     MetricsSnapshot merged = r1.snapshot();
     merged.merge(r2.snapshot());
-    EXPECT_DOUBLE_EQ(merged.find("ops")->value, 7.0);
-    EXPECT_DOUBLE_EQ(merged.find("backlog")->value, 7.0);
+    EXPECT_DOUBLE_EQ(merged.find("rig.ops")->value, 7.0);
+    EXPECT_DOUBLE_EQ(merged.find("rig.backlog")->value, 7.0);
 }
 
 TEST(MetricsSnapshot, MergeHistogramsBucketWise)
@@ -110,12 +116,12 @@ TEST(MetricsSnapshot, MergeHistogramsBucketWise)
     for (int i = 0; i < 50; ++i)
         h2.record(1000);
     MetricRegistry r1, r2;
-    r1.addHistogram("lat", h1);
-    r2.addHistogram("lat", h2);
+    r1.addHistogram("rig.lat", h1);
+    r2.addHistogram("rig.lat", h2);
 
     MetricsSnapshot merged = r1.snapshot();
     merged.merge(r2.snapshot());
-    const MetricValue *v = merged.find("lat");
+    const MetricValue *v = merged.find("rig.lat");
     ASSERT_NE(v, nullptr);
     EXPECT_EQ(v->count, 150u);
     EXPECT_EQ(v->sum, 100u * 10 + 50u * 1000);
@@ -133,12 +139,12 @@ TEST(MetricsSnapshot, MergeDistributionsKeepsExactStats)
     d1.sample(3);
     d2.sample(100);
     MetricRegistry r1, r2;
-    r1.addDistribution("lat", d1);
-    r2.addDistribution("lat", d2);
+    r1.addDistribution("rig.lat", d1);
+    r2.addDistribution("rig.lat", d2);
 
     MetricsSnapshot merged = r1.snapshot();
     merged.merge(r2.snapshot());
-    const MetricValue *v = merged.find("lat");
+    const MetricValue *v = merged.find("rig.lat");
     ASSERT_NE(v, nullptr);
     EXPECT_EQ(v->count, 3u);
     EXPECT_EQ(v->sum, 104u);
@@ -152,8 +158,8 @@ TEST(MetricsSnapshot, MergeKindMismatchPanics)
     Counter c("c");
     Histogram h("h");
     MetricRegistry r1, r2;
-    r1.addCounter("x", c);
-    r2.addHistogram("x", h);
+    r1.addCounter("rig.mixed", c);
+    r2.addHistogram("rig.mixed", h);
     MetricsSnapshot s = r1.snapshot();
     EXPECT_THROW(s.merge(r2.snapshot()), SimPanic);
 }

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Round-trip tests for the canonical tracepoint name table
+ * (src/sim/tracepoint.hh). bssd-lint cross-checks every tracepoint
+ * string literal in the tree against this table, so the table itself
+ * must be internally consistent: names unique, grammar "ns.step", and
+ * tpFromName() the exact inverse of tpName().
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/tracepoint.hh"
+
+using namespace bssd::sim;
+
+TEST(Tracepoint, NameRoundTripsForEveryEnumerator)
+{
+    for (std::uint32_t i = 0; i < tpCount; ++i) {
+        const Tp tp = static_cast<Tp>(i);
+        const std::string name = tpName(tp);
+        auto back = tpFromName(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, tp) << name;
+    }
+}
+
+TEST(Tracepoint, NamesAreUniqueAndWellFormed)
+{
+    std::set<std::string> seen;
+    for (std::uint32_t i = 0; i < tpCount; ++i) {
+        const std::string name = tpName(static_cast<Tp>(i));
+        EXPECT_NE(name, "?");
+        EXPECT_TRUE(seen.insert(name).second) << "duplicate: " << name;
+        // Exactly one dot, neither segment empty: the "layer.step"
+        // grammar bssd-lint enforces at call sites.
+        auto dot = name.find('.');
+        ASSERT_NE(dot, std::string::npos) << name;
+        EXPECT_EQ(name.find('.', dot + 1), std::string::npos) << name;
+        EXPECT_GT(dot, 0u) << name;
+        EXPECT_LT(dot + 1, name.size()) << name;
+    }
+    EXPECT_EQ(seen.size(), tpCount);
+}
+
+TEST(Tracepoint, UnknownNamesResolveToNothing)
+{
+    EXPECT_FALSE(tpFromName("").has_value());
+    EXPECT_FALSE(tpFromName("wc").has_value());
+    EXPECT_FALSE(tpFromName("wc.").has_value());
+    EXPECT_FALSE(tpFromName("wc.evictx").has_value());
+    EXPECT_FALSE(tpFromName("WC.EVICT").has_value());
+    EXPECT_FALSE(tpFromName("nand.erase.suspend").has_value());
+    EXPECT_FALSE(tpFromName("?").has_value());
+}
+
+TEST(Tracepoint, RoundTripIsConstexpr)
+{
+    static_assert(tpFromName("wc.evict") == Tp::wcEvict);
+    static_assert(tpFromName("nand.eraseSuspend") == Tp::nandEraseSuspend);
+    static_assert(!tpFromName("not.aTracepoint").has_value());
+    SUCCEED();
+}

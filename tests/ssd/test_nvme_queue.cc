@@ -199,6 +199,7 @@ TEST(NvmeQueue, HigherQueueDepthImprovesReadThroughput)
     };
     sim::Tick qd1 = run(1);
     sim::Tick qd8 = run(8);
+    // bssd-lint: allow(hyg-ticks-literal) dimensionless speedup factor
     EXPECT_LT(qd8 * 2, qd1); // at least 2x faster with parallelism
 }
 
