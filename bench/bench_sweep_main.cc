@@ -10,14 +10,19 @@
  * long you wait.
  *
  * Usage: bench_sweep_main [--threads=N] [--quick] [--metrics=FILE]
+ *                         [--engine-threads=N]
  *   --threads=N     worker threads (default: hardware concurrency)
  *   --quick         smaller matrix / shorter horizon (CI smoke)
  *   --metrics=FILE  per-cell metric snapshots merged in job order
  *                   (deterministic regardless of worker scheduling)
  *                   and written as one JSON report
+ *   --engine-threads=N  ParallelEngine workers INSIDE the sharded-
+ *                   cluster cells appended to the matrix (default 1;
+ *                   results are bit-identical at any value)
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -31,6 +36,7 @@
 #include "db/minirocks/minirocks.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
+#include "workload/cluster.hh"
 #include "workload/runner.hh"
 
 using namespace bssd;
@@ -134,6 +140,39 @@ runCell(const Cell &cell, sim::Tick horizon,
     return rec;
 }
 
+/**
+ * One sharded-cluster cell: the multi-domain scenario that exercises
+ * the parallel engine inside a single sweep job.
+ */
+sim::SweepRecord
+runClusterCell(workload::ClusterConfig cfg)
+{
+    Stopwatch sw;
+    workload::ClusterResult res = workload::runCluster(cfg);
+    double ms = sw.ms();
+
+    sim::SweepRecord rec;
+    rec.device = cfg.wal == workload::ClusterConfig::Wal::ba
+                     ? "cluster-ba"
+                     : "cluster-blk";
+    rec.workload = "sharded-miniredis";
+    rec.clients = cfg.shards;
+    rec.engineThreads = cfg.engineThreads;
+    rec.seed = cfg.seed;
+    rec.ops = res.opsCompleted;
+    rec.opsPerSec = res.horizon > 0
+                        ? static_cast<double>(res.opsCompleted) /
+                              sim::toSec(res.horizon)
+                        : 0.0;
+    rec.meanUs = sim::toUs(res.batchP50);
+    rec.p99Us = sim::toUs(res.batchP99);
+    rec.wallMs = ms;
+    rec.eventsPerSec =
+        ms > 0.0 ? static_cast<double>(res.eventsFired) / (ms / 1000.0)
+                 : 0.0;
+    return rec;
+}
+
 } // namespace
 
 int
@@ -147,6 +186,15 @@ main(int argc, char **argv)
     unsigned threads = threadsArg(argc, argv);
     if (threads == 0)
         threads = sim::defaultSweepThreads();
+    unsigned engineThreads = 1;
+    const std::string engineArg =
+        stringArg(argc, argv, "--engine-threads");
+    if (!engineArg.empty())
+        engineThreads =
+            static_cast<unsigned>(std::strtoul(engineArg.c_str(),
+                                               nullptr, 10));
+    if (engineThreads == 0)
+        engineThreads = 1;
 
     const sim::Tick horizon = quick ? sim::msOf(20) : sim::msOf(100);
 
@@ -173,22 +221,45 @@ main(int argc, char **argv)
         }
     }
 
+    // Two sharded-cluster cells (BA-WAL and block-WAL rigs) ride along
+    // with the single-device matrix; they are the only cells that use
+    // the parallel engine, with --engine-threads workers each.
+    std::vector<ClusterConfig> clusterCells;
+    for (ClusterConfig::Wal wal :
+         {ClusterConfig::Wal::ba, ClusterConfig::Wal::block}) {
+        ClusterConfig ccfg;
+        ccfg.wal = wal;
+        ccfg.engineThreads = engineThreads;
+        if (quick) {
+            ccfg.cycles = 12;
+            ccfg.opsPerCycle = 32;
+        }
+        clusterCells.push_back(ccfg);
+    }
+
+    const std::size_t totalCells = cells.size() + clusterCells.size();
     banner("sweep", "parallel benchmark sweep (" +
-                        std::to_string(cells.size()) + " cells, " +
+                        std::to_string(totalCells) + " cells, " +
                         std::to_string(threads) + " threads)");
 
-    std::vector<sim::SweepRecord> records(cells.size());
+    std::vector<sim::SweepRecord> records(totalCells);
     std::vector<sim::MetricsSnapshot> snapshots(cells.size());
     sim::MetricsSnapshot *snaps =
         metricsPath.empty() ? nullptr : snapshots.data();
     std::vector<std::function<void()>> jobs;
-    jobs.reserve(cells.size());
+    jobs.reserve(totalCells);
     for (std::size_t i = 0; i < cells.size(); ++i)
         jobs.push_back(
             [&records, &cells, i, horizon, snaps] {
                 records[i] = runCell(cells[i], horizon,
                                      snaps ? snaps + i : nullptr);
             });
+    for (std::size_t i = 0; i < clusterCells.size(); ++i) {
+        const std::size_t slot = cells.size() + i;
+        jobs.push_back([&records, &clusterCells, i, slot] {
+            records[slot] = runClusterCell(clusterCells[i]);
+        });
+    }
 
     Stopwatch sw;
     sim::runParallel(jobs, threads);

@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "ba/two_b_ssd.hh"
@@ -22,12 +23,13 @@ namespace
 
 constexpr std::uint64_t kPage = 4096;
 
-/** Fresh device with a pinned scratch window. */
-ba::TwoBSsd
+/** Fresh device with a pinned scratch window. (The device owns its
+ *  simulation domain and is pinned in memory, hence the unique_ptr.) */
+std::unique_ptr<ba::TwoBSsd>
 freshDevice()
 {
-    ba::TwoBSsd ssd;
-    ssd.baPin(0, 1, 0, 0, 2 * kPage);
+    auto ssd = std::make_unique<ba::TwoBSsd>();
+    ssd->baPin(0, 1, 0, 0, 2 * kPage);
     return ssd;
 }
 
@@ -66,34 +68,34 @@ main()
     // buffer.
     {
         auto ssd = freshDevice();
-        sim::Tick t = ssd.mmioWrite(sim::msOf(1), 0, record);
-        auto rep = ssd.powerLoss(t);
-        ssd.powerRestore();
+        sim::Tick t = ssd->mmioWrite(sim::msOf(1), 0, record);
+        auto rep = ssd->powerLoss(t);
+        ssd->powerRestore();
         report("1. store only (in WC buffer):", rep,
-               readBack(ssd, record));
+               readBack(*ssd, record));
     }
 
     // Stage 2: clflush+mfence done, but power dies before the posted
     // write lands - bytes die on the wire.
     {
         auto ssd = freshDevice();
-        sim::Tick t = ssd.mmioWrite(sim::msOf(1), 0, record);
-        t = ssd.wc().flushRange(t, 0, record.size());
-        auto rep = ssd.powerLoss(t); // before postedDrainTime
-        ssd.powerRestore();
+        sim::Tick t = ssd->mmioWrite(sim::msOf(1), 0, record);
+        t = ssd->wc().flushRange(t, 0, record.size());
+        auto rep = ssd->powerLoss(t); // before postedDrainTime
+        ssd->powerRestore();
         report("2. flushed, not verified:", rep,
-               readBack(ssd, record));
+               readBack(*ssd, record));
     }
 
     // Stage 3: full BA_SYNC - the write-verify read has confirmed
     // arrival; the capacitors dump the BA-buffer; everything lives.
     {
         auto ssd = freshDevice();
-        sim::Tick t = ssd.mmioWrite(sim::msOf(1), 0, record);
-        t = ssd.baSyncRange(t, 1, 0, record.size());
-        auto rep = ssd.powerLoss(t);
-        ssd.powerRestore();
-        report("3. BA_SYNC complete:", rep, readBack(ssd, record));
+        sim::Tick t = ssd->mmioWrite(sim::msOf(1), 0, record);
+        t = ssd->baSyncRange(t, 1, 0, record.size());
+        auto rep = ssd->powerLoss(t);
+        ssd->powerRestore();
+        report("3. BA_SYNC complete:", rep, readBack(*ssd, record));
         std::printf("\nrecovery dump: %llu bytes in %.2f ms, "
                     "%.1f mJ of the %.1f mJ capacitor budget\n",
                     static_cast<unsigned long long>(rep.dump.bytes),

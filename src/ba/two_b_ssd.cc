@@ -313,7 +313,7 @@ TwoBSsd::powerLoss(sim::Tick t)
     }
     rep.postedBytesLost = buffer_.powerLossAt(t, drop_after);
     rep.wcBytesLost = wc_.dropAll();
-    rep.dump = recovery_.powerLoss(t, events_);
+    rep.dump = recovery_.powerLoss(t, events());
     return rep;
 }
 

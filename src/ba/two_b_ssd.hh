@@ -209,7 +209,10 @@ class TwoBSsd
     const RecoveryManager &recovery() const { return recovery_; }
     ReadDmaEngine &dmaEngine() { return dma_; }
     host::WcBuffer &wc() { return wc_; }
-    sim::EventQueue &events() { return events_; }
+    /** The device domain's event queue (background activity). */
+    sim::EventQueue &events() { return device_.domain().queue(); }
+    /** The base device's simulation domain (parallel-engine unit). */
+    sim::Domain &domain() { return device_.domain(); }
     /** @} */
 
   private:
@@ -221,7 +224,6 @@ class TwoBSsd
     ReadDmaEngine dma_;
     RecoveryManager recovery_;
     LbaChecker checker_;
-    sim::EventQueue events_;
     sim::FaultInjector *faults_ = nullptr;
     sim::Tracer *tracer_ = nullptr;
     /** The firmware-driven internal datapath (ARM cores). */

@@ -1,6 +1,8 @@
 #include "db/miniredis/miniredis.hh"
 
 #include <charconv>
+#include <map>
+#include <string_view>
 
 #include "sim/logging.hh"
 #include "wal/record.hh"
@@ -189,6 +191,32 @@ MiniRedis::recover()
         apply(r.payload);
         seq_ = r.sequence + 1;
     }
+}
+
+std::uint64_t
+MiniRedis::contentHash() const
+{
+    // Hash in sorted key order so the hash map's bucket layout never
+    // reaches the digest (the DESIGN.md section 11 audit contract).
+    std::map<std::string_view, const std::vector<std::uint8_t> *>
+        sorted;
+    // bssd-lint: allow(det-unordered-iter) drained into a sorted map before hashing
+    for (const auto &kv : store_)
+        sorted.emplace(kv.first, &kv.second);
+
+    std::uint64_t h = 14695981039346656037ull; // FNV-1a offset basis
+    auto mix = [&h](const std::uint8_t *p, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull; // FNV-1a prime
+        }
+    };
+    for (const auto &[key, value] : sorted) {
+        mix(reinterpret_cast<const std::uint8_t *>(key.data()),
+            key.size());
+        mix(value->data(), value->size());
+    }
+    return h;
 }
 
 } // namespace bssd::db::miniredis

@@ -72,16 +72,26 @@ class MiniRedis
     bool exists(const std::string &k) const { return store_.contains(k); }
     std::uint64_t aofRewrites() const { return rewrites_.value(); }
     std::uint64_t commandsProcessed() const { return commands_.value(); }
+
+    /**
+     * Order-independent digest of the live dataset (FNV-1a over the
+     * key/value bytes in sorted key order). Two stores with the same
+     * contents hash identically regardless of insertion order — the
+     * parallel-engine determinism tests compare final store contents
+     * across thread counts with this.
+     */
+    std::uint64_t contentHash() const;
     /** @} */
 
   private:
     wal::LogDevice &aof_;
     RedisConfig cfg_;
     // Audited (DESIGN.md section 11): GET/SET/DEL address the store by
-    // key and AOF rewrite copies it wholesale (snapshot_ = store_);
+    // key, AOF rewrite copies it wholesale (snapshot_ = store_), and
+    // contentHash() drains it into a sorted map before hashing;
     // recovery replays AOF records in append order, so hash order
     // never reaches any output.
-    // bssd-lint: allow(det-unordered-member) keyed access only, never iterated
+    // bssd-lint: allow(det-unordered-member) keyed access; iteration sorts first
     std::unordered_map<std::string, std::vector<std::uint8_t>> store_;
     std::uint64_t seq_ = 0;
     /** Dataset snapshot backing the last AOF rewrite. */

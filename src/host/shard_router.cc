@@ -1,0 +1,94 @@
+#include "host/shard_router.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bssd::host
+{
+
+ShardRouter::ShardRouter(const RouterConfig &cfg,
+                         sim::Domain &hostDomain,
+                         std::vector<sim::Domain *> shardDomains,
+                         ShardExec exec)
+    : cfg_(cfg),
+      host_(hostDomain),
+      shards_(std::move(shardDomains)),
+      exec_(std::move(exec)),
+      arrivals_(cfg.meanCycleGap, cfg.seed),
+      rng_(cfg.seed ^ 0x5eedf00du),
+      buckets_(shards_.size())
+{
+    if (shards_.empty())
+        sim::panic("ShardRouter needs at least one shard");
+    if (!exec_)
+        sim::panic("ShardRouter needs a shard executor");
+}
+
+void
+ShardRouter::start()
+{
+    if (cfg_.cycles == 0)
+        return;
+    // bssd-lint: allow(det-cross-domain-schedule) router runs in host_
+    host_.queue().schedule(arrivals_.next(), [this] { cycle(); });
+}
+
+void
+ShardRouter::cycle()
+{
+    // Generate this cycle's operations and partition them by key hash.
+    // Bucket order (shard 0..N-1) and intra-bucket order (generation
+    // order) are fixed, so the dispatch sequence is a pure function of
+    // the seed.
+    for (std::vector<RouterOp> &b : buckets_)
+        b.clear();
+    for (std::uint32_t i = 0; i < cfg_.opsPerCycle; ++i) {
+        RouterOp op;
+        op.key = rng_.nextBelow(cfg_.keySpace);
+        if (rng_.chance(cfg_.setFraction)) {
+            op.kind = RouterOp::Kind::set;
+            op.valueBytes = static_cast<std::uint32_t>(rng_.nextRange(
+                cfg_.valueBytes / 2 + 1, cfg_.valueBytes));
+        }
+        buckets_[op.key % shards_.size()].push_back(op);
+    }
+    for (unsigned s = 0; s < buckets_.size(); ++s) {
+        if (!buckets_[s].empty())
+            dispatch(s, std::move(buckets_[s]));
+    }
+    ++cyclesDone_;
+    if (cyclesDone_ < cfg_.cycles) {
+        // bssd-lint: allow(det-cross-domain-schedule) same-domain rearm
+        host_.queue().schedule(arrivals_.next(), [this] { cycle(); });
+    }
+}
+
+void
+ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
+{
+    const sim::Tick dispatched = host_.now();
+    opsRouted_ += ops.size();
+    ++batchesDispatched_;
+    // The doorbell: one posted write across the link. The batch
+    // executes entirely inside the shard's domain, then the completion
+    // interrupt crosses back.
+    host_.post(
+        *shards_[shard], dispatched + cfg_.requestLatency,
+        [this, shard, dispatched, ops = std::move(ops)] {
+            sim::Domain &dom = *shards_[shard];
+            const sim::Tick start = dom.now();
+            const sim::Tick finish = exec_(shard, start, ops);
+            const sim::Tick done =
+                std::max(finish, start) + cfg_.completionLatency;
+            const auto count = static_cast<std::uint64_t>(ops.size());
+            dom.post(host_, done, [this, dispatched, done, count] {
+                opsCompleted_ += count;
+                ++batchesCompleted_;
+                latency_.sample(done - dispatched);
+            });
+        });
+}
+
+} // namespace bssd::host

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Host-side key-hash router for multi-device (sharded) runs.
+ *
+ * The host is its own simulation domain: an open-loop arrival process
+ * generates cycles of key-value operations, partitions each cycle by
+ * key hash into per-shard batches, and posts every batch to its
+ * shard's domain through the Domain::post mailbox — the same path an
+ * NVMe doorbell write takes across PCIe, which is why the request
+ * lookahead is the link's minimum posted-write latency. The shard
+ * executes the batch against its own store/WAL/device stack (the
+ * ShardExec callback, run entirely inside the shard domain) and posts
+ * the completion back, paying the completion/interrupt delivery cost.
+ *
+ * All router state is partitioned by domain: generation state (RNG,
+ * arrival clock, dispatch counters) is touched only by host-domain
+ * events, per-shard state only by that shard's events — so the router
+ * needs no locks and runs bit-identically at any engine thread count.
+ */
+
+#ifndef BSSD_HOST_SHARD_ROUTER_HH
+#define BSSD_HOST_SHARD_ROUTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/client.hh"
+#include "sim/domain.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace bssd::host
+{
+
+/** One routed key-value operation. */
+struct RouterOp
+{
+    enum class Kind : std::uint8_t { set, get };
+
+    Kind kind = Kind::get;
+    std::uint64_t key = 0;
+    /** Value payload size (set only). */
+    std::uint32_t valueBytes = 0;
+};
+
+/** Router workload shape and channel contract. */
+struct RouterConfig
+{
+    /** Operations generated per arrival cycle (split across shards). */
+    std::uint32_t opsPerCycle = 64;
+    /** Arrival cycles to dispatch before the router goes idle. */
+    std::uint64_t cycles = 48;
+    /** Mean gap between arrival cycles (open-loop, Poisson). */
+    sim::Tick meanCycleGap = sim::usOf(400);
+    /** Fraction of SET commands (the rest are GETs). */
+    double setFraction = 0.7;
+    /** Keys are drawn uniformly from [0, keySpace). */
+    std::uint64_t keySpace = 512;
+    /** Mean value size; actual sizes draw from [half, full]. */
+    std::uint32_t valueBytes = 96;
+    /** Seed for the router's private RNG streams. */
+    std::uint64_t seed = 1;
+    /**
+     * host→shard delivery latency; must equal the engine channel
+     * lookahead (the PCIe minimum posted-write latency — a doorbell).
+     */
+    sim::Tick requestLatency = sim::nsOf(690);
+    /**
+     * shard→host completion delivery latency (CQE posting + interrupt,
+     * cf. ssd::NvmeQueueConfig::completionCost); must equal the
+     * shard→host channel lookahead.
+     */
+    sim::Tick completionLatency = sim::usOf(1);
+};
+
+/**
+ * Routes open-loop batches from a host domain to shard domains and
+ * accounts the completions.
+ */
+class ShardRouter
+{
+  public:
+    /**
+     * Executes one batch inside the shard's domain.
+     * @param shard shard index
+     * @param start batch start tick (the shard domain's now)
+     * @param ops   the routed operations, cycle order preserved
+     * @return batch finish tick (>= start)
+     */
+    using ShardExec = std::function<sim::Tick(
+        unsigned shard, sim::Tick start,
+        const std::vector<RouterOp> &ops)>;
+
+    /**
+     * @pre every domain is registered with one engine, with channels
+     *      host→shard (lookahead <= cfg.requestLatency) and
+     *      shard→host (lookahead <= cfg.completionLatency).
+     */
+    ShardRouter(const RouterConfig &cfg, sim::Domain &hostDomain,
+                std::vector<sim::Domain *> shardDomains,
+                ShardExec exec);
+
+    /** Schedule the first arrival cycle on the host domain's queue. */
+    void start();
+
+    /** @name Progress and statistics @{ */
+    bool done() const
+    {
+        return cyclesDone_ == cfg_.cycles &&
+               batchesCompleted_ == batchesDispatched_;
+    }
+    std::uint64_t opsRouted() const { return opsRouted_; }
+    std::uint64_t opsCompleted() const { return opsCompleted_; }
+    std::uint64_t batchesDispatched() const { return batchesDispatched_; }
+    std::uint64_t batchesCompleted() const { return batchesCompleted_; }
+    /** Host-observed dispatch→completion latency per batch. */
+    const sim::Distribution &batchLatency() const { return latency_; }
+    /** @} */
+
+  private:
+    void cycle();
+    void dispatch(unsigned shard, std::vector<RouterOp> ops);
+
+    RouterConfig cfg_;
+    sim::Domain &host_;
+    std::vector<sim::Domain *> shards_;
+    ShardExec exec_;
+
+    sim::OpenLoopArrivals arrivals_;
+    sim::Rng rng_;
+    std::uint64_t cyclesDone_ = 0;
+    std::uint64_t opsRouted_ = 0;
+    std::uint64_t opsCompleted_ = 0;
+    std::uint64_t batchesDispatched_ = 0;
+    std::uint64_t batchesCompleted_ = 0;
+    sim::Distribution latency_{"batch-latency-ns"};
+    /** Reused per-cycle partition scratch, one bucket per shard. */
+    std::vector<std::vector<RouterOp>> buckets_;
+};
+
+} // namespace bssd::host
+
+#endif // BSSD_HOST_SHARD_ROUTER_HH

@@ -16,6 +16,13 @@ namespace
 // Rule catalog.
 
 const std::vector<RuleInfo> kCatalog = {
+    {"det-cross-domain-schedule",
+     "direct schedule through a queue accessor (cross-domain ordering "
+     "hazard)",
+     "cross-domain events must travel through Domain::post so the "
+     "engine's (tick, sender, sequence) mailbox order applies; if the "
+     "target really is the caller's own domain, suppress with that "
+     "justification"},
     {"det-static-local",
      "mutable function-local static (hidden cross-run state)",
      "hoist the state into the owning object so it resets with the rig"},
@@ -629,6 +636,31 @@ runRules(const LexedFile &f, const ProjectTables &tables)
                 "iterator walk over unordered container '" + toks[i].text +
                     "'");
         }
+    }
+
+    // -----------------------------------------------------------------
+    // det-cross-domain-schedule: `queue().schedule(...)` (or events(),
+    // or scheduleIn) reaches through an accessor into a queue the
+    // caller may not own. Direct member access (`queue_.schedule`) and
+    // locally owned queues do not match; accessor calls are exactly
+    // the shape cross-component code uses, and those must go through
+    // Domain::post instead so parallel runs stay bit-identical.
+    for (std::size_t i = 0; i + 5 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "queue") && !isIdent(toks[i], "events"))
+            continue;
+        if (!isPunct(toks[i + 1], "(") || !isPunct(toks[i + 2], ")"))
+            continue;
+        if (!isPunct(toks[i + 3], ".") && !isPunct(toks[i + 3], "->"))
+            continue;
+        if (!isIdent(toks[i + 4], "schedule") &&
+            !isIdent(toks[i + 4], "scheduleIn"))
+            continue;
+        if (!isPunct(toks[i + 5], "("))
+            continue;
+        add("det-cross-domain-schedule", toks[i].line,
+            "direct " + toks[i + 4].text + "() through the " +
+                toks[i].text + "() accessor bypasses the deterministic "
+                "cross-domain mailbox");
     }
 
     // -----------------------------------------------------------------

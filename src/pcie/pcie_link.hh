@@ -58,6 +58,33 @@ struct PcieConfig
     std::uint32_t readSplitBytes = 8;
     /** Maximum payload of one posted write burst (WC line). */
     std::uint32_t writeBurstBytes = 64;
+
+    /** @name Conservative-engine lookahead bounds
+     *
+     * The parallel engine (sim/engine.hh) needs a lower bound on how
+     * long any host→device (or device→host) signal spends on the
+     * link; that bound is the channel lookahead that lets a domain run
+     * ahead of its neighbors. These are bounds the timing model above
+     * can never undercut, not new timing paths.
+     * @{ */
+
+    /** Cheapest possible host→device delivery: one posted write
+     *  hand-off plus wire propagation. */
+    sim::Tick
+    minPostedLatency() const
+    {
+        return postedWriteCost + postedPropagation;
+    }
+
+    /** Cheapest possible device→host signal (an MSI is an upstream
+     *  posted write): wire propagation alone. */
+    sim::Tick
+    minUpstreamLatency() const
+    {
+        return postedPropagation;
+    }
+
+    /** @} */
 };
 
 /**

@@ -1,11 +1,31 @@
 #include "sim/client.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
 namespace bssd::sim
 {
+
+OpenLoopArrivals::OpenLoopArrivals(Tick meanGap, std::uint64_t seed)
+    : meanGap_(meanGap), rng_(seed)
+{
+    if (meanGap_ == 0)
+        fatal("OpenLoopArrivals needs a positive mean gap");
+}
+
+Tick
+OpenLoopArrivals::next()
+{
+    // Inverse-CDF exponential sampling; the +1 keeps arrivals strictly
+    // advancing even when the draw rounds to zero.
+    const double u = rng_.nextDouble();
+    const double gap = -static_cast<double>(meanGap_) * std::log1p(-u);
+    at_ += static_cast<Tick>(gap) + 1;
+    ++generated_;
+    return at_;
+}
 
 std::size_t
 ClosedLoopDriver::addClient(ClientFn fn)

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
 
@@ -45,6 +46,38 @@ class Clock
 
   private:
     Tick now_ = 0;
+};
+
+/**
+ * Deterministic open-loop arrival process (Poisson by default).
+ *
+ * Closed-loop clients issue the next operation when the previous one
+ * completes; an open-loop source issues on its own schedule regardless
+ * of service times, which is what drives the event-queue side of a rig
+ * (and the parallel engine's host domain). Arrival times depend only
+ * on (mean gap, seed), never on service progress, so the generated
+ * schedule is bit-identical across runs and thread counts.
+ */
+class OpenLoopArrivals
+{
+  public:
+    /**
+     * @param meanGap mean inter-arrival gap in ticks (> 0)
+     * @param seed    RNG stream seed
+     */
+    OpenLoopArrivals(Tick meanGap, std::uint64_t seed);
+
+    /** Absolute time of the next arrival (monotonically increasing). */
+    Tick next();
+
+    /** Arrivals generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    Tick meanGap_;
+    Rng rng_;
+    Tick at_ = 0;
+    std::uint64_t generated_ = 0;
 };
 
 /**

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simulation domain: one independently-clocked partition of a run.
+ *
+ * A Domain owns a slab-pooled EventQueue and is the unit the parallel
+ * engine schedules onto worker threads — one domain per device/rig,
+ * with the host as its own domain. Everything inside a domain (its
+ * queue, its rig's calendars, counters and tracer) is touched only by
+ * the thread currently executing that domain's window, so no state
+ * needs locking.
+ *
+ * Cross-domain communication goes through post(): an explicit mailbox
+ * send that is buffered in the sender's outbox and delivered by the
+ * engine at the next barrier, globally ordered by (delivery tick,
+ * sender id, sender sequence). Because the serial engine delivers the
+ * same messages in the same order, parallel execution is bit-identical
+ * to serial. Scheduling directly onto another domain's queue would
+ * bypass that ordering (and race under threads); bssd-lint's
+ * det-cross-domain-schedule rule rejects it.
+ */
+
+#ifndef BSSD_SIM_DOMAIN_HH
+#define BSSD_SIM_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace bssd::sim
+{
+
+class ParallelEngine;
+
+/**
+ * One partition of a simulation: a named event queue plus an outbox of
+ * cross-domain messages. Standalone domains (not attached to an
+ * engine) behave as plain queue owners; post() requires attachment.
+ */
+class Domain
+{
+  public:
+    /** Id of a domain not (yet) attached to an engine. */
+    static constexpr std::uint32_t kNoId = ~std::uint32_t(0);
+
+    explicit Domain(std::string name = "domain")
+        : name_(std::move(name))
+    {}
+
+    Domain(const Domain &) = delete;
+    Domain &operator=(const Domain &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** This domain's private event queue. */
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+
+    /** Current simulated time of this domain. */
+    Tick now() const { return queue_.now(); }
+
+    /** Engine this domain is attached to (nullptr if standalone). */
+    ParallelEngine *engine() const { return engine_; }
+
+    /** Registration index within the engine (kNoId if standalone). */
+    std::uint32_t id() const { return id_; }
+
+    /**
+     * Send @p cb to run in @p target's domain at absolute time
+     * @p when. The message is buffered in this domain's outbox and
+     * scheduled into the target at the engine's next barrier;
+     * same-barrier messages are delivered in (when, sender id, sender
+     * sequence) order, so delivery is deterministic for any thread
+     * count.
+     *
+     * @pre both domains are attached to the same engine, a channel
+     *      this→target exists, and when >= now() + channel lookahead
+     *      (the conservative-synchronization contract; violating it
+     *      could let the target run past @p when before the message
+     *      lands). Violations panic.
+     */
+    void post(Domain &target, Tick when, EventQueue::Callback cb);
+
+    /** Cross-domain messages sent over this domain's lifetime. */
+    std::uint64_t messagesSent() const { return nextSeq_ - 1; }
+
+  private:
+    friend class ParallelEngine;
+
+    /** One buffered cross-domain send. */
+    struct Message
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t target;
+        EventQueue::Callback cb;
+    };
+
+    std::string name_;
+    EventQueue queue_;
+    ParallelEngine *engine_ = nullptr;
+    std::uint32_t id_ = kNoId;
+    std::uint64_t nextSeq_ = 1;
+    std::vector<Message> outbox_;
+};
+
+} // namespace bssd::sim
+
+#endif // BSSD_SIM_DOMAIN_HH

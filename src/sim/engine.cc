@@ -1,0 +1,239 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace bssd::sim
+{
+
+ParallelEngine::ParallelEngine(unsigned threads)
+    : threads_(threads == 0 ? 1 : threads)
+{}
+
+ParallelEngine::~ParallelEngine()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            stop_ = true;
+        }
+        roundStart_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
+std::uint32_t
+ParallelEngine::add(Domain &d)
+{
+    if (d.engine_ != nullptr)
+        panic("domain '", d.name(), "' already attached to an engine");
+    const auto id = static_cast<std::uint32_t>(domains_.size());
+    d.engine_ = this;
+    d.id_ = id;
+    domains_.push_back(&d);
+    for (std::vector<Tick> &row : look_)
+        row.push_back(maxTick);
+    look_.emplace_back(domains_.size(), maxTick);
+    minInLook_.push_back(maxTick);
+    next_.push_back(maxTick);
+    windows_.push_back(0);
+    perFired_.push_back(0);
+    errors_.emplace_back();
+    return id;
+}
+
+void
+ParallelEngine::connect(Domain &src, Domain &dst, Tick lookahead)
+{
+    if (src.engine_ != this || dst.engine_ != this)
+        panic("connect: both domains must be registered first");
+    if (&src == &dst)
+        panic("connect: a domain does not post to itself");
+    if (lookahead == 0)
+        panic("connect: zero lookahead would stall the engine");
+    look_[src.id_][dst.id_] = lookahead;
+    minInLook_[dst.id_] = std::min(minInLook_[dst.id_], lookahead);
+}
+
+Tick
+ParallelEngine::lookahead(std::uint32_t src, std::uint32_t dst) const
+{
+    if (src >= look_.size() || dst >= look_.size())
+        return maxTick;
+    return look_[src][dst];
+}
+
+void
+Domain::post(Domain &target, Tick when, EventQueue::Callback cb)
+{
+    if (engine_ == nullptr || target.engine_ != engine_)
+        panic("post from '", name_, "' to '", target.name_,
+              "': both domains must share an engine");
+    const Tick look = engine_->lookahead(id_, target.id_);
+    if (look == maxTick)
+        panic("post from '", name_, "' to '", target.name_,
+              "': no channel (ParallelEngine::connect missing)");
+    if (when < queue_.now() || when - queue_.now() < look)
+        panic("post from '", name_, "' to '", target.name_,
+              "' at ", when, " violates lookahead ", look, " (now ",
+              queue_.now(), ")");
+    outbox_.push_back(Message{when, nextSeq_++, target.id_,
+                              std::move(cb)});
+}
+
+void
+ParallelEngine::deliverOutboxes()
+{
+    mailbag_.clear();
+    for (Domain *d : domains_) {
+        for (Domain::Message &m : d->outbox_) {
+            mailbag_.push_back(Routed{m.when, d->id_, m.seq, m.target,
+                                      std::move(m.cb)});
+        }
+        d->outbox_.clear();
+    }
+    if (mailbag_.empty())
+        return;
+    std::sort(mailbag_.begin(), mailbag_.end(),
+              [](const Routed &a, const Routed &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.sender != b.sender)
+                      return a.sender < b.sender;
+                  return a.seq < b.seq;
+              });
+    for (Routed &m : mailbag_)
+        domains_[m.target]->queue_.schedule(m.when, std::move(m.cb));
+    delivered_ += mailbag_.size();
+    mailbag_.clear();
+}
+
+Tick
+ParallelEngine::windowFor(std::size_t d, Tick until) const
+{
+    // Events AT the horizon must fire, and runWindow's bound is
+    // strict, so the cap is one past the horizon.
+    Tick w = satAdd(until, 1);
+    for (std::size_t s = 0; s < domains_.size(); ++s) {
+        if (s == d || look_[s][d] == maxTick)
+            continue;
+        w = std::min(w, satAdd(next_[s], look_[s][d]));
+    }
+    return w;
+}
+
+void
+ParallelEngine::executeDomain(std::size_t d)
+{
+    try {
+        perFired_[d] = domains_[d]->queue_.runWindow(windows_[d]);
+    } catch (...) {
+        perFired_[d] = 0;
+        errors_[d] = std::current_exception();
+    }
+}
+
+void
+ParallelEngine::startWorkers()
+{
+    const unsigned spawn = threads_ - 1;
+    workers_.reserve(spawn);
+    for (unsigned w = 1; w <= spawn; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+ParallelEngine::workerLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+        roundStart_.wait(lk, [&] { return stop_ || roundGen_ != seen; });
+        if (stop_)
+            return;
+        seen = roundGen_;
+        lk.unlock();
+        for (std::size_t d = self; d < domains_.size(); d += threads_)
+            executeDomain(d);
+        lk.lock();
+        if (--busy_ == 0)
+            roundDone_.notify_all();
+    }
+}
+
+void
+ParallelEngine::runRound()
+{
+    const bool parallel = threads_ > 1 && domains_.size() > 1;
+    if (!parallel) {
+        // Identical window schedule, inline, in domain-id order: this
+        // is what makes threaded runs bit-identical to serial ones.
+        for (std::size_t d = 0; d < domains_.size(); ++d)
+            executeDomain(d);
+    } else {
+        if (workers_.empty())
+            startWorkers();
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            busy_ = threads_ - 1;
+            ++roundGen_;
+        }
+        roundStart_.notify_all();
+        for (std::size_t d = 0; d < domains_.size(); d += threads_)
+            executeDomain(d);
+        std::unique_lock<std::mutex> lk(mutex_);
+        roundDone_.wait(lk, [&] { return busy_ == 0; });
+    }
+    ++rounds_;
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+        fired_ += perFired_[d];
+        // The whole round completes before the first (by id) failure
+        // propagates — the same behavior at every thread count.
+        if (errors_[d]) {
+            std::exception_ptr e = errors_[d];
+            std::fill(errors_.begin(), errors_.end(),
+                      std::exception_ptr{});
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+std::uint64_t
+ParallelEngine::run(Tick until)
+{
+    if (domains_.empty())
+        panic("ParallelEngine::run with no domains");
+    const std::uint64_t before = fired_;
+    for (;;) {
+        deliverOutboxes();
+        Tick globalMin = maxTick;
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            next_[d] = domains_[d]->queue_.nextEventTime();
+            globalMin = std::min(globalMin, next_[d]);
+        }
+        if (globalMin > until)
+            break;
+        // Lower next_[d] to the earliest-output-time bound: an idle
+        // domain can still be woken by feedback, but no causal chain
+        // starts before globalMin and reaching d costs at least its
+        // cheapest inbound lookahead.
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            next_[d] = std::min(next_[d],
+                                satAdd(globalMin, minInLook_[d]));
+        }
+        for (std::size_t d = 0; d < domains_.size(); ++d)
+            windows_[d] = windowFor(d, until);
+        runRound();
+    }
+    for (Domain *d : domains_) {
+        if (until > d->queue_.now())
+            d->queue_.advanceTo(until);
+    }
+    now_ = until;
+    return fired_ - before;
+}
+
+} // namespace bssd::sim

@@ -28,6 +28,7 @@ EventQueue::releaseSlot(std::uint32_t slot)
     s.cb.reset(); // release captured state eagerly
     ++s.gen;      // odd -> even: free; invalidates the id + heap entry
     s.nextFree = freeHead_;
+    s.inBatch = false; // a reused slot starts with clean batch state
     freeHead_ = slot;
     --live_;
 }
@@ -62,9 +63,15 @@ EventQueue::deschedule(EventId id)
         slots_[slot].gen != gen) {
         return false; // already fired, already cancelled, or bogus
     }
+    // A slot in runWindow's drained batch has no heap entry left to go
+    // stale; releasing it is enough (the fire loop's generation check
+    // skips it).
+    const bool inBatch = slots_[slot].inBatch;
     releaseSlot(slot);
-    ++stale_;
-    maybeCompact();
+    if (!inBatch) {
+        ++stale_;
+        maybeCompact();
+    }
     return true;
 }
 
@@ -138,6 +145,51 @@ EventQueue::runUntil(Tick when)
         cb();
     }
     advanceTo(when);
+    return fired;
+}
+
+Tick
+EventQueue::nextEventTime()
+{
+    return pruneTop() ? heap_.front().when : maxTick;
+}
+
+std::size_t
+EventQueue::runWindow(Tick limit)
+{
+    std::size_t fired = 0;
+    while (pruneTop() && heap_.front().when < limit) {
+        // Drain the run of live entries sharing the earliest tick into
+        // the SoA batch. popTop() only re-heapifies; liveness is
+        // checked here so stale entries inside the run are dropped in
+        // the same pass.
+        const Tick when = heap_.front().when;
+        batchSlots_.clear();
+        batchGens_.clear();
+        do {
+            HeapEntry e = popTop();
+            if (slots_[e.slot].gen != e.gen) {
+                --stale_;
+                continue;
+            }
+            slots_[e.slot].inBatch = true;
+            batchSlots_.push_back(e.slot);
+            batchGens_.push_back(e.gen);
+        } while (!heap_.empty() && heap_.front().when == when);
+        now_ = when;
+        for (std::size_t i = 0; i < batchSlots_.size(); ++i) {
+            Slot &s = slots_[batchSlots_[i]];
+            // A callback earlier in the batch may have descheduled
+            // this one (generation moved on) — skip it.
+            if (s.gen != batchGens_[i])
+                continue;
+            Callback cb = std::move(s.cb);
+            releaseSlot(batchSlots_[i]);
+            ++fired;
+            ++fired_;
+            cb();
+        }
+    }
     return fired;
 }
 

@@ -200,6 +200,31 @@ class EventQueue
      */
     std::size_t runUntil(Tick when);
 
+    /**
+     * Earliest pending event's time, or maxTick when the queue is
+     * empty. Drops cancelled entries from the top of the heap on the
+     * way, hence non-const.
+     */
+    Tick nextEventTime();
+
+    /**
+     * Run all events with time strictly < @p limit, without advancing
+     * now() to @p limit afterwards (now() stays at the last fired
+     * event). This is the parallel engine's per-window work loop: the
+     * strict bound keeps events AT the window edge for the next round,
+     * after barrier messages for that tick have been delivered.
+     *
+     * Ready events that share a tick are drained into a reusable
+     * structure-of-arrays batch before firing, so the fire loop walks
+     * two flat u32 arrays instead of re-heapifying per event. Events a
+     * batched callback schedules for the same tick get higher sequence
+     * numbers and fire in a later batch — identical order to the
+     * one-at-a-time loop.
+     *
+     * @return number of events fired.
+     */
+    std::size_t runWindow(Tick limit);
+
     /** Advance time without running anything. @pre when >= now(). */
     void advanceTo(Tick when);
 
@@ -246,6 +271,13 @@ class EventQueue
         Callback cb;
         std::uint32_t gen = 0;
         std::uint32_t nextFree = kNilSlot;
+        /**
+         * Set while the slot sits in runWindow's drained ready batch,
+         * i.e. its heap entry is already popped but its callback has
+         * not fired yet. deschedule() must not count such a slot as a
+         * stale heap entry — there is none to drop.
+         */
+        bool inBatch = false;
     };
 
     static constexpr std::uint32_t kNilSlot = ~std::uint32_t(0);
@@ -264,6 +296,9 @@ class EventQueue
 
     std::vector<HeapEntry> heap_;
     std::vector<Slot> slots_;
+    /** Reusable SoA ready batch for runWindow (slot/gen pairs). */
+    std::vector<std::uint32_t> batchSlots_;
+    std::vector<std::uint32_t> batchGens_;
     std::uint32_t freeHead_ = kNilSlot;
     std::size_t live_ = 0;
     /** Cancelled entries still sitting in the heap. */

@@ -94,7 +94,9 @@ writeSweepJson(std::ostream &os, const std::vector<SweepRecord> &records,
         jsonEscape(os, r.device);
         os << ", \"workload\": ";
         jsonEscape(os, r.workload);
-        os << ", \"clients\": " << r.clients << ", \"seed\": " << r.seed
+        os << ", \"clients\": " << r.clients
+           << ", \"engine_threads\": " << r.engineThreads
+           << ", \"seed\": " << r.seed
            << ", \"ops\": " << r.ops << ", \"ops_per_sec\": "
            << r.opsPerSec << ", \"mean_us\": " << r.meanUs
            << ", \"p99_us\": " << r.p99Us << ", \"wall_ms\": " << r.wallMs

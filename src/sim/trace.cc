@@ -106,6 +106,28 @@ Tracer::clear()
     stack_.clear();
 }
 
+void
+Tracer::append(const Tracer &other)
+{
+    if (!other.stack_.empty())
+        panic("Tracer::append: source tracer has live spans");
+    // Span ids are minted as (event index + 1), so rebasing them by
+    // the current event count preserves that invariant in the merged
+    // stream; parent links live in the same id space.
+    const auto base = static_cast<SpanId>(events_.size());
+    events_.reserve(events_.size() + other.events_.size());
+    for (const Event &src : other.events_) {
+        Event e = src;
+        e.cat = intern(other.strings_[src.cat].c_str());
+        e.name = intern(other.strings_[src.name].c_str());
+        if (e.id != 0)
+            e.id += base;
+        if (e.parent != 0)
+            e.parent += base;
+        events_.push_back(e);
+    }
+}
+
 namespace
 {
 

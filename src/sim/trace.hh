@@ -164,6 +164,17 @@ class Tracer
     void clear();
 
     /**
+     * Append every event of @p other to this tracer, re-interning
+     * strings and rebasing span ids/parent links. Multi-domain runs
+     * give each domain its own tracer (single-threaded, like the
+     * per-rig sweep invariant) and merge them in domain-id order
+     * afterwards — a fixed order, so the merged trace stays a pure
+     * function of the run and byte-identical across thread counts.
+     * @pre other has no live (unclosed) spans.
+     */
+    void append(const Tracer &other);
+
+    /**
      * Emit the trace as Chrome trace_event JSON ("X" complete events
      * for spans and phases, "i" instants), loadable by Perfetto and
      * chrome://tracing. Events are stably ordered by start tick, ts

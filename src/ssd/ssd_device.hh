@@ -26,6 +26,7 @@
 #include "ftl/ftl.hh"
 #include "nand/nand_flash.hh"
 #include "pcie/pcie_link.hh"
+#include "sim/domain.hh"
 #include "sim/metrics.hh"
 #include "sim/resource.hh"
 #include "sim/stats.hh"
@@ -126,6 +127,15 @@ class SsdDevice
     const ftl::Ftl &ftl() const { return *ftl_; }
     nand::NandFlash &flash() { return *flash_; }
     pcie::PcieLink &link() { return link_; }
+    /**
+     * The device's simulation domain. Device-internal background
+     * activity (recovery dump sequence, DMA completion interrupts)
+     * runs as events on its queue; multi-device runs register the
+     * domain with a sim::ParallelEngine and the device side of the
+     * PCIe boundary executes concurrently with the host domain.
+     */
+    sim::Domain &domain() { return domain_; }
+    const sim::Domain &domain() const { return domain_; }
     /** @} */
 
     /** @name Statistics @{ */
@@ -181,6 +191,7 @@ class SsdDevice
 
   private:
     SsdConfig cfg_;
+    sim::Domain domain_{cfg_.name};
     sim::FaultInjector *faults_ = nullptr;
     sim::Tracer *tracer_ = nullptr;
     std::unique_ptr<nand::NandFlash> flash_;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sharded key-value cluster scenario on the parallel engine.
+ *
+ * One host domain runs a ShardRouter; N shard domains each own a full
+ * store × WAL × device rig (miniredis over a BA-WAL on a 2B-SSD, or
+ * over a block WAL with fsync) — the multi-device scenario ROADMAP
+ * item 1 sketches, and the workload the parallel-engine benchmarks
+ * and determinism tests drive. Every shard is self-contained (own
+ * device, own RNG-free service path, own tracer), so the only
+ * cross-domain traffic is the router's request/completion mailbox —
+ * which is what makes the run bit-identical at any thread count.
+ */
+
+#ifndef BSSD_WORKLOAD_CLUSTER_HH
+#define BSSD_WORKLOAD_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hh"
+#include "sim/trace.hh"
+
+namespace bssd::workload
+{
+
+/** Cluster topology, rig flavour and workload shape. */
+struct ClusterConfig
+{
+    /** Shard (device/rig) domains; the host router is one more. */
+    unsigned shards = 4;
+    /** Shard WAL flavour. */
+    enum class Wal : std::uint8_t
+    {
+        ba,   ///< BA-WAL on a 2B-SSD (single-buffered, like Redis)
+        block ///< page-aligned block WAL with fsync
+    } wal = Wal::ba;
+    /**
+     * GC preset: shrink each shard's array (6 blocks/die) and run
+     * incremental background GC with partial relocation steps, so the
+     * op stream wraps the WAL region and keeps GC continuously active.
+     */
+    bool gc = true;
+    /** Engine worker threads (1 = serial reference). */
+    unsigned engineThreads = 1;
+
+    /** @name Router workload (see host::RouterConfig) @{ */
+    std::uint32_t opsPerCycle = 64;
+    std::uint64_t cycles = 48;
+    sim::Tick meanCycleGap = sim::usOf(400);
+    double setFraction = 0.7;
+    std::uint64_t keySpace = 512;
+    std::uint32_t valueBytes = 96;
+    std::uint64_t seed = 1;
+    /** @} */
+};
+
+/** Everything a cluster run produces, determinism-comparable. */
+struct ClusterResult
+{
+    std::uint64_t opsRouted = 0;
+    std::uint64_t opsCompleted = 0;
+    std::uint64_t batchesDispatched = 0;
+    std::uint64_t batchesCompleted = 0;
+    /** Engine events fired, barrier rounds, mailbox messages. */
+    std::uint64_t eventsFired = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t messages = 0;
+    /** Simulated time the run needed to drain (ticks). */
+    sim::Tick horizon = 0;
+    /** Host-observed batch latency percentiles (ticks). */
+    std::uint64_t batchP50 = 0;
+    std::uint64_t batchP99 = 0;
+    /**
+     * Digest of final cluster state: every shard's store contents
+     * (sorted-key FNV) plus its command/IO counters, folded in shard
+     * order. Equal digests mean equal stored data.
+     */
+    std::uint64_t stateDigest = 0;
+    /** Merged metrics snapshot (JSON, deterministic row order). */
+    std::string metricsJson;
+};
+
+/**
+ * Build the cluster, run it until the router drains, and tear it
+ * down. When @p trace is non-null each shard records into its own
+ * tracer and the per-domain traces are appended to @p trace in
+ * domain-id order afterwards (byte-identical across thread counts).
+ */
+ClusterResult runCluster(const ClusterConfig &cfg,
+                         sim::Tracer *trace = nullptr);
+
+} // namespace bssd::workload
+
+#endif // BSSD_WORKLOAD_CLUSTER_HH

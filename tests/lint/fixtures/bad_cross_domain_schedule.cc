@@ -1,0 +1,16 @@
+// Fixture: det-cross-domain-schedule must flag scheduling through a
+// queue accessor — the shape cross-component code uses to reach into
+// a domain it may not own, bypassing the deterministic mailbox.
+#include "ssd/ssd_device.hh"
+
+void
+armCompletion(bssd::ssd::SsdDevice &dev)
+{
+    dev.domain().queue().schedule(100, [] {});
+}
+
+void
+armTimeout(bssd::ssd::SsdDevice &dev)
+{
+    dev.domain().queue().scheduleIn(100, [] {});
+}

@@ -1,0 +1,25 @@
+// Fixture: the deterministic ways to make cross- and same-domain
+// events. Cross-domain work travels through Domain::post (the
+// engine's ordered mailbox); a component touching its own queue uses
+// the member directly; genuinely same-domain accessor scheduling
+// carries a justified suppression.
+#include "sim/domain.hh"
+
+struct Doorbell
+{
+    bssd::sim::Domain &host;
+    bssd::sim::Domain &device;
+    bssd::sim::EventQueue queue_;
+
+    void ring(bssd::sim::Tick when)
+    {
+        // Cross-domain: the mailbox keeps delivery order a pure
+        // function of (tick, sender id, sender sequence).
+        host.post(device, when, [] {});
+        // Same-domain, owned member: no accessor involved.
+        queue_.schedule(when, [] {});
+        // Same-domain through the accessor: reviewed and justified.
+        // bssd-lint: allow(det-cross-domain-schedule) host's own queue
+        host.queue().schedule(when, [] {});
+    }
+};

@@ -55,6 +55,7 @@ TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule)
 {
     const std::map<std::string, std::string> expect = {
         {"bad_wallclock.cc", "det-wallclock"},
+        {"bad_cross_domain_schedule.cc", "det-cross-domain-schedule"},
         {"bad_unordered_member.cc", "det-unordered-member"},
         {"bad_unordered_iter.cc", "det-unordered-iter"},
         {"bad_static_local.cc", "det-static-local"},
@@ -88,6 +89,7 @@ TEST(LintFixtures, GoodFixturesAreClean)
         "good_include_guard.hh",   "good_using_namespace.hh",
         "good_ticks_literal.cc",   "good_tracepoint.cc",
         "good_metric_path.cc",     "good_suppression.cc",
+        "good_cross_domain_schedule.cc",
     };
     for (const auto &file : good) {
         LintResult r = lintPath(kFixtures + file);

@@ -264,3 +264,149 @@ TEST(InlineCallback, HeapFallbackDestroysExactlyOnce)
     }
     EXPECT_TRUE(watch.expired());
 }
+
+// ---- runWindow / nextEventTime (parallel-engine work loop) ----
+
+TEST(EventQueue, NextEventTimePrunesCancelled)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTime(), maxTick);
+    auto early = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.nextEventTime(), 10u);
+    q.deschedule(early);
+    EXPECT_EQ(q.nextEventTime(), 20u);
+}
+
+TEST(EventQueue, RunWindowBoundIsStrict)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(19, [&] { order.push_back(2); });
+    q.schedule(20, [&] { order.push_back(3); });
+    EXPECT_EQ(q.runWindow(20), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    // now() stays at the last fired event, not the window edge: an
+    // engine barrier may still deliver messages at tick 20.
+    EXPECT_EQ(q.now(), 19u);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.runWindow(21), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunWindowBatchPreservesScheduleOrder)
+{
+    // A same-tick ready batch (the SoA drain) must fire in schedule
+    // order, and same-tick events scheduled from inside the batch must
+    // fire after it — identical to the one-at-a-time loop.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] {
+        order.push_back(1);
+        q.schedule(5, [&] { order.push_back(4); });
+    });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    EXPECT_EQ(q.runWindow(6), 4u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, DescheduleDuringBatchFire)
+{
+    // The first event of a same-tick batch cancels a later one whose
+    // heap entry is already drained out of the heap: the victim must
+    // not fire and the stale-entry accounting must stay exact.
+    EventQueue q;
+    std::vector<int> order;
+    EventQueue::EventId victim = 0;
+    q.schedule(5, [&] {
+        order.push_back(1);
+        EXPECT_TRUE(q.deschedule(victim));
+    });
+    victim = q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    EXPECT_EQ(q.runWindow(6), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+    EXPECT_TRUE(q.empty());
+
+    // The queue stays fully usable afterwards (no stale under/over
+    // count): drive heavy churn through the same queue and drain it.
+    constexpr Tick kChurnBase = 100;
+    for (int round = 0; round < 4; ++round) {
+        std::vector<EventQueue::EventId> ids;
+        for (Tick t = 10; t < 1500; ++t)
+            ids.push_back(q.schedule(kChurnBase + t, [] {}));
+        for (EventQueue::EventId id : ids)
+            EXPECT_TRUE(q.deschedule(id));
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.runWindow(maxTick), 0u);
+}
+
+TEST(EventQueue, DescheduledBatchSlotReuseIsSafe)
+{
+    // Cancel a drained batch entry, then immediately reuse its slab
+    // slot for a new same-tick event: the new event must fire (in
+    // seq order, after the current batch) and the old one must not.
+    EventQueue q;
+    std::vector<int> order;
+    EventQueue::EventId victim = 0;
+    q.schedule(7, [&] {
+        order.push_back(1);
+        EXPECT_TRUE(q.deschedule(victim));
+        // Reuses the victim's freed slot with a fresh generation.
+        q.schedule(7, [&] { order.push_back(9); });
+    });
+    victim = q.schedule(7, [&] { order.push_back(2); });
+    EXPECT_EQ(q.runWindow(8), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 9}));
+}
+
+TEST(EventQueue, DescheduleStormDuringFireCompacts)
+{
+    // A firing callback cancels thousands of pending events, pushing
+    // the heap past the compaction threshold mid-run; survivors must
+    // still fire in order.
+    EventQueue q;
+    std::vector<EventQueue::EventId> victims;
+    std::vector<int> order;
+    for (int i = 0; i < 3000; ++i)
+        victims.push_back(q.schedule(50, [&] { order.push_back(-1); }));
+    q.schedule(10, [&] {
+        order.push_back(1);
+        for (EventQueue::EventId id : victims)
+            EXPECT_TRUE(q.deschedule(id));
+    });
+    q.schedule(60, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    // Compaction dropped the cancelled entries from the heap.
+    EXPECT_LT(q.heapEntries(), 16u);
+}
+
+TEST(EventQueue, CompactionAtAdvanceToBoundary)
+{
+    // Cancel a compaction-threshold-sized population scheduled exactly
+    // at the advanceTo target, then advance to that boundary: time
+    // moves, nothing fires, and the one survivor at the boundary still
+    // fires via runUntil.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventQueue::EventId> ids;
+    for (int i = 0; i < 2048; ++i)
+        ids.push_back(q.schedule(100, [&] { order.push_back(-1); }));
+    auto keep = q.schedule(100, [&] { order.push_back(1); });
+    (void)keep;
+    for (EventQueue::EventId id : ids)
+        EXPECT_TRUE(q.deschedule(id));
+    EXPECT_LT(q.heapEntries(), 2048u); // compaction ran
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.runUntil(100), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), 100u);
+    // advanceTo at the boundary it already reached is a no-op...
+    q.advanceTo(100);
+    // ...and moving backwards still panics.
+    EXPECT_THROW(q.advanceTo(99), SimPanic);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The parallel engine's headline contract: a same-seed cluster run is
+ * byte-identical at every thread count — traces, metrics snapshots,
+ * and final store contents all match the serial reference exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/trace.hh"
+#include "workload/cluster.hh"
+
+using namespace bssd;
+using workload::ClusterConfig;
+using workload::ClusterResult;
+
+namespace
+{
+
+struct ClusterRun
+{
+    ClusterResult res;
+    std::string chromeJson;
+};
+
+ClusterRun
+runAt(ClusterConfig cfg, unsigned threads)
+{
+    cfg.engineThreads = threads;
+    ClusterRun r;
+    sim::Tracer tracer;
+    r.res = workload::runCluster(cfg, &tracer);
+    std::ostringstream os;
+    tracer.writeChromeJson(os);
+    r.chromeJson = os.str();
+    return r;
+}
+
+/** Full byte-level comparison of two runs. */
+void
+expectIdentical(const ClusterRun &a, const ClusterRun &b, const char *label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.res.stateDigest, b.res.stateDigest);
+    EXPECT_EQ(a.res.opsRouted, b.res.opsRouted);
+    EXPECT_EQ(a.res.opsCompleted, b.res.opsCompleted);
+    EXPECT_EQ(a.res.batchesDispatched, b.res.batchesDispatched);
+    EXPECT_EQ(a.res.batchesCompleted, b.res.batchesCompleted);
+    EXPECT_EQ(a.res.eventsFired, b.res.eventsFired);
+    EXPECT_EQ(a.res.rounds, b.res.rounds);
+    EXPECT_EQ(a.res.messages, b.res.messages);
+    EXPECT_EQ(a.res.horizon, b.res.horizon);
+    EXPECT_EQ(a.res.batchP50, b.res.batchP50);
+    EXPECT_EQ(a.res.batchP99, b.res.batchP99);
+    EXPECT_EQ(a.res.metricsJson, b.res.metricsJson);
+    EXPECT_EQ(a.chromeJson, b.chromeJson);
+}
+
+/** Small-but-real workload: GC active, WAL wrapping, 4 shards. */
+ClusterConfig
+smallCluster()
+{
+    ClusterConfig cfg;
+    cfg.shards = 4;
+    cfg.cycles = 12;
+    cfg.opsPerCycle = 32;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ClusterDeterminism, BaWalGcRigIdenticalAcrossThreadCounts)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.wal = ClusterConfig::Wal::ba;
+
+    const ClusterRun serial = runAt(cfg, 1);
+    ASSERT_GT(serial.res.opsCompleted, 0u);
+    ASSERT_EQ(serial.res.opsCompleted, serial.res.opsRouted);
+    ASSERT_GT(serial.res.messages, 0u);
+    ASSERT_FALSE(serial.chromeJson.empty());
+
+    expectIdentical(runAt(cfg, 2), serial, "2 threads vs serial");
+    expectIdentical(runAt(cfg, 8), serial, "8 threads vs serial");
+}
+
+TEST(ClusterDeterminism, BlockWalRigIdenticalAcrossThreadCounts)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.wal = ClusterConfig::Wal::block;
+
+    const ClusterRun serial = runAt(cfg, 1);
+    ASSERT_GT(serial.res.opsCompleted, 0u);
+    ASSERT_EQ(serial.res.opsCompleted, serial.res.opsRouted);
+
+    expectIdentical(runAt(cfg, 2), serial, "2 threads vs serial");
+    expectIdentical(runAt(cfg, 8), serial, "8 threads vs serial");
+}
+
+TEST(ClusterDeterminism, DifferentSeedsDiverge)
+{
+    ClusterConfig cfg = smallCluster();
+    const ClusterRun a = runAt(cfg, 1);
+    cfg.seed = 99;
+    const ClusterRun b = runAt(cfg, 1);
+    EXPECT_NE(a.res.stateDigest, b.res.stateDigest);
+}
+
+TEST(ClusterDeterminism, SerialRerunIsIdentical)
+{
+    const ClusterConfig cfg = smallCluster();
+    expectIdentical(runAt(cfg, 1), runAt(cfg, 1), "rerun vs first");
+}
