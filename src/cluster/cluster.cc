@@ -1,0 +1,677 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "ssd/nvme_queue.hh"
+#include "wal/ba_wal.hh"
+#include "wal/block_wal.hh"
+
+namespace bssd::cluster
+{
+
+namespace
+{
+
+/** Host-domain drain-poll cadence during a rebalance. */
+constexpr sim::Tick kDrainPoll = sim::usOf(100);
+
+/**
+ * Deterministic value payload for key @p key: byte i is key + i.
+ * verifyConsistency() re-derives this pattern, which is what proves
+ * the rebalance copy path moved the actual bytes.
+ */
+std::vector<std::uint8_t>
+valueFor(std::uint64_t key, std::uint32_t bytes)
+{
+    std::vector<std::uint8_t> v(bytes);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<std::uint8_t>(key + i);
+    return v;
+}
+
+/** Redis key text for a router key. */
+std::string
+redisKey(std::uint64_t key)
+{
+    return "k" + std::to_string(key);
+}
+
+/** FNV-1a fold helper shared by the digest paths. */
+struct Fnv
+{
+    std::uint64_t h = 14695981039346656037ull;
+
+    void
+    mix(std::uint64_t x)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (x >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+} // namespace
+
+const char *
+engineName(ClusterConfig::Engine e)
+{
+    switch (e) {
+      case ClusterConfig::Engine::redis: return "redis";
+      case ClusterConfig::Engine::pg: return "pg";
+    }
+    return "?";
+}
+
+const char *
+walName(ClusterConfig::Wal w)
+{
+    switch (w) {
+      case ClusterConfig::Wal::ba: return "ba";
+      case ClusterConfig::Wal::block: return "block";
+      case ClusterConfig::Wal::baRepl: return "ba_repl";
+    }
+    return "?";
+}
+
+/** One shard: a store × WAL × device rig living in one domain. */
+struct Cluster::Shard
+{
+    std::unique_ptr<ba::TwoBSsd> twoB;
+    /** Follower 2B-SSD of a replicated shard. Its domain is never
+     *  registered with the engine: the ReplicatedWal models the
+     *  inter-device link entirely inside the primary's domain, and
+     *  nothing schedules events on the follower's queue. */
+    std::unique_ptr<ba::TwoBSsd> followerTwoB;
+    std::unique_ptr<ssd::SsdDevice> blockDev;
+    std::unique_ptr<wal::LogDevice> log;
+    /** Non-owning view of log when it is a ReplicatedWal. */
+    wal::ReplicatedWal *repl = nullptr;
+    std::unique_ptr<db::miniredis::MiniRedis> redis;
+    std::unique_ptr<db::minipg::MiniPg> pg;
+    sim::Tracer tracer;
+    /** Shard-local service clock: batches queue behind each other. */
+    sim::Tick clock = 0;
+
+    sim::Domain &
+    domain()
+    {
+        return twoB ? twoB->domain() : blockDev->domain();
+    }
+
+    ssd::SsdDevice &
+    device() const
+    {
+        return twoB ? twoB->device() : *blockDev;
+    }
+
+    std::uint64_t
+    contentHash() const
+    {
+        return redis ? redis->contentHash() : pg->contentHash();
+    }
+};
+
+namespace
+{
+
+/** Mirror of the GC-campaign rig preset (tests/support/rig.hh). */
+ssd::SsdConfig
+shardDeviceConfig(const ClusterConfig &cfg, unsigned shard,
+                  bool follower = false)
+{
+    ssd::SsdConfig dev = ssd::SsdConfig::tiny();
+    dev.name = "shard" + std::to_string(shard) +
+               (follower ? ".follower" : "");
+    if (cfg.gc) {
+        dev.nandCfg.geometry.blocksPerDie = 6;
+        dev.ftlCfg.backgroundGc = true;
+        dev.ftlCfg.gcStepPages = 3;
+        dev.nandCfg.sched.readPriority = true;
+        dev.nandCfg.sched.eraseSuspend = true;
+    }
+    return dev;
+}
+
+} // namespace
+
+Cluster::Cluster(const ClusterConfig &cfg, sim::Tracer *trace)
+    : cfg_(cfg),
+      engine_(cfg.engineThreads),
+      host_("host"),
+      map_(cfg.sharding, cfg.shards == 0 ? 1 : cfg.shards,
+           cfg.keySpace),
+      trace_(trace)
+{
+    if (cfg_.shards == 0)
+        sim::fatal("Cluster: at least one shard required");
+    if (cfg_.rebalanceAtCycle > 0) {
+        if (cfg_.moveTo >= cfg_.shards)
+            sim::fatal("Cluster: moveTo shard ", cfg_.moveTo, " of ",
+                       cfg_.shards);
+        if (cfg_.moveBegin256 >= cfg_.moveEnd256 ||
+            cfg_.moveEnd256 > 256) {
+            sim::fatal("Cluster: bad move interval [",
+                       cfg_.moveBegin256, ", ", cfg_.moveEnd256,
+                       ")/256");
+        }
+    }
+
+    engine_.add(host_);
+    buildShards(trace);
+
+    host::RouterConfig rc;
+    rc.opsPerCycle = cfg_.opsPerCycle;
+    rc.cycles = cfg_.cycles;
+    rc.arrival = cfg_.arrival;
+    rc.setFraction = cfg_.setFraction;
+    rc.keySpace = cfg_.keySpace;
+    rc.valueBytes = cfg_.valueBytes;
+    rc.seed = cfg_.seed;
+    // The channel contract: requests ride a posted doorbell write,
+    // completions an interrupt; the lookaheads are exactly those
+    // minimum latencies.
+    rc.requestLatency = shards_.front()
+                            ->device()
+                            .config()
+                            .pcieCfg.minPostedLatency();
+    rc.completionLatency = ssd::NvmeQueueConfig{}.completionCost;
+    for (sim::Domain *d : shardDoms_) {
+        engine_.connect(host_, *d, rc.requestLatency);
+        engine_.connect(*d, host_, rc.completionLatency);
+    }
+
+    // One route function for the whole run: it reads the live map, so
+    // the rebalance flip changes routing without swapping the
+    // function. Called only from the host domain.
+    router_ = std::make_unique<host::ShardRouter>(
+        rc, host_, shardDoms_, makeExec(),
+        [this](const host::RouterOp &op) {
+            return map_.shardOf(op.key);
+        });
+    if (cfg_.rebalanceAtCycle > 0) {
+        router_->setCycleHook(
+            [this](std::uint64_t cycles) { onCycle(cycles); });
+    }
+}
+
+Cluster::~Cluster() = default;
+
+sim::Domain &
+Cluster::shardDomain(unsigned s)
+{
+    return shards_[s]->domain();
+}
+
+void
+Cluster::buildShards(sim::Tracer *trace)
+{
+    shards_.reserve(cfg_.shards);
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        const std::uint64_t region =
+            cfg_.gc ? 128 * sim::KiB : sim::MiB;
+        const std::uint64_t half =
+            cfg_.gc ? 16 * sim::KiB : 32 * sim::KiB;
+        ba::BaConfig bc;
+        bc.bufferBytes = cfg_.gc ? 64 * sim::KiB : 128 * sim::KiB;
+        wal::BaWalConfig wc;
+        wc.regionBytes = region;
+        wc.halfBytes = half;
+        // Single-buffered for Redis, respecting its single-threaded
+        // design (Section IV-B); minipg group-commits, so it keeps
+        // the double-buffered halves.
+        wc.doubleBuffer = cfg_.engine == ClusterConfig::Engine::pg;
+        switch (cfg_.wal) {
+          case ClusterConfig::Wal::ba:
+            shard->twoB = std::make_unique<ba::TwoBSsd>(
+                shardDeviceConfig(cfg_, s), bc);
+            shard->log = std::make_unique<wal::BaWal>(*shard->twoB,
+                                                      wc);
+            break;
+          case ClusterConfig::Wal::block: {
+            shard->blockDev = std::make_unique<ssd::SsdDevice>(
+                shardDeviceConfig(cfg_, s));
+            wal::BlockWalConfig blk;
+            blk.regionBytes = region;
+            shard->log = std::make_unique<wal::BlockWal>(
+                *shard->blockDev, blk);
+            break;
+          }
+          case ClusterConfig::Wal::baRepl: {
+            shard->twoB = std::make_unique<ba::TwoBSsd>(
+                shardDeviceConfig(cfg_, s), bc);
+            shard->followerTwoB = std::make_unique<ba::TwoBSsd>(
+                shardDeviceConfig(cfg_, s, true), bc);
+            auto repl = std::make_unique<wal::ReplicatedWal>(
+                std::make_unique<wal::BaWal>(*shard->twoB, wc),
+                std::make_unique<wal::BaWal>(*shard->followerTwoB,
+                                             wc),
+                cfg_.repl);
+            shard->repl = repl.get();
+            shard->log = std::move(repl);
+            break;
+          }
+        }
+        if (cfg_.engine == ClusterConfig::Engine::redis) {
+            shard->redis = std::make_unique<db::miniredis::MiniRedis>(
+                *shard->log);
+        } else {
+            shard->pg = std::make_unique<db::minipg::MiniPg>(
+                *shard->log);
+        }
+        if (trace) {
+            if (shard->twoB)
+                shard->twoB->installTracer(&shard->tracer);
+            if (shard->followerTwoB)
+                shard->followerTwoB->installTracer(&shard->tracer);
+            if (shard->blockDev)
+                shard->blockDev->setTracer(&shard->tracer);
+            shard->log->setTracer(&shard->tracer);
+        }
+        shards_.push_back(std::move(shard));
+        engine_.add(shards_.back()->domain());
+        shardDoms_.push_back(&shards_.back()->domain());
+    }
+}
+
+host::ShardRouter::ShardExec
+Cluster::makeExec()
+{
+    return [this](unsigned s, sim::Tick start,
+                  const std::vector<host::RouterOp> &ops,
+                  std::vector<sim::Tick> &opDone) {
+        Shard &sh = *shards_[s];
+        sim::Tick t = std::max(start, sh.clock);
+        opDone.reserve(ops.size());
+        for (const host::RouterOp &op : ops) {
+            if (sh.redis) {
+                const std::string key = redisKey(op.key);
+                if (op.kind == host::RouterOp::Kind::set) {
+                    t = sh.redis->set(
+                        t, key, valueFor(op.key, op.valueBytes));
+                } else {
+                    t = sh.redis->get(t, key);
+                }
+            } else {
+                // addNode upserts (XLOG replay assigns), so SET maps
+                // onto it for both fresh and existing ids.
+                if (op.kind == host::RouterOp::Kind::set) {
+                    t = sh.pg->addNode(
+                        t, op.key, valueFor(op.key, op.valueBytes));
+                } else {
+                    t = sh.pg->getNode(t, op.key);
+                }
+            }
+            opDone.push_back(t);
+        }
+        sh.clock = t;
+        return t;
+    };
+}
+
+void
+Cluster::run()
+{
+    if (ran_)
+        sim::panic("Cluster::run() called twice");
+    ran_ = true;
+    router_->start();
+
+    // Advance the horizon in fixed strides until the router drains
+    // and the rebalance (if any) has flipped. Queue states are
+    // identical at every thread count, so the resulting sequence of
+    // run() horizons — and the final horizon_ — is too. When a stride
+    // lands between distant arrivals the loop jumps straight to the
+    // next pending event instead of crawling there, so a saturated
+    // fleet that needs many simulated seconds to drain its backlog
+    // still terminates (progress-based, not a fixed try count).
+    const bool wantRebal = cfg_.rebalanceAtCycle > 0;
+    const sim::Tick chunk = sim::msOf(5);
+    auto finished = [&] {
+        return router_->done() &&
+               (!wantRebal || rebal_ == Rebal::done);
+    };
+    auto nextEvent = [&] {
+        sim::Tick next = host_.queue().nextEventTime();
+        for (auto &sh : shards_)
+            next = std::min(next, sh->domain().queue().nextEventTime());
+        return next;
+    };
+    while (!finished()) {
+        const sim::Tick next = nextEvent();
+        horizon_ = std::max(horizon_ + chunk, next == sim::maxTick
+                                                  ? sim::Tick(0)
+                                                  : next);
+        if (engine_.run(horizon_) == 0 && next == sim::maxTick) {
+            // Nothing fired, nothing pending, and no cross-domain
+            // message can still be in flight (posts land within one
+            // channel lookahead ≪ chunk of their send): the fleet is
+            // deadlocked with work outstanding.
+            sim::panic("Cluster: deadlocked before draining "
+                       "(rebalance at cycle ", cfg_.rebalanceAtCycle,
+                       " of ", cfg_.cycles, ")");
+        }
+    }
+
+    if (trace_) {
+        for (const auto &sh : shards_)
+            trace_->append(sh->tracer);
+    }
+}
+
+// --- Rebalance state machine. Every step runs in the host domain or
+// --- hops to a shard through the same posted request/completion
+// --- channels as normal traffic, so the whole sequence is ordered by
+// --- the engine's deterministic message delivery. ------------------
+
+void
+Cluster::onCycle(std::uint64_t cyclesDone)
+{
+    if (rebal_ == Rebal::idle && cyclesDone >= cfg_.rebalanceAtCycle)
+        startRebalance();
+}
+
+void
+Cluster::startRebalance()
+{
+    // n/256ths of the routing space, exact for n == 256 and without
+    // overflowing u64 even for the hash map's 2^63 space.
+    auto scaled = [this](std::uint32_t n) {
+        const std::uint64_t space = map_.space();
+        return (space / 256) * n + (space % 256) * n / 256;
+    };
+    const std::uint64_t begin = scaled(cfg_.moveBegin256);
+    const std::uint64_t end = scaled(cfg_.moveEnd256);
+    if (begin == end) {
+        sim::fatal("Cluster: move interval [", cfg_.moveBegin256,
+                   ", ", cfg_.moveEnd256, ")/256 rounds to nothing in "
+                   "a routing space of ", map_.space());
+    }
+    plan_ = map_.planMove(begin, end, cfg_.moveTo);
+    if (plan_.empty()) {
+        // The interval is already owned by the target: nothing to
+        // drain or copy, and the map needs no flip.
+        rebal_ = Rebal::done;
+        ++rebalances_;
+        return;
+    }
+    rebal_ = Rebal::draining;
+    // Park every operation whose routing point is mid-move; they
+    // re-route and dispatch after the flip.
+    router_->setHold([this, begin, end](const host::RouterOp &op) {
+        const std::uint64_t p = map_.point(op.key);
+        return p >= begin && p < end;
+    });
+    // bssd-lint: allow(det-cross-domain-schedule) poll runs in host_
+    host_.queue().schedule(host_.now() + kDrainPoll,
+                           [this] { pollDrain(); });
+}
+
+void
+Cluster::pollDrain()
+{
+    bool busy = false;
+    for (const MoveRange &m : plan_)
+        busy = busy || router_->outstanding(m.from) > 0;
+    if (busy) {
+        // bssd-lint: allow(det-cross-domain-schedule) poll runs in host_
+        host_.queue().schedule(host_.now() + kDrainPoll,
+                               [this] { pollDrain(); });
+        return;
+    }
+    rebal_ = Rebal::copying;
+    runStep(0);
+}
+
+void
+Cluster::runStep(std::size_t step)
+{
+    if (step == plan_.size()) {
+        finishRebalance();
+        return;
+    }
+    const MoveRange mr = plan_[step];
+    const sim::Tick toVictim =
+        engine_.lookahead(host_.id(), shardDoms_[mr.from]->id());
+
+    // Hop 1: read the moving keys out of the victim, in its domain,
+    // through the store's sorted iterator. The moving keys cannot
+    // change under us: their operations are parked at the router and
+    // the victim's in-flight batches drained before this step. (The
+    // map is read-only until the flip, so consulting it from the
+    // shard domain here is a benign concurrent read.)
+    host_.post(*shardDoms_[mr.from], host_.now() + toVictim,
+               [this, step, mr] {
+        Shard &sh = *shards_[mr.from];
+        sim::Domain &dom = sh.domain();
+        sim::Tick t = std::max(sh.clock, dom.now());
+        auto moved = std::make_shared<std::vector<
+            std::pair<std::uint64_t, std::vector<std::uint8_t>>>>();
+        if (sh.redis) {
+            sh.redis->forEachSorted(
+                [&](const std::string &key,
+                    std::span<const std::uint8_t> value) {
+                    const std::uint64_t id =
+                        std::stoull(key.substr(1));
+                    const std::uint64_t p = map_.point(id);
+                    if (p < mr.begin || p >= mr.end)
+                        return;
+                    moved->emplace_back(
+                        id, std::vector<std::uint8_t>(value.begin(),
+                                                      value.end()));
+                });
+            for (const auto &kv : *moved)
+                t = sh.redis->get(t, redisKey(kv.first));
+        } else {
+            sh.pg->forEachNodeSorted(
+                [&](std::uint64_t id,
+                    std::span<const std::uint8_t> payload) {
+                    const std::uint64_t p = map_.point(id);
+                    if (p < mr.begin || p >= mr.end)
+                        return;
+                    moved->emplace_back(
+                        id,
+                        std::vector<std::uint8_t>(payload.begin(),
+                                                  payload.end()));
+                });
+            for (const auto &kv : *moved)
+                t = sh.pg->getNode(t, kv.first);
+        }
+        sh.clock = t;
+        const sim::Tick back =
+            engine_.lookahead(dom.id(), host_.id());
+
+        // Hop 2: back to the host with the data, then durably into
+        // the target shard.
+        dom.post(host_, t + back, [this, step, mr, moved] {
+            movedKeys_ += moved->size();
+            const sim::Tick toTarget = engine_.lookahead(
+                host_.id(), shardDoms_[mr.to]->id());
+            host_.post(*shardDoms_[mr.to], host_.now() + toTarget,
+                       [this, step, mr, moved] {
+                Shard &dst = *shards_[mr.to];
+                sim::Domain &ddom = dst.domain();
+                sim::Tick t = std::max(dst.clock, ddom.now());
+                for (const auto &[id, value] : *moved) {
+                    if (dst.redis)
+                        t = dst.redis->set(t, redisKey(id), value);
+                    else
+                        t = dst.pg->addNode(t, id, value);
+                }
+                dst.clock = t;
+                const sim::Tick back2 =
+                    engine_.lookahead(ddom.id(), host_.id());
+
+                // Hop 3: back to the host, then durably purge the
+                // victim's copies of the moved keys.
+                ddom.post(host_, t + back2, [this, step, mr, moved] {
+                    const sim::Tick toVic = engine_.lookahead(
+                        host_.id(), shardDoms_[mr.from]->id());
+                    host_.post(*shardDoms_[mr.from],
+                               host_.now() + toVic,
+                               [this, step, mr, moved] {
+                        Shard &vic = *shards_[mr.from];
+                        sim::Domain &vdom = vic.domain();
+                        sim::Tick t =
+                            std::max(vic.clock, vdom.now());
+                        for (const auto &kv : *moved) {
+                            if (vic.redis) {
+                                t = vic.redis->del(
+                                    t, redisKey(kv.first));
+                            } else {
+                                t = vic.pg->deleteNode(t, kv.first);
+                            }
+                        }
+                        vic.clock = t;
+                        const sim::Tick back3 = engine_.lookahead(
+                            vdom.id(), host_.id());
+                        vdom.post(host_, t + back3, [this, step] {
+                            runStep(step + 1);
+                        });
+                    });
+                });
+            });
+        });
+    });
+}
+
+void
+Cluster::finishRebalance()
+{
+    // The tick barrier: one host-domain event flips the map, drops
+    // the hold, and re-routes every parked operation through the new
+    // owners. No operation can observe a half-applied map.
+    map_.apply(plan_);
+    router_->setHold(nullptr);
+    router_->releaseHeld();
+    rebal_ = Rebal::done;
+    ++rebalances_;
+}
+
+std::uint64_t
+Cluster::stateDigest() const
+{
+    Fnv f;
+    for (const auto &sh : shards_) {
+        f.mix(sh->contentHash());
+        if (sh->redis) {
+            f.mix(sh->redis->commandsProcessed());
+            f.mix(sh->redis->keys());
+        } else {
+            f.mix(sh->pg->committedTxns());
+            f.mix(sh->pg->nodeCount());
+            f.mix(sh->pg->linkCount());
+        }
+        f.mix(sh->device().readsServed());
+        f.mix(sh->device().writesServed());
+        if (sh->followerTwoB) {
+            f.mix(sh->followerTwoB->device().readsServed());
+            f.mix(sh->followerTwoB->device().writesServed());
+        }
+    }
+    f.mix(map_.version());
+    f.mix(movedKeys_);
+    return f.h;
+}
+
+std::string
+Cluster::metricsJson() const
+{
+    sim::MetricRegistry reg;
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        const Shard &sh = *shards_[s];
+        const std::string prefix = "shard" + std::to_string(s);
+        if (sh.twoB)
+            sh.twoB->registerMetrics(reg, prefix + ".ba");
+        if (sh.followerTwoB) {
+            sh.followerTwoB->registerMetrics(reg,
+                                             prefix + ".follower_ba");
+        }
+        if (sh.blockDev)
+            sh.blockDev->registerMetrics(reg, prefix + ".ssd");
+        sh.log->registerMetrics(reg, prefix + ".wal");
+    }
+    std::ostringstream out;
+    reg.writeJson(out);
+    return out.str();
+}
+
+std::uint64_t
+Cluster::shardContentHash(unsigned shard) const
+{
+    return shards_.at(shard)->contentHash();
+}
+
+std::uint64_t
+Cluster::shardItems(unsigned shard) const
+{
+    const Shard &sh = *shards_.at(shard);
+    return sh.redis ? sh.redis->keys() : sh.pg->nodeCount();
+}
+
+void
+Cluster::verifyConsistency() const
+{
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        const Shard &sh = *shards_[s];
+        auto check = [&](std::uint64_t id,
+                         std::span<const std::uint8_t> value) {
+            const unsigned owner = map_.shardOf(id);
+            if (owner != s) {
+                sim::panic("cluster consistency: key ", id,
+                           " stored on shard ", s, " but the map (",
+                           map_.describe(), ") owns it to shard ",
+                           owner);
+            }
+            for (std::size_t i = 0; i < value.size(); ++i) {
+                if (value[i] != static_cast<std::uint8_t>(id + i)) {
+                    sim::panic("cluster consistency: key ", id,
+                               " on shard ", s,
+                               " has corrupt payload byte ", i);
+                }
+            }
+        };
+        if (sh.redis) {
+            sh.redis->forEachSorted(
+                [&](const std::string &key,
+                    std::span<const std::uint8_t> value) {
+                    check(std::stoull(key.substr(1)), value);
+                });
+        } else {
+            sh.pg->forEachNodeSorted(check);
+        }
+    }
+}
+
+bool
+Cluster::crashAndRecoverShard(unsigned shard)
+{
+    Shard &sh = *shards_.at(shard);
+    if (!sh.repl) {
+        sim::panic("crashAndRecoverShard: shard ", shard,
+                   " has no replicated WAL (wal=", walName(cfg_.wal),
+                   ")");
+    }
+    const std::uint64_t before = sh.contentHash();
+    // Power-cut the primary; the decorator loses its in-flight state
+    // and promotes the follower as the recovery source. The cut time
+    // must not precede the domain clock (the engine advanced it to
+    // the run horizon), or the capacitor-dump events the power loss
+    // schedules would land in the past.
+    sh.repl->crash(std::max(sh.clock, sh.domain().now()));
+    if (sh.redis)
+        sh.redis->recover();
+    else
+        sh.pg->recover();
+    return sh.contentHash() == before && sh.repl->promoted();
+}
+
+} // namespace bssd::cluster

@@ -1,0 +1,195 @@
+#include "cluster/shard_map.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::cluster
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: the key-hash of the hash discipline. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** The hash routing space: [0, 2^63). */
+constexpr std::uint64_t hashSpace = std::uint64_t(1) << 63;
+
+} // namespace
+
+ShardMap::ShardMap(Sharding kind, std::uint32_t shards,
+                   std::uint64_t keySpace)
+    : kind_(kind), shards_(shards), keySpace_(keySpace)
+{
+    if (shards_ == 0)
+        sim::fatal("ShardMap needs at least one shard");
+    if (keySpace_ == 0)
+        sim::fatal("ShardMap needs a non-empty key space");
+    const std::uint64_t sp = space();
+    if (sp < shards_)
+        sim::fatal("ShardMap: more shards than routing-space points");
+
+    // Uniform split; the first (space % shards) shards get one extra
+    // point so the table always covers the space exactly.
+    const std::uint64_t per = sp / shards_;
+    const std::uint64_t rem = sp % shards_;
+    std::uint64_t at = 0;
+    ranges_.reserve(shards_);
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        const std::uint64_t len = per + (s < rem ? 1 : 0);
+        ranges_.push_back({at, at + len, s});
+        at += len;
+    }
+    checkInvariants();
+}
+
+std::uint64_t
+ShardMap::space() const
+{
+    return kind_ == Sharding::hash ? hashSpace : keySpace_;
+}
+
+std::uint64_t
+ShardMap::point(std::uint64_t key) const
+{
+    if (key >= keySpace_) {
+        sim::fatal("ShardMap: key ", key, " outside the key space ",
+                   keySpace_);
+    }
+    return kind_ == Sharding::hash ? mix64(key) >> 1 : key;
+}
+
+std::uint32_t
+ShardMap::shardOf(std::uint64_t key) const
+{
+    return shardOfPoint(point(key));
+}
+
+std::uint32_t
+ShardMap::shardOfPoint(std::uint64_t p) const
+{
+    // First range whose begin is past p, step back one: the table is
+    // sorted, contiguous and covering, so this range contains p.
+    auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), p,
+        [](std::uint64_t v, const ShardRange &r) { return v < r.begin; });
+    if (it == ranges_.begin() || p >= space())
+        sim::panic("ShardMap: point ", p, " outside the routing space");
+    return std::prev(it)->shard;
+}
+
+std::vector<MoveRange>
+ShardMap::planMove(std::uint64_t begin, std::uint64_t end,
+                   std::uint32_t to) const
+{
+    if (begin >= end || end > space())
+        sim::fatal("ShardMap::planMove: empty or out-of-space interval");
+    if (to >= shards_)
+        sim::fatal("ShardMap::planMove: target shard ", to,
+                   " out of range");
+
+    std::vector<MoveRange> plan;
+    for (const auto &r : ranges_) {
+        const std::uint64_t lo = std::max(begin, r.begin);
+        const std::uint64_t hi = std::min(end, r.end);
+        if (lo >= hi || r.shard == to)
+            continue;
+        plan.push_back({lo, hi, r.shard, to});
+    }
+    return plan;
+}
+
+void
+ShardMap::apply(const std::vector<MoveRange> &plan)
+{
+    for (const auto &mv : plan) {
+        if (mv.begin >= mv.end || mv.end > space())
+            sim::fatal("ShardMap::apply: bad move interval");
+        if (mv.to >= shards_ || mv.from >= shards_)
+            sim::fatal("ShardMap::apply: bad move shard");
+
+        std::vector<ShardRange> next;
+        next.reserve(ranges_.size() + 2);
+        for (const auto &r : ranges_) {
+            const std::uint64_t lo = std::max(mv.begin, r.begin);
+            const std::uint64_t hi = std::min(mv.end, r.end);
+            if (lo >= hi) {
+                next.push_back(r);
+                continue;
+            }
+            // The plan was computed against this table version: the
+            // moved interval must still belong to the shard the plan
+            // recorded, or the caller raced two rebalances.
+            if (r.shard != mv.from) {
+                sim::panic("ShardMap::apply: stale plan - [", lo, ", ",
+                           hi, ") owned by shard ", r.shard,
+                           ", plan says ", mv.from);
+            }
+            if (r.begin < lo)
+                next.push_back({r.begin, lo, r.shard});
+            next.push_back({lo, hi, mv.to});
+            if (hi < r.end)
+                next.push_back({hi, r.end, r.shard});
+        }
+        ranges_ = std::move(next);
+
+        // Coalesce neighbours the move united under one owner.
+        std::vector<ShardRange> merged;
+        merged.reserve(ranges_.size());
+        for (const auto &r : ranges_) {
+            if (!merged.empty() && merged.back().shard == r.shard &&
+                merged.back().end == r.begin) {
+                merged.back().end = r.end;
+            } else {
+                merged.push_back(r);
+            }
+        }
+        ranges_ = std::move(merged);
+    }
+    ++version_;
+    checkInvariants();
+}
+
+std::string
+ShardMap::describe() const
+{
+    std::string s = std::string(shardingName(kind_)) + "/" +
+                    std::to_string(shards_) + " v" +
+                    std::to_string(version_) + "[";
+    for (std::size_t i = 0; i < ranges_.size(); ++i) {
+        if (i)
+            s += " ";
+        s += std::to_string(ranges_[i].begin) + ":" +
+             std::to_string(ranges_[i].end) + "=" +
+             std::to_string(ranges_[i].shard);
+    }
+    return s + "]";
+}
+
+void
+ShardMap::checkInvariants() const
+{
+    if (ranges_.empty())
+        sim::panic("ShardMap: empty range table");
+    if (ranges_.front().begin != 0 || ranges_.back().end != space())
+        sim::panic("ShardMap: table does not cover the routing space");
+    for (std::size_t i = 0; i < ranges_.size(); ++i) {
+        const auto &r = ranges_[i];
+        if (r.begin >= r.end)
+            sim::panic("ShardMap: empty range in table");
+        if (r.shard >= shards_)
+            sim::panic("ShardMap: range owned by unknown shard");
+        if (i && ranges_[i - 1].end != r.begin)
+            sim::panic("ShardMap: gap or overlap in table");
+    }
+}
+
+} // namespace bssd::cluster

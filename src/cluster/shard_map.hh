@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The cluster's routing table: an explicit, versioned map from keys to
+ * shards (DESIGN.md section 13.1).
+ *
+ * Both sharding disciplines are represented the same way - a sorted,
+ * contiguous, covering table of ranges over a ROUTING SPACE:
+ *
+ *  - hash sharding:  point(key) = splitmix64(key) >> 1, the space is
+ *                    [0, 2^63). A fresh map splits the space uniformly,
+ *                    which is key-hash sharding; moves then migrate
+ *                    hash-space intervals ("virtual buckets").
+ *  - range sharding: point(key) = key, the space is [0, keySpace).
+ *                    Ranges are literal key ranges, moves are the
+ *                    classic "split a hot range off to another shard".
+ *
+ * The uniform representation is what makes online rebalancing one code
+ * path: a rebalance is a plan of MoveRange steps computed against a
+ * specific map version, and apply() flips ownership atomically (the
+ * caller decides the tick at which the flip happens - the cluster does
+ * it at a host-domain tick barrier).
+ *
+ * Determinism: the table is a plain sorted vector, mutations are pure
+ * functions of (table, plan), and nothing here draws randomness or
+ * reads clocks. Property-fuzzed in tests/cluster/
+ * test_shard_map_property.cc.
+ */
+
+#ifndef BSSD_CLUSTER_SHARD_MAP_HH
+#define BSSD_CLUSTER_SHARD_MAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bssd::cluster
+{
+
+/** Which routing discipline a map implements. */
+enum class Sharding : std::uint8_t
+{
+    hash,  ///< key-hash: uniform load, no locality
+    range, ///< contiguous key ranges: locality, movable hot ranges
+};
+
+inline const char *
+shardingName(Sharding s)
+{
+    return s == Sharding::hash ? "hash" : "range";
+}
+
+/** One owned interval [begin, end) of the routing space. */
+struct ShardRange
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint32_t shard = 0;
+
+    bool
+    operator==(const ShardRange &o) const
+    {
+        return begin == o.begin && end == o.end && shard == o.shard;
+    }
+};
+
+/** One step of a rebalance plan: [begin, end) moves from -> to. */
+struct MoveRange
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+
+    bool
+    operator==(const MoveRange &o) const
+    {
+        return begin == o.begin && end == o.end && from == o.from &&
+               to == o.to;
+    }
+};
+
+/** The versioned key -> shard routing table. */
+class ShardMap
+{
+  public:
+    /**
+     * A fresh map splitting the routing space uniformly over
+     * @p shards shards.
+     * @param keySpace size of the key universe (range sharding routes
+     *        keys in [0, keySpace); hash sharding only uses it to
+     *        reject out-of-universe keys).
+     */
+    ShardMap(Sharding kind, std::uint32_t shards, std::uint64_t keySpace);
+
+    Sharding kind() const { return kind_; }
+    std::uint32_t shards() const { return shards_; }
+    std::uint64_t keySpace() const { return keySpace_; }
+
+    /** Size of the routing space (2^63 for hash, keySpace for range). */
+    std::uint64_t space() const;
+
+    /** The routing-space point of @p key. @pre key < keySpace(). */
+    std::uint64_t point(std::uint64_t key) const;
+
+    /** The shard owning @p key under the current table. */
+    std::uint32_t shardOf(std::uint64_t key) const;
+
+    /** The shard owning routing-space point @p p. */
+    std::uint32_t shardOfPoint(std::uint64_t p) const;
+
+    /** Bumped by every apply(); routers use it to detect staleness. */
+    std::uint64_t version() const { return version_; }
+
+    /** The table: sorted, contiguous, covering, no empty ranges. */
+    const std::vector<ShardRange> &ranges() const { return ranges_; }
+
+    /**
+     * Plan moving the routing-space interval [@p begin, @p end) to
+     * shard @p to: one MoveRange per distinct current owner, in space
+     * order, skipping parts @p to already owns. The plan is TOTAL
+     * (the steps plus the already-owned parts cover [begin, end))
+     * and DISJOINT (no point appears in two steps) - the fuzzed
+     * invariants that make a mid-move cluster lose nothing.
+     */
+    std::vector<MoveRange> planMove(std::uint64_t begin,
+                                    std::uint64_t end,
+                                    std::uint32_t to) const;
+
+    /**
+     * Flip ownership for every step of @p plan and bump the version.
+     * The caller serializes apply() against routing (the cluster's
+     * tick barrier); the table is valid - sorted, contiguous,
+     * covering - before and after, never in between.
+     */
+    void apply(const std::vector<MoveRange> &plan);
+
+    /** "hash/4[0:2305843009213693952=0 ...]" - logs and digests. */
+    std::string describe() const;
+
+    bool
+    operator==(const ShardMap &o) const
+    {
+        return kind_ == o.kind_ && shards_ == o.shards_ &&
+               keySpace_ == o.keySpace_ && version_ == o.version_ &&
+               ranges_ == o.ranges_;
+    }
+
+  private:
+    Sharding kind_;
+    std::uint32_t shards_;
+    std::uint64_t keySpace_;
+    std::uint64_t version_ = 0;
+    std::vector<ShardRange> ranges_;
+
+    void checkInvariants() const;
+};
+
+} // namespace bssd::cluster
+
+#endif // BSSD_CLUSTER_SHARD_MAP_HH

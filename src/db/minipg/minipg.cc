@@ -369,4 +369,47 @@ MiniPg::recover()
     }
 }
 
+void
+MiniPg::forEachNodeSorted(
+    const std::function<void(std::uint64_t,
+                             std::span<const std::uint8_t>)> &fn) const
+{
+    std::map<std::uint64_t, const std::vector<std::uint8_t> *> sorted;
+    // bssd-lint: allow(det-unordered-iter) drained into a sorted map before visiting
+    for (const auto &kv : nodes_)
+        sorted.emplace(kv.first, &kv.second);
+    for (const auto &[id, payload] : sorted)
+        fn(id, {payload->data(), payload->size()});
+}
+
+std::uint64_t
+MiniPg::contentHash() const
+{
+    std::uint64_t h = 14695981039346656037ull; // FNV-1a offset basis
+    auto mix = [&h](const std::uint8_t *p, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull; // FNV-1a prime
+        }
+    };
+    auto mix64 = [&mix](std::uint64_t v) {
+        std::uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<std::uint8_t>(v >> (i * 8));
+        mix(b, sizeof(b));
+    };
+    forEachNodeSorted(
+        [&](std::uint64_t id, std::span<const std::uint8_t> payload) {
+            mix64(id);
+            mix(payload.data(), payload.size());
+        });
+    for (const auto &[key, payload] : links_) {
+        mix64(key.id1);
+        mix64(key.type);
+        mix64(key.id2);
+        mix(payload.data(), payload.size());
+    }
+    return h;
+}
+
 } // namespace bssd::db::minipg

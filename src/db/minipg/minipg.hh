@@ -20,6 +20,7 @@
 #define BSSD_DB_MINIPG_MINIPG_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <span>
@@ -142,6 +143,25 @@ class MiniPg
     std::uint64_t committedTxns() const { return commits_.value(); }
     std::uint64_t checkpoints() const { return checkpoints_.value(); }
     std::uint64_t nextSequence() const { return seq_; }
+
+    /**
+     * Visit every live node in ascending id order - the deterministic
+     * store iterator the cluster's range-move copy path walks. The
+     * heap is drained into a sorted view first so the hash map's
+     * bucket layout never reaches the caller (DESIGN.md section 11).
+     */
+    void forEachNodeSorted(
+        const std::function<void(std::uint64_t,
+                                 std::span<const std::uint8_t>)> &fn)
+        const;
+
+    /**
+     * Order-independent digest of the live dataset (FNV-1a over nodes
+     * in id order, then links in key order) - the same contract as
+     * MiniRedis::contentHash(), used by the cluster determinism tests
+     * to compare minipg shard states across engine thread counts.
+     */
+    std::uint64_t contentHash() const;
     /** @} */
 
   private:

@@ -219,4 +219,18 @@ MiniRedis::contentHash() const
     return h;
 }
 
+void
+MiniRedis::forEachSorted(
+    const std::function<void(const std::string &,
+                             std::span<const std::uint8_t>)> &fn) const
+{
+    std::map<std::string_view, const std::vector<std::uint8_t> *>
+        sorted;
+    // bssd-lint: allow(det-unordered-iter) drained into a sorted map before visiting
+    for (const auto &kv : store_)
+        sorted.emplace(kv.first, &kv.second);
+    for (const auto &[key, value] : sorted)
+        fn(std::string(key), {value->data(), value->size()});
+}
+
 } // namespace bssd::db::miniredis

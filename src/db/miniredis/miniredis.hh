@@ -19,6 +19,7 @@
 #define BSSD_DB_MINIREDIS_MINIREDIS_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -81,6 +82,18 @@ class MiniRedis
      * across thread counts with this.
      */
     std::uint64_t contentHash() const;
+
+    /**
+     * Visit every live (key, value) pair in sorted key order - the
+     * deterministic store iterator the cluster's range-move copy path
+     * walks (a shard being drained streams its moving keys out through
+     * this). Sorting first keeps the hash map's bucket layout out of
+     * every output, same audit rule as contentHash().
+     */
+    void forEachSorted(
+        const std::function<void(const std::string &,
+                                 std::span<const std::uint8_t>)> &fn)
+        const;
     /** @} */
 
   private:

@@ -11,14 +11,17 @@ namespace bssd::host
 ShardRouter::ShardRouter(const RouterConfig &cfg,
                          sim::Domain &hostDomain,
                          std::vector<sim::Domain *> shardDomains,
-                         ShardExec exec)
+                         ShardExec exec, RouteFn route)
     : cfg_(cfg),
       host_(hostDomain),
       shards_(std::move(shardDomains)),
       exec_(std::move(exec)),
-      arrivals_(cfg.meanCycleGap, cfg.seed),
+      route_(std::move(route)),
+      arrivals_(cfg.arrival, cfg.seed),
       rng_(cfg.seed ^ 0x5eedf00du),
-      buckets_(shards_.size())
+      touched_(cfg.keySpace, false),
+      buckets_(shards_.size()),
+      outstanding_(shards_.size(), 0)
 {
     if (shards_.empty())
         sim::panic("ShardRouter needs at least one shard");
@@ -36,12 +39,49 @@ ShardRouter::start()
 }
 
 void
+ShardRouter::setRoute(RouteFn route)
+{
+    route_ = std::move(route);
+}
+
+unsigned
+ShardRouter::routeOf(const RouterOp &op) const
+{
+    const unsigned s =
+        route_ ? route_(op)
+               : static_cast<unsigned>(op.key % shards_.size());
+    if (s >= shards_.size())
+        sim::panic("ShardRouter: route function returned shard ", s,
+                   " of ", shards_.size());
+    return s;
+}
+
+void
+ShardRouter::enqueue(const RouterOp &op)
+{
+    if (hold_ && hold_(op)) {
+        held_.push_back(op);
+        return;
+    }
+    buckets_[routeOf(op)].push_back(op);
+}
+
+void
+ShardRouter::flushBuckets()
+{
+    for (unsigned s = 0; s < buckets_.size(); ++s) {
+        if (!buckets_[s].empty())
+            dispatch(s, std::move(buckets_[s]));
+    }
+}
+
+void
 ShardRouter::cycle()
 {
-    // Generate this cycle's operations and partition them by key hash.
-    // Bucket order (shard 0..N-1) and intra-bucket order (generation
-    // order) are fixed, so the dispatch sequence is a pure function of
-    // the seed.
+    // Generate this cycle's operations and partition them through the
+    // route function. Bucket order (shard 0..N-1) and intra-bucket
+    // order (generation order) are fixed, so the dispatch sequence is
+    // a pure function of the seed.
     for (std::vector<RouterOp> &b : buckets_)
         b.clear();
     for (std::uint32_t i = 0; i < cfg_.opsPerCycle; ++i) {
@@ -52,17 +92,33 @@ ShardRouter::cycle()
             op.valueBytes = static_cast<std::uint32_t>(rng_.nextRange(
                 cfg_.valueBytes / 2 + 1, cfg_.valueBytes));
         }
-        buckets_[op.key % shards_.size()].push_back(op);
+        if (!touched_[op.key]) {
+            touched_[op.key] = true;
+            ++usersTouched_;
+        }
+        enqueue(op);
     }
-    for (unsigned s = 0; s < buckets_.size(); ++s) {
-        if (!buckets_[s].empty())
-            dispatch(s, std::move(buckets_[s]));
-    }
+    flushBuckets();
     ++cyclesDone_;
     if (cyclesDone_ < cfg_.cycles) {
         // bssd-lint: allow(det-cross-domain-schedule) same-domain rearm
         host_.queue().schedule(arrivals_.next(), [this] { cycle(); });
     }
+    if (cycleHook_)
+        cycleHook_(cyclesDone_);
+}
+
+void
+ShardRouter::releaseHeld()
+{
+    if (held_.empty())
+        return;
+    for (std::vector<RouterOp> &b : buckets_)
+        b.clear();
+    for (const RouterOp &op : held_)
+        buckets_[routeOf(op)].push_back(op);
+    held_.clear();
+    flushBuckets();
 }
 
 void
@@ -71,6 +127,7 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
     const sim::Tick dispatched = host_.now();
     opsRouted_ += ops.size();
     ++batchesDispatched_;
+    ++outstanding_[shard];
     // The doorbell: one posted write across the link. The batch
     // executes entirely inside the shard's domain, then the completion
     // interrupt crosses back.
@@ -79,15 +136,34 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
         [this, shard, dispatched, ops = std::move(ops)] {
             sim::Domain &dom = *shards_[shard];
             const sim::Tick start = dom.now();
-            const sim::Tick finish = exec_(shard, start, ops);
+            std::vector<sim::Tick> opDone;
+            const sim::Tick finish = exec_(shard, start, ops, opDone);
+            if (opDone.size() != ops.size()) {
+                sim::panic("ShardRouter: executor reported ",
+                           opDone.size(), " finish ticks for ",
+                           ops.size(), " ops");
+            }
             const sim::Tick done =
                 std::max(finish, start) + cfg_.completionLatency;
+            // Host-observed per-op latency: doorbell to the op's
+            // completion arriving with the batch interrupt.
+            std::vector<sim::Tick> lat;
+            lat.reserve(opDone.size());
+            for (sim::Tick d : opDone) {
+                lat.push_back(std::max(d, start) +
+                              cfg_.completionLatency - dispatched);
+            }
             const auto count = static_cast<std::uint64_t>(ops.size());
-            dom.post(host_, done, [this, dispatched, done, count] {
-                opsCompleted_ += count;
-                ++batchesCompleted_;
-                latency_.sample(done - dispatched);
-            });
+            dom.post(host_, done,
+                     [this, shard, dispatched, done, count,
+                      lat = std::move(lat)] {
+                         opsCompleted_ += count;
+                         ++batchesCompleted_;
+                         --outstanding_[shard];
+                         latency_.sample(done - dispatched);
+                         for (sim::Tick l : lat)
+                             opLatency_.record(l);
+                     });
         });
 }
 

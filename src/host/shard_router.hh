@@ -1,16 +1,26 @@
 /**
  * @file
- * Host-side key-hash router for multi-device (sharded) runs.
+ * Host-side router for multi-device (sharded) runs.
  *
  * The host is its own simulation domain: an open-loop arrival process
- * generates cycles of key-value operations, partitions each cycle by
- * key hash into per-shard batches, and posts every batch to its
- * shard's domain through the Domain::post mailbox — the same path an
- * NVMe doorbell write takes across PCIe, which is why the request
- * lookahead is the link's minimum posted-write latency. The shard
- * executes the batch against its own store/WAL/device stack (the
- * ShardExec callback, run entirely inside the shard domain) and posts
- * the completion back, paying the completion/interrupt delivery cost.
+ * (Poisson or bursty, sim::ArrivalSpec) generates cycles of key-value
+ * operations, partitions each cycle through a pluggable route function
+ * (key-hash or range sharding against a cluster::ShardMap), and posts
+ * every batch to its shard's domain through the Domain::post mailbox —
+ * the same path an NVMe doorbell write takes across PCIe, which is why
+ * the request lookahead is the link's minimum posted-write latency.
+ * The shard executes the batch against its own store/WAL/device stack
+ * (the ShardExec callback, run entirely inside the shard domain),
+ * reports every operation's finish tick, and posts the completion
+ * back, paying the completion/interrupt delivery cost.
+ *
+ * Rebalance support: a hold predicate parks operations whose key is
+ * mid-move in a host-side queue instead of dispatching them;
+ * releaseHeld() re-routes the parked operations (through the
+ * possibly-updated route function) once the map has flipped. A cycle
+ * hook and per-shard outstanding counters give the cluster the
+ * deterministic "start the move at cycle C" and "victim drained"
+ * signals it needs.
  *
  * All router state is partitioned by domain: generation state (RNG,
  * arrival clock, dispatch counters) is touched only by host-domain
@@ -52,8 +62,8 @@ struct RouterConfig
     std::uint32_t opsPerCycle = 64;
     /** Arrival cycles to dispatch before the router goes idle. */
     std::uint64_t cycles = 48;
-    /** Mean gap between arrival cycles (open-loop, Poisson). */
-    sim::Tick meanCycleGap = sim::usOf(400);
+    /** Open-loop arrival process of cycle starts. */
+    sim::ArrivalSpec arrival;
     /** Fraction of SET commands (the rest are GETs). */
     double setFraction = 0.7;
     /** Keys are drawn uniformly from [0, keySpace). */
@@ -84,49 +94,102 @@ class ShardRouter
   public:
     /**
      * Executes one batch inside the shard's domain.
-     * @param shard shard index
-     * @param start batch start tick (the shard domain's now)
-     * @param ops   the routed operations, cycle order preserved
-     * @return batch finish tick (>= start)
+     * @param shard  shard index
+     * @param start  batch start tick (the shard domain's now)
+     * @param ops    the routed operations, cycle order preserved
+     * @param opDone out: per-op finish tick, one entry per op, each
+     *               >= start (the router turns these into the
+     *               host-observed per-op latency histogram)
+     * @return batch finish tick (>= every opDone entry)
      */
     using ShardExec = std::function<sim::Tick(
-        unsigned shard, sim::Tick start,
-        const std::vector<RouterOp> &ops)>;
+        unsigned shard, sim::Tick start, const std::vector<RouterOp> &ops,
+        std::vector<sim::Tick> &opDone)>;
+
+    /** Maps an operation to its owning shard (host domain only). */
+    using RouteFn = std::function<unsigned(const RouterOp &)>;
+
+    /** True to park the operation instead of dispatching it. */
+    using HoldFn = std::function<bool(const RouterOp &)>;
+
+    /** Runs in the host domain after each generated cycle. */
+    using CycleHook = std::function<void(std::uint64_t cyclesDone)>;
 
     /**
      * @pre every domain is registered with one engine, with channels
      *      host→shard (lookahead <= cfg.requestLatency) and
      *      shard→host (lookahead <= cfg.completionLatency).
+     * @param route shard-selection function; nullptr = key modulo
+     *              shard count.
      */
     ShardRouter(const RouterConfig &cfg, sim::Domain &hostDomain,
-                std::vector<sim::Domain *> shardDomains,
-                ShardExec exec);
+                std::vector<sim::Domain *> shardDomains, ShardExec exec,
+                RouteFn route = nullptr);
 
     /** Schedule the first arrival cycle on the host domain's queue. */
     void start();
 
+    /** @name Rebalance hooks (host domain only) @{ */
+
+    /** Swap the shard-selection function (after a map flip). */
+    void setRoute(RouteFn route);
+
+    /** Park matching ops instead of dispatching (nullptr = none). */
+    void setHold(HoldFn hold) { hold_ = std::move(hold); }
+
+    /** Re-route every parked op through the current route function
+     *  and dispatch immediately. Clears the parked queue. */
+    void releaseHeld();
+
+    /** Parked operations currently queued. */
+    std::size_t heldOps() const { return held_.size(); }
+
+    /** Install a hook running after each generated cycle. */
+    void setCycleHook(CycleHook hook) { cycleHook_ = std::move(hook); }
+
+    /** Batches posted to @p shard whose completion has not returned. */
+    std::uint64_t
+    outstanding(unsigned shard) const
+    {
+        return outstanding_[shard];
+    }
+
+    /** @} */
+
     /** @name Progress and statistics @{ */
     bool done() const
     {
-        return cyclesDone_ == cfg_.cycles &&
+        return cyclesDone_ == cfg_.cycles && held_.empty() &&
                batchesCompleted_ == batchesDispatched_;
     }
     std::uint64_t opsRouted() const { return opsRouted_; }
     std::uint64_t opsCompleted() const { return opsCompleted_; }
     std::uint64_t batchesDispatched() const { return batchesDispatched_; }
     std::uint64_t batchesCompleted() const { return batchesCompleted_; }
+    std::uint64_t cyclesDone() const { return cyclesDone_; }
     /** Host-observed dispatch→completion latency per batch. */
     const sim::Distribution &batchLatency() const { return latency_; }
+    /** Host-observed per-operation latency (deterministic histogram:
+     *  p99/p99.9 with bounded relative error, no reservoir RNG). */
+    const sim::Histogram &opLatency() const { return opLatency_; }
+    /** Distinct keys ("simulated users") the run touched. */
+    std::uint64_t usersTouched() const { return usersTouched_; }
     /** @} */
 
   private:
     void cycle();
+    unsigned routeOf(const RouterOp &op) const;
+    void enqueue(const RouterOp &op);
+    void flushBuckets();
     void dispatch(unsigned shard, std::vector<RouterOp> ops);
 
     RouterConfig cfg_;
     sim::Domain &host_;
     std::vector<sim::Domain *> shards_;
     ShardExec exec_;
+    RouteFn route_;
+    HoldFn hold_;
+    CycleHook cycleHook_;
 
     sim::OpenLoopArrivals arrivals_;
     sim::Rng rng_;
@@ -136,8 +199,15 @@ class ShardRouter
     std::uint64_t batchesDispatched_ = 0;
     std::uint64_t batchesCompleted_ = 0;
     sim::Distribution latency_{"batch-latency-ns"};
+    sim::Histogram opLatency_{"op-latency-ns"};
+    std::vector<bool> touched_;
+    std::uint64_t usersTouched_ = 0;
     /** Reused per-cycle partition scratch, one bucket per shard. */
     std::vector<std::vector<RouterOp>> buckets_;
+    /** Operations parked by the hold predicate (rebalance in flight). */
+    std::vector<RouterOp> held_;
+    /** In-flight batches per shard (host-domain view). */
+    std::vector<std::uint64_t> outstanding_;
 };
 
 } // namespace bssd::host

@@ -8,21 +8,84 @@
 namespace bssd::sim
 {
 
-OpenLoopArrivals::OpenLoopArrivals(Tick meanGap, std::uint64_t seed)
-    : meanGap_(meanGap), rng_(seed)
+namespace
 {
-    if (meanGap_ == 0)
+
+/** a + b without wrapping past maxTick (arrivals saturate, never wrap). */
+Tick
+satAdd(Tick a, Tick b)
+{
+    return a > maxTick - b ? maxTick : a + b;
+}
+
+/**
+ * double → Tick with saturation. An exponential draw can exceed 30x
+ * its mean, so for a huge meanGap the product overflows the integer
+ * range; the naive cast is UB and in practice wraps, which would send
+ * an "open-loop" arrival stream backwards in time.
+ */
+Tick
+tickFromDouble(double v)
+{
+    // maxTick itself is not exactly representable as a double; use the
+    // largest double strictly below 2^64 as the clamp threshold.
+    constexpr double limit = 18446744073709549568.0; // 2^64 - 2048
+    if (!(v > 0.0))
+        return 0;
+    if (v >= limit)
+        return maxTick;
+    return static_cast<Tick>(v);
+}
+
+} // namespace
+
+OpenLoopArrivals::OpenLoopArrivals(Tick meanGap, std::uint64_t seed)
+    : OpenLoopArrivals(
+          ArrivalSpec{ArrivalSpec::Kind::poisson, meanGap, 1, 0}, seed)
+{
+}
+
+OpenLoopArrivals::OpenLoopArrivals(const ArrivalSpec &spec,
+                                   std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+    if (spec_.meanGap == 0)
         fatal("OpenLoopArrivals needs a positive mean gap");
+    if (spec_.kind == ArrivalSpec::Kind::bursty && spec_.burstSize == 0)
+        fatal("OpenLoopArrivals needs a positive burst size");
+}
+
+Tick
+OpenLoopArrivals::expGap()
+{
+    // Inverse-CDF exponential sampling, saturating (see tickFromDouble).
+    const double u = rng_.nextDouble();
+    const double gap =
+        -static_cast<double>(spec_.meanGap) * std::log1p(-u);
+    return tickFromDouble(gap);
 }
 
 Tick
 OpenLoopArrivals::next()
 {
-    // Inverse-CDF exponential sampling; the +1 keeps arrivals strictly
-    // advancing even when the draw rounds to zero.
-    const double u = rng_.nextDouble();
-    const double gap = -static_cast<double>(meanGap_) * std::log1p(-u);
-    at_ += static_cast<Tick>(gap) + 1;
+    if (spec_.kind == ArrivalSpec::Kind::poisson) {
+        // The +1 keeps arrivals strictly advancing even when the draw
+        // rounds to zero.
+        at_ = satAdd(satAdd(at_, expGap()), 1);
+    } else {
+        if (generated_ == 0 || inBurst_ >= spec_.burstSize) {
+            // Next burst start is exponential from the PREVIOUS burst
+            // start (burst starts are themselves the Poisson process),
+            // clamped forward so arrivals stay strictly increasing.
+            const Tick start = satAdd(satAdd(burstStart_, expGap()), 1);
+            burstStart_ = start;
+            at_ = std::max(satAdd(at_, 1), start);
+            inBurst_ = 1;
+        } else {
+            at_ = satAdd(satAdd(at_, spec_.burstGap), 1);
+            ++inBurst_;
+        }
+    }
     ++generated_;
     return at_;
 }

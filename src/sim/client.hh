@@ -49,35 +49,78 @@ class Clock
 };
 
 /**
- * Deterministic open-loop arrival process (Poisson by default).
+ * Shape of an open-loop arrival process.
+ *
+ * Poisson is the memoryless baseline every queueing model starts
+ * from; bursty is the heavy-tailed reality of fleet traffic (many
+ * users waking at once behind a cache-miss storm or a timer tick):
+ * burst *starts* arrive as a Poisson process with @ref meanGap, and
+ * each burst then emits @ref burstSize arrivals @ref burstGap apart.
+ * With burstSize == 1 the two kinds coincide.
+ */
+struct ArrivalSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        poisson, ///< independent exponential gaps
+        bursty   ///< Poisson burst starts, clustered arrivals inside
+    };
+
+    Kind kind = Kind::poisson;
+    /** Mean gap between arrivals (poisson) or burst starts (bursty). */
+    Tick meanGap = usOf(400);
+    /** Arrivals per burst (bursty only; >= 1). */
+    std::uint32_t burstSize = 8;
+    /** Gap between arrivals inside one burst (bursty only; arrivals
+     *  still advance by at least one tick each). */
+    Tick burstGap = 0;
+};
+
+/**
+ * Deterministic open-loop arrival process (Poisson or bursty).
  *
  * Closed-loop clients issue the next operation when the previous one
  * completes; an open-loop source issues on its own schedule regardless
  * of service times, which is what drives the event-queue side of a rig
  * (and the parallel engine's host domain). Arrival times depend only
- * on (mean gap, seed), never on service progress, so the generated
+ * on (spec, seed), never on service progress, so the generated
  * schedule is bit-identical across runs and thread counts.
+ *
+ * Monotonicity contract: next() strictly increases and saturates at
+ * maxTick instead of wrapping — exponential draws can exceed 30x the
+ * mean, so a huge meanGap must clamp rather than overflow the
+ * double→Tick conversion (regression-tested in test_client.cc).
  */
 class OpenLoopArrivals
 {
   public:
     /**
+     * Poisson process (the historical constructor).
      * @param meanGap mean inter-arrival gap in ticks (> 0)
      * @param seed    RNG stream seed
      */
     OpenLoopArrivals(Tick meanGap, std::uint64_t seed);
 
-    /** Absolute time of the next arrival (monotonically increasing). */
+    /** Any ArrivalSpec shape. @pre spec.meanGap > 0, burstSize >= 1. */
+    OpenLoopArrivals(const ArrivalSpec &spec, std::uint64_t seed);
+
+    /** Absolute time of the next arrival (strictly increasing). */
     Tick next();
 
     /** Arrivals generated so far. */
     std::uint64_t generated() const { return generated_; }
 
   private:
-    Tick meanGap_;
+    ArrivalSpec spec_;
     Rng rng_;
     Tick at_ = 0;
+    /** Start time of the current burst (bursty kind). */
+    Tick burstStart_ = 0;
+    /** Arrivals already emitted from the current burst. */
+    std::uint32_t inBurst_ = 0;
     std::uint64_t generated_ = 0;
+
+    Tick expGap();
 };
 
 /**

@@ -68,6 +68,12 @@ enum class Tp : std::uint8_t
     ftlGcStep,
     /** A host read suspended an in-flight NAND block erase. */
     nandEraseSuspend,
+    /** Replicated WAL: primary about to ship a committed record batch
+     *  to its follower over the inter-device link. */
+    replShip,
+    /** Replicated WAL: follower made the batch durable; the ack is
+     *  about to travel back to the primary. */
+    replAck,
 
     count_
 };
@@ -99,6 +105,8 @@ tpName(Tp tp)
       case Tp::nandErase: return "nand.erase";
       case Tp::ftlGcStep: return "ftl.gcStep";
       case Tp::nandEraseSuspend: return "nand.eraseSuspend";
+      case Tp::replShip: return "repl.ship";
+      case Tp::replAck: return "repl.ack";
       case Tp::count_: break;
     }
     return "?";

@@ -1,0 +1,143 @@
+#include "wal/replicated_wal.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bssd::wal
+{
+
+ReplicatedWal::ReplicatedWal(std::unique_ptr<LogDevice> primary,
+                             std::unique_ptr<LogDevice> follower,
+                             const ReplicatedWalConfig &cfg)
+    : primary_(std::move(primary)), follower_(std::move(follower)),
+      cfg_(cfg)
+{
+    if (!primary_ || !follower_)
+        sim::fatal("ReplicatedWal needs both a primary and a follower");
+}
+
+sim::Tick
+ReplicatedWal::append(sim::Tick now,
+                      std::span<const std::uint8_t> record)
+{
+    const sim::Tick t = primary_->append(now, record);
+    pending_.emplace_back(record.begin(), record.end());
+    return t;
+}
+
+sim::Tick
+ReplicatedWal::commit(sim::Tick now)
+{
+    // Local durability first: the primary's own BA_SYNC path, with all
+    // of its tracepoints (a cut here leaves the follower at the
+    // previous acknowledged prefix).
+    const sim::Tick local = primary_->commit(now);
+    if (pending_.empty())
+        return local;
+
+    // Ship phase. The repl.ship hit is the last instant the batch is
+    // primary-only; a cut at repl.ack proves the follower already has
+    // it. Both sides of the ack race stay inside the acknowledged-
+    // prefix invariant.
+    sim::tracepointHit(faults_, tracer_, sim::Tp::replShip, local);
+    const sim::SpanId span =
+        tracer_ ? tracer_->beginSpan("wal", "repl.ship", local) : 0;
+
+    sim::Tick ft = local + cfg_.shipLatency;
+    for (const auto &rec : pending_) {
+        ft = follower_->append(ft, rec);
+        shippedBytes_.add(rec.size());
+    }
+    ft = follower_->commit(ft);
+    ships_.add();
+    pending_.clear();
+
+    const sim::Tick acked = ft + cfg_.ackLatency;
+    if (tracer_)
+        tracer_->endSpan(span, acked);
+    sim::tracepointHit(faults_, tracer_, sim::Tp::replAck, ft);
+    return std::max(local, acked);
+}
+
+void
+ReplicatedWal::crash(sim::Tick t)
+{
+    // Primary power cut. Materialize what the primary managed to save
+    // (diagnostics only), then promote the follower: its crash() path
+    // runs a clean power cycle that materializes the durable image the
+    // promoted shard recovers from.
+    primary_->crash(t);
+    follower_->crash(t + cfg_.shipLatency);
+    promoted_ = true;
+}
+
+std::vector<std::uint8_t>
+ReplicatedWal::recoverContents()
+{
+    if (!promoted_)
+        sim::fatal("ReplicatedWal::recoverContents before crash()");
+    return follower_->recoverContents();
+}
+
+std::string
+ReplicatedWal::name() const
+{
+    return "repl(" + primary_->name() + ")";
+}
+
+std::uint64_t
+ReplicatedWal::bytesAppended() const
+{
+    return primary_->bytesAppended();
+}
+
+std::uint64_t
+ReplicatedWal::bytesToStore() const
+{
+    // The batch is stored twice: once locally, once on the follower.
+    return primary_->bytesToStore() + shippedBytes_.value();
+}
+
+bool
+ReplicatedWal::needsCheckpoint() const
+{
+    return primary_->needsCheckpoint() || follower_->needsCheckpoint();
+}
+
+void
+ReplicatedWal::truncate(sim::Tick now)
+{
+    primary_->truncate(now);
+    follower_->truncate(now + cfg_.shipLatency);
+    // Unshipped records die with the truncation: the engine only
+    // truncates after checkpointing the state they describe.
+    pending_.clear();
+}
+
+std::uint64_t
+ReplicatedWal::recoveryChunkBytes() const
+{
+    // Recovery reads the promoted follower's stream.
+    return follower_->recoveryChunkBytes();
+}
+
+void
+ReplicatedWal::setTracer(sim::Tracer *t)
+{
+    tracer_ = t;
+    primary_->setTracer(t);
+    follower_->setTracer(t);
+}
+
+void
+ReplicatedWal::registerMetrics(sim::MetricRegistry &reg,
+                               const std::string &prefix) const
+{
+    LogDevice::registerMetrics(reg, prefix);
+    reg.addCounter(prefix + ".batches_shipped", ships_);
+    reg.addCounter(prefix + ".bytes_shipped", shippedBytes_);
+    follower_->registerMetrics(reg, prefix + ".follower");
+}
+
+} // namespace bssd::wal

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Replicated BA-WAL: a primary log device that synchronously ships
+ * every committed record batch to a follower device over a modeled
+ * inter-device link (DESIGN.md section 13.3).
+ *
+ * The paper's BA-WAL makes a single 2B-SSD the durability point; a
+ * fleet needs to survive losing that device. This decorator keeps the
+ * single-device commit path intact (primary append + BA_SYNC) and
+ * extends commit with a ship phase: the records appended since the
+ * last commit travel over the link, the follower appends and commits
+ * them on its own 2B-SSD, and the acknowledgment travels back. The
+ * commit an engine observes is therefore *replicated* durability -
+ * after any primary power cut the follower can be promoted and
+ * recovers the full acknowledged prefix.
+ *
+ * Crash model (the asymmetry the crash campaign relies on): power
+ * cuts hit the PRIMARY side only - the fault injector is installed
+ * into the primary device and into this decorator (repl.ship /
+ * repl.ack tracepoints), never into the follower. A cut at repl.ship
+ * means the batch never left the primary (the follower recovers the
+ * previous acknowledged prefix); a cut at repl.ack means the follower
+ * already holds the batch durably (acknowledged prefix + 1). Both
+ * land inside the acknowledged-prefix invariant the harness checks.
+ *
+ * Determinism: ship times are pure functions of the commit tick and
+ * the configured link latencies; the follower is driven by direct
+ * calls inside the same domain, so no cross-domain channel (and no
+ * extra lookahead) is involved.
+ */
+
+#ifndef BSSD_WAL_REPLICATED_WAL_HH
+#define BSSD_WAL_REPLICATED_WAL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/fault.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "wal/log_device.hh"
+
+namespace bssd::wal
+{
+
+/** Tunables of the primary→follower replication link. */
+struct ReplicatedWalConfig
+{
+    /** One-way record-batch latency, primary to follower (the modeled
+     *  inter-device link: peer DMA over the switch fabric). */
+    sim::Tick shipLatency = sim::usOf(3);
+    /** Ack-message latency, follower back to primary. */
+    sim::Tick ackLatency = sim::usOf(1);
+};
+
+/**
+ * Synchronous primary/follower replication over two log devices.
+ * Owns both; the backing device objects stay with the rig.
+ */
+class ReplicatedWal : public LogDevice
+{
+  public:
+    ReplicatedWal(std::unique_ptr<LogDevice> primary,
+                  std::unique_ptr<LogDevice> follower,
+                  const ReplicatedWalConfig &cfg = {});
+
+    sim::Tick append(sim::Tick now,
+                     std::span<const std::uint8_t> record) override;
+    sim::Tick commit(sim::Tick now) override;
+    void crash(sim::Tick t) override;
+    std::vector<std::uint8_t> recoverContents() override;
+    std::string name() const override;
+    std::uint64_t bytesAppended() const override;
+    std::uint64_t bytesToStore() const override;
+    bool needsCheckpoint() const override;
+    void truncate(sim::Tick now) override;
+    std::uint64_t recoveryChunkBytes() const override;
+    void setTracer(sim::Tracer *t) override;
+    void registerMetrics(sim::MetricRegistry &reg,
+                         const std::string &prefix) const override;
+
+    /** Install the PRIMARY-side fault injector (repl.* tracepoints).
+     *  Deliberately not part of LogDevice: only the replicated
+     *  decorator distinguishes primary-side from follower-side. */
+    void setFaultInjector(sim::FaultInjector *f) { faults_ = f; }
+
+    /** True once crash() promoted the follower. */
+    bool promoted() const { return promoted_; }
+
+    /** Record batches shipped to the follower. */
+    std::uint64_t batchesShipped() const { return ships_.value(); }
+
+    const LogDevice &primary() const { return *primary_; }
+    const LogDevice &follower() const { return *follower_; }
+
+  private:
+    std::unique_ptr<LogDevice> primary_;
+    std::unique_ptr<LogDevice> follower_;
+    ReplicatedWalConfig cfg_;
+
+    sim::FaultInjector *faults_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
+
+    /** Records appended since the last successful ship. */
+    std::vector<std::vector<std::uint8_t>> pending_;
+    bool promoted_ = false;
+
+    sim::Counter ships_{"repl.batches"};
+    sim::Counter shippedBytes_{"repl.bytes"};
+};
+
+} // namespace bssd::wal
+
+#endif // BSSD_WAL_REPLICATED_WAL_HH

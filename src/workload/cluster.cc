@@ -1,22 +1,7 @@
 #include "workload/cluster.hh"
 
-#include <memory>
-#include <sstream>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "ba/two_b_ssd.hh"
-#include "db/miniredis/miniredis.hh"
-#include "host/shard_router.hh"
-#include "sim/domain.hh"
-#include "sim/engine.hh"
-#include "sim/logging.hh"
-#include "sim/metrics.hh"
-#include "ssd/nvme_queue.hh"
-#include "ssd/ssd_device.hh"
-#include "wal/ba_wal.hh"
-#include "wal/block_wal.hh"
+#include "cluster/cluster.hh"
+#include "sim/stats.hh"
 
 namespace bssd::workload
 {
@@ -24,84 +9,41 @@ namespace bssd::workload
 namespace
 {
 
-/** One shard: a store × WAL × device rig living in one domain. */
-struct Shard
+cluster::ClusterConfig
+toClusterConfig(const ClusterConfig &cfg)
 {
-    std::unique_ptr<ba::TwoBSsd> twoB;
-    std::unique_ptr<ssd::SsdDevice> blockDev;
-    std::unique_ptr<wal::LogDevice> log;
-    std::unique_ptr<db::miniredis::MiniRedis> redis;
-    sim::Tracer tracer;
-    /** Shard-local service clock: batches queue behind each other. */
-    sim::Tick clock = 0;
-
-    sim::Domain &domain()
-    {
-        return twoB ? twoB->domain() : blockDev->domain();
+    cluster::ClusterConfig c;
+    c.shards = cfg.shards;
+    c.engine = cfg.engine == ClusterConfig::Engine::redis
+                   ? cluster::ClusterConfig::Engine::redis
+                   : cluster::ClusterConfig::Engine::pg;
+    switch (cfg.wal) {
+      case ClusterConfig::Wal::ba:
+        c.wal = cluster::ClusterConfig::Wal::ba;
+        break;
+      case ClusterConfig::Wal::block:
+        c.wal = cluster::ClusterConfig::Wal::block;
+        break;
+      case ClusterConfig::Wal::baRepl:
+        c.wal = cluster::ClusterConfig::Wal::baRepl;
+        break;
     }
-
-    ssd::SsdDevice &device()
-    {
-        return twoB ? twoB->device() : *blockDev;
-    }
-};
-
-/** Mirror of the GC-campaign rig preset (tests/support/rig.hh). */
-ssd::SsdConfig
-shardDeviceConfig(const ClusterConfig &cfg, unsigned shard)
-{
-    ssd::SsdConfig dev = ssd::SsdConfig::tiny();
-    dev.name = "shard" + std::to_string(shard);
-    if (cfg.gc) {
-        dev.nandCfg.geometry.blocksPerDie = 6;
-        dev.ftlCfg.backgroundGc = true;
-        dev.ftlCfg.gcStepPages = 3;
-        dev.nandCfg.sched.readPriority = true;
-        dev.nandCfg.sched.eraseSuspend = true;
-    }
-    return dev;
-}
-
-std::unique_ptr<Shard>
-makeShard(const ClusterConfig &cfg, unsigned idx)
-{
-    auto shard = std::make_unique<Shard>();
-    const std::uint64_t region =
-        cfg.gc ? 128 * sim::KiB : sim::MiB;
-    const std::uint64_t half = cfg.gc ? 16 * sim::KiB : 32 * sim::KiB;
-    if (cfg.wal == ClusterConfig::Wal::ba) {
-        ba::BaConfig bc;
-        bc.bufferBytes = cfg.gc ? 64 * sim::KiB : 128 * sim::KiB;
-        shard->twoB = std::make_unique<ba::TwoBSsd>(
-            shardDeviceConfig(cfg, idx), bc);
-        wal::BaWalConfig wc;
-        wc.regionBytes = region;
-        wc.halfBytes = half;
-        // Single-buffered, respecting Redis's single-threaded design
-        // (Section IV-B).
-        wc.doubleBuffer = false;
-        shard->log = std::make_unique<wal::BaWal>(*shard->twoB, wc);
-    } else {
-        shard->blockDev = std::make_unique<ssd::SsdDevice>(
-            shardDeviceConfig(cfg, idx));
-        wal::BlockWalConfig wc;
-        wc.regionBytes = region;
-        shard->log =
-            std::make_unique<wal::BlockWal>(*shard->blockDev, wc);
-    }
-    shard->redis = std::make_unique<db::miniredis::MiniRedis>(
-        *shard->log);
-    return shard;
-}
-
-/** Deterministic value payload for a SET. */
-std::vector<std::uint8_t>
-valueFor(const host::RouterOp &op)
-{
-    std::vector<std::uint8_t> v(op.valueBytes);
-    for (std::size_t i = 0; i < v.size(); ++i)
-        v[i] = static_cast<std::uint8_t>(op.key + i);
-    return v;
+    c.gc = cfg.gc;
+    c.sharding = cfg.rangeSharded ? cluster::Sharding::range
+                                  : cluster::Sharding::hash;
+    c.engineThreads = cfg.engineThreads;
+    c.opsPerCycle = cfg.opsPerCycle;
+    c.cycles = cfg.cycles;
+    c.arrival = cfg.arrival;
+    c.setFraction = cfg.setFraction;
+    c.keySpace = cfg.keySpace;
+    c.valueBytes = cfg.valueBytes;
+    c.seed = cfg.seed;
+    c.rebalanceAtCycle = cfg.rebalanceAtCycle;
+    c.moveBegin256 = cfg.moveBegin256;
+    c.moveEnd256 = cfg.moveEnd256;
+    c.moveTo = cfg.moveTo;
+    return c;
 }
 
 } // namespace
@@ -109,127 +51,32 @@ valueFor(const host::RouterOp &op)
 ClusterResult
 runCluster(const ClusterConfig &cfg, sim::Tracer *trace)
 {
-    if (cfg.shards == 0)
-        sim::panic("runCluster: at least one shard required");
-
-    sim::ParallelEngine engine(cfg.engineThreads);
-    sim::Domain hostDom("host");
-    engine.add(hostDom);
-
-    std::vector<std::unique_ptr<Shard>> shards;
-    std::vector<sim::Domain *> shardDoms;
-    shards.reserve(cfg.shards);
-    for (unsigned s = 0; s < cfg.shards; ++s) {
-        shards.push_back(makeShard(cfg, s));
-        Shard &sh = *shards.back();
-        engine.add(sh.domain());
-        shardDoms.push_back(&sh.domain());
-        if (trace) {
-            if (sh.twoB)
-                sh.twoB->installTracer(&sh.tracer);
-            else
-                sh.blockDev->setTracer(&sh.tracer);
-            sh.log->setTracer(&sh.tracer);
-        }
-    }
-
-    host::RouterConfig rc;
-    rc.opsPerCycle = cfg.opsPerCycle;
-    rc.cycles = cfg.cycles;
-    rc.meanCycleGap = cfg.meanCycleGap;
-    rc.setFraction = cfg.setFraction;
-    rc.keySpace = cfg.keySpace;
-    rc.valueBytes = cfg.valueBytes;
-    rc.seed = cfg.seed;
-    // The channel contract: requests ride a posted doorbell write,
-    // completions an interrupt; the lookaheads are exactly those
-    // minimum latencies.
-    rc.requestLatency = shards.front()
-                            ->device()
-                            .config()
-                            .pcieCfg.minPostedLatency();
-    rc.completionLatency = ssd::NvmeQueueConfig{}.completionCost;
-    for (sim::Domain *d : shardDoms) {
-        engine.connect(hostDom, *d, rc.requestLatency);
-        engine.connect(*d, hostDom, rc.completionLatency);
-    }
-
-    host::ShardRouter router(
-        rc, hostDom, shardDoms,
-        [&shards](unsigned s, sim::Tick start,
-                  const std::vector<host::RouterOp> &ops) {
-            Shard &sh = *shards[s];
-            sim::Tick t = std::max(start, sh.clock);
-            for (const host::RouterOp &op : ops) {
-                const std::string key =
-                    "k" + std::to_string(op.key);
-                if (op.kind == host::RouterOp::Kind::set)
-                    t = sh.redis->set(t, key, valueFor(op));
-                else
-                    t = sh.redis->get(t, key);
-            }
-            sh.clock = t;
-            return t;
-        });
-    router.start();
-
-    // Run in fixed chunks until the router drains; the chunk schedule
-    // is part of the deterministic contract (every thread count sees
-    // the same sequence of run() horizons).
-    const sim::Tick chunk =
-        cfg.meanCycleGap * (cfg.cycles + 1) + sim::msOf(5);
-    sim::Tick horizon = 0;
-    for (int tries = 0; !router.done(); ++tries) {
-        if (tries > 64)
-            sim::panic("runCluster: router failed to drain");
-        horizon += chunk;
-        engine.run(horizon);
-    }
+    cluster::Cluster c(toClusterConfig(cfg), trace);
+    c.run();
+    // Every cluster run doubles as a consistency check: ownership and
+    // payload bytes must line up with the (possibly rebalanced) map.
+    c.verifyConsistency();
 
     ClusterResult res;
+    const host::ShardRouter &router = c.router();
     res.opsRouted = router.opsRouted();
     res.opsCompleted = router.opsCompleted();
     res.batchesDispatched = router.batchesDispatched();
     res.batchesCompleted = router.batchesCompleted();
-    res.eventsFired = engine.eventsFired();
-    res.rounds = engine.rounds();
-    res.messages = engine.messagesDelivered();
-    res.horizon = horizon;
+    res.eventsFired = c.engine().eventsFired();
+    res.rounds = c.engine().rounds();
+    res.messages = c.engine().messagesDelivered();
+    res.horizon = c.horizon();
     res.batchP50 = router.batchLatency().percentile(50.0);
     res.batchP99 = router.batchLatency().percentile(99.0);
-
-    // Fold final store contents and IO counters in shard order.
-    std::uint64_t h = 14695981039346656037ull; // FNV-1a offset basis
-    auto mix = [&h](std::uint64_t x) {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (x >> (8 * i)) & 0xffu;
-            h *= 1099511628211ull; // FNV-1a prime
-        }
-    };
-    sim::MetricRegistry reg;
-    for (unsigned s = 0; s < cfg.shards; ++s) {
-        Shard &sh = *shards[s];
-        mix(sh.redis->contentHash());
-        mix(sh.redis->commandsProcessed());
-        mix(sh.redis->keys());
-        mix(sh.device().readsServed());
-        mix(sh.device().writesServed());
-        const std::string prefix = "shard" + std::to_string(s);
-        if (sh.twoB)
-            sh.twoB->registerMetrics(reg, prefix + ".ba");
-        else
-            sh.blockDev->registerMetrics(reg, prefix + ".ssd");
-        sh.log->registerMetrics(reg, prefix + ".wal");
-    }
-    res.stateDigest = h;
-    std::ostringstream metrics;
-    reg.writeJson(metrics);
-    res.metricsJson = metrics.str();
-
-    if (trace) {
-        for (const auto &sh : shards)
-            trace->append(sh->tracer);
-    }
+    res.opP50 = router.opLatency().percentile(50.0);
+    res.opP99 = router.opLatency().percentile(99.0);
+    res.opP999 = router.opLatency().percentile(99.9);
+    res.usersTouched = router.usersTouched();
+    res.rebalances = c.rebalancesDone();
+    res.movedKeys = c.movedKeys();
+    res.stateDigest = c.stateDigest();
+    res.metricsJson = c.metricsJson();
     return res;
 }
 

@@ -2,14 +2,15 @@
  * @file
  * Sharded key-value cluster scenario on the parallel engine.
  *
- * One host domain runs a ShardRouter; N shard domains each own a full
- * store × WAL × device rig (miniredis over a BA-WAL on a 2B-SSD, or
- * over a block WAL with fsync) — the multi-device scenario ROADMAP
- * item 1 sketches, and the workload the parallel-engine benchmarks
- * and determinism tests drive. Every shard is self-contained (own
- * device, own RNG-free service path, own tracer), so the only
- * cross-domain traffic is the router's request/completion mailbox —
- * which is what makes the run bit-identical at any thread count.
+ * A thin, result-oriented wrapper over the first-class
+ * cluster::Cluster subsystem (src/cluster): one host domain runs a
+ * ShardRouter; N shard domains each own a full store × WAL × device
+ * rig (miniredis or minipg over a BA-WAL on a 2B-SSD, a block WAL
+ * with fsync, or a BA-WAL replicated to a follower device). The
+ * benches, sweep harness, and determinism tests all drive cluster
+ * runs through this one function, so every caller gets the same
+ * construction, the same drain loop, and the same built-in
+ * consistency check.
  */
 
 #ifndef BSSD_WORKLOAD_CLUSTER_HH
@@ -18,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/client.hh"
 #include "sim/ticks.hh"
 #include "sim/trace.hh"
 
@@ -29,11 +31,18 @@ struct ClusterConfig
 {
     /** Shard (device/rig) domains; the host router is one more. */
     unsigned shards = 4;
+    /** Store engine every shard runs. */
+    enum class Engine : std::uint8_t
+    {
+        redis, ///< miniredis, appendfsync=always
+        pg     ///< minipg, XLOG + group commit
+    } engine = Engine::redis;
     /** Shard WAL flavour. */
     enum class Wal : std::uint8_t
     {
-        ba,   ///< BA-WAL on a 2B-SSD (single-buffered, like Redis)
-        block ///< page-aligned block WAL with fsync
+        ba,    ///< BA-WAL on a 2B-SSD (single-buffered, like Redis)
+        block, ///< page-aligned block WAL with fsync
+        baRepl ///< BA-WAL replicated to a follower 2B-SSD
     } wal = Wal::ba;
     /**
      * GC preset: shrink each shard's array (6 blocks/die) and run
@@ -41,17 +50,29 @@ struct ClusterConfig
      * op stream wraps the WAL region and keeps GC continuously active.
      */
     bool gc = true;
+    /** Key-hash or contiguous-range routing (cluster::Sharding). */
+    bool rangeSharded = false;
     /** Engine worker threads (1 = serial reference). */
     unsigned engineThreads = 1;
 
     /** @name Router workload (see host::RouterConfig) @{ */
     std::uint32_t opsPerCycle = 64;
     std::uint64_t cycles = 48;
-    sim::Tick meanCycleGap = sim::usOf(400);
+    /** Open-loop arrival process of cycle starts (Poisson default,
+     *  meanGap 400 us; set kind = bursty for clustered arrivals). */
+    sim::ArrivalSpec arrival;
     double setFraction = 0.7;
     std::uint64_t keySpace = 512;
     std::uint32_t valueBytes = 96;
     std::uint64_t seed = 1;
+    /** @} */
+
+    /** @name Online rebalance (0 = none) @{ */
+    std::uint64_t rebalanceAtCycle = 0;
+    /** Moved interval of the routing space in 1/256ths. */
+    std::uint32_t moveBegin256 = 0;
+    std::uint32_t moveEnd256 = 64;
+    unsigned moveTo = 0;
     /** @} */
 };
 
@@ -71,10 +92,20 @@ struct ClusterResult
     /** Host-observed batch latency percentiles (ticks). */
     std::uint64_t batchP50 = 0;
     std::uint64_t batchP99 = 0;
+    /** Host-observed per-op latency percentiles (ticks). */
+    std::uint64_t opP50 = 0;
+    std::uint64_t opP99 = 0;
+    std::uint64_t opP999 = 0;
+    /** Distinct keys ("simulated users") the run touched. */
+    std::uint64_t usersTouched = 0;
+    /** Range moves completed / keys they physically copied. */
+    std::uint64_t rebalances = 0;
+    std::uint64_t movedKeys = 0;
     /**
      * Digest of final cluster state: every shard's store contents
      * (sorted-key FNV) plus its command/IO counters, folded in shard
-     * order. Equal digests mean equal stored data.
+     * order, plus the shard-map version. Equal digests mean equal
+     * stored data.
      */
     std::uint64_t stateDigest = 0;
     /** Merged metrics snapshot (JSON, deterministic row order). */
@@ -82,10 +113,12 @@ struct ClusterResult
 };
 
 /**
- * Build the cluster, run it until the router drains, and tear it
- * down. When @p trace is non-null each shard records into its own
- * tracer and the per-domain traces are appended to @p trace in
- * domain-id order afterwards (byte-identical across thread counts).
+ * Build the cluster, run it until the router drains (and any
+ * scheduled rebalance flips), verify fleet-wide consistency, and
+ * tear it down. When @p trace is non-null each shard records into
+ * its own tracer and the per-domain traces are appended to @p trace
+ * in domain-id order afterwards (byte-identical across thread
+ * counts).
  */
 ClusterResult runCluster(const ClusterConfig &cfg,
                          sim::Tracer *trace = nullptr);

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Property-fuzz tests for the ShardMap routing table (ISSUE 7
+ * satellite): across random seeds and both sharding disciplines,
+ * every key routes to exactly one shard, rebalance plans are total
+ * and disjoint (no key lost or double-owned mid-move), and replaying
+ * the same plan storm is deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/shard_map.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace bssd;
+using namespace bssd::cluster;
+
+namespace
+{
+
+constexpr std::uint64_t kSeeds = 24;
+
+Sharding
+kindOf(std::uint64_t seed)
+{
+    return seed % 2 ? Sharding::hash : Sharding::range;
+}
+
+/** A random map shape drawn from one fuzz seed. */
+ShardMap
+randomMap(sim::Rng &rng, Sharding kind)
+{
+    const auto shards = static_cast<std::uint32_t>(2 + rng.nextBelow(11));
+    const std::uint64_t keySpace = shards + rng.nextBelow(1u << 20);
+    return ShardMap(kind, shards, keySpace);
+}
+
+/** Re-check the structural invariants from first principles. */
+void
+expectWellFormed(const ShardMap &m)
+{
+    const auto &rs = m.ranges();
+    ASSERT_FALSE(rs.empty());
+    EXPECT_EQ(rs.front().begin, 0u);
+    EXPECT_EQ(rs.back().end, m.space());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_LT(rs[i].begin, rs[i].end);
+        EXPECT_LT(rs[i].shard, m.shards());
+        if (i)
+            EXPECT_EQ(rs[i - 1].end, rs[i].begin);
+    }
+}
+
+/** Routing-space interval drawn inside [0, space). */
+std::pair<std::uint64_t, std::uint64_t>
+randomInterval(sim::Rng &rng, std::uint64_t space)
+{
+    std::uint64_t a = rng.nextBelow(space);
+    std::uint64_t b = rng.nextBelow(space);
+    if (a > b)
+        std::swap(a, b);
+    return {a, b + 1}; // half-open, never empty
+}
+
+/** One random rebalance against @p m; returns the applied plan. */
+std::vector<MoveRange>
+randomMove(sim::Rng &rng, ShardMap &m)
+{
+    auto [lo, hi] = randomInterval(rng, m.space());
+    const auto to = static_cast<std::uint32_t>(rng.nextBelow(m.shards()));
+    auto plan = m.planMove(lo, hi, to);
+    m.apply(plan);
+    return plan;
+}
+
+} // namespace
+
+TEST(ShardMapProperty, EveryKeyRoutesToExactlyOneShard)
+{
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        sim::Rng rng(seed * 7919 + 1);
+        ShardMap m = randomMap(rng, kindOf(seed));
+        expectWellFormed(m);
+
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t key = rng.nextBelow(m.keySpace());
+            const std::uint32_t s = m.shardOf(key);
+            ASSERT_LT(s, m.shards());
+
+            // Count owners from the raw table: exactly one range must
+            // contain the key's routing point.
+            const std::uint64_t p = m.point(key);
+            std::size_t owners = 0;
+            std::uint32_t owner = 0;
+            for (const auto &r : m.ranges()) {
+                if (p >= r.begin && p < r.end) {
+                    ++owners;
+                    owner = r.shard;
+                }
+            }
+            ASSERT_EQ(owners, 1u)
+                << "seed " << seed << " key " << key << " point " << p;
+            ASSERT_EQ(owner, s);
+        }
+    }
+}
+
+TEST(ShardMapProperty, PlansAreTotalAndDisjoint)
+{
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        sim::Rng rng(seed * 104729 + 3);
+        ShardMap m = randomMap(rng, kindOf(seed));
+
+        for (int round = 0; round < 8; ++round) {
+            auto [lo, hi] = randomInterval(rng, m.space());
+            const auto to =
+                static_cast<std::uint32_t>(rng.nextBelow(m.shards()));
+            const auto plan = m.planMove(lo, hi, to);
+
+            // Disjoint and ordered: each step starts at or after the
+            // previous step's end.
+            for (std::size_t i = 0; i < plan.size(); ++i) {
+                ASSERT_LT(plan[i].begin, plan[i].end);
+                ASSERT_NE(plan[i].from, plan[i].to);
+                if (i)
+                    ASSERT_GE(plan[i].begin, plan[i - 1].end);
+            }
+
+            // Total: every point of [lo, hi) is either inside exactly
+            // one step or already owned by the target - sampled, plus
+            // the exact boundaries of every step and range.
+            std::vector<std::uint64_t> probes;
+            probes.push_back(lo);
+            probes.push_back(hi - 1);
+            for (const auto &s : plan) {
+                probes.push_back(s.begin);
+                probes.push_back(s.end - 1);
+            }
+            for (int i = 0; i < 64; ++i)
+                probes.push_back(lo + rng.nextBelow(hi - lo));
+            for (std::uint64_t p : probes) {
+                std::size_t inSteps = 0;
+                for (const auto &s : plan)
+                    if (p >= s.begin && p < s.end)
+                        ++inSteps;
+                if (m.shardOfPoint(p) == to)
+                    ASSERT_EQ(inSteps, 0u) << "double-owned point " << p;
+                else
+                    ASSERT_EQ(inSteps, 1u) << "lost point " << p;
+            }
+
+            // After the flip the whole interval belongs to the target
+            // and the table is still well formed.
+            const std::uint64_t before = m.version();
+            m.apply(plan);
+            EXPECT_EQ(m.version(), before + 1);
+            expectWellFormed(m);
+            for (std::uint64_t p : probes)
+                ASSERT_EQ(m.shardOfPoint(p), to);
+        }
+    }
+}
+
+TEST(ShardMapProperty, MovesOnlyAffectTheMovedInterval)
+{
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        sim::Rng rng(seed * 48271 + 11);
+        ShardMap m = randomMap(rng, kindOf(seed));
+
+        std::vector<std::uint64_t> keys;
+        for (int i = 0; i < 512; ++i)
+            keys.push_back(rng.nextBelow(m.keySpace()));
+        std::vector<std::uint32_t> ownerBefore;
+        for (std::uint64_t k : keys)
+            ownerBefore.push_back(m.shardOf(k));
+
+        auto [lo, hi] = randomInterval(rng, m.space());
+        const auto to =
+            static_cast<std::uint32_t>(rng.nextBelow(m.shards()));
+        m.apply(m.planMove(lo, hi, to));
+
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            const std::uint64_t p = m.point(keys[i]);
+            if (p >= lo && p < hi)
+                ASSERT_EQ(m.shardOf(keys[i]), to);
+            else
+                ASSERT_EQ(m.shardOf(keys[i]), ownerBefore[i])
+                    << "key outside the moved interval changed owner";
+        }
+    }
+}
+
+TEST(ShardMapProperty, ReplayingAPlanStormIsDeterministic)
+{
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        auto run = [seed] {
+            sim::Rng rng(seed * 6364136223846793005ull + 17);
+            ShardMap m = randomMap(rng, kindOf(seed));
+            std::vector<std::vector<MoveRange>> plans;
+            for (int round = 0; round < 12; ++round)
+                plans.push_back(randomMove(rng, m));
+            return std::make_pair(m, plans);
+        };
+        auto [mapA, plansA] = run();
+        auto [mapB, plansB] = run();
+        EXPECT_TRUE(mapA == mapB) << "seed " << seed << ": "
+                                  << mapA.describe() << " vs "
+                                  << mapB.describe();
+        EXPECT_EQ(plansA, plansB);
+    }
+}
+
+TEST(ShardMapProperty, CoalescingKeepsTheTableMinimal)
+{
+    // Moving everything to shard 0 must collapse the table to one
+    // range, whatever the history.
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        sim::Rng rng(seed + 101);
+        ShardMap m = randomMap(rng, kindOf(seed));
+        for (int round = 0; round < 6; ++round)
+            randomMove(rng, m);
+        m.apply(m.planMove(0, m.space(), 0));
+        ASSERT_EQ(m.ranges().size(), 1u) << m.describe();
+        EXPECT_EQ(m.ranges()[0].shard, 0u);
+    }
+}
+
+TEST(ShardMap, RejectsBadConfigurationsAndStalePlans)
+{
+    EXPECT_THROW(ShardMap(Sharding::hash, 0, 100), sim::SimFatal);
+    EXPECT_THROW(ShardMap(Sharding::range, 4, 0), sim::SimFatal);
+    EXPECT_THROW(ShardMap(Sharding::range, 8, 4), sim::SimFatal);
+
+    ShardMap m(Sharding::range, 4, 1000);
+    EXPECT_THROW(m.point(1000), sim::SimFatal);
+    EXPECT_THROW(m.planMove(10, 10, 0), sim::SimFatal);
+    EXPECT_THROW(m.planMove(0, 2000, 0), sim::SimFatal);
+    EXPECT_THROW(m.planMove(0, 10, 9), sim::SimFatal);
+
+    // A plan applied after the table moved on underneath it is a bug.
+    auto plan = m.planMove(0, 500, 3);
+    m.apply(m.planMove(0, 1000, 2));
+    EXPECT_THROW(m.apply(plan), sim::SimPanic);
+}

@@ -126,6 +126,103 @@ runGcCampaign(WalKind wal, std::uint64_t seed, std::size_t opCount,
                 static_cast<unsigned long long>(erases), tested);
 }
 
+/** splitmix64 finalizer - the key-hash discipline of cluster routing,
+ *  reproduced here so the replicated cells see hash-routed streams. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * One shard's share of a cluster op stream under the two routing
+ * disciplines: key-hash (shard = mix64(id) % 4) or contiguous range
+ * (shard = id / 6 over the 24-key space). Replication runs below the
+ * router, so the replicated campaign's cells are "whatever op stream
+ * one shard actually sees" - and the two disciplines produce genuinely
+ * different streams from the same seed.
+ */
+std::vector<RedisAdapter::Op>
+shardRoutedOps(std::uint64_t seed, bool hashRouted)
+{
+    const auto all = RedisAdapter::makeOps(seed, 280);
+    std::vector<RedisAdapter::Op> out;
+    for (const auto &op : all) {
+        const std::uint64_t id = std::stoull(op.key.substr(1));
+        const std::uint64_t shard = hashRouted ? mix64(id) % 4 : id / 6;
+        if (shard == 1)
+            out.push_back(op);
+    }
+    return out;
+}
+
+/**
+ * Replication crash campaign (ISSUE 7 satellite): enumerate the
+ * repl.ship / repl.ack hits of a replicated cell and cut the primary's
+ * power BEFORE the ship (the hit preceding repl.ship), DURING it (the
+ * repl.ship edge itself - the batch is still primary-only), and AFTER
+ * it (the repl.ack edge - the follower is already durable but the ack
+ * is lost). Every cut must leave the promoted follower recovering the
+ * acknowledged prefix, bit-identically on rerun.
+ */
+void
+runReplicationCampaign(const std::vector<RedisAdapter::Op> &ops,
+                       std::uint64_t seed, const std::string &cell)
+{
+    const rigs::RigSpec spec = rigs::tinySpec(WalKind::baRepl);
+    sim::FaultPlan plan;
+    plan.seed = seed;
+
+    std::vector<sim::Tp> log;
+    campaign::countHits<RedisAdapter>(spec, ops, plan, &log);
+
+    std::vector<std::uint64_t> points;
+    std::uint64_t ships = 0;
+    std::uint64_t acks = 0;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        if (log[i] == sim::Tp::replShip) {
+            ++ships;
+            if (i > 0)
+                points.push_back(i - 1); // before the ship
+            points.push_back(i);         // during (batch primary-only)
+        } else if (log[i] == sim::Tp::replAck) {
+            ++acks;
+            points.push_back(i); // after (follower durable, ack lost)
+        }
+    }
+    ASSERT_GT(ships, 0u) << cell << ": stream never shipped a batch";
+    ASSERT_EQ(ships, acks) << cell << ": unacked ship in a clean run";
+
+    // Bound the sweep; keep first and last so both the cold start and
+    // the deep-log end of the stream stay covered.
+    constexpr std::size_t maxPoints = 48;
+    std::size_t stride = 1;
+    if (points.size() > maxPoints)
+        stride = points.size() / maxPoints;
+    std::size_t tested = 0;
+    for (std::size_t i = 0; i < points.size(); i += stride) {
+        const std::uint64_t k = points[i];
+        auto o = campaign::runPoint<RedisAdapter>(spec, ops, plan, k);
+        ++tested;
+        EXPECT_TRUE(o.survived && o.detail.empty())
+            << cell << " replication crash point " << k << " ("
+            << sim::tpName(log[static_cast<std::size_t>(k)])
+            << "): " << o.detail;
+
+        // Bit-identical rerun: the same point must recover to the same
+        // prefix, or the repro line is worthless.
+        auto o2 = campaign::runPoint<RedisAdapter>(spec, ops, plan, k);
+        EXPECT_EQ(o.matchedPrefix, o2.matchedPrefix)
+            << cell << " point " << k << " recovered differently on rerun";
+    }
+    std::printf("[ repl-cell] %s: %llu ships, %zu crash points tested\n",
+                cell.c_str(), static_cast<unsigned long long>(ships),
+                tested);
+}
+
 } // namespace
 
 TEST_P(RedisCrashPoints, EveryPointRecoversToAckedPrefix)
@@ -153,6 +250,17 @@ INSTANTIATE_TEST_SUITE_P(
     DurableWals, PgCrashPoints,
     ::testing::ValuesIn(campaign::durableWals()),
     [](const auto &info) { return std::string(walName(info.param)); });
+
+TEST(ReplicationCrashCampaign, HashRoutedShardRecoversAroundShip)
+{
+    runReplicationCampaign(shardRoutedOps(3, true), 3, "ba_repl x hash");
+}
+
+TEST(ReplicationCrashCampaign, RangeRoutedShardRecoversAroundShip)
+{
+    runReplicationCampaign(shardRoutedOps(3, false), 3,
+                           "ba_repl x range");
+}
 
 TEST(GcCrashCampaign, RedisBlockWalRecoversAtGcTracepoints)
 {

@@ -77,6 +77,82 @@ TEST(ClosedLoopDriver, NoClientsIsFatal)
     EXPECT_THROW(d.run(1000), SimFatal);
 }
 
+TEST(OpenLoopArrivals, PoissonArrivalsStrictlyIncrease)
+{
+    OpenLoopArrivals a(usOf(400), 7);
+    Tick prev = 0;
+    for (int i = 0; i < 2000; ++i) {
+        Tick t = a.next();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+    EXPECT_EQ(a.generated(), 2000u);
+}
+
+TEST(OpenLoopArrivals, SameSeedSameSchedule)
+{
+    OpenLoopArrivals a(usOf(50), 3);
+    OpenLoopArrivals b(usOf(50), 3);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(OpenLoopArrivals, BurstyArrivalsClusterAndIncrease)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalSpec::Kind::bursty;
+    spec.meanGap = msOf(1);
+    spec.burstSize = 8;
+    spec.burstGap = nsOf(100);
+    OpenLoopArrivals a(spec, 11);
+
+    Tick prev = 0;
+    std::uint64_t tightGaps = 0;
+    const int n = 800;
+    for (int i = 0; i < n; ++i) {
+        Tick t = a.next();
+        ASSERT_GT(t, prev);
+        if (i > 0 && t - prev <= spec.burstGap + 1)
+            ++tightGaps;
+        prev = t;
+    }
+    // 7 of every 8 consecutive gaps are intra-burst (burstGap-sized).
+    EXPECT_NEAR(static_cast<double>(tightGaps) / (n - 1), 7.0 / 8.0,
+                0.05);
+}
+
+/**
+ * Regression: a huge mean gap must saturate, not wrap. An exponential
+ * draw can exceed 30x the mean, so meanGap near maxTick/2 overflows
+ * the double→Tick conversion; before the saturating fix the stream
+ * went backwards in time (undefined behavior in the cast, wrapped
+ * arrivals in practice), which broke open-loop monotonicity.
+ */
+TEST(OpenLoopArrivals, HugeMeanGapStaysMonotonic)
+{
+    for (ArrivalSpec::Kind kind :
+         {ArrivalSpec::Kind::poisson, ArrivalSpec::Kind::bursty}) {
+        ArrivalSpec spec;
+        spec.kind = kind;
+        spec.meanGap = maxTick / 2;
+        spec.burstSize = 4;
+        spec.burstGap = maxTick / 4;
+        OpenLoopArrivals a(spec, 1234);
+        Tick prev = 0;
+        bool saturated = false;
+        for (int i = 0; i < 1000; ++i) {
+            Tick t = a.next();
+            ASSERT_GE(t, prev) << "arrival stream wrapped at draw " << i;
+            if (t == maxTick)
+                saturated = true;
+            ASSERT_TRUE(t > prev || saturated);
+            prev = t;
+        }
+        EXPECT_TRUE(saturated)
+            << "a maxTick/2 mean never saturating is implausible";
+    }
+}
+
 TEST(ClosedLoopDriver, MinClockSchedulingInterleaves)
 {
     // A fast client (1 us/op) and a slow one (10 us/op) on a shared

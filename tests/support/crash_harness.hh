@@ -48,8 +48,8 @@ inline const std::vector<WalKind> &
 durableWals()
 {
     static const std::vector<WalKind> wals = {
-        WalKind::block, WalKind::ba, WalKind::baSingle, WalKind::pm,
-        WalKind::pmr,
+        WalKind::block, WalKind::ba, WalKind::baSingle,
+        WalKind::baRepl, WalKind::pm, WalKind::pmr,
     };
     return wals;
 }
@@ -329,8 +329,12 @@ runPoint(const rigs::RigSpec &spec,
     // injector stays installed (hits keep counting harmlessly) but is
     // disarmed, so recovery-time activity cannot crash again.
     rig.log->crash(t);
-    if (rig.twoB) {
-        const auto &dump = rig.twoB->recovery().lastDump();
+    // Recovery reads the promoted follower on replicated rigs, so its
+    // dump - not the dead primary's - is the one whose reported loss
+    // can excuse missing state.
+    if (const auto *dev =
+            rig.followerTwoB ? rig.followerTwoB.get() : rig.twoB.get()) {
+        const auto &dump = dev->recovery().lastDump();
         out.lossReported = dump.attempted && !dump.success;
     }
     db.recover();

@@ -28,6 +28,7 @@
 #include "wal/block_wal.hh"
 #include "wal/pm_wal.hh"
 #include "wal/pmr_wal.hh"
+#include "wal/replicated_wal.hh"
 
 namespace bssd::rigs
 {
@@ -38,6 +39,7 @@ enum class WalKind
     block,    ///< page-aligned block WAL with fsync
     ba,       ///< 2B-SSD BA-WAL, double-buffered halves
     baSingle, ///< 2B-SSD BA-WAL, single buffer
+    baRepl,   ///< BA-WAL replicated to a follower 2B-SSD
     pm,       ///< host persistent memory + block destage
     pmr,      ///< PMR window + host destage
     async,    ///< no durability (baseline)
@@ -50,6 +52,7 @@ walName(WalKind k)
       case WalKind::block: return "block";
       case WalKind::ba: return "ba";
       case WalKind::baSingle: return "ba_single";
+      case WalKind::baRepl: return "ba_repl";
       case WalKind::pm: return "pm";
       case WalKind::pmr: return "pmr";
       case WalKind::async: return "async";
@@ -91,8 +94,12 @@ struct Rig
 {
     std::unique_ptr<ssd::SsdDevice> blockDev;
     std::unique_ptr<ba::TwoBSsd> twoB;
+    /** Follower 2B-SSD of a replicated rig (WalKind::baRepl only). */
+    std::unique_ptr<ba::TwoBSsd> followerTwoB;
     std::unique_ptr<host::PersistentMemory> pm;
     std::unique_ptr<wal::LogDevice> log;
+    /** Non-owning view of log when it is a ReplicatedWal. */
+    wal::ReplicatedWal *repl = nullptr;
     std::string label;
 
     /** The device SSTs/manifest live on (for minirocks). */
@@ -106,7 +113,10 @@ struct Rig
     std::uint64_t
     eventsFired() const
     {
-        return twoB ? twoB->events().totalFired() : 0;
+        std::uint64_t n = twoB ? twoB->events().totalFired() : 0;
+        if (followerTwoB)
+            n += followerTwoB->events().totalFired();
+        return n;
     }
 
     /**
@@ -123,6 +133,12 @@ struct Rig
             blockDev->setFaultInjector(f);
         if (pm)
             pm->setFaultInjector(f);
+        // Replicated rigs: the injector covers the PRIMARY side plus
+        // the ship/ack edges. The follower device deliberately gets no
+        // injector - power cuts model losing the primary, and the
+        // follower must stay healthy enough to be promoted.
+        if (repl)
+            repl->setFaultInjector(f);
     }
 
     /**
@@ -135,6 +151,8 @@ struct Rig
     {
         if (twoB)
             twoB->installTracer(t);
+        if (followerTwoB)
+            followerTwoB->installTracer(t);
         if (blockDev)
             blockDev->setTracer(t);
         if (pm)
@@ -154,6 +172,8 @@ struct Rig
     {
         if (twoB)
             twoB->registerMetrics(reg, prefix + ".ba");
+        if (followerTwoB)
+            followerTwoB->registerMetrics(reg, prefix + ".follower_ba");
         if (blockDev)
             blockDev->registerMetrics(reg, prefix + ".ssd");
         if (log)
@@ -219,6 +239,26 @@ makeRig(const RigSpec &spec)
             cfg.halfBytes = spec.halfBytes;
         cfg.doubleBuffer = spec.wal == WalKind::ba;
         rig.log = std::make_unique<wal::BaWal>(*rig.twoB, cfg);
+        break;
+      }
+      case WalKind::baRepl: {
+        ba::BaConfig bc;
+        if (spec.baBufferBytes)
+            bc.bufferBytes = spec.baBufferBytes;
+        rig.twoB = std::make_unique<ba::TwoBSsd>(
+            deviceConfig(spec), bc);
+        rig.followerTwoB = std::make_unique<ba::TwoBSsd>(
+            deviceConfig(spec), bc);
+        wal::BaWalConfig cfg;
+        if (spec.regionBytes)
+            cfg.regionBytes = spec.regionBytes;
+        if (spec.halfBytes)
+            cfg.halfBytes = spec.halfBytes;
+        auto repl = std::make_unique<wal::ReplicatedWal>(
+            std::make_unique<wal::BaWal>(*rig.twoB, cfg),
+            std::make_unique<wal::BaWal>(*rig.followerTwoB, cfg));
+        rig.repl = repl.get();
+        rig.log = std::move(repl);
         break;
       }
       case WalKind::pm: {

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Behavioural tests for the replicated BA-WAL: synchronous ship
+ * semantics, follower promotion after a primary power cut, the
+ * acknowledged-prefix contract at the repl.ship / repl.ack crash
+ * points, and replication cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ba/two_b_ssd.hh"
+#include "sim/fault.hh"
+#include "ssd/ssd_device.hh"
+#include "wal/ba_wal.hh"
+#include "wal/record.hh"
+#include "wal/replicated_wal.hh"
+
+using namespace bssd;
+using namespace bssd::wal;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+rec(std::uint64_t seq, std::size_t payload_bytes = 100)
+{
+    std::vector<std::uint8_t> p(payload_bytes);
+    for (std::size_t i = 0; i < p.size(); ++i)
+        p[i] = static_cast<std::uint8_t>(seq * 13 + i);
+    return frameRecord(seq, p);
+}
+
+/** Primary and follower 2B-SSDs plus the replicated log over them. */
+struct ReplRig
+{
+    std::unique_ptr<ba::TwoBSsd> pri;
+    std::unique_ptr<ba::TwoBSsd> fol;
+    std::unique_ptr<ReplicatedWal> wal;
+
+    explicit ReplRig(const ReplicatedWalConfig &link = {})
+    {
+        auto baCfg = [] {
+            ba::BaConfig b;
+            b.bufferBytes = 256 * sim::KiB;
+            return b;
+        };
+        pri = std::make_unique<ba::TwoBSsd>(ssd::SsdConfig::tiny(),
+                                            baCfg());
+        fol = std::make_unique<ba::TwoBSsd>(ssd::SsdConfig::tiny(),
+                                            baCfg());
+        BaWalConfig c;
+        c.regionBytes = 2 * sim::MiB;
+        c.halfBytes = 64 * sim::KiB;
+        wal = std::make_unique<ReplicatedWal>(
+            std::make_unique<BaWal>(*pri, c),
+            std::make_unique<BaWal>(*fol, c), link);
+    }
+
+    std::vector<ParsedRecord>
+    promoteAndRecover(sim::Tick t)
+    {
+        wal->crash(t);
+        return parseLogStream(wal->recoverContents(),
+                              wal->recoveryChunkBytes(), 0);
+    }
+};
+
+} // namespace
+
+TEST(ReplicatedWal, CommittedRecordsRecoverFromFollower)
+{
+    ReplRig rig;
+    sim::Tick t = 0;
+    for (std::uint64_t s = 0; s < 8; ++s)
+        t = rig.wal->append(t, rec(s));
+    t = rig.wal->commit(t);
+    auto recs = rig.promoteAndRecover(t);
+    ASSERT_EQ(recs.size(), 8u);
+    EXPECT_TRUE(rig.wal->promoted());
+    EXPECT_EQ(rig.wal->batchesShipped(), 1u);
+}
+
+TEST(ReplicatedWal, UncommittedTailIsNotOnTheFollower)
+{
+    ReplRig rig;
+    sim::Tick t = 0;
+    t = rig.wal->append(t, rec(0));
+    t = rig.wal->commit(t);
+    t = rig.wal->append(t, rec(1)); // appended, never committed
+    auto recs = rig.promoteAndRecover(t);
+    EXPECT_EQ(recs.size(), 1u);
+}
+
+TEST(ReplicatedWal, CommitPaysTheLinkRoundTrip)
+{
+    ReplicatedWalConfig link;
+    link.shipLatency = sim::usOf(3);
+    link.ackLatency = sim::usOf(1);
+    ReplRig rig(link);
+    sim::Tick t = rig.wal->append(0, rec(0));
+    sim::Tick done = rig.wal->commit(t);
+    // Replicated commit >= local commit + ship + follower work + ack.
+    EXPECT_GE(done - t, link.shipLatency + link.ackLatency);
+}
+
+TEST(ReplicatedWal, EmptyCommitShipsNothing)
+{
+    ReplRig rig;
+    sim::Tick t = rig.wal->append(0, rec(0));
+    t = rig.wal->commit(t);
+    const std::uint64_t ships = rig.wal->batchesShipped();
+    rig.wal->commit(t); // nothing new appended
+    EXPECT_EQ(rig.wal->batchesShipped(), ships);
+}
+
+TEST(ReplicatedWal, CutAtShipLeavesThePreviousAcknowledgedPrefix)
+{
+    ReplRig rig;
+    sim::Tick t = 0;
+    t = rig.wal->append(t, rec(0));
+    t = rig.wal->commit(t); // rec 0 acknowledged, follower-durable
+
+    sim::FaultInjector fi;
+    rig.wal->setFaultInjector(&fi);
+    fi.armCrashAtHit(0); // the next repl.ship hit
+    t = rig.wal->append(t, rec(1));
+    EXPECT_THROW(rig.wal->commit(t), sim::PowerCut);
+    EXPECT_TRUE(fi.cutFired());
+
+    // The batch never left the primary: the promoted follower recovers
+    // exactly the acknowledged prefix.
+    auto recs = rig.promoteAndRecover(t);
+    EXPECT_EQ(recs.size(), 1u);
+}
+
+TEST(ReplicatedWal, CutAtAckRecoversTheInFlightRecord)
+{
+    ReplRig rig;
+    sim::FaultInjector fi;
+    rig.wal->setFaultInjector(&fi);
+    fi.armCrashAtHit(1); // ship is hit 0, ack is hit 1
+
+    sim::Tick t = rig.wal->append(0, rec(0));
+    EXPECT_THROW(rig.wal->commit(t), sim::PowerCut);
+
+    // The follower committed the batch before the ack was lost: the
+    // unacknowledged record is recovered (acked + 1, the legal upper
+    // edge of the acknowledged-prefix invariant).
+    auto recs = rig.promoteAndRecover(t);
+    EXPECT_EQ(recs.size(), 1u);
+}
+
+TEST(ReplicatedWal, StoresEveryByteTwice)
+{
+    ReplRig rig;
+    sim::Tick t = 0;
+    for (std::uint64_t s = 0; s < 4; ++s)
+        t = rig.wal->append(t, rec(s));
+    t = rig.wal->commit(t);
+    EXPECT_EQ(rig.wal->bytesToStore(), 2 * rig.wal->bytesAppended());
+}
+
+TEST(ReplicatedWal, RecoveryIsDeterministic)
+{
+    auto run = [] {
+        ReplRig rig;
+        sim::Tick t = 0;
+        for (std::uint64_t s = 0; s < 16; ++s) {
+            t = rig.wal->append(t, rec(s, 40 + s * 7));
+            if (s % 3 == 2)
+                t = rig.wal->commit(t);
+        }
+        rig.wal->crash(t);
+        return rig.wal->recoverContents();
+    };
+    EXPECT_EQ(run(), run());
+}

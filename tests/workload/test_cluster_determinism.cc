@@ -55,6 +55,12 @@ expectIdentical(const ClusterRun &a, const ClusterRun &b, const char *label)
     EXPECT_EQ(a.res.horizon, b.res.horizon);
     EXPECT_EQ(a.res.batchP50, b.res.batchP50);
     EXPECT_EQ(a.res.batchP99, b.res.batchP99);
+    EXPECT_EQ(a.res.opP50, b.res.opP50);
+    EXPECT_EQ(a.res.opP99, b.res.opP99);
+    EXPECT_EQ(a.res.opP999, b.res.opP999);
+    EXPECT_EQ(a.res.usersTouched, b.res.usersTouched);
+    EXPECT_EQ(a.res.rebalances, b.res.rebalances);
+    EXPECT_EQ(a.res.movedKeys, b.res.movedKeys);
     EXPECT_EQ(a.res.metricsJson, b.res.metricsJson);
     EXPECT_EQ(a.chromeJson, b.chromeJson);
 }
@@ -113,4 +119,61 @@ TEST(ClusterDeterminism, SerialRerunIsIdentical)
 {
     const ClusterConfig cfg = smallCluster();
     expectIdentical(runAt(cfg, 1), runAt(cfg, 1), "rerun vs first");
+}
+
+TEST(ClusterDeterminism, RebalanceInFlightIdenticalAcrossThreadCounts)
+{
+    // The hard case: a range move (hold → drain → copy → purge →
+    // flip) executes while cycles keep arriving. The whole sequence
+    // is host-domain orchestrated, so digests, merged metrics and
+    // Chrome traces must still match the serial run byte for byte.
+    for (bool range : {false, true}) {
+        ClusterConfig cfg = smallCluster();
+        cfg.rangeSharded = range;
+        cfg.cycles = 16;
+        cfg.rebalanceAtCycle = 6;
+        cfg.moveBegin256 = 0;
+        cfg.moveEnd256 = 64;
+        cfg.moveTo = cfg.shards - 1;
+
+        const ClusterRun serial = runAt(cfg, 1);
+        SCOPED_TRACE(range ? "range" : "hash");
+        ASSERT_EQ(serial.res.rebalances, 1u);
+        ASSERT_GT(serial.res.movedKeys, 0u);
+        ASSERT_EQ(serial.res.opsCompleted, serial.res.opsRouted);
+
+        expectIdentical(runAt(cfg, 2), serial, "2 threads vs serial");
+        expectIdentical(runAt(cfg, 8), serial, "8 threads vs serial");
+    }
+}
+
+TEST(ClusterDeterminism, ReplicatedWalIdenticalAcrossThreadCounts)
+{
+    // Replication ships records inside each shard's domain, so the
+    // follower traffic must not perturb the cross-domain schedule.
+    ClusterConfig cfg = smallCluster();
+    cfg.wal = ClusterConfig::Wal::baRepl;
+
+    const ClusterRun serial = runAt(cfg, 1);
+    ASSERT_EQ(serial.res.opsCompleted, serial.res.opsRouted);
+
+    expectIdentical(runAt(cfg, 2), serial, "2 threads vs serial");
+    expectIdentical(runAt(cfg, 8), serial, "8 threads vs serial");
+}
+
+TEST(ClusterDeterminism, PgBurstyArrivalsIdenticalAcrossThreadCounts)
+{
+    // The other store engine and the other arrival process in one
+    // cell: minipg shards fed by bursty cycle starts.
+    ClusterConfig cfg = smallCluster();
+    cfg.engine = ClusterConfig::Engine::pg;
+    cfg.arrival.kind = sim::ArrivalSpec::Kind::bursty;
+    cfg.arrival.burstSize = 4;
+    cfg.arrival.burstGap = sim::usOf(10);
+
+    const ClusterRun serial = runAt(cfg, 1);
+    ASSERT_EQ(serial.res.opsCompleted, serial.res.opsRouted);
+
+    expectIdentical(runAt(cfg, 2), serial, "2 threads vs serial");
+    expectIdentical(runAt(cfg, 8), serial, "8 threads vs serial");
 }

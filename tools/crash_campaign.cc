@@ -78,6 +78,10 @@ usage(const char *argv0)
         "          [--nand-fail-rate=F] [--cap-scale=F] [--torn-wc]\n"
         "          [--posted-drop-ns=N] [--metrics=FILE]\n",
         argv0);
+    std::fprintf(stderr, "WAL names:");
+    for (WalKind k : campaign::durableWals())
+        std::fprintf(stderr, " %s", walName(k));
+    std::fprintf(stderr, "\n");
     std::exit(2);
 }
 
