@@ -213,7 +213,8 @@ writeArtifact(std::ostream &os, const std::vector<MixRun> &runs)
            << ",\n    \"op_p999_ticks\": " << r.opP999
            << ",\n    \"rebalances\": " << r.rebalances
            << ",\n    \"moved_keys\": " << r.movedKeys << ",\n";
-        os << "    \"metrics\": " << r.metricsJson << "\n  }";
+        os << "    \"metrics\": " << r.metricsJson << ",\n";
+        os << "    \"slo_series\": " << r.sloSeriesJson << "\n  }";
         os << (i + 1 < runs.size() ? ",\n" : "\n");
     }
     os << "  ]\n}\n";
@@ -288,6 +289,7 @@ main(int argc, char **argv)
                 MixRun t = runMix(mix, n, nullptr);
                 if (t.res.stateDigest != serial.res.stateDigest ||
                     t.res.metricsJson != serial.res.metricsJson ||
+                    t.res.sloSeriesJson != serial.res.sloSeriesJson ||
                     t.res.horizon != serial.res.horizon) {
                     std::fprintf(stderr,
                                  "FAIL: mix %s diverges at %u engine "

@@ -200,6 +200,19 @@ Cluster::Cluster(const ClusterConfig &cfg, sim::Tracer *trace)
         router_->setCycleHook(
             [this](std::uint64_t cycles) { onCycle(cycles); });
     }
+
+    // Host-side tracing (stream 0; shard tracers are streams 1..N).
+    // The domain tracer makes context-carrying posts (rebalance hops)
+    // land with their request identity in scope.
+    hostTracer_.setStream(0);
+    if (trace_ != nullptr) {
+        host_.setTracer(&hostTracer_);
+        router_->setTracer(&hostTracer_);
+    } else {
+        hostTracer_.setEnabled(false);
+    }
+
+    buildSlo();
 }
 
 Cluster::~Cluster() = default;
@@ -268,6 +281,10 @@ Cluster::buildShards(sim::Tracer *trace)
                 *shard->log);
         }
         if (trace) {
+            // Stream s+1 keeps this shard's global span ids disjoint
+            // from the host's (stream 0) and every other shard's.
+            shard->tracer.setStream(s + 1);
+            shard->domain().setTracer(&shard->tracer);
             if (shard->twoB)
                 shard->twoB->installTracer(&shard->tracer);
             if (shard->followerTwoB)
@@ -292,6 +309,16 @@ Cluster::makeExec()
         sim::Tick t = std::max(start, sh.clock);
         opDone.reserve(ops.size());
         for (const host::RouterOp &op : ops) {
+            // Scope the op's request identity around its execution:
+            // the exec span adopts the trace and cross-links to the
+            // op's (future) root span in the host tracer, and every
+            // WAL/device span below nests under it.
+            sim::SpanId execSpan = 0;
+            if (op.trace != 0) {
+                sh.tracer.pushContext(
+                    sim::TraceContext{op.trace, op.gid});
+                execSpan = sh.tracer.beginSpan("shard", "exec", t);
+            }
             if (sh.redis) {
                 const std::string key = redisKey(op.key);
                 if (op.kind == host::RouterOp::Kind::set) {
@@ -309,6 +336,10 @@ Cluster::makeExec()
                 } else {
                     t = sh.pg->getNode(t, op.key);
                 }
+            }
+            if (op.trace != 0) {
+                sh.tracer.endSpan(execSpan, t);
+                sh.tracer.popContext();
             }
             opDone.push_back(t);
         }
@@ -359,11 +390,93 @@ Cluster::run()
                        "(rebalance at cycle ", cfg_.rebalanceAtCycle,
                        " of ", cfg_.cycles, ")");
         }
+        // The engine is quiescent between runs, so the gauges read a
+        // consistent fleet state at the shared horizon tick — every
+        // sampler rows at the same ticks and the merged series joins.
+        sampleSlo(horizon_);
     }
 
+    slo_.merge(*hostSloSampler_);
+    for (const auto &s : sloSamplers_)
+        slo_.merge(*s);
+
     if (trace_) {
+        // Host first (stream 0), then shards in domain-id order: a
+        // fixed merge order, so the trace is a pure function of the
+        // run at any thread count.
+        trace_->append(hostTracer_);
         for (const auto &sh : shards_)
             trace_->append(sh->tracer);
+    }
+}
+
+void
+Cluster::sampleSlo(sim::Tick now)
+{
+    hostSloSampler_->sample(now);
+    for (const auto &s : sloSamplers_)
+        s->sample(now);
+}
+
+void
+Cluster::buildSlo()
+{
+    const sim::Tick period = sim::msOf(1);
+    hostSloReg_ = std::make_unique<sim::MetricRegistry>();
+    hostSloReg_->addGauge("slo.cluster.held_ops", [this] {
+        return static_cast<double>(router_->heldOps());
+    });
+    hostSloReg_->addGauge("slo.cluster.hold_ticks", [this] {
+        const bool holding = rebal_ == Rebal::draining ||
+                             rebal_ == Rebal::copying;
+        return holding
+                   ? static_cast<double>(host_.now() - rebalStart_)
+                   : 0.0;
+    });
+    hostSloReg_->addGauge("slo.cluster.queue_depth", [this] {
+        std::uint64_t q = 0;
+        for (unsigned s = 0; s < cfg_.shards; ++s)
+            q += router_->outstanding(s);
+        return static_cast<double>(q);
+    });
+    hostSloSampler_ =
+        std::make_unique<sim::GaugeSampler>(*hostSloReg_, period);
+
+    for (unsigned s = 0; s < cfg_.shards; ++s) {
+        auto reg = std::make_unique<sim::MetricRegistry>();
+        const std::string p = "slo.shard" + std::to_string(s);
+        Shard *sh = shards_[s].get();
+        reg->addGauge(p + ".queue_depth", [this, s] {
+            return static_cast<double>(router_->outstanding(s));
+        });
+        reg->addGauge(p + ".wal_bytes", [sh] {
+            return static_cast<double>(sh->log->bytesToStore());
+        });
+        reg->addGauge(p + ".gc_debt", [sh] {
+            // Blocks short of the GC high watermark: >0 means the
+            // shard is burning margin and relocations are (or will
+            // be) stealing bandwidth from foreground ops.
+            const auto &fc = sh->device().config().ftlCfg;
+            const std::uint32_t free = sh->device().ftl().freeBlocks();
+            return free >= fc.gcHighWaterBlocks
+                       ? 0.0
+                       : static_cast<double>(fc.gcHighWaterBlocks -
+                                             free);
+        });
+        reg->addGauge(p + ".p99_ticks", [this, s] {
+            return static_cast<double>(router_->windowP99(s));
+        });
+        // Only the rebalance TARGET registers this gauge — the merged
+        // snapshot/series must keep such one-sided columns (the
+        // union-merge regression the tests pin down).
+        if (cfg_.rebalanceAtCycle > 0 && s == cfg_.moveTo) {
+            reg->addGauge(p + ".inbound_keys", [this] {
+                return static_cast<double>(movedKeys_);
+            });
+        }
+        sloSamplers_.push_back(
+            std::make_unique<sim::GaugeSampler>(*reg, period));
+        sloRegs_.push_back(std::move(reg));
     }
 }
 
@@ -404,6 +517,14 @@ Cluster::startRebalance()
         return;
     }
     rebal_ = Rebal::draining;
+    rebalStart_ = host_.now();
+    if (hostTracer_.enabled()) {
+        // The rebalance borrows a trace id from the router's mint so
+        // it can never collide with an op's, and pre-mints the gid of
+        // its root span so every hop's spans cross-link to it.
+        rebalTrace_ = router_->mintTraceId();
+        rebalGid_ = hostTracer_.mintGid();
+    }
     // Park every operation whose routing point is mid-move; they
     // re-route and dispatch after the flip.
     router_->setHold([this, begin, end](const host::RouterOp &op) {
@@ -428,6 +549,7 @@ Cluster::pollDrain()
         return;
     }
     rebal_ = Rebal::copying;
+    drainEnd_ = host_.now();
     runStep(0);
 }
 
@@ -448,8 +570,12 @@ Cluster::runStep(std::size_t step)
     // the victim's in-flight batches drained before this step. (The
     // map is read-only until the flip, so consulting it from the
     // shard domain here is a benign concurrent read.)
+    // Every hop carries the rebalance's trace context, so the spans
+    // the copy records inside the shard domains (store reads, WAL
+    // commits, device work) stitch under the "cluster"/"rebalance"
+    // root finishRebalance() emits.
     host_.post(*shardDoms_[mr.from], host_.now() + toVictim,
-               [this, step, mr] {
+               rebalCtx(), [this, step, mr] {
         Shard &sh = *shards_[mr.from];
         sim::Domain &dom = sh.domain();
         sim::Tick t = std::max(sh.clock, dom.now());
@@ -491,12 +617,13 @@ Cluster::runStep(std::size_t step)
 
         // Hop 2: back to the host with the data, then durably into
         // the target shard.
-        dom.post(host_, t + back, [this, step, mr, moved] {
+        dom.post(host_, t + back, rebalCtx(),
+                 [this, step, mr, moved] {
             movedKeys_ += moved->size();
             const sim::Tick toTarget = engine_.lookahead(
                 host_.id(), shardDoms_[mr.to]->id());
             host_.post(*shardDoms_[mr.to], host_.now() + toTarget,
-                       [this, step, mr, moved] {
+                       rebalCtx(), [this, step, mr, moved] {
                 Shard &dst = *shards_[mr.to];
                 sim::Domain &ddom = dst.domain();
                 sim::Tick t = std::max(dst.clock, ddom.now());
@@ -512,11 +639,12 @@ Cluster::runStep(std::size_t step)
 
                 // Hop 3: back to the host, then durably purge the
                 // victim's copies of the moved keys.
-                ddom.post(host_, t + back2, [this, step, mr, moved] {
+                ddom.post(host_, t + back2, rebalCtx(),
+                          [this, step, mr, moved] {
                     const sim::Tick toVic = engine_.lookahead(
                         host_.id(), shardDoms_[mr.from]->id());
                     host_.post(*shardDoms_[mr.from],
-                               host_.now() + toVic,
+                               host_.now() + toVic, rebalCtx(),
                                [this, step, mr, moved] {
                         Shard &vic = *shards_[mr.from];
                         sim::Domain &vdom = vic.domain();
@@ -533,7 +661,8 @@ Cluster::runStep(std::size_t step)
                         vic.clock = t;
                         const sim::Tick back3 = engine_.lookahead(
                             vdom.id(), host_.id());
-                        vdom.post(host_, t + back3, [this, step] {
+                        vdom.post(host_, t + back3, rebalCtx(),
+                                  [this, step] {
                             runStep(step + 1);
                         });
                     });
@@ -554,6 +683,23 @@ Cluster::finishRebalance()
     router_->releaseHeld();
     rebal_ = Rebal::done;
     ++rebalances_;
+    if (rebalTrace_ != 0) {
+        // The rebalance's own span tree: a root over the whole move
+        // (under the gid every hop already cross-linked to) split
+        // into its drain and copy phases.
+        const sim::Tick now = host_.now();
+        hostTracer_.recordSpan("cluster", "rebalance", rebalStart_,
+                               now,
+                               sim::TraceContext{rebalTrace_, 0},
+                               rebalGid_);
+        hostTracer_.recordSpan("cluster", "drain", rebalStart_,
+                               drainEnd_,
+                               sim::TraceContext{rebalTrace_,
+                                                 rebalGid_});
+        hostTracer_.recordSpan("cluster", "copy", drainEnd_, now,
+                               sim::TraceContext{rebalTrace_,
+                                                 rebalGid_});
+    }
 }
 
 std::uint64_t
@@ -582,10 +728,11 @@ Cluster::stateDigest() const
     return f.h;
 }
 
-std::string
-Cluster::metricsJson() const
+sim::MetricsSnapshot
+Cluster::metricsSnapshot() const
 {
     sim::MetricRegistry reg;
+    engine_.registerMetrics(reg, "engine");
     for (unsigned s = 0; s < cfg_.shards; ++s) {
         const Shard &sh = *shards_[s];
         const std::string prefix = "shard" + std::to_string(s);
@@ -599,8 +746,30 @@ Cluster::metricsJson() const
             sh.blockDev->registerMetrics(reg, prefix + ".ssd");
         sh.log->registerMetrics(reg, prefix + ".wal");
     }
+    sim::MetricsSnapshot snap = reg.snapshot();
+    // The SLO gauges live in per-shard registries (each with its own
+    // sampler); merge() is a path union, which is what carries gauges
+    // only one shard registers (e.g. the move target's inbound_keys)
+    // into the combined snapshot.
+    snap.merge(hostSloReg_->snapshot());
+    for (const auto &r : sloRegs_)
+        snap.merge(r->snapshot());
+    return snap;
+}
+
+std::string
+Cluster::metricsJson() const
+{
     std::ostringstream out;
-    reg.writeJson(out);
+    metricsSnapshot().writeJson(out);
+    return out.str();
+}
+
+std::string
+Cluster::sloJson() const
+{
+    std::ostringstream out;
+    slo_.writeJson(out);
     return out.str();
 }
 

@@ -58,6 +58,8 @@
 #include "sim/client.hh"
 #include "sim/domain.hh"
 #include "sim/engine.hh"
+#include "sim/metrics.hh"
+#include "sim/report.hh"
 #include "sim/trace.hh"
 #include "ssd/ssd_device.hh"
 #include "wal/log_device.hh"
@@ -190,8 +192,30 @@ class Cluster
      */
     std::uint64_t stateDigest() const;
 
-    /** Merged metrics snapshot (JSON, deterministic row order). */
+    /**
+     * Merged metrics snapshot: the engine's self-telemetry
+     * ("engine.*"), every shard's device/WAL metrics ("shardN.*") and
+     * the SLO gauges ("slo.*"), folded across the per-shard
+     * registries with MetricsSnapshot::merge — whose path UNION is
+     * what keeps gauges existing in only one shard's registry (e.g.
+     * the rebalance target's inbound-keys) in the merged result.
+     */
+    sim::MetricsSnapshot metricsSnapshot() const;
+
+    /** metricsSnapshot() as JSON (deterministic row order). */
     std::string metricsJson() const;
+
+    /**
+     * Per-shard SLO time series sampled over the run on the simulated
+     * clock (DESIGN.md section 14): queue depth, WAL store bytes, GC
+     * debt, sliding-window op p99 per shard, plus cluster-wide
+     * held-ops / rebalance-hold-time columns. Deterministic: merged
+     * host-first then shard-id order, pumped at fixed horizons.
+     */
+    const sim::SeriesTable &sloSeries() const { return slo_; }
+
+    /** sloSeries() as JSON (GaugeSampler shape). */
+    std::string sloJson() const;
 
     /** One shard's store digest (tests compare across crashes). */
     std::uint64_t shardContentHash(unsigned shard) const;
@@ -227,6 +251,13 @@ class Cluster
     sim::Domain &shardDomain(unsigned s);
     void buildShards(sim::Tracer *trace);
     host::ShardRouter::ShardExec makeExec();
+    void buildSlo();
+    void sampleSlo(sim::Tick now);
+    /** The rebalance's cross-domain identity (empty when untraced). */
+    sim::TraceContext rebalCtx() const
+    {
+        return sim::TraceContext{rebalTrace_, rebalGid_};
+    }
 
     /** @name Rebalance state machine (host domain only) @{ */
     void onCycle(std::uint64_t cyclesDone);
@@ -244,6 +275,17 @@ class Cluster
     ShardMap map_;
     std::unique_ptr<host::ShardRouter> router_;
     sim::Tracer *trace_ = nullptr;
+    /** Host-domain tracer (stream 0): router spans, rebalance spans,
+     *  contexts pushed by posts delivered into the host domain. */
+    sim::Tracer hostTracer_;
+
+    /** @name SLO sampling (DESIGN.md section 14) @{ */
+    std::unique_ptr<sim::MetricRegistry> hostSloReg_;
+    std::unique_ptr<sim::GaugeSampler> hostSloSampler_;
+    std::vector<std::unique_ptr<sim::MetricRegistry>> sloRegs_;
+    std::vector<std::unique_ptr<sim::GaugeSampler>> sloSamplers_;
+    sim::SeriesTable slo_;
+    /** @} */
 
     sim::Tick horizon_ = 0;
     bool ran_ = false;
@@ -259,6 +301,11 @@ class Cluster
     std::vector<MoveRange> plan_;
     std::uint64_t rebalances_ = 0;
     std::uint64_t movedKeys_ = 0;
+    /** Rebalance trace identity + phase boundaries (traced runs). */
+    std::uint64_t rebalTrace_ = 0;
+    std::uint64_t rebalGid_ = 0;
+    sim::Tick rebalStart_ = 0;
+    sim::Tick drainEnd_ = 0;
 };
 
 } // namespace bssd::cluster

@@ -8,6 +8,20 @@
 namespace bssd::host
 {
 
+namespace
+{
+
+/** Per-op tracing identity carried through a batch's round trip. */
+struct OpTag
+{
+    std::uint64_t trace = 0;
+    std::uint64_t gid = 0;
+    sim::Tick gen = 0;
+    RouterOp::Kind kind = RouterOp::Kind::get;
+};
+
+} // namespace
+
 ShardRouter::ShardRouter(const RouterConfig &cfg,
                          sim::Domain &hostDomain,
                          std::vector<sim::Domain *> shardDomains,
@@ -21,7 +35,9 @@ ShardRouter::ShardRouter(const RouterConfig &cfg,
       rng_(cfg.seed ^ 0x5eedf00du),
       touched_(cfg.keySpace, false),
       buckets_(shards_.size()),
-      outstanding_(shards_.size(), 0)
+      outstanding_(shards_.size(), 0),
+      latWindow_(shards_.size()),
+      latWindowPos_(shards_.size(), 0)
 {
     if (shards_.empty())
         sim::panic("ShardRouter needs at least one shard");
@@ -96,6 +112,15 @@ ShardRouter::cycle()
             touched_[op.key] = true;
             ++usersTouched_;
         }
+        if (tracer_ != nullptr && tracer_->enabled()) {
+            // Request identity, minted at generation: the trace id is
+            // the op's global sequence number and the gid names the
+            // root span recordSpan() will emit when the completion
+            // returns. Both ride along through hold/re-route.
+            op.trace = ++traceSeq_;
+            op.gid = tracer_->mintGid();
+            op.gen = host_.now();
+        }
         enqueue(op);
     }
     flushBuckets();
@@ -115,8 +140,17 @@ ShardRouter::releaseHeld()
         return;
     for (std::vector<RouterOp> &b : buckets_)
         b.clear();
-    for (const RouterOp &op : held_)
+    const sim::Tick now = host_.now();
+    for (const RouterOp &op : held_) {
+        // The time an op spent parked behind the rebalance hold is a
+        // child span of its request — critical_path blames it on the
+        // router layer.
+        if (op.trace != 0 && tracer_ != nullptr) {
+            tracer_->recordSpan("router", "hold", op.gen, now,
+                                sim::TraceContext{op.trace, op.gid});
+        }
         buckets_[routeOf(op)].push_back(op);
+    }
     held_.clear();
     flushBuckets();
 }
@@ -128,12 +162,22 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
     opsRouted_ += ops.size();
     ++batchesDispatched_;
     ++outstanding_[shard];
+    // Tracing identities ride to the completion handler (which runs
+    // back in the host domain and records the request spans there);
+    // the vector stays empty — and costs nothing — when untraced.
+    std::vector<OpTag> tags;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        tags.reserve(ops.size());
+        for (const RouterOp &op : ops)
+            tags.push_back({op.trace, op.gid, op.gen, op.kind});
+    }
     // The doorbell: one posted write across the link. The batch
     // executes entirely inside the shard's domain, then the completion
     // interrupt crosses back.
     host_.post(
         *shards_[shard], dispatched + cfg_.requestLatency,
-        [this, shard, dispatched, ops = std::move(ops)] {
+        [this, shard, dispatched, ops = std::move(ops),
+         tags = std::move(tags)] {
             sim::Domain &dom = *shards_[shard];
             const sim::Tick start = dom.now();
             std::vector<sim::Tick> opDone;
@@ -156,15 +200,70 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
             const auto count = static_cast<std::uint64_t>(ops.size());
             dom.post(host_, done,
                      [this, shard, dispatched, done, count,
-                      lat = std::move(lat)] {
+                      lat = std::move(lat), tags = std::move(tags)] {
                          opsCompleted_ += count;
                          ++batchesCompleted_;
                          --outstanding_[shard];
                          latency_.sample(done - dispatched);
-                         for (sim::Tick l : lat)
+                         for (sim::Tick l : lat) {
                              opLatency_.record(l);
+                             recordLatency(shard, l);
+                         }
+                         // Request spans, recorded now that the op's
+                         // full extent is known: the root (under the
+                         // pre-minted gid the shard's spans already
+                         // point at) plus the host-side doorbell and
+                         // completion-delivery children.
+                         for (std::size_t i = 0; i < tags.size(); ++i) {
+                             const OpTag &t = tags[i];
+                             if (t.trace == 0 || tracer_ == nullptr)
+                                 continue;
+                             const sim::Tick arrival =
+                                 dispatched + lat[i];
+                             tracer_->recordSpan(
+                                 "router",
+                                 t.kind == RouterOp::Kind::set
+                                     ? "set" : "get",
+                                 t.gen, arrival,
+                                 sim::TraceContext{t.trace, 0}, t.gid);
+                             tracer_->recordSpan(
+                                 "router", "doorbell", dispatched,
+                                 dispatched + cfg_.requestLatency,
+                                 sim::TraceContext{t.trace, t.gid});
+                             tracer_->recordSpan(
+                                 "router", "completion",
+                                 arrival - cfg_.completionLatency,
+                                 arrival,
+                                 sim::TraceContext{t.trace, t.gid});
+                         }
                      });
         });
+}
+
+void
+ShardRouter::recordLatency(unsigned shard, std::uint64_t lat)
+{
+    std::vector<std::uint64_t> &ring = latWindow_[shard];
+    if (ring.size() < kLatencyWindow) {
+        ring.push_back(lat);
+        return;
+    }
+    ring[latWindowPos_[shard]] = lat;
+    latWindowPos_[shard] = (latWindowPos_[shard] + 1) % kLatencyWindow;
+}
+
+std::uint64_t
+ShardRouter::windowP99(unsigned shard) const
+{
+    const std::vector<std::uint64_t> &ring = latWindow_[shard];
+    if (ring.empty())
+        return 0;
+    std::vector<std::uint64_t> sorted(ring);
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank p99 over whatever the window holds so far.
+    const std::size_t rank =
+        std::min(sorted.size() * 99 / 100, sorted.size() - 1);
+    return sorted[rank];
 }
 
 } // namespace bssd::host

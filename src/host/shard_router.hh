@@ -40,6 +40,7 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::host
 {
@@ -53,6 +54,20 @@ struct RouterOp
     std::uint64_t key = 0;
     /** Value payload size (set only). */
     std::uint32_t valueBytes = 0;
+
+    /** @name Request tracing identity (0 when tracing is off)
+     *
+     * Stamped at generation time in the host domain: `trace` is the
+     * op's sequence number (the id `critical_path --request` takes),
+     * `gid` the global id its root span will be recorded under, `gen`
+     * the generation tick. The shard executor pushes {trace, gid}
+     * around the op's store execution so every device span it causes
+     * stitches under the root.
+     * @{ */
+    std::uint64_t trace = 0;
+    std::uint64_t gid = 0;
+    sim::Tick gen = 0;
+    /** @} */
 };
 
 /** Router workload shape and channel contract. */
@@ -147,6 +162,19 @@ class ShardRouter
     /** Install a hook running after each generated cycle. */
     void setCycleHook(CycleHook hook) { cycleHook_ = std::move(hook); }
 
+    /**
+     * Install the host-side tracer (stream 0 of the merged trace).
+     * With a tracer installed every generated op is stamped with a
+     * trace id + root-span gid, and the router records the request's
+     * root span plus doorbell/completion/hold child spans when the
+     * completion returns.
+     */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
+    /** Next unused trace id (the cluster's rebalance borrows one so
+     *  its trace never collides with an op's). Host domain only. */
+    std::uint64_t mintTraceId() { return ++traceSeq_; }
+
     /** Batches posted to @p shard whose completion has not returned. */
     std::uint64_t
     outstanding(unsigned shard) const
@@ -174,7 +202,18 @@ class ShardRouter
     const sim::Histogram &opLatency() const { return opLatency_; }
     /** Distinct keys ("simulated users") the run touched. */
     std::uint64_t usersTouched() const { return usersTouched_; }
+
+    /**
+     * p99 over the last kLatencyWindow completed op latencies of one
+     * shard (nearest-rank; 0 while empty) — the sliding-window SLO
+     * gauge the cluster samples into its time series.
+     */
+    std::uint64_t windowP99(unsigned shard) const;
+
     /** @} */
+
+    /** Sliding-window size of windowP99 (per shard, ring buffer). */
+    static constexpr std::size_t kLatencyWindow = 128;
 
   private:
     void cycle();
@@ -182,6 +221,8 @@ class ShardRouter
     void enqueue(const RouterOp &op);
     void flushBuckets();
     void dispatch(unsigned shard, std::vector<RouterOp> ops);
+    /** Push one completed-op latency into the shard's p99 ring. */
+    void recordLatency(unsigned shard, std::uint64_t lat);
 
     RouterConfig cfg_;
     sim::Domain &host_;
@@ -208,6 +249,13 @@ class ShardRouter
     std::vector<RouterOp> held_;
     /** In-flight batches per shard (host-domain view). */
     std::vector<std::uint64_t> outstanding_;
+
+    /** Host-side tracer (null = untraced run) and trace-id mint. */
+    sim::Tracer *tracer_ = nullptr;
+    std::uint64_t traceSeq_ = 0;
+    /** Per-shard ring of recent op latencies (windowP99). */
+    std::vector<std::vector<std::uint64_t>> latWindow_;
+    std::vector<std::size_t> latWindowPos_;
 };
 
 } // namespace bssd::host

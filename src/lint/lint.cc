@@ -257,8 +257,8 @@ runLint(const LintOptions &opts)
         lexed.push_back(lex(rel, content));
     }
 
-    // The canonical tracepoint table is always loaded from the root,
-    // whether or not src/ is part of the scan set.
+    // The canonical tracepoint and span-name tables are always loaded
+    // from the root, whether or not src/ is part of the scan set.
     ProjectTables tables;
     {
         std::string content;
@@ -267,8 +267,16 @@ runLint(const LintOptions &opts)
             parseTracepointTable(tp, tables);
         }
     }
+    {
+        std::string content;
+        if (readFile(root / "src/sim/span_names.hh", content)) {
+            LexedFile sn = lex("src/sim/span_names.hh", content);
+            parseSpanNameTable(sn, tables);
+        }
+    }
     result.tracepointTableLoaded = tables.tracepointTableLoaded;
     result.tracepointNames = tables.tracepointNames;
+    result.spanTableLoaded = tables.spanTableLoaded;
 
     for (const auto &f : lexed)
         collectFileTables(f, tables);

@@ -53,6 +53,10 @@ struct LintResult
     std::vector<std::string> tracepointNames;
     bool tracepointTableLoaded = false;
 
+    /** True when the span/phase vocabulary (src/sim/span_names.hh)
+     *  was parsed, enabling xcheck-span-name. */
+    bool spanTableLoaded = false;
+
     /** Paths that could not be read (reported as violations too). */
     std::vector<std::string> errors;
 

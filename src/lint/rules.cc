@@ -56,6 +56,14 @@ const std::vector<RuleInfo> kCatalog = {
      "metric path literal violates the a.b.c grammar or duplicates "
      "another registration",
      "paths are dot-separated [a-z0-9_] segments, unique per registry"},
+    {"xcheck-span-name",
+     "span or phase name literal is not in the canonical vocabulary",
+     "add the (cat, name) pair to kSpanNames (or the phase to "
+     "kPhaseNames) in src/sim/span_names.hh, or fix the typo"},
+    {"xcheck-span-table",
+     "canonical span-name table is malformed",
+     "src/sim/span_names.hh must keep kSpanNames and kPhaseNames "
+     "sorted and duplicate-free"},
     {"xcheck-tracepoint",
      "string literal looks like a tracepoint name but is not in the "
      "canonical table",
@@ -517,6 +525,60 @@ parseTracepointTable(const LexedFile &file, ProjectTables &tables)
     }
 }
 
+void
+parseSpanNameTable(const LexedFile &file, ProjectTables &tables)
+{
+    const auto &toks = file.tokens;
+    bool sawSpans = false;
+    bool sawPhases = false;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!sawSpans && isIdent(toks[i], "kSpanNames")) {
+            // The array definition: `{ {"cat", "name"}, ... }`. Only
+            // the first occurrence is the table; later mentions are
+            // sizeof/lookup code.
+            sawSpans = true;
+            std::size_t j = i;
+            while (j < toks.size() && !isPunct(toks[j], "{"))
+                ++j;
+            int depth = 0;
+            for (; j < toks.size(); ++j) {
+                if (isPunct(toks[j], "{")) {
+                    ++depth;
+                } else if (isPunct(toks[j], "}")) {
+                    if (--depth == 0)
+                        break;
+                } else if (depth == 2 && toks[j].kind == TokKind::str &&
+                           j + 2 < toks.size() &&
+                           isPunct(toks[j + 1], ",") &&
+                           toks[j + 2].kind == TokKind::str) {
+                    tables.spanNames.emplace_back(toks[j].text,
+                                                  toks[j + 2].text);
+                    j += 2;
+                }
+            }
+        } else if (!sawPhases && isIdent(toks[i], "kPhaseNames")) {
+            sawPhases = true;
+            std::size_t j = i;
+            while (j < toks.size() && !isPunct(toks[j], "{"))
+                ++j;
+            int depth = 0;
+            for (; j < toks.size(); ++j) {
+                if (isPunct(toks[j], "{")) {
+                    ++depth;
+                } else if (isPunct(toks[j], "}")) {
+                    if (--depth == 0)
+                        break;
+                } else if (depth == 1 &&
+                           toks[j].kind == TokKind::str) {
+                    tables.phaseNames.push_back(toks[j].text);
+                }
+            }
+        }
+    }
+    if (!tables.spanNames.empty() && !tables.phaseNames.empty())
+        tables.spanTableLoaded = true;
+}
+
 std::vector<Violation>
 runRules(const LexedFile &f, const ProjectTables &tables)
 {
@@ -750,6 +812,75 @@ runRules(const LexedFile &f, const ProjectTables &tables)
             if (!names.count(s))
                 add("xcheck-tracepoint", t.line,
                     "'" + s + "' is not a canonical tracepoint name");
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // xcheck-span-name(-table): span/phase literals against the
+    // canonical vocabulary of src/sim/span_names.hh. Tests mint
+    // arbitrary spans on purpose, so only product code (src, tools,
+    // bench) and the rule's own fixtures are in scope.
+    const bool isSpanNameHeader = f.path == "src/sim/span_names.hh";
+    if (isSpanNameHeader && tables.spanTableLoaded) {
+        for (std::size_t i = 0; i < tables.spanNames.size(); ++i) {
+            const auto &e = tables.spanNames[i];
+            if (i > 0 && !(tables.spanNames[i - 1] < e)) {
+                add("xcheck-span-table", 1,
+                    "kSpanNames entry '" + e.first + "." + e.second +
+                        "' is out of order or duplicated");
+            }
+        }
+        for (std::size_t i = 1; i < tables.phaseNames.size(); ++i) {
+            if (!(tables.phaseNames[i - 1] < tables.phaseNames[i])) {
+                add("xcheck-span-table", 1,
+                    "kPhaseNames entry '" + tables.phaseNames[i] +
+                        "' is out of order or duplicated");
+            }
+        }
+    }
+    const bool spanScope = f.path.rfind("src/", 0) == 0 ||
+                           f.path.rfind("tools/", 0) == 0 ||
+                           f.path.rfind("bench/", 0) == 0 ||
+                           f.path.rfind("tests/lint/fixtures/", 0) == 0;
+    if (!isSpanNameHeader && spanScope && tables.spanTableLoaded) {
+        std::set<std::pair<std::string, std::string>> spanSet(
+            tables.spanNames.begin(), tables.spanNames.end());
+        std::set<std::string> phaseSet(tables.phaseNames.begin(),
+                                       tables.phaseNames.end());
+        for (std::size_t i = 1; i + 4 < toks.size(); ++i) {
+            // Member calls only (`t->beginSpan(` / `t.recordSpan(`):
+            // declarations and forwarding wrappers carry no literals
+            // anyway, but this keeps the match to real record sites.
+            if (!isPunct(toks[i - 1], ".") && !isPunct(toks[i - 1], "->"))
+                continue;
+            const bool isSpan = isIdent(toks[i], "beginSpan") ||
+                                isIdent(toks[i], "recordSpan");
+            const bool isPhase = isIdent(toks[i], "phase");
+            if ((!isSpan && !isPhase) || !isPunct(toks[i + 1], "("))
+                continue;
+            if (isSpan) {
+                // Exact literal shape `("cat", "name", ...` — a
+                // dynamic name (the NVMe frontend's op-named spans)
+                // is outside the closed vocabulary by design.
+                if (toks[i + 2].kind != TokKind::str ||
+                    !isPunct(toks[i + 3], ",") ||
+                    toks[i + 4].kind != TokKind::str)
+                    continue;
+                const std::string &cat = toks[i + 2].text;
+                const std::string &name = toks[i + 4].text;
+                if (!spanSet.count({cat, name})) {
+                    add("xcheck-span-name", toks[i].line,
+                        "'" + cat + "." + name +
+                            "' is not a canonical span name");
+                }
+            } else if (toks[i + 2].kind == TokKind::str) {
+                const std::string &name = toks[i + 2].text;
+                if (!phaseSet.count(name)) {
+                    add("xcheck-span-name", toks[i].line,
+                        "'" + name +
+                            "' is not a canonical phase name");
+                }
+            }
         }
     }
 

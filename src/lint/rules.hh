@@ -18,6 +18,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/lexer.hh"
@@ -98,6 +99,13 @@ struct ProjectTables
     /** Every metric-path literal, in discovery order. */
     std::vector<MetricSite> metricSites;
 
+    /** Canonical (cat, name) span pairs, table order, parsed from
+     *  src/sim/span_names.hh (kSpanNames). */
+    std::vector<std::pair<std::string, std::string>> spanNames;
+    /** Canonical phase names, table order (kPhaseNames). */
+    std::vector<std::string> phaseNames;
+    bool spanTableLoaded = false;
+
     /** Namespaces (first segments) of the canonical tracepoints. */
     std::set<std::string> tracepointNamespaces() const;
 };
@@ -107,6 +115,9 @@ void collectFileTables(const LexedFile &file, ProjectTables &tables);
 
 /** Parse the canonical table out of src/sim/tracepoint.hh. */
 void parseTracepointTable(const LexedFile &file, ProjectTables &tables);
+
+/** Parse the span/phase vocabulary out of src/sim/span_names.hh. */
+void parseSpanNameTable(const LexedFile &file, ProjectTables &tables);
 
 /** Pass B: every unsuppressed finding for @p file. */
 std::vector<Violation> runRules(const LexedFile &file,

@@ -28,6 +28,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace bssd::sim
 {
@@ -83,6 +84,24 @@ class Domain
      */
     void post(Domain &target, Tick when, EventQueue::Callback cb);
 
+    /**
+     * post() carrying a request identity: when the message runs in
+     * @p target, the target's tracer (setTracer) has @p ctx pushed, so
+     * every span the callback records stitches into the sending
+     * request's tree. With tracing compiled out or an empty context
+     * this is exactly the plain post().
+     */
+    void post(Domain &target, Tick when, TraceContext ctx,
+              EventQueue::Callback cb);
+
+    /**
+     * Tracer receiving context pushes for messages posted INTO this
+     * domain (owned by the rig living here; may be null). Only read
+     * by the thread executing this domain's window.
+     */
+    void setTracer(Tracer *t) { tracer_ = t; }
+    Tracer *tracer() const { return tracer_; }
+
     /** Cross-domain messages sent over this domain's lifetime. */
     std::uint64_t messagesSent() const { return nextSeq_ - 1; }
 
@@ -101,6 +120,7 @@ class Domain
     std::string name_;
     EventQueue queue_;
     ParallelEngine *engine_ = nullptr;
+    Tracer *tracer_ = nullptr;
     std::uint32_t id_ = kNoId;
     std::uint64_t nextSeq_ = 1;
     std::vector<Message> outbox_;

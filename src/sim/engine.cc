@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 
 namespace bssd::sim
 {
@@ -42,6 +43,12 @@ ParallelEngine::add(Domain &d)
     windows_.push_back(0);
     perFired_.push_back(0);
     errors_.emplace_back();
+    domFired_.push_back(0);
+    stallTicks_.push_back(0);
+    for (std::vector<std::uint64_t> &row : boundBy_)
+        row.push_back(0);
+    boundBy_.emplace_back(domains_.size(), 0);
+    boundByHorizon_.push_back(0);
     return id;
 }
 
@@ -85,6 +92,33 @@ Domain::post(Domain &target, Tick when, EventQueue::Callback cb)
 }
 
 void
+Domain::post(Domain &target, Tick when, TraceContext ctx,
+             EventQueue::Callback cb)
+{
+    if constexpr (traceCompiled) {
+        if (ctx.trace != 0) {
+            // Wrap the callback so the request identity is in scope in
+            // the TARGET domain while it runs: spans the callback
+            // records there stitch to the sender's span tree. The
+            // tracer pointer is read at delivery time (inside the
+            // target's window), honoring the domain-ownership rule.
+            Domain *tgt = &target;
+            post(target, when,
+                 [tgt, ctx, inner = std::move(cb)]() mutable {
+                     Tracer *tr = tgt->tracer_;
+                     if (tr)
+                         tr->pushContext(ctx);
+                     inner();
+                     if (tr)
+                         tr->popContext();
+                 });
+            return;
+        }
+    }
+    post(target, when, std::move(cb));
+}
+
+void
 ParallelEngine::deliverOutboxes()
 {
     mailbag_.clear();
@@ -117,10 +151,15 @@ ParallelEngine::windowFor(std::size_t d, Tick until) const
     // Events AT the horizon must fire, and runWindow's bound is
     // strict, so the cap is one past the horizon.
     Tick w = satAdd(until, 1);
+    windowBoundBy_ = kNoBound;
     for (std::size_t s = 0; s < domains_.size(); ++s) {
         if (s == d || look_[s][d] == maxTick)
             continue;
-        w = std::min(w, satAdd(next_[s], look_[s][d]));
+        const Tick bound = satAdd(next_[s], look_[s][d]);
+        if (bound < w) {
+            w = bound;
+            windowBoundBy_ = static_cast<std::uint32_t>(s);
+        }
     }
     return w;
 }
@@ -190,6 +229,7 @@ ParallelEngine::runRound()
     ++rounds_;
     for (std::size_t d = 0; d < domains_.size(); ++d) {
         fired_ += perFired_[d];
+        domFired_[d] += perFired_[d];
         // The whole round completes before the first (by id) failure
         // propagates — the same behavior at every thread count.
         if (errors_[d]) {
@@ -224,8 +264,27 @@ ParallelEngine::run(Tick until)
             next_[d] = std::min(next_[d],
                                 satAdd(globalMin, minInLook_[d]));
         }
-        for (std::size_t d = 0; d < domains_.size(); ++d)
+        Tick roundMax = 0;
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
             windows_[d] = windowFor(d, until);
+            if (windowBoundBy_ == kNoBound)
+                ++boundByHorizon_[d];
+            else
+                ++boundBy_[d][windowBoundBy_];
+            roundMax = std::max(roundMax, windows_[d]);
+        }
+        // Telemetry over the schedule (identical at any thread
+        // count): window width is the work a round exposes to each
+        // domain, the stall is how far short of the round's widest
+        // window it stops — the barrier wait in simulated ticks.
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            windowWidth_.record(windows_[d] - globalMin);
+            stallTicks_[d] += roundMax - windows_[d];
+        }
+        if (roundTracer_ != nullptr && roundTracer_->enabled()) {
+            roundTracer_->recordSpan("engine", "round", globalMin,
+                                     roundMax, TraceContext{});
+        }
         runRound();
     }
     for (Domain *d : domains_) {
@@ -234,6 +293,95 @@ ParallelEngine::run(Tick until)
     }
     now_ = until;
     return fired_ - before;
+}
+
+std::uint64_t
+ParallelEngine::domainEventsFired(std::uint32_t d) const
+{
+    return domFired_.at(d);
+}
+
+std::uint64_t
+ParallelEngine::stallTicks(std::uint32_t d) const
+{
+    return stallTicks_.at(d);
+}
+
+std::uint64_t
+ParallelEngine::horizonBoundRounds(std::uint32_t d) const
+{
+    return boundByHorizon_.at(d);
+}
+
+std::uint64_t
+ParallelEngine::channelBoundRounds(std::uint32_t d,
+                                   std::uint32_t src) const
+{
+    return boundBy_.at(d).at(src);
+}
+
+namespace
+{
+
+/** Lowercase a domain name into one metric-path segment. */
+std::string
+metricSegment(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c >= 'A' && c <= 'Z')
+            out += static_cast<char>(c - 'A' + 'a');
+        else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+            out += c;
+        else
+            out += '_';
+    }
+    if (out.empty() || out.front() == '_')
+        out.insert(out.begin(), 'd');
+    return out;
+}
+
+} // namespace
+
+void
+ParallelEngine::registerMetrics(MetricRegistry &reg,
+                                const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".rounds", [this] {
+        return static_cast<double>(rounds_);
+    });
+    reg.addGauge(prefix + ".messages", [this] {
+        return static_cast<double>(delivered_);
+    });
+    // bssd-lint: allow(xcheck-metric-path) engine total vs per-domain
+    reg.addGauge(prefix + ".events", [this] {
+        return static_cast<double>(fired_);
+    });
+    reg.addHistogram(prefix + ".window_width", windowWidth_);
+    for (std::uint32_t d = 0; d < domains_.size(); ++d) {
+        const std::string dp =
+            prefix + "." + metricSegment(domains_[d]->name());
+        // bssd-lint: allow(xcheck-metric-path) per-domain vs engine total
+        reg.addGauge(dp + ".events", [this, d] {
+            return static_cast<double>(domFired_[d]);
+        });
+        reg.addGauge(dp + ".stall_ticks", [this, d] {
+            return static_cast<double>(stallTicks_[d]);
+        });
+        reg.addGauge(dp + ".bound_horizon", [this, d] {
+            return static_cast<double>(boundByHorizon_[d]);
+        });
+        for (std::uint32_t s = 0; s < domains_.size(); ++s) {
+            if (s == d || look_[s][d] == maxTick)
+                continue;
+            reg.addGauge(dp + ".bound_from_" +
+                             metricSegment(domains_[s]->name()),
+                         [this, d, s] {
+                             return static_cast<double>(boundBy_[d][s]);
+                         });
+        }
+    }
 }
 
 } // namespace bssd::sim

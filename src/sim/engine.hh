@@ -51,10 +51,13 @@
 #include <vector>
 
 #include "sim/domain.hh"
+#include "sim/stats.hh"
 #include "sim/ticks.hh"
 
 namespace bssd::sim
 {
+
+class MetricRegistry;
 
 /**
  * Runs a set of domains to a horizon, serially or on worker threads,
@@ -112,6 +115,61 @@ class ParallelEngine
     std::uint64_t eventsFired() const { return fired_; }
     /** @} */
 
+    /** @name Self-telemetry (DESIGN.md section 14)
+     *
+     * All of it is computed on the main thread from the per-round
+     * window schedule, which is identical at every thread count — the
+     * numbers measure the SCHEDULE's parallelism (how much work each
+     * barrier round makes available per domain and which channel
+     * bounds it), not wall time, so they are deterministic and
+     * byte-identical across 1/2/8 threads like everything else.
+     * @{ */
+
+    /** Events fired by one domain over this engine's lifetime. */
+    std::uint64_t domainEventsFired(std::uint32_t d) const;
+
+    /**
+     * Barrier stall attributed to one domain: the per-round gap
+     * between its window end and the round's widest window, summed in
+     * ticks. A domain with large stall is repeatedly ready early and
+     * waits at the barrier — the scaling loss the telemetry makes
+     * measurable.
+     */
+    std::uint64_t stallTicks(std::uint32_t d) const;
+
+    /** Rounds in which @p d's window was bounded by the run horizon
+     *  rather than by an inbound channel. */
+    std::uint64_t horizonBoundRounds(std::uint32_t d) const;
+
+    /** Rounds in which @p d's window was bounded by the channel from
+     *  @p src (lookahead-bound attribution). */
+    std::uint64_t channelBoundRounds(std::uint32_t d,
+                                     std::uint32_t src) const;
+
+    /** Per-round window width (W(d) − globalMin) over all domains. */
+    const Histogram &windowWidth() const { return windowWidth_; }
+
+    /**
+     * Register the engine's telemetry under @p prefix ("engine"):
+     * scalar gauges for rounds/messages/events, the window-width
+     * histogram, and per-domain events/stall/bound attribution under
+     * `<prefix>.<domain-name>.` (names sanitized to metric-path
+     * grammar). The registry must not outlive the engine.
+     */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
+
+    /**
+     * Record one span per barrier round ("engine"/"round", covering
+     * [globalMin, widest window)) into @p t. Opt-in: rounds are many,
+     * so benches enable it only when asked. Pass nullptr to stop.
+     * @p t must be a tracer no domain records into (the engine writes
+     * between rounds, concurrently with nothing).
+     */
+    void traceRounds(Tracer *t) { roundTracer_ = t; }
+
+    /** @} */
+
   private:
     friend class Domain;
 
@@ -159,6 +217,20 @@ class ParallelEngine
     std::uint64_t rounds_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t fired_ = 0;
+
+    // Self-telemetry, accumulated on the main thread between rounds
+    // (see the Introspection section above for semantics).
+    std::vector<std::uint64_t> domFired_;
+    std::vector<std::uint64_t> stallTicks_;
+    /** boundBy_[d][src] = rounds d's window was set by channel src→d. */
+    std::vector<std::vector<std::uint64_t>> boundBy_;
+    std::vector<std::uint64_t> boundByHorizon_;
+    /** windowFor scratch: bounding source of the last computed window
+     *  (domain id, or kNoBound for the horizon cap). */
+    mutable std::uint32_t windowBoundBy_ = 0;
+    static constexpr std::uint32_t kNoBound = ~std::uint32_t(0);
+    Histogram windowWidth_{"window-width-ticks"};
+    Tracer *roundTracer_ = nullptr;
 
     // Worker pool (started lazily on the first threaded round).
     std::vector<std::thread> workers_;

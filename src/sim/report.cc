@@ -1,5 +1,6 @@
 #include "sim/report.hh"
 
+#include <cstddef>
 #include <ostream>
 
 #include "sim/logging.hh"
@@ -55,6 +56,76 @@ GaugeSampler::writeJson(std::ostream &os, int indent) const
 }
 
 void
+SeriesTable::merge(const GaugeSampler &s)
+{
+    if (period == 0)
+        period = s.period();
+    // Column union: new columns append in first-seen order and every
+    // existing row is padded with 0 for them.
+    std::vector<std::size_t> colAt(s.columns().size());
+    for (std::size_t c = 0; c < s.columns().size(); ++c) {
+        const std::string &name = s.columns()[c];
+        std::size_t idx = columns.size();
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i] == name) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == columns.size()) {
+            columns.push_back(name);
+            for (Row &r : rows)
+                r.values.push_back(0.0);
+        }
+        colAt[c] = idx;
+    }
+    // Join on tick: samplers pumped from the same driver loop sample
+    // at identical ticks, so rows line up; a tick only one sampler
+    // recorded becomes its own (padded) row, kept sorted.
+    for (const GaugeSampler::Row &src : s.rows()) {
+        std::size_t pos = rows.size();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].at >= src.at) {
+                pos = i;
+                break;
+            }
+        }
+        if (pos == rows.size() || rows[pos].at != src.at) {
+            Row fresh;
+            fresh.at = src.at;
+            fresh.values.assign(columns.size(), 0.0);
+            rows.insert(rows.begin() +
+                            static_cast<std::ptrdiff_t>(pos),
+                        std::move(fresh));
+        }
+        for (std::size_t c = 0; c < src.values.size(); ++c)
+            rows[pos].values[colAt[c]] = src.values[c];
+    }
+}
+
+void
+SeriesTable::writeJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    os << "{\n" << pad << "  \"period_ticks\": " << period << ",\n"
+       << pad << "  \"columns\": [";
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        os << (i ? ", " : "") << '"' << columns[i] << '"';
+    os << "],\n" << pad << "  \"rows\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << (i ? ",\n" : "\n") << pad << "    [" << rows[i].at;
+        for (double v : rows[i].values)
+            os << ", " << v;
+        os << "]";
+    }
+    if (rows.empty())
+        os << "]";
+    else
+        os << "\n" << pad << "  ]";
+    os << "\n" << pad << "}";
+}
+
+void
 RunReport::writeJson(std::ostream &os) const
 {
     os << "{\n  \"bench\": \"" << bench << "\",\n  \"config\": \""
@@ -82,6 +153,9 @@ RunReport::writeJson(std::ostream &os) const
     if (series) {
         os << ",\n  \"series\": ";
         series->writeJson(os, 2);
+    } else if (mergedSeries) {
+        os << ",\n  \"series\": ";
+        mergedSeries->writeJson(os, 2);
     }
     os << "\n}\n";
 }

@@ -58,6 +58,7 @@ class GaugeSampler
 
     const std::vector<std::string> &columns() const { return columns_; }
     const std::vector<Row> &rows() const { return rows_; }
+    Tick period() const { return period_; }
 
     /** `{"period": ..., "columns": [...], "rows": [[at, v...], ...]}` */
     void writeJson(std::ostream &os, int indent = 0) const;
@@ -68,6 +69,38 @@ class GaugeSampler
     Tick nextDue_ = 0;
     std::vector<std::string> columns_;
     std::vector<Row> rows_;
+};
+
+/**
+ * A detached, mergeable gauge time series: the union of one or more
+ * GaugeSamplers. Used by multi-shard runs where each shard samples
+ * its own registry — merge() is a COLUMN UNION joined on sample tick,
+ * so a gauge path that exists in only one shard's registry (e.g. the
+ * rebalance target's inbound-keys gauge) survives the merge instead
+ * of being dropped; rows missing a column carry 0. Merging samplers
+ * in a fixed order (host, then shard id order) keeps the table — and
+ * its JSON — a pure function of the run.
+ */
+struct SeriesTable
+{
+    struct Row
+    {
+        Tick at = 0;
+        std::vector<double> values;
+    };
+
+    /** Period of the first merged sampler (informational). */
+    Tick period = 0;
+    /** Union of merged column sets, in first-seen order. */
+    std::vector<std::string> columns;
+    /** Rows sorted by tick; values index-aligned with columns. */
+    std::vector<Row> rows;
+
+    /** Fold @p s into the table (column union, rows joined on tick). */
+    void merge(const GaugeSampler &s);
+
+    /** Same shape as GaugeSampler::writeJson. */
+    void writeJson(std::ostream &os, int indent = 0) const;
 };
 
 /** End-of-run machine-readable report. */
@@ -83,6 +116,9 @@ struct RunReport
     std::vector<Tracer::PhaseStat> phases;
     /** Optional gauge time series; null when none was sampled. */
     const GaugeSampler *series = nullptr;
+    /** Optional merged multi-sampler series (cluster runs); emitted
+     *  as "series" when `series` itself is null. */
+    const SeriesTable *mergedSeries = nullptr;
 
     /**
      * Emit the report as one JSON object with stable field order:

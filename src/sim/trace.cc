@@ -39,12 +39,43 @@ Tracer::doBeginSpan(const char *cat, const char *name, Tick start)
     e.cat = intern(cat);
     e.name = intern(name);
     e.parent = stack_.empty() ? 0 : stack_.back();
+    e.gid = mintGid();
+    // Request identity: nested spans inherit it from their local
+    // parent; top-level spans adopt the pushed context (a routed op
+    // executing in this domain) and link across tracers via xparent.
+    if (e.parent != 0)
+        e.trace = events_[e.parent - 1].trace;
+    if (e.trace == 0 && !ctxStack_.empty()) {
+        e.trace = ctxStack_.back().trace;
+        if (e.parent == 0)
+            e.xparent = ctxStack_.back().parent;
+    }
     e.start = start;
     e.end = start;
     e.id = static_cast<SpanId>(events_.size() + 1);
     events_.push_back(e);
     stack_.push_back(e.id);
     return e.id;
+}
+
+std::uint64_t
+Tracer::doRecordSpan(const char *cat, const char *name, Tick start,
+                     Tick end, TraceContext ctx, std::uint64_t gid)
+{
+    if (!enabled_)
+        return 0;
+    Event e;
+    e.kind = Event::Kind::span;
+    e.cat = intern(cat);
+    e.name = intern(name);
+    e.gid = gid != 0 ? gid : mintGid();
+    e.trace = ctx.trace;
+    e.xparent = ctx.parent;
+    e.start = start;
+    e.end = end;
+    e.id = static_cast<SpanId>(events_.size() + 1);
+    events_.push_back(e);
+    return e.gid;
 }
 
 void
@@ -104,6 +135,7 @@ Tracer::clear()
 {
     events_.clear();
     stack_.clear();
+    ctxStack_.clear();
 }
 
 void
@@ -124,6 +156,9 @@ Tracer::append(const Tracer &other)
             e.id += base;
         if (e.parent != 0)
             e.parent += base;
+        // trace/gid/xparent are global (gids carry their stream in the
+        // top 32 bits), so they merge verbatim — cross-tracer parent
+        // links keep resolving after the merge.
         events_.push_back(e);
     }
 }
@@ -201,8 +236,16 @@ Tracer::writeChromeJson(std::ostream &os) const
            << (e.kind == Event::Kind::span
                    ? "span"
                    : e.kind == Event::Kind::phase ? "phase" : "instant")
-           << "\", \"id\": " << e.id << ", \"parent\": " << e.parent
-           << "}}";
+           << "\", \"id\": " << e.id << ", \"parent\": " << e.parent;
+        // Request-stitching fields only when set (phases and instants
+        // carry none; spans outside any request carry only their gid).
+        if (e.trace != 0)
+            os << ", \"trace\": " << e.trace;
+        if (e.gid != 0)
+            os << ", \"gid\": " << e.gid;
+        if (e.xparent != 0)
+            os << ", \"xparent\": " << e.xparent;
+        os << "}}";
         first = false;
     }
     os << "\n], \"displayTimeUnit\": \"ns\"}\n";

@@ -19,9 +19,22 @@
  *              tracepointHit(), so fault injection and tracing share
  *              one instrumentation surface.
  *
+ * Cross-domain request stitching (DESIGN.md section 14): a
+ * TraceContext carries a request's trace id plus the global id of its
+ * parent span across domain boundaries, where the implicit span stack
+ * cannot reach. Every span is minted a global id
+ * ((stream + 1) << 32 | per-tracer sequence) that survives append(),
+ * so a span recorded in a shard's tracer can name its parent in the
+ * host's tracer through Event::xparent and the merged trace still
+ * forms one tree per request. Contexts are established either
+ * explicitly (pushContext/popContext around a routed op's execution)
+ * or by the engine when a Domain::post carries one.
+ *
  * Determinism: the tracer has no clock and no randomness of its own -
- * events land in call order and carry only simulated ticks, so the
- * same seed produces a byte-identical trace file.
+ * events land in call order and carry only simulated ticks, global
+ * ids are (stream, sequence) pairs and trace ids are caller-supplied
+ * sequence numbers, so the same seed produces a byte-identical trace
+ * file at any engine thread count.
  *
  * Cost: call sites hold a `Tracer *` and skip everything when none is
  * installed (one predictable branch). Defining BSSD_TRACING_DISABLED
@@ -57,6 +70,19 @@ inline constexpr bool traceCompiled = true;
 using SpanId = std::uint32_t;
 
 /**
+ * A request identity carried across domain boundaries: the request's
+ * trace id plus the global id of the span that caused the hop. Both 0
+ * when no request is in scope (tracing disabled or background work).
+ */
+struct TraceContext
+{
+    /** Request (trace) id; 0 = none. */
+    std::uint64_t trace = 0;
+    /** Global id (Tracer::mintGid) of the parent span; 0 = none. */
+    std::uint64_t parent = 0;
+};
+
+/**
  * Deterministic span/phase/instant recorder. One instance per rig,
  * single-threaded (the sweep-harness invariant), installed into the
  * component layers next to the FaultInjector.
@@ -77,6 +103,14 @@ class Tracer
         SpanId id = 0;
         /** Enclosing span at record time, or 0 at top level. */
         SpanId parent = 0;
+        /** Request (trace) id, or 0 when not part of a request. */
+        std::uint64_t trace = 0;
+        /** Globally unique span id (spans only); stable across
+         *  append(), unlike the local id/parent pair. */
+        std::uint64_t gid = 0;
+        /** Cross-tracer parent span's gid (top-level spans adopted by
+         *  a TraceContext only; 0 when `parent` carries the link). */
+        std::uint64_t xparent = 0;
         Tick start = 0;
         Tick end = 0;
     };
@@ -138,6 +172,24 @@ class Tracer
             doInstant(cat, name, at);
     }
 
+    /**
+     * Record a complete span [@p start, @p end) outside the implicit
+     * stack. This is how overlapping request-root spans are recorded
+     * (many routed ops are in flight at once, so begin/end nesting
+     * would fabricate parent links): the span's tree position comes
+     * entirely from @p ctx (trace id + cross-tracer parent) and the
+     * caller-minted @p gid. @p gid 0 mints one here.
+     * @return the span's gid (0 when tracing is off).
+     */
+    std::uint64_t
+    recordSpan(const char *cat, const char *name, Tick start, Tick end,
+               TraceContext ctx, std::uint64_t gid = 0)
+    {
+        if constexpr (traceCompiled)
+            return doRecordSpan(cat, name, start, end, ctx, gid);
+        return 0;
+    }
+
     /** Innermost live span, or 0. */
     SpanId
     currentSpan() const
@@ -146,6 +198,87 @@ class Tracer
             return stack_.empty() ? 0 : stack_.back();
         return 0;
     }
+
+    /** @name Trace-context propagation @{ */
+
+    /**
+     * Stream index for global span ids: gids mint as
+     * ((stream + 1) << 32) | sequence. Give each per-domain tracer a
+     * distinct stream (the domain id) before recording, so gids stay
+     * unique after the merge.
+     */
+    void
+    setStream(std::uint32_t stream)
+    {
+        if constexpr (traceCompiled)
+            stream_ = stream;
+    }
+
+    /** Mint the next global span id (0 while disabled). */
+    std::uint64_t
+    mintGid()
+    {
+        if constexpr (traceCompiled) {
+            if (enabled_)
+                return (std::uint64_t(stream_) + 1) << 32 | ++gidSeq_;
+        }
+        return 0;
+    }
+
+    /**
+     * Enter @p ctx: until the matching popContext(), top-level spans
+     * adopt ctx.trace and link to ctx.parent through Event::xparent
+     * (nested spans keep inheriting from their local parent). No-op
+     * while disabled — zero work, zero allocation.
+     */
+    void
+    pushContext(TraceContext ctx)
+    {
+        if constexpr (traceCompiled) {
+            if (enabled_ && ctx.trace != 0)
+                ctxStack_.push_back(ctx);
+        }
+    }
+
+    void
+    popContext()
+    {
+        if constexpr (traceCompiled) {
+            if (enabled_ && !ctxStack_.empty())
+                ctxStack_.pop_back();
+        }
+    }
+
+    /**
+     * The identity a cross-domain hop should carry: the innermost
+     * live span's (trace, gid) when one is live, else the innermost
+     * pushed context, else empty.
+     */
+    TraceContext
+    currentContext() const
+    {
+        if constexpr (traceCompiled) {
+            for (std::size_t i = stack_.size(); i-- > 0;) {
+                const Event &e = events_[stack_[i] - 1];
+                if (e.trace != 0)
+                    return TraceContext{e.trace, e.gid};
+            }
+            if (!ctxStack_.empty())
+                return ctxStack_.back();
+        }
+        return TraceContext{};
+    }
+
+    /** Depth of the pushed-context stack (tests; 0 while disabled). */
+    std::size_t
+    contextDepth() const
+    {
+        if constexpr (traceCompiled)
+            return ctxStack_.size();
+        return 0;
+    }
+
+    /** @} */
 
     /** Runtime enable toggle (records nothing while disabled). */
     void setEnabled(bool on) { enabled_ = on; }
@@ -196,14 +329,20 @@ class Tracer
   private:
     SpanId doBeginSpan(const char *cat, const char *name, Tick start);
     void doEndSpan(SpanId id, Tick end);
+    std::uint64_t doRecordSpan(const char *cat, const char *name,
+                               Tick start, Tick end, TraceContext ctx,
+                               std::uint64_t gid);
     void doPhase(const char *name, Tick start, Tick end);
     void doInstant(const char *cat, const char *name, Tick at);
 
     std::uint32_t intern(const char *s);
 
     bool enabled_ = true;
+    std::uint32_t stream_ = 0;
+    std::uint64_t gidSeq_ = 0;
     std::vector<Event> events_;
     std::vector<SpanId> stack_;
+    std::vector<TraceContext> ctxStack_;
     std::vector<std::string> strings_;
     std::map<std::string, std::uint32_t> internIds_;
 };

@@ -40,7 +40,12 @@ sim::Tick
 AsyncWal::commit(sim::Tick now)
 {
     advanceFlusher(now);
-    return now + cfg_.commitCost;
+    const sim::Tick t = now + cfg_.commitCost;
+    if (tracer_) {
+        const sim::SpanId sp = tracer_->beginSpan("wal", "commit", now);
+        tracer_->endSpan(sp, t);
+    }
+    return t;
 }
 
 void

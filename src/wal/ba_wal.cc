@@ -141,10 +141,14 @@ BaWal::commit(sim::Tick now)
 {
     if (syncedPos_ == appendPos_)
         return now; // everything already durable
+    const sim::SpanId sp =
+        tracer_ ? tracer_->beginSpan("wal", "commit", now) : 0;
     Half &half = halves_[cur_];
     std::uint64_t off = half.windowOffset + (syncedPos_ - halfStart_);
     now = dev_.baSyncRange(now, half.eid, off, appendPos_ - syncedPos_);
     syncedPos_ = appendPos_;
+    if (sp != 0)
+        tracer_->endSpan(sp, now);
     return now;
 }
 

@@ -33,6 +33,8 @@ BlockWal::commit(sim::Tick now)
 {
     if (durablePos_ == appendPos_)
         return now; // nothing new; fsync would be a no-op
+    const sim::SpanId sp =
+        tracer_ ? tracer_->beginSpan("wal", "commit", now) : 0;
     commits_.add();
 
     const std::uint32_t ps = dev_.pageSize();
@@ -57,6 +59,8 @@ BlockWal::commit(sim::Tick now)
     t = iv.end + cfg_.fsyncSyscall;
     t = dev_.flush(t);
     durablePos_ = appendPos_;
+    if (sp != 0)
+        tracer_->endSpan(sp, t);
     return t;
 }
 

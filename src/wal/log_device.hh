@@ -90,11 +90,14 @@ class LogDevice
     virtual std::uint64_t recoveryChunkBytes() const { return 0; }
 
     /**
-     * Install the rig's tracer into the log path. Default: no-op (the
-     * underlying device is traced by the rig; implementations that add
-     * log-level spans override this).
+     * Install the rig's tracer into the log path. The base class
+     * stores the pointer and every implementation wraps commit() in a
+     * "wal"/"commit" span with it, so a request's critical path shows
+     * the log layer between the store above and the device below.
+     * Implementations that also trace their media override this and
+     * forward the tracer down.
      */
-    virtual void setTracer(sim::Tracer *t) { (void)t; }
+    virtual void setTracer(sim::Tracer *t) { tracer_ = t; }
 
     /**
      * Attach the log's statistics to @p reg under @p prefix ("wal").
@@ -112,6 +115,10 @@ class LogDevice
             return static_cast<double>(bytesToStore());
         });
     }
+
+  protected:
+    /** Rig tracer; null = untraced (see setTracer). */
+    sim::Tracer *tracer_ = nullptr;
 };
 
 } // namespace bssd::wal

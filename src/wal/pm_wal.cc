@@ -112,7 +112,12 @@ PmWal::commit(sim::Tick now)
 {
     // Records already sit in persistent memory; a clwb+sfence barrier
     // is the entire durability cost.
-    return pm_.persistBarrier(now);
+    const sim::SpanId sp =
+        tracer_ ? tracer_->beginSpan("wal", "commit", now) : 0;
+    const sim::Tick t = pm_.persistBarrier(now);
+    if (sp != 0)
+        tracer_->endSpan(sp, t);
+    return t;
 }
 
 void

@@ -81,10 +81,14 @@ PmrWal::commit(sim::Tick now)
 {
     if (syncedPos_ == appendPos_)
         return now;
+    const sim::SpanId sp =
+        tracer_ ? tracer_->beginSpan("wal", "commit", now) : 0;
     Half &half = halves_[cur_];
     std::uint64_t off = half.windowOffset + (syncedPos_ - halfStart_);
     now = dev_.mmioSync(now, off, appendPos_ - syncedPos_);
     syncedPos_ = appendPos_;
+    if (sp != 0)
+        tracer_->endSpan(sp, now);
     return now;
 }
 

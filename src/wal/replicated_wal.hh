@@ -100,7 +100,6 @@ class ReplicatedWal : public LogDevice
     ReplicatedWalConfig cfg_;
 
     sim::FaultInjector *faults_ = nullptr;
-    sim::Tracer *tracer_ = nullptr;
 
     /** Records appended since the last successful ship. */
     std::vector<std::vector<std::uint8_t>> pending_;

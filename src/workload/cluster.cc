@@ -77,6 +77,7 @@ runCluster(const ClusterConfig &cfg, sim::Tracer *trace)
     res.movedKeys = c.movedKeys();
     res.stateDigest = c.stateDigest();
     res.metricsJson = c.metricsJson();
+    res.sloSeriesJson = c.sloJson();
     return res;
 }
 

@@ -110,6 +110,9 @@ struct ClusterResult
     std::uint64_t stateDigest = 0;
     /** Merged metrics snapshot (JSON, deterministic row order). */
     std::string metricsJson;
+    /** Per-shard SLO time series (JSON, deterministic column order:
+     *  host gauges first, then shards by id). */
+    std::string sloSeriesJson;
 };
 
 /**

@@ -8,8 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <sstream>
+
 #include "cluster/cluster.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
 
 using namespace bssd;
 using cluster::Cluster;
@@ -201,6 +207,108 @@ TEST(Cluster, MetricsAndDigestAreStableAcrossThreadCounts)
     EXPECT_EQ(serial.metricsJson(), parallel.metricsJson());
     EXPECT_EQ(serial.horizon(), parallel.horizon());
     EXPECT_EQ(serial.movedKeys(), parallel.movedKeys());
+}
+
+TEST(Cluster, TracedRunStitchesOneTreePerRequest)
+{
+    // Every completed op must appear in the merged trace as exactly
+    // one root span (trace != 0, no local or cross-tracer parent)
+    // with a unique trace id, and every cross-tracer link must
+    // resolve to a span gid carrying the same trace. This is the
+    // invariant trace_dump --validate enforces on artifacts;
+    // asserting it here keeps the check independent of the tool.
+    ClusterConfig cfg = rebalancingFleet(Sharding::hash);
+    sim::Tracer trace;
+    Cluster c(cfg, &trace);
+    c.run();
+
+    using Event = sim::Tracer::Event;
+    std::set<std::uint64_t> roots;
+    std::map<std::uint64_t, std::uint64_t> traceOfGid;
+    std::map<std::uint32_t, std::uint64_t> traceOfLocalId;
+    for (const Event &e : trace.events()) {
+        if (e.kind != Event::Kind::span)
+            continue;
+        if (e.gid != 0)
+            traceOfGid[e.gid] = e.trace;
+        traceOfLocalId[e.id] = e.trace;
+        if (e.trace != 0 && e.parent == 0 && e.xparent == 0) {
+            // Root spans are one per request: duplicates would mean a
+            // request picked up two competing span trees.
+            EXPECT_TRUE(roots.insert(e.trace).second)
+                << "duplicate root for trace " << e.trace;
+        }
+    }
+    // One root per op, plus the rebalance's own request tree.
+    EXPECT_EQ(roots.size(),
+              static_cast<std::size_t>(cfg.cycles * cfg.opsPerCycle) +
+                  1u);
+    for (const Event &e : trace.events()) {
+        if (e.kind != Event::Kind::span || e.xparent == 0)
+            continue;
+        auto it = traceOfGid.find(e.xparent);
+        ASSERT_NE(it, traceOfGid.end())
+            << "dangling xparent " << e.xparent;
+        EXPECT_EQ(it->second, e.trace);
+    }
+    // Local parents never cross request boundaries either.
+    for (const Event &e : trace.events()) {
+        if (e.kind != Event::Kind::span || e.parent == 0)
+            continue;
+        auto it = traceOfLocalId.find(e.parent);
+        ASSERT_NE(it, traceOfLocalId.end());
+        if (e.trace != 0 && it->second != 0)
+            EXPECT_EQ(it->second, e.trace);
+    }
+}
+
+TEST(Cluster, TraceAndSloSeriesAreStableAcrossThreadCounts)
+{
+    // The observability outputs are part of the determinism contract:
+    // the merged Chrome JSON and the per-shard SLO series must be
+    // byte-identical no matter how many engine threads ran the fleet.
+    ClusterConfig cfg = rebalancingFleet(Sharding::hash);
+    auto runAt = [&cfg](unsigned threads) {
+        ClusterConfig tc = cfg;
+        tc.engineThreads = threads;
+        sim::Tracer trace;
+        Cluster c(tc, &trace);
+        c.run();
+        std::ostringstream os;
+        trace.writeChromeJson(os);
+        return std::make_pair(os.str(), c.sloJson());
+    };
+    const auto serial = runAt(0);
+    const auto four = runAt(4);
+    EXPECT_EQ(serial.first, four.first);
+    EXPECT_EQ(serial.second, four.second);
+    EXPECT_NE(serial.second.find("inbound_keys"), std::string::npos);
+}
+
+TEST(Cluster, SnapshotCarriesEngineAndOneSidedSloMetrics)
+{
+    // The merged snapshot keeps the engine's self-telemetry and the
+    // one-sided inbound_keys gauge (registered only on the rebalance
+    // target) without dropping or double-counting either.
+    ClusterConfig cfg = rebalancingFleet(Sharding::hash);
+    Cluster c(cfg);
+    c.run();
+
+    sim::MetricsSnapshot snap = c.metricsSnapshot();
+    ASSERT_NE(snap.find("engine.rounds"), nullptr);
+    ASSERT_NE(snap.find("engine.events"), nullptr);
+    EXPECT_GT(snap.find("engine.rounds")->value, 0.0);
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        const std::string p =
+            "slo.shard" + std::to_string(s) + ".inbound_keys";
+        if (s == cfg.moveTo) {
+            ASSERT_NE(snap.find(p), nullptr);
+            EXPECT_DOUBLE_EQ(snap.find(p)->value,
+                             static_cast<double>(c.movedKeys()));
+        } else {
+            EXPECT_EQ(snap.find(p), nullptr) << p;
+        }
+    }
 }
 
 TEST(Cluster, RejectsBadConfigurations)

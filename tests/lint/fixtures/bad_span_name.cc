@@ -1,0 +1,14 @@
+// Fixture: xcheck-span-name must flag beginSpan/recordSpan (cat, name)
+// literal pairs and phase name literals that are not in the canonical
+// vocabulary (src/sim/span_names.hh).
+#include "sim/trace.hh"
+
+void
+emit(bssd::sim::Tracer &tracer)
+{
+    // Typo'd span name: "comit" is not in kSpanNames.
+    auto sp = tracer.beginSpan("wal", "comit", 0);
+    // Typo'd phase name: "mediaa" is not in kPhaseNames.
+    tracer.phase("mediaa", 0, 1);
+    tracer.endSpan(sp, 2);
+}

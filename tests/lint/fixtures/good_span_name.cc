@@ -1,0 +1,15 @@
+// Fixture: canonical span and phase names resolve against the tables,
+// and dynamically-named spans (non-literal name argument) are outside
+// the rule's scope by design.
+#include "sim/trace.hh"
+
+void
+emit(bssd::sim::Tracer &tracer, const char *op)
+{
+    auto sp = tracer.beginSpan("wal", "commit", 0);
+    tracer.phase("media", 0, 1);
+    tracer.endSpan(sp, 2);
+    // Runtime-minted name: skipped, not flagged.
+    auto dyn = tracer.beginSpan("nvme", op, 3);
+    tracer.endSpan(dyn, 4);
+}

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "lint/lint.hh"
+#include "sim/span_names.hh"
 #include "sim/tracepoint.hh"
 
 using namespace bssd::lint;
@@ -63,6 +65,7 @@ TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule)
         {"bad_using_namespace.hh", "hyg-using-namespace"},
         {"bad_ticks_literal.cc", "hyg-ticks-literal"},
         {"bad_tracepoint.cc", "xcheck-tracepoint"},
+        {"bad_span_name.cc", "xcheck-span-name"},
         {"bad_metric_path.cc", "xcheck-metric-path"},
         {"bad_suppression.cc", "lint-suppression"},
     };
@@ -89,7 +92,7 @@ TEST(LintFixtures, GoodFixturesAreClean)
         "good_include_guard.hh",   "good_using_namespace.hh",
         "good_ticks_literal.cc",   "good_tracepoint.cc",
         "good_metric_path.cc",     "good_suppression.cc",
-        "good_cross_domain_schedule.cc",
+        "good_cross_domain_schedule.cc", "good_span_name.cc",
     };
     for (const auto &file : good) {
         LintResult r = lintPath(kFixtures + file);
@@ -195,6 +198,86 @@ tpName(Tp tp)
         if (m.find("enum class Tp has 3 entries") != std::string::npos)
             countMismatch = true;
     EXPECT_TRUE(countMismatch);
+}
+
+TEST(LintSpanNames, BadFixtureFlagsBothSpanAndPhase)
+{
+    // One typo'd (cat, name) pair plus one typo'd phase name: both
+    // surface, nothing else does.
+    LintResult r = lintPath(kFixtures + "bad_span_name.cc");
+    ASSERT_TRUE(r.spanTableLoaded);
+    ASSERT_EQ(r.violations.size(), 2u);
+    EXPECT_NE(r.violations[0].message.find("'wal.comit'"),
+              std::string::npos);
+    EXPECT_NE(r.violations[1].message.find("'mediaa'"),
+              std::string::npos);
+}
+
+TEST(LintSpanNames, ParsedTableMatchesRuntimeTable)
+{
+    // The analyzer parses src/sim/span_names.hh; the runtime compiles
+    // it. Both views must agree entry-for-entry, in table order.
+    std::ifstream in(std::string(kRoot) + "/src/sim/span_names.hh",
+                     std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    LexedFile f = lex("src/sim/span_names.hh", ss.str());
+    ProjectTables tables;
+    parseSpanNameTable(f, tables);
+    ASSERT_TRUE(tables.spanTableLoaded);
+    ASSERT_EQ(tables.spanNames.size(), bssd::sim::spanNameCount);
+    for (std::size_t i = 0; i < bssd::sim::spanNameCount; ++i) {
+        EXPECT_EQ(tables.spanNames[i].first,
+                  bssd::sim::kSpanNames[i].cat) << i;
+        EXPECT_EQ(tables.spanNames[i].second,
+                  bssd::sim::kSpanNames[i].name) << i;
+        EXPECT_TRUE(bssd::sim::spanNameKnown(
+            tables.spanNames[i].first, tables.spanNames[i].second));
+    }
+    ASSERT_EQ(tables.phaseNames.size(), bssd::sim::phaseNameCount);
+    for (std::size_t i = 0; i < bssd::sim::phaseNameCount; ++i) {
+        EXPECT_EQ(tables.phaseNames[i], bssd::sim::kPhaseNames[i]) << i;
+        EXPECT_TRUE(bssd::sim::phaseNameKnown(tables.phaseNames[i]));
+    }
+}
+
+TEST(LintSpanNames, MalformedTableIsFlagged)
+{
+    // Out-of-order span pair and a duplicated phase, delivered through
+    // lintBuffer at the canonical path so the table self-check runs.
+    const std::string path = "src/sim/span_names.hh";
+    const std::string src = R"(
+#ifndef BSSD_SIM_SPAN_NAMES_HH
+#define BSSD_SIM_SPAN_NAMES_HH
+
+inline constexpr SpanName kSpanNames[] = {
+    {"wal", "commit"},
+    {"ba", "flush"},
+};
+
+inline constexpr const char *kPhaseNames[] = {
+    "dma",
+    "dma",
+};
+
+#endif // BSSD_SIM_SPAN_NAMES_HH
+)";
+    LexedFile f = lex(path, src);
+    ProjectTables tables;
+    parseSpanNameTable(f, tables);
+    ASSERT_TRUE(tables.spanTableLoaded);
+    auto violations = lintBuffer(path, src, tables);
+    std::set<std::string> rules;
+    for (const auto &v : violations)
+        rules.insert(v.rule);
+    EXPECT_EQ(rules, std::set<std::string>{"xcheck-span-table"});
+    ASSERT_EQ(violations.size(), 2u);
+    // Both land on line 1; sort order is by message (kPhaseNames
+    // before kSpanNames).
+    EXPECT_NE(violations[0].message.find("'dma'"), std::string::npos);
+    EXPECT_NE(violations[1].message.find("'ba.flush'"),
+              std::string::npos);
 }
 
 TEST(LintCatalog, RuleIdsAreSortedAndKnown)

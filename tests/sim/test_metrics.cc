@@ -14,6 +14,7 @@
 
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
+#include "sim/report.hh"
 #include "sim/stats.hh"
 
 using namespace bssd::sim;
@@ -210,6 +211,77 @@ TEST(MetricsSnapshot, SweepWorkerMergeIsDeterministic)
         return os.str();
     };
     EXPECT_EQ(fold(), fold());
+}
+
+TEST(SeriesTable, ColumnUnionJoinedOnTickPadsWithZero)
+{
+    // Two shard registries with one shared and one one-sided gauge
+    // (the rebalance target's inbound-keys column): the merged table
+    // must keep the union and pad missing cells with 0, not drop the
+    // one-sided column.
+    double q0 = 0.0, q1 = 0.0, inbound = 0.0;
+    MetricRegistry r0, r1;
+    r0.addGauge("slo.shard0.queue_depth", [&] { return q0; });
+    r1.addGauge("slo.shard1.queue_depth", [&] { return q1; });
+    r1.addGauge("slo.shard1.inbound_keys", [&] { return inbound; });
+
+    GaugeSampler s0(r0, 100), s1(r1, 100);
+    q0 = 3;
+    q1 = 5;
+    inbound = 7;
+    s0.sample(0);
+    s1.sample(0);
+    q0 = 4;
+    inbound = 9;
+    s0.sample(100);
+    s1.sample(100);
+
+    SeriesTable table;
+    table.merge(s0);
+    table.merge(s1);
+    // Each sampler contributes its gauge paths in sorted registry
+    // order, so inbound_keys lands before queue_depth for shard1.
+    ASSERT_EQ(table.columns.size(), 3u);
+    EXPECT_EQ(table.columns[0], "slo.shard0.queue_depth");
+    EXPECT_EQ(table.columns[1], "slo.shard1.inbound_keys");
+    EXPECT_EQ(table.columns[2], "slo.shard1.queue_depth");
+    ASSERT_EQ(table.rows.size(), 2u);
+    EXPECT_EQ(table.rows[0].values,
+              (std::vector<double>{3, 7, 5}));
+    EXPECT_EQ(table.rows[1].values,
+              (std::vector<double>{4, 9, 5}));
+    EXPECT_EQ(table.period, 100u);
+}
+
+TEST(SeriesTable, OneSidedSampleTicksSurviveTheJoin)
+{
+    // A sampler that recorded rows at ticks the other never saw (a
+    // shard built mid-run): the union keeps every tick, padding the
+    // absent sampler's columns with 0.
+    double a = 1.0, b = 2.0;
+    MetricRegistry ra, rb;
+    ra.addGauge("slo.a", [&] { return a; });
+    rb.addGauge("slo.b", [&] { return b; });
+    GaugeSampler sa(ra, 100), sb(rb, 200);
+    sa.sample(0);
+    sa.sample(100);
+    sb.sample(0);
+    sb.sample(200);
+
+    SeriesTable table;
+    table.merge(sa);
+    table.merge(sb);
+    ASSERT_EQ(table.rows.size(), 3u); // ticks 0, 100, 200
+    EXPECT_EQ(table.rows[0].values, (std::vector<double>{1, 2}));
+    EXPECT_EQ(table.rows[1].values, (std::vector<double>{1, 0}));
+    EXPECT_EQ(table.rows[2].values, (std::vector<double>{0, 2}));
+
+    // Serialization is a pure function of the table.
+    std::ostringstream o1, o2;
+    table.writeJson(o1);
+    table.writeJson(o2);
+    EXPECT_EQ(o1.str(), o2.str());
+    EXPECT_NE(o1.str().find("\"columns\""), std::string::npos);
 }
 
 TEST(MetricsSnapshot, WriteJsonShape)

@@ -260,3 +260,117 @@ TEST(Tracer, CompileTimeGuardIsConsistent)
 #endif
     SUCCEED();
 }
+
+TEST(TraceContext, TopLevelSpansAdoptThePushedContext)
+{
+    Tracer t;
+    t.setStream(3);
+    const std::uint64_t parentGid = (std::uint64_t(7) + 1) << 32 | 9;
+    t.pushContext(TraceContext{42, parentGid});
+
+    // Top level: adopts the context's trace and stitches via xparent.
+    SpanId outer = t.beginSpan("shard", "exec", 100);
+    // Nested: inherits from its LOCAL parent, no xparent link.
+    SpanId inner = t.beginSpan("wal", "commit", 110);
+    t.endSpan(inner, 120);
+    t.endSpan(outer, 130);
+    t.popContext();
+    EXPECT_EQ(t.contextDepth(), 0u);
+
+    // Outside any context, spans carry no trace.
+    SpanId bare = t.beginSpan("ftl", "gc", 200);
+    t.endSpan(bare, 210);
+
+    const auto &ev = t.events();
+    ASSERT_EQ(ev.size(), 3u);
+    EXPECT_EQ(ev[0].trace, 42u);
+    EXPECT_EQ(ev[0].xparent, parentGid);
+    EXPECT_EQ(ev[0].gid, (std::uint64_t(3) + 1) << 32 | 1);
+    EXPECT_EQ(ev[1].trace, 42u);
+    EXPECT_EQ(ev[1].xparent, 0u);
+    EXPECT_EQ(ev[1].parent, outer);
+    EXPECT_EQ(ev[2].trace, 0u);
+    EXPECT_EQ(ev[2].xparent, 0u);
+}
+
+TEST(TraceContext, RecordSpanIsStackFreeAndOverlaps)
+{
+    // Request-root spans overlap (many routed ops in flight), so they
+    // are recorded complete, outside the implicit stack, with their
+    // identity supplied entirely by the TraceContext and minted gid.
+    Tracer t;
+    const std::uint64_t g1 = t.mintGid();
+    const std::uint64_t g2 = t.mintGid();
+    ASSERT_NE(g1, 0u);
+    ASSERT_NE(g1, g2);
+
+    // Overlapping roots, recorded out of order: no parent fabrication.
+    t.recordSpan("router", "set", 100, 300, TraceContext{1, 0}, g1);
+    t.recordSpan("router", "get", 150, 250, TraceContext{2, 0}, g2);
+    t.recordSpan("router", "doorbell", 100, 120, TraceContext{1, g1});
+
+    const auto &ev = t.events();
+    ASSERT_EQ(ev.size(), 3u);
+    EXPECT_EQ(ev[0].parent, 0u);
+    EXPECT_EQ(ev[0].gid, g1);
+    EXPECT_EQ(ev[0].trace, 1u);
+    EXPECT_EQ(ev[1].parent, 0u);
+    EXPECT_EQ(ev[1].trace, 2u);
+    // The child names its parent through xparent, and a gid of 0
+    // mints a fresh one.
+    EXPECT_EQ(ev[2].xparent, g1);
+    EXPECT_NE(ev[2].gid, 0u);
+    EXPECT_EQ(t.currentSpan(), 0u);
+}
+
+TEST(TraceContext, AppendRebasesLocalIdsButKeepsGlobalLinks)
+{
+    // Host tracer (stream 0) holds the request root; a shard tracer
+    // (stream 1) holds the execution span stitched via xparent. After
+    // the merge the local id space is rebased but the global fields
+    // pass through verbatim, so the tree keeps resolving.
+    Tracer host;
+    host.setStream(0);
+    const std::uint64_t rootGid = host.mintGid();
+    host.recordSpan("router", "set", 0, 100, TraceContext{5, 0},
+                    rootGid);
+
+    Tracer shard;
+    shard.setStream(1);
+    shard.pushContext(TraceContext{5, rootGid});
+    SpanId exec = shard.beginSpan("shard", "exec", 10);
+    shard.endSpan(exec, 60);
+    shard.popContext();
+
+    Tracer merged;
+    merged.append(host);
+    merged.append(shard);
+
+    const auto &ev = merged.events();
+    ASSERT_EQ(ev.size(), 2u);
+    EXPECT_EQ(ev[0].gid, rootGid);
+    // Rebased local ids stay unique...
+    EXPECT_NE(ev[0].id, ev[1].id);
+    // ...and the cross-tracer link still resolves by gid.
+    EXPECT_EQ(ev[1].trace, 5u);
+    EXPECT_EQ(ev[1].xparent, rootGid);
+    EXPECT_NE(ev[1].gid, rootGid);
+}
+
+TEST(TraceContext, RuntimeDisabledTracerAllocatesNothing)
+{
+    // The satellite guarantee: a constructed-but-disabled tracer adds
+    // zero allocations on the hot path - no events, no context stack
+    // growth, gids not minted.
+    Tracer t;
+    t.setEnabled(false);
+    EXPECT_EQ(t.mintGid(), 0u);
+    t.pushContext(TraceContext{9, 1});
+    EXPECT_EQ(t.contextDepth(), 0u);
+    t.recordSpan("router", "set", 0, 10, TraceContext{9, 0});
+    SpanId sp = t.beginSpan("shard", "exec", 0);
+    t.endSpan(sp, 10);
+    t.popContext();
+    EXPECT_EQ(t.events().capacity(), 0u);
+    EXPECT_EQ(t.currentContext().trace, 0u);
+}

@@ -13,248 +13,38 @@
  *   --name=blockWrite  only events with this name
  *   --from-us=N        only events starting at or after N us
  *   --to-us=N          only events starting before N us
+ *   --request=N        only the span tree of request (trace id) N:
+ *                      its spans plus their phases and instants
  *
  * --validate asserts what every consumer of these traces relies on:
  * the JSON parses, every event is one of ph "X"/"i"/"M", ts is
- * non-decreasing in file order, durations are non-negative, and every
+ * non-decreasing in file order, durations are non-negative, every
  * span's phases partition it - per-phase tick sums reconcile with the
- * span's end-to-end duration within one tick. Exit status 1 on any
- * violation (CI runs this against a freshly generated trace).
+ * span's end-to-end duration within one tick - and the request
+ * stitching is sound: span gids are unique, every xparent resolves to
+ * a span carrying the same trace id, local parent links never cross
+ * trace ids, and no trace has more than one root span. Exit status 1
+ * on any violation (CI runs this against a freshly generated trace).
  */
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "trace_json.hh"
+
 namespace
 {
 
-/** Minimal JSON document model (enough for trace_event files). */
-struct Json
-{
-    enum class Kind { null, boolean, number, string, array, object };
-
-    Kind kind = Kind::null;
-    bool b = false;
-    double num = 0.0;
-    std::string str;
-    std::vector<Json> arr;
-    std::vector<std::pair<std::string, Json>> obj;
-
-    const Json *
-    field(const std::string &key) const
-    {
-        for (const auto &[k, v] : obj)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-/** Recursive-descent JSON parser (throws std::runtime_error). */
-class Parser
-{
-  public:
-    explicit Parser(const std::string &text) : s_(text) {}
-
-    Json
-    parse()
-    {
-        Json v = value();
-        skipWs();
-        if (pos_ != s_.size())
-            fail("trailing characters after document");
-        return v;
-    }
-
-  private:
-    const std::string &s_;
-    std::size_t pos_ = 0;
-
-    [[noreturn]] void
-    fail(const std::string &why) const
-    {
-        throw std::runtime_error("JSON parse error at byte " +
-                                 std::to_string(pos_) + ": " + why);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= s_.size())
-            fail("unexpected end of input");
-        return s_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    Json
-    value()
-    {
-        switch (peek()) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return stringValue();
-          case 't':
-          case 'f': return boolean();
-          case 'n': return null();
-          default: return number();
-        }
-    }
-
-    Json
-    object()
-    {
-        expect('{');
-        Json v;
-        v.kind = Json::Kind::object;
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            Json key = stringValue();
-            expect(':');
-            v.obj.emplace_back(std::move(key.str), value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    Json
-    array()
-    {
-        expect('[');
-        Json v;
-        v.kind = Json::Kind::array;
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            v.arr.push_back(value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    Json
-    stringValue()
-    {
-        expect('"');
-        Json v;
-        v.kind = Json::Kind::string;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    fail("bad escape");
-                char e = s_[pos_++];
-                switch (e) {
-                  case 'n': v.str += '\n'; break;
-                  case 't': v.str += '\t'; break;
-                  case '"':
-                  case '\\':
-                  case '/': v.str += e; break;
-                  default: fail("unsupported escape");
-                }
-            } else {
-                v.str += c;
-            }
-        }
-        if (pos_ >= s_.size())
-            fail("unterminated string");
-        ++pos_; // closing quote
-        return v;
-    }
-
-    Json
-    boolean()
-    {
-        Json v;
-        v.kind = Json::Kind::boolean;
-        if (s_.compare(pos_, 4, "true") == 0) {
-            v.b = true;
-            pos_ += 4;
-        } else if (s_.compare(pos_, 5, "false") == 0) {
-            pos_ += 5;
-        } else {
-            fail("bad literal");
-        }
-        return v;
-    }
-
-    Json
-    null()
-    {
-        if (s_.compare(pos_, 4, "null") != 0)
-            fail("bad literal");
-        pos_ += 4;
-        return Json{};
-    }
-
-    Json
-    number()
-    {
-        std::size_t start = pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                std::strchr("+-.eE", s_[pos_])))
-            ++pos_;
-        if (pos_ == start)
-            fail("expected a value");
-        Json v;
-        v.kind = Json::Kind::number;
-        v.num = std::strtod(s_.substr(start, pos_ - start).c_str(),
-                            nullptr);
-        return v;
-    }
-};
-
-/** One trace event, decoded from its JSON row. */
-struct TraceEvent
-{
-    std::string ph;   // "X", "i" or "M"
-    std::string cat;
-    std::string name;
-    std::string kind; // args.kind: span / phase / instant
-    double tsUs = 0.0;
-    double durUs = 0.0;
-    std::uint64_t startTicks = 0;
-    std::uint64_t endTicks = 0;
-    std::uint64_t id = 0;
-    std::uint64_t parent = 0;
-};
+using bssd::tools::Json;
+using bssd::tools::Parser;
+using bssd::tools::TraceEvent;
 
 struct Options
 {
@@ -265,6 +55,7 @@ struct Options
     std::string name;
     double fromUs = -1.0;
     double toUs = -1.0;
+    std::uint64_t request = 0;
 };
 
 bool
@@ -288,67 +79,31 @@ fail(const std::string &why)
     return 1;
 }
 
-/** Decode the traceEvents rows; "M" metadata rows are skipped. */
-int
-decode(const Json &doc, std::vector<TraceEvent> &out,
-       bool validate)
+/**
+ * Keep only the span tree of one request: spans whose trace id is
+ * opt.request, plus phases and instants whose nearest span ancestor
+ * (via local parent links) is one of them.
+ */
+void
+filterRequest(std::vector<TraceEvent> &events, std::uint64_t request)
 {
-    const Json *events = doc.field("traceEvents");
-    if (!events || events->kind != Json::Kind::array)
-        return fail("no traceEvents array");
-
-    double lastTs = -1.0;
-    for (const Json &row : events->arr) {
-        if (row.kind != Json::Kind::object)
-            return fail("traceEvents row is not an object");
-        const Json *ph = row.field("ph");
-        if (!ph || ph->kind != Json::Kind::string)
-            return fail("event without ph");
-        if (ph->str == "M")
-            continue;
-        if (ph->str != "X" && ph->str != "i")
-            return fail("unexpected ph \"" + ph->str + "\"");
-
-        TraceEvent e;
-        e.ph = ph->str;
-        const Json *cat = row.field("cat");
-        const Json *name = row.field("name");
-        const Json *ts = row.field("ts");
-        if (!cat || !name || !ts)
-            return fail("event missing cat/name/ts");
-        e.cat = cat->str;
-        e.name = name->str;
-        e.tsUs = ts->num;
-        if (e.ph == "X") {
-            const Json *dur = row.field("dur");
-            if (!dur)
-                return fail("complete event without dur");
-            e.durUs = dur->num;
-            if (validate && e.durUs < 0.0)
-                return fail("negative dur at ts " +
-                            std::to_string(e.tsUs));
-        }
-        if (validate && e.tsUs < lastTs) {
-            return fail("ts not monotonic: " + std::to_string(e.tsUs) +
-                        " after " + std::to_string(lastTs));
-        }
-        lastTs = e.tsUs;
-
-        if (const Json *args = row.field("args")) {
-            auto u64 = [&](const char *key, std::uint64_t &dst) {
-                if (const Json *f = args->field(key))
-                    dst = static_cast<std::uint64_t>(f->num);
-            };
-            u64("start_ticks", e.startTicks);
-            u64("end_ticks", e.endTicks);
-            u64("id", e.id);
-            u64("parent", e.parent);
-            if (const Json *k = args->field("kind"))
-                e.kind = k->str;
-        }
-        out.push_back(std::move(e));
+    std::map<std::uint64_t, std::uint64_t> traceOf; // local id -> trace
+    for (const auto &e : events) {
+        if (e.kind == "span" && e.id != 0)
+            traceOf[e.id] = e.trace;
     }
-    return 0;
+    std::vector<TraceEvent> kept;
+    for (auto &e : events) {
+        std::uint64_t trace = e.trace;
+        if (e.kind != "span" && e.parent != 0) {
+            auto it = traceOf.find(e.parent);
+            if (it != traceOf.end())
+                trace = it->second;
+        }
+        if (trace == request)
+            kept.push_back(std::move(e));
+    }
+    events = std::move(kept);
 }
 
 /**
@@ -434,6 +189,67 @@ checkGcSteps(const std::vector<TraceEvent> &events)
     return 0;
 }
 
+/**
+ * Request-stitching invariants (the contract critical_path and every
+ * distributed-trace viewer rely on): span gids are unique; every
+ * xparent resolves by gid to a span carrying the same trace id; a
+ * local parent link never crosses trace ids; and each trace has at
+ * most one root span (trace set, no local parent, no xparent).
+ */
+int
+checkTraceContexts(const std::vector<TraceEvent> &events)
+{
+    std::map<std::uint64_t, const TraceEvent *> byGid;
+    std::map<std::uint64_t, const TraceEvent *> byId;
+    std::size_t stitched = 0;
+    for (const auto &e : events) {
+        if (e.kind != "span")
+            continue;
+        if (e.gid != 0 && !byGid.emplace(e.gid, &e).second)
+            return fail("duplicate span gid " + std::to_string(e.gid));
+        if (e.id != 0)
+            byId[e.id] = &e;
+    }
+    std::map<std::uint64_t, std::size_t> roots;
+    for (const auto &e : events) {
+        if (e.kind != "span")
+            continue;
+        if (e.xparent != 0) {
+            auto it = byGid.find(e.xparent);
+            if (it == byGid.end())
+                return fail("span gid " + std::to_string(e.gid) +
+                            " has unresolved xparent " +
+                            std::to_string(e.xparent));
+            if (it->second->trace != e.trace)
+                return fail("span gid " + std::to_string(e.gid) +
+                            " stitches across trace ids " +
+                            std::to_string(e.trace) + " vs " +
+                            std::to_string(it->second->trace));
+            ++stitched;
+        }
+        if (e.parent != 0 && e.trace != 0) {
+            auto it = byId.find(e.parent);
+            if (it != byId.end() && it->second->trace != 0 &&
+                it->second->trace != e.trace)
+                return fail("span id " + std::to_string(e.id) +
+                            " trace " + std::to_string(e.trace) +
+                            " nested under trace " +
+                            std::to_string(it->second->trace));
+        }
+        if (e.trace != 0 && e.parent == 0 && e.xparent == 0)
+            ++roots[e.trace];
+    }
+    for (const auto &[trace, n] : roots) {
+        if (n > 1)
+            return fail("trace " + std::to_string(trace) + " has " +
+                        std::to_string(n) + " root spans");
+    }
+    std::printf("validated %zu request trees (%zu cross-domain "
+                "links stitched)\n",
+                roots.size(), stitched);
+    return 0;
+}
+
 void
 printBreakdown(const std::vector<TraceEvent> &events,
                const Options &opt)
@@ -472,17 +288,20 @@ printBreakdown(const std::vector<TraceEvent> &events,
 void
 printListing(const std::vector<TraceEvent> &events, const Options &opt)
 {
-    std::printf("%-12s %-10s %-8s %-8s %-14s %6s %6s\n", "ts(us)",
-                "dur(us)", "kind", "cat", "name", "id", "parent");
+    std::printf("%-12s %-10s %-8s %-8s %-14s %6s %6s %8s\n", "ts(us)",
+                "dur(us)", "kind", "cat", "name", "id", "parent",
+                "trace");
     std::size_t shown = 0;
     for (const auto &e : events) {
         if (!matches(e, opt))
             continue;
-        std::printf("%-12.3f %-10.3f %-8s %-8s %-14s %6llu %6llu\n",
+        std::printf("%-12.3f %-10.3f %-8s %-8s %-14s %6llu %6llu "
+                    "%8llu\n",
                     e.tsUs, e.durUs, e.kind.c_str(), e.cat.c_str(),
                     e.name.c_str(),
                     static_cast<unsigned long long>(e.id),
-                    static_cast<unsigned long long>(e.parent));
+                    static_cast<unsigned long long>(e.parent),
+                    static_cast<unsigned long long>(e.trace));
         ++shown;
     }
     std::printf("%zu of %zu events shown\n", shown, events.size());
@@ -514,6 +333,10 @@ main(int argc, char **argv)
             opt.fromUs = std::strtod(v, nullptr);
         } else if (const char *v = val("--to-us")) {
             opt.toUs = std::strtod(v, nullptr);
+        } else if (const char *v = val("--request")) {
+            opt.request = std::strtoull(v, nullptr, 10);
+            if (opt.request == 0)
+                return fail("--request expects a non-zero trace id");
         } else if (!a.empty() && a[0] != '-') {
             opt.file = a;
         } else {
@@ -524,7 +347,7 @@ main(int argc, char **argv)
     if (opt.file.empty())
         return fail("usage: trace_dump [--validate] [--breakdown] "
                     "[--cat=C] [--name=N] [--from-us=T] [--to-us=T] "
-                    "FILE");
+                    "[--request=ID] FILE");
 
     std::ifstream is(opt.file);
     if (!is)
@@ -540,13 +363,20 @@ main(int argc, char **argv)
     }
 
     std::vector<TraceEvent> events;
-    if (int rc = decode(doc, events, opt.validate))
-        return rc;
+    if (std::string err =
+            bssd::tools::decodeEvents(doc, events, opt.validate);
+        !err.empty())
+        return fail(err);
+
+    if (opt.request != 0)
+        filterRequest(events, opt.request);
 
     if (opt.validate) {
         if (int rc = checkReconciliation(events))
             return rc;
         if (int rc = checkGcSteps(events))
+            return rc;
+        if (int rc = checkTraceContexts(events))
             return rc;
         std::printf("OK: %zu events valid\n", events.size());
         return 0;

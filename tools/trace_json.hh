@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Shared trace-file ingestion for the developer tools (trace_dump,
+ * critical_path): a minimal JSON document model, a recursive-descent
+ * parser, and the TraceEvent decoder for the Chrome trace_event files
+ * emitted by sim::Tracer::writeChromeJson() (DESIGN.md section 9).
+ *
+ * Header-only and dependency-free on purpose — the tools must build
+ * and run anywhere the simulator does, with nothing but the standard
+ * library, so a trace captured in CI can be dissected on any box.
+ */
+
+#ifndef BSSD_TOOLS_TRACE_JSON_HH
+#define BSSD_TOOLS_TRACE_JSON_HH
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bssd::tools
+{
+
+/** Minimal JSON document model (enough for trace_event files). */
+struct Json
+{
+    enum class Kind { null, boolean, number, string, array, object };
+
+    Kind kind = Kind::null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+
+    const Json *
+    field(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+/** Recursive-descent JSON parser (throws std::runtime_error). */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Json
+    value()
+    {
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return stringValue();
+          case 't':
+          case 'f': return boolean();
+          case 'n': return null();
+          default: return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json v;
+        v.kind = Json::Kind::object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            Json key = stringValue();
+            expect(':');
+            v.obj.emplace_back(std::move(key.str), value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json v;
+        v.kind = Json::Kind::array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.arr.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Json
+    stringValue()
+    {
+        expect('"');
+        Json v;
+        v.kind = Json::Kind::string;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    fail("bad escape");
+                char e = s_[pos_++];
+                switch (e) {
+                  case 'n': v.str += '\n'; break;
+                  case 't': v.str += '\t'; break;
+                  case '"':
+                  case '\\':
+                  case '/': v.str += e; break;
+                  default: fail("unsupported escape");
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        if (pos_ >= s_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    Json
+    boolean()
+    {
+        Json v;
+        v.kind = Json::Kind::boolean;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v.b = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    Json
+    null()
+    {
+        if (s_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return Json{};
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                std::strchr("+-.eE", s_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        Json v;
+        v.kind = Json::Kind::number;
+        v.num = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                            nullptr);
+        return v;
+    }
+};
+
+/** One trace event, decoded from its JSON row. */
+struct TraceEvent
+{
+    std::string ph;   // "X", "i" or "M"
+    std::string cat;
+    std::string name;
+    std::string kind; // args.kind: span / phase / instant
+    double tsUs = 0.0;
+    double durUs = 0.0;
+    std::uint64_t startTicks = 0;
+    std::uint64_t endTicks = 0;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    /** Request-stitching fields (0 = outside any request). */
+    std::uint64_t trace = 0;
+    std::uint64_t gid = 0;
+    std::uint64_t xparent = 0;
+};
+
+/**
+ * Decode the traceEvents rows; "M" metadata rows are skipped. When
+ * @p validate is set, also checks ts monotonicity and non-negative
+ * durations. Returns "" on success, else the error message.
+ */
+inline std::string
+decodeEvents(const Json &doc, std::vector<TraceEvent> &out,
+             bool validate)
+{
+    const Json *events = doc.field("traceEvents");
+    if (!events || events->kind != Json::Kind::array)
+        return "no traceEvents array";
+
+    double lastTs = -1.0;
+    for (const Json &row : events->arr) {
+        if (row.kind != Json::Kind::object)
+            return "traceEvents row is not an object";
+        const Json *ph = row.field("ph");
+        if (!ph || ph->kind != Json::Kind::string)
+            return "event without ph";
+        if (ph->str == "M")
+            continue;
+        if (ph->str != "X" && ph->str != "i")
+            return "unexpected ph \"" + ph->str + "\"";
+
+        TraceEvent e;
+        e.ph = ph->str;
+        const Json *cat = row.field("cat");
+        const Json *name = row.field("name");
+        const Json *ts = row.field("ts");
+        if (!cat || !name || !ts)
+            return "event missing cat/name/ts";
+        e.cat = cat->str;
+        e.name = name->str;
+        e.tsUs = ts->num;
+        if (e.ph == "X") {
+            const Json *dur = row.field("dur");
+            if (!dur)
+                return "complete event without dur";
+            e.durUs = dur->num;
+            if (validate && e.durUs < 0.0)
+                return "negative dur at ts " + std::to_string(e.tsUs);
+        }
+        if (validate && e.tsUs < lastTs) {
+            return "ts not monotonic: " + std::to_string(e.tsUs) +
+                   " after " + std::to_string(lastTs);
+        }
+        lastTs = e.tsUs;
+
+        if (const Json *args = row.field("args")) {
+            auto u64 = [&](const char *key, std::uint64_t &dst) {
+                if (const Json *f = args->field(key))
+                    dst = static_cast<std::uint64_t>(f->num);
+            };
+            u64("start_ticks", e.startTicks);
+            u64("end_ticks", e.endTicks);
+            u64("id", e.id);
+            u64("parent", e.parent);
+            u64("trace", e.trace);
+            u64("gid", e.gid);
+            u64("xparent", e.xparent);
+            if (const Json *k = args->field("kind"))
+                e.kind = k->str;
+        }
+        out.push_back(std::move(e));
+    }
+    return "";
+}
+
+} // namespace bssd::tools
+
+#endif // BSSD_TOOLS_TRACE_JSON_HH
