@@ -19,12 +19,15 @@
  * an afterthought). Emits BENCH_cluster.json (see baselines/) with
  * cluster throughput and p50/p99/p99.9 per-op latency.
  *
- * Usage: bench_cluster [--small] [--threads=N] [--out=FILE]
- *                      [--json=FILE] [--trace=FILE]
+ * Usage: bench_cluster [--small] [--threads=N] [--queues=N]
+ *                      [--qdepth=N] [--out=FILE] [--json=FILE]
+ *                      [--trace=FILE]
  *   --small        CI preset: same 8-shard shape, ~3k ops, traced
  *   --threads=N    run every mix at exactly N engine threads (skips
  *                  the 1/2/8 identity sweep; CI runs this twice and
  *                  cmp's the --out artifacts)
+ *   --queues=N     host NVMe I/O queue pairs per shard (default 1)
+ *   --qdepth=N     batches each pair admits; 0 = unbounded (default)
  *   --out=FILE     deterministic artifact of the run (digests,
  *                  counters, metrics; no wall clock, no thread count)
  *   --json=FILE    BENCH_cluster.json summary (default when neither
@@ -244,13 +247,29 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i)
         small = small || std::string(argv[i]) == "--small";
     const std::string threadsFlag = stringArg(argc, argv, "--threads");
+    const std::string queuesFlag = stringArg(argc, argv, "--queues");
+    const std::string qdepthFlag = stringArg(argc, argv, "--qdepth");
     const std::string outPath = stringArg(argc, argv, "--out");
     std::string jsonPath = stringArg(argc, argv, "--json");
     const std::string tracePath = stringArg(argc, argv, "--trace");
     if (jsonPath.empty() && outPath.empty())
         jsonPath = "BENCH_cluster.json";
 
-    const std::vector<Mix> mixes = makeMixes(small);
+    std::vector<Mix> mixes = makeMixes(small);
+    if (!queuesFlag.empty() || !qdepthFlag.empty()) {
+        // Multi-queue host frontend: gate each shard's batches behind
+        // N bounded queue pairs instead of the unbounded default.
+        for (Mix &mix : mixes) {
+            if (!queuesFlag.empty()) {
+                mix.cfg.nvmeQueuePairs = static_cast<std::uint16_t>(
+                    std::max(1ul, std::stoul(queuesFlag)));
+            }
+            if (!qdepthFlag.empty()) {
+                mix.cfg.nvmeQueueDepth = static_cast<std::uint16_t>(
+                    std::stoul(qdepthFlag));
+            }
+        }
+    }
     banner("cluster", std::string("sharded serving at scale (") +
                           (small ? "small CI preset" : "1M+ users") +
                           ")");

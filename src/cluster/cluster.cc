@@ -175,6 +175,8 @@ Cluster::Cluster(const ClusterConfig &cfg, sim::Tracer *trace)
     rc.keySpace = cfg_.keySpace;
     rc.valueBytes = cfg_.valueBytes;
     rc.seed = cfg_.seed;
+    rc.queuePairs = cfg_.queuePairs;
+    rc.queueDepth = cfg_.queueDepth;
     // The channel contract: requests ride a posted doorbell write,
     // completions an interrupt; the lookaheads are exactly those
     // minimum latencies.

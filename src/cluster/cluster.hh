@@ -115,6 +115,10 @@ struct ClusterConfig
     std::uint64_t keySpace = 512;
     std::uint32_t valueBytes = 96;
     std::uint64_t seed = 1;
+    /** Host I/O queue pairs per shard (host::RouterConfig). */
+    std::uint16_t queuePairs = 1;
+    /** Batches each pair admits; 0 = unbounded (no queue gating). */
+    std::uint16_t queueDepth = 0;
     /** @} */
 
     /** @name Online rebalance @{ */

@@ -62,6 +62,9 @@ Ftl::Ftl(nand::NandFlash &flash, const FtlConfig &cfg)
     std::reverse(freeList_.begin(), freeList_.end()); // pop_back order
 
     frontier_.assign(g.totalDies(), -1);
+    planePages_ = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               flash_.config().timing.programChunkBytes / g.pageSize));
 
     auto op_pages = static_cast<std::uint64_t>(
         static_cast<double>(g.totalPages()) * cfg_.overProvision);
@@ -111,6 +114,7 @@ Ftl::allocatePage()
             if (it == freeList_.rend()) {
                 // No free block on this die; try the next one.
                 nextDie_ = (nextDie_ + 1) % g.totalDies();
+                runFill_ = 0;
                 continue;
             }
             std::uint32_t idx = *it;
@@ -132,7 +136,14 @@ Ftl::allocatePage()
             frontier_[die] = -1;
             continue;
         }
-        nextDie_ = (nextDie_ + 1) % g.totalDies();
+        // Fill a planePages_-long run on this die before moving to the
+        // next, so consecutive allocations group into one multi-plane
+        // program chunk; dies are channel-interleaved, so runs of a
+        // large request still fan out across channels.
+        if (++runFill_ >= planePages_) {
+            nextDie_ = (nextDie_ + 1) % g.totalDies();
+            runFill_ = 0;
+        }
         return nand::Ppa{blk.die, blk.block, page};
     }
     sim::panic("FTL out of physical space; GC failed to reclaim");
@@ -152,7 +163,7 @@ Ftl::invalidate(Lpn lpn)
     l2p_.erase(it);
 }
 
-void
+nand::Ppa
 Ftl::writeOnePage(Lpn lpn, std::span<const std::uint8_t> page,
                   sim::Tick at)
 {
@@ -172,7 +183,7 @@ Ftl::writeOnePage(Lpn lpn, std::span<const std::uint8_t> page,
         blk.pageLpn[ppa.page] = lpn;
         ++blk.validPages;
         l2p_[lpn] = ppa;
-        return;
+        return ppa;
     }
     sim::panic("FTL page program kept failing after retiring 8 blocks");
 }
@@ -278,10 +289,11 @@ Ftl::doCollectGarbage(sim::Tick ready)
         if (vi == ~std::uint32_t(0))
             sim::panic("GC found no victim block");
         auto &victim = blocks_[vi];
-        std::uint32_t relocated = 0;
 
         // Relocate the victim's valid pages to fresh locations.
         std::vector<std::uint8_t> buf(pageSize_);
+        std::vector<nand::Ppa> srcPpas;
+        std::vector<nand::Ppa> dstPpas;
         std::uint32_t wp = flash_.writePointer(victim.die, victim.block);
         for (std::uint32_t p = 0; p < wp; ++p) {
             Lpn lpn = victim.pageLpn[p];
@@ -292,16 +304,15 @@ Ftl::doCollectGarbage(sim::Tick ready)
             if (it == l2p_.end() || !(it->second == src))
                 continue; // remapped since
             flash_.readPage(src, buf);
-            writeOnePage(lpn, buf, t);
-            ++relocated;
+            srcPpas.push_back(src);
+            dstPpas.push_back(writeOnePage(lpn, buf, t));
             ++gcPages_;
         }
-        // Relocations batch naturally: reads and multi-plane programs
-        // pipeline across the victim's channel and destination dies.
-        t = std::max(t, flash_.timedRead(t, relocated).end);
-        t = std::max(t,
-                     flash_.timedProgram(t, std::uint64_t(relocated) *
-                                                pageSize_).end);
+        // Relocations batch naturally: the victim-die reads share one
+        // channel while the multi-plane programs fan out across the
+        // destination dies' channels.
+        t = std::max(t, flash_.timedRead(t, srcPpas).iv.end);
+        t = std::max(t, flash_.timedProgram(t, dstPpas).iv.end);
         sim::tracepointHit(faults_, tracer_, sim::Tp::ftlGcErase, t);
         if (!flash_.eraseBlock(victim.die, victim.block)) {
             // Erase failure: grown defect. Retire the victim instead
@@ -313,10 +324,10 @@ Ftl::doCollectGarbage(sim::Tick ready)
             victim.open = false;
             victim.validPages = 0;
             victim.pageLpn.clear();
-            t = flash_.timedErase(t).end;
+            t = flash_.timedErase(t, victim.die).end;
             continue;
         }
-        t = flash_.timedErase(t).end;
+        t = flash_.timedErase(t, victim.die).end;
         victim.free = true;
         victim.open = false;
         victim.validPages = 0;
@@ -374,9 +385,10 @@ Ftl::backgroundGcStep(sim::Tick now)
 
     auto &victim = blocks_[static_cast<std::size_t>(gcVictim_)];
     std::vector<std::uint8_t> buf(pageSize_);
+    std::vector<nand::Ppa> srcPpas;
+    std::vector<nand::Ppa> dstPpas;
     const std::uint32_t wp = flash_.writePointer(victim.die, victim.block);
-    std::uint32_t relocated = 0;
-    while (gcScanPage_ < wp && relocated < cfg_.gcStepPages) {
+    while (gcScanPage_ < wp && srcPpas.size() < cfg_.gcStepPages) {
         std::uint32_t p = gcScanPage_++;
         Lpn lpn = victim.pageLpn[p];
         if (lpn == ~Lpn(0))
@@ -386,16 +398,15 @@ Ftl::backgroundGcStep(sim::Tick now)
         if (it == l2p_.end() || !(it->second == src))
             continue; // remapped since
         flash_.readPage(src, buf);
-        writeOnePage(lpn, buf, now);
-        ++relocated;
+        srcPpas.push_back(src);
+        dstPpas.push_back(writeOnePage(lpn, buf, now));
         ++gcPages_;
     }
     // Background reservations: later host reads may claim these slots
     // (read priority) and the erase below is suspendable.
     sim::Tick t = now;
-    t = std::max(t, flash_.timedGcRead(t, relocated).end);
-    t = std::max(t, flash_.timedGcProgram(
-                        t, std::uint64_t(relocated) * pageSize_).end);
+    t = std::max(t, flash_.timedGcRead(t, srcPpas).iv.end);
+    t = std::max(t, flash_.timedGcProgram(t, dstPpas).iv.end);
     const sim::Tick relocEnd = t;
 
     if (gcScanPage_ >= wp) {
@@ -414,7 +425,7 @@ Ftl::backgroundGcStep(sim::Tick now)
         victim.open = false;
         victim.validPages = 0;
         victim.pageLpn.clear();
-        t = flash_.timedGcErase(t).end;
+        t = flash_.timedGcErase(t, victim.die).end;
         gcVictim_ = -1;
     }
 
@@ -443,7 +454,8 @@ Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
     if (cfg_.backgroundGc)
         backgroundGcSteps(ready);
 
-    std::uint64_t mapped = 0;
+    std::vector<nand::Ppa> ppas;
+    ppas.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         auto sub = out.subspan(i * pageSize_, pageSize_);
         auto it = l2p_.find(lpn + i);
@@ -451,25 +463,26 @@ Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
             std::fill(sub.begin(), sub.end(), 0xff);
         } else {
             flash_.readPage(it->second, sub);
-            ++mapped;
+            ppas.push_back(it->second);
         }
     }
     // Unmapped pages are served from the mapping table alone; only
     // mapped pages cost NAND time.
     if (!tracer_) {
-        auto iv = flash_.timedRead(ready, mapped);
-        readLat_.record(iv.end - ready);
-        lastHostEnd_ = std::max(lastHostEnd_, iv.end);
-        return iv;
+        auto op = flash_.timedRead(ready, ppas);
+        readLat_.record(op.iv.end - ready);
+        lastHostEnd_ = std::max(lastHostEnd_, op.iv.end);
+        return op.iv;
     }
     sim::SpanId sp = tracer_->beginSpan("ftl", "read", ready);
-    auto iv = flash_.timedRead(ready, mapped);
-    tracer_->phase("wait", ready, iv.start);
-    tracer_->phase("media", iv.start, iv.end);
-    tracer_->endSpan(sp, iv.end);
-    readLat_.record(iv.end - ready);
-    lastHostEnd_ = std::max(lastHostEnd_, iv.end);
-    return iv;
+    auto op = flash_.timedRead(ready, ppas);
+    tracer_->phase("wait", ready, op.iv.start);
+    tracer_->phase("media", op.iv.start, op.mediaEnd);
+    tracer_->phase("chan_xfer", op.mediaEnd, op.iv.end);
+    tracer_->endSpan(sp, op.iv.end);
+    readLat_.record(op.iv.end - ready);
+    lastHostEnd_ = std::max(lastHostEnd_, op.iv.end);
+    return op.iv;
 }
 
 sim::Interval
@@ -497,21 +510,25 @@ Ftl::write(sim::Tick ready, Lpn lpn, std::uint64_t count,
     if (tracer_ && t > ready)
         tracer_->phase("gc_stall", ready, t);
 
+    std::vector<nand::Ppa> ppas;
+    ppas.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
-        writeOnePage(lpn + i, data.subspan(i * pageSize_, pageSize_), t);
+        ppas.push_back(writeOnePage(
+            lpn + i, data.subspan(i * pageSize_, pageSize_), t));
         ++hostPages_;
     }
-    // One timed program for the whole request: pages coalesce into
-    // multi-plane program chunks, exactly how the controller batches.
-    auto iv = flash_.timedProgram(t, count * pageSize_);
+    // One timed program for the whole request: the frontier's per-die
+    // runs coalesce into multi-plane program chunks, exactly how the
+    // controller batches.
+    auto op = flash_.timedProgram(t, ppas);
     if (tracer_) {
-        tracer_->phase("wait", t, iv.start);
-        tracer_->phase("media", iv.start, iv.end);
-        tracer_->endSpan(sp, iv.end);
+        tracer_->phase("wait", t, op.iv.start);
+        tracer_->phase("media", op.iv.start, op.iv.end);
+        tracer_->endSpan(sp, op.iv.end);
     }
-    writeLat_.record(iv.end - ready);
-    lastHostEnd_ = std::max(lastHostEnd_, iv.end);
-    return {t, iv.end};
+    writeLat_.record(op.iv.end - ready);
+    lastHostEnd_ = std::max(lastHostEnd_, op.iv.end);
+    return {t, op.iv.end};
 }
 
 void
@@ -530,6 +547,22 @@ Ftl::readUntimed(Lpn lpn, std::uint64_t count,
         else
             flash_.readPage(it->second, sub);
     }
+}
+
+sim::Interval
+Ftl::prefetch(sim::Tick now, Lpn lpn, std::uint64_t count)
+{
+    if (lpn + count > logicalPages_)
+        sim::fatal("FTL prefetch past logical capacity: lpn ", lpn, "+",
+                   count);
+    std::vector<nand::Ppa> ppas;
+    ppas.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto it = l2p_.find(lpn + i);
+        if (it != l2p_.end())
+            ppas.push_back(it->second);
+    }
+    return flash_.timedRead(now, ppas).iv;
 }
 
 void

@@ -101,6 +101,14 @@ class Ftl
     void readUntimed(Lpn lpn, std::uint64_t count,
                      std::span<std::uint8_t> out) const;
 
+    /**
+     * Reserve NAND time for the mapped pages of [lpn, lpn + count)
+     * without moving data: the device read-ahead path issues this when
+     * a sequential stream is detected and serves the bytes untimed
+     * when the host consumes them. @return granted interval.
+     */
+    sim::Interval prefetch(sim::Tick now, Lpn lpn, std::uint64_t count);
+
     /** Drop the mapping for a logical range (TRIM). */
     void trim(Lpn lpn, std::uint64_t count);
 
@@ -194,6 +202,10 @@ class Ftl
     /** Per-die open (frontier) block index into blocks_, or -1. */
     std::vector<std::int32_t> frontier_;
     std::uint32_t nextDie_ = 0;
+    /** Pages per multi-plane program chunk (run length per die). */
+    std::uint32_t planePages_ = 1;
+    /** Consecutive pages already allocated on nextDie_'s run. */
+    std::uint32_t runFill_ = 0;
 
     sim::FaultInjector *faults_ = nullptr;
     sim::Tracer *tracer_ = nullptr;
@@ -224,15 +236,21 @@ class Ftl
     std::uint32_t blockIndex(std::uint32_t die, std::uint32_t block) const;
     BlockInfo &blockOf(nand::Ppa ppa);
 
-    /** Allocate the next physical page on some die's frontier. */
+    /**
+     * Allocate the next physical page on the frontier. The frontier
+     * stripes planePages_-page runs round-robin across dies, so one
+     * request's pages group into multi-plane chunks on consecutive
+     * channels.
+     */
     nand::Ppa allocatePage();
 
     /**
      * Map + program one logical page (functional only; @p at is the
      * simulated time the destage runs, for the ftl.program tracepoint).
+     * @return the physical page the data landed on.
      */
-    void writeOnePage(Lpn lpn, std::span<const std::uint8_t> page,
-                      sim::Tick at);
+    nand::Ppa writeOnePage(Lpn lpn, std::span<const std::uint8_t> page,
+                           sim::Tick at);
 
     /** Invalidate the old location of @p lpn, if any. */
     void invalidate(Lpn lpn);

@@ -36,6 +36,11 @@ ShardRouter::ShardRouter(const RouterConfig &cfg,
       touched_(cfg.keySpace, false),
       buckets_(shards_.size()),
       outstanding_(shards_.size(), 0),
+      pending_(shards_.size()),
+      qpInflight_(shards_.size(),
+                  std::vector<std::uint32_t>(
+                      std::max<std::uint16_t>(1, cfg.queuePairs), 0)),
+      qpCursor_(shards_.size(), 0),
       latWindow_(shards_.size()),
       latWindowPos_(shards_.size(), 0)
 {
@@ -43,6 +48,8 @@ ShardRouter::ShardRouter(const RouterConfig &cfg,
         sim::panic("ShardRouter needs at least one shard");
     if (!exec_)
         sim::panic("ShardRouter needs a shard executor");
+    if (cfg_.queuePairs == 0)
+        sim::panic("ShardRouter needs at least one queue pair");
 }
 
 void
@@ -155,13 +162,58 @@ ShardRouter::releaseHeld()
     flushBuckets();
 }
 
+std::size_t
+ShardRouter::pickQueue(unsigned shard)
+{
+    if (cfg_.queueDepth == 0)
+        return 0; // gating off: pair 0 absorbs everything
+    std::vector<std::uint32_t> &qps = qpInflight_[shard];
+    for (std::size_t tried = 0; tried < qps.size(); ++tried) {
+        const std::size_t q = (qpCursor_[shard] + tried) % qps.size();
+        if (qps[q] < cfg_.queueDepth) {
+            qpCursor_[shard] = (q + 1) % qps.size();
+            return q;
+        }
+    }
+    return kNoQueue;
+}
+
 void
 ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
+{
+    const std::size_t qp = pickQueue(shard);
+    if (qp == kNoQueue) {
+        // Every pair is at depth. Park the batch; the completion that
+        // frees a slot posts it. Parking requires a batch in flight on
+        // this shard, so a completion always arrives to un-park it.
+        ++batchesQueued_;
+        pending_[shard].push_back({host_.now(), std::move(ops)});
+        return;
+    }
+    dispatchOn(shard, qp, host_.now(), std::move(ops));
+}
+
+void
+ShardRouter::dispatchOn(unsigned shard, std::size_t qp,
+                        sim::Tick offered, std::vector<RouterOp> ops)
 {
     const sim::Tick dispatched = host_.now();
     opsRouted_ += ops.size();
     ++batchesDispatched_;
     ++outstanding_[shard];
+    if (cfg_.queueDepth != 0)
+        ++qpInflight_[shard][qp];
+    // Time spent parked behind full queue pairs is charged to the
+    // router layer, one child span per op, like the rebalance hold.
+    if (dispatched > offered && tracer_ != nullptr) {
+        for (const RouterOp &op : ops) {
+            if (op.trace != 0) {
+                tracer_->recordSpan("router", "queue", offered,
+                                    dispatched,
+                                    sim::TraceContext{op.trace, op.gid});
+            }
+        }
+    }
     // Tracing identities ride to the completion handler (which runs
     // back in the host domain and records the request spans there);
     // the vector stays empty — and costs nothing — when untraced.
@@ -176,7 +228,7 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
     // interrupt crosses back.
     host_.post(
         *shards_[shard], dispatched + cfg_.requestLatency,
-        [this, shard, dispatched, ops = std::move(ops),
+        [this, shard, qp, offered, dispatched, ops = std::move(ops),
          tags = std::move(tags)] {
             sim::Domain &dom = *shards_[shard];
             const sim::Tick start = dom.now();
@@ -189,22 +241,23 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
             }
             const sim::Tick done =
                 std::max(finish, start) + cfg_.completionLatency;
-            // Host-observed per-op latency: doorbell to the op's
-            // completion arriving with the batch interrupt.
+            // Host-observed per-op latency: batch formation (queueing
+            // delay included) to the op's completion arriving with the
+            // batch interrupt.
             std::vector<sim::Tick> lat;
             lat.reserve(opDone.size());
             for (sim::Tick d : opDone) {
                 lat.push_back(std::max(d, start) +
-                              cfg_.completionLatency - dispatched);
+                              cfg_.completionLatency - offered);
             }
             const auto count = static_cast<std::uint64_t>(ops.size());
             dom.post(host_, done,
-                     [this, shard, dispatched, done, count,
+                     [this, shard, qp, offered, dispatched, done, count,
                       lat = std::move(lat), tags = std::move(tags)] {
                          opsCompleted_ += count;
                          ++batchesCompleted_;
                          --outstanding_[shard];
-                         latency_.sample(done - dispatched);
+                         latency_.sample(done - offered);
                          for (sim::Tick l : lat) {
                              opLatency_.record(l);
                              recordLatency(shard, l);
@@ -219,7 +272,7 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
                              if (t.trace == 0 || tracer_ == nullptr)
                                  continue;
                              const sim::Tick arrival =
-                                 dispatched + lat[i];
+                                 offered + lat[i];
                              tracer_->recordSpan(
                                  "router",
                                  t.kind == RouterOp::Kind::set
@@ -235,6 +288,20 @@ ShardRouter::dispatch(unsigned shard, std::vector<RouterOp> ops)
                                  arrival - cfg_.completionLatency,
                                  arrival,
                                  sim::TraceContext{t.trace, t.gid});
+                         }
+                         // The freed slot immediately admits the
+                         // oldest parked batch, if any — the router's
+                         // analogue of the SQ doorbell ringing the
+                         // moment a CQE is reaped.
+                         if (cfg_.queueDepth != 0) {
+                             --qpInflight_[shard][qp];
+                             if (!pending_[shard].empty()) {
+                                 PendingBatch pb = std::move(
+                                     pending_[shard].front());
+                                 pending_[shard].pop_front();
+                                 dispatchOn(shard, qp, pb.offered,
+                                            std::move(pb.ops));
+                             }
                          }
                      });
         });

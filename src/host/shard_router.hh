@@ -32,6 +32,7 @@
 #define BSSD_HOST_SHARD_ROUTER_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -98,6 +99,21 @@ struct RouterConfig
      * shard→host channel lookahead.
      */
     sim::Tick completionLatency = sim::usOf(1);
+    /**
+     * NVMe-style I/O queue pairs the host keeps per shard (>= 1).
+     * Batches are placed round-robin on the pairs, mirroring the
+     * device-level NvmeMultiQueue arbitration.
+     */
+    std::uint16_t queuePairs = 1;
+    /**
+     * In-flight batches each queue pair admits; 0 disables gating (a
+     * batch is always posted the tick it is formed — the legacy
+     * unbounded behaviour). With gating on, a batch formed while every
+     * pair of its shard is full parks in a host-side queue and is
+     * posted by the completion that frees a slot; the wait shows up as
+     * a ("router","queue") span and in the op's host-observed latency.
+     */
+    std::uint16_t queueDepth = 0;
 };
 
 /**
@@ -175,18 +191,34 @@ class ShardRouter
      *  its trace never collides with an op's). Host domain only. */
     std::uint64_t mintTraceId() { return ++traceSeq_; }
 
-    /** Batches posted to @p shard whose completion has not returned. */
+    /** Batches bound for @p shard whose completion has not returned —
+     *  posted batches plus batches parked behind full queue pairs
+     *  (both must drain before a rebalance victim is quiescent). */
     std::uint64_t
     outstanding(unsigned shard) const
     {
-        return outstanding_[shard];
+        return outstanding_[shard] + pending_[shard].size();
     }
+
+    /** Batches parked behind @p shard's full queue pairs right now. */
+    std::uint64_t
+    pendingBatches(unsigned shard) const
+    {
+        return pending_[shard].size();
+    }
+
+    /** Total batches that ever waited for a queue-pair slot. */
+    std::uint64_t batchesQueued() const { return batchesQueued_; }
 
     /** @} */
 
     /** @name Progress and statistics @{ */
     bool done() const
     {
+        for (const auto &p : pending_) {
+            if (!p.empty())
+                return false;
+        }
         return cyclesDone_ == cfg_.cycles && held_.empty() &&
                batchesCompleted_ == batchesDispatched_;
     }
@@ -216,11 +248,30 @@ class ShardRouter
     static constexpr std::size_t kLatencyWindow = 128;
 
   private:
+    /** A batch waiting for one of its shard's queue pairs to drain. */
+    struct PendingBatch
+    {
+        /** Tick the batch was formed (latency accrues from here). */
+        sim::Tick offered = 0;
+        std::vector<RouterOp> ops;
+    };
+
+    /** pickQueue() result when every pair of the shard is full. */
+    static constexpr std::size_t kNoQueue = ~std::size_t{0};
+
     void cycle();
     unsigned routeOf(const RouterOp &op) const;
     void enqueue(const RouterOp &op);
     void flushBuckets();
+    /** Place a fresh batch: post it on a free queue pair or park it. */
     void dispatch(unsigned shard, std::vector<RouterOp> ops);
+    /** Post a batch on queue pair @p qp of @p shard. @p offered is the
+     *  tick the batch was formed; the gap to now is queueing delay. */
+    void dispatchOn(unsigned shard, std::size_t qp, sim::Tick offered,
+                    std::vector<RouterOp> ops);
+    /** Round-robin pick of a queue pair with a free slot (kNoQueue if
+     *  all full). Advances the shard's arbitration cursor on a hit. */
+    std::size_t pickQueue(unsigned shard);
     /** Push one completed-op latency into the shard's p99 ring. */
     void recordLatency(unsigned shard, std::uint64_t lat);
 
@@ -247,8 +298,15 @@ class ShardRouter
     std::vector<std::vector<RouterOp>> buckets_;
     /** Operations parked by the hold predicate (rebalance in flight). */
     std::vector<RouterOp> held_;
-    /** In-flight batches per shard (host-domain view). */
+    /** In-flight (posted, uncompleted) batches per shard. */
     std::vector<std::uint64_t> outstanding_;
+    /** Batches parked behind full queue pairs, per shard, FIFO. */
+    std::vector<std::deque<PendingBatch>> pending_;
+    /** In-flight batches per shard per queue pair (gating state). */
+    std::vector<std::vector<std::uint32_t>> qpInflight_;
+    /** Per-shard round-robin arbitration cursor over the pairs. */
+    std::vector<std::size_t> qpCursor_;
+    std::uint64_t batchesQueued_ = 0;
 
     /** Host-side tracer (null = untraced run) and trace-id mint. */
     sim::Tracer *tracer_ = nullptr;

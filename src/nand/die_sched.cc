@@ -15,18 +15,6 @@ DieScheduler::DieScheduler(std::size_t dies, const NandSchedConfig &cfg,
         sim::fatal("DieScheduler '", name_, "' needs at least one die");
 }
 
-std::size_t
-DieScheduler::pickDie() const
-{
-    // Least-loaded die, lowest index on ties: the exact policy
-    // MultiResource::pickServer used, so knob-off grants are identical.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < dies_.size(); ++i)
-        if (dies_[i].free < dies_[best].free)
-            best = i;
-    return best;
-}
-
 DieScheduler::Grant
 DieScheduler::hostRead(Die &d, sim::Tick earliest, sim::Tick duration)
 {
@@ -42,9 +30,11 @@ DieScheduler::hostRead(Die &d, sim::Tick earliest, sim::Tick duration)
         d.free = end + d.bgDuration;
         if (d.eraseTail && d.bgOp == Op::erase) {
             // The shifted background op is an erase: keep its suspend
-            // window in sync with the new grant.
+            // window in sync with the new grant. It is a fresh erase
+            // start, so it gets a full suspend budget again.
             d.eraseStart = d.bgStart;
             d.eraseEnd = d.free;
+            d.suspends = 0;
         }
         ++readBypasses_;
         g.bypassedBackground = true;
@@ -85,10 +75,13 @@ DieScheduler::hostRead(Die &d, sim::Tick earliest, sim::Tick duration)
 }
 
 DieScheduler::Grant
-DieScheduler::reserve(sim::Tick earliest, sim::Tick duration, Op op,
-                      bool background)
+DieScheduler::reserveOn(std::size_t die, sim::Tick earliest,
+                        sim::Tick duration, Op op, bool background)
 {
-    Die &d = dies_[pickDie()];
+    if (die >= dies_.size())
+        sim::fatal("DieScheduler '", name_, "': die ", die,
+                   " out of range (", dies_.size(), " dies)");
+    Die &d = dies_[die];
     Grant g;
 
     if (op == Op::read && !background) {

@@ -1,10 +1,11 @@
 /**
  * @file
- * Die-level I/O scheduler (DESIGN.md section 10).
+ * Die-level I/O scheduler (DESIGN.md sections 10 and 15).
  *
- * Replaces the plain least-loaded-die calendar inside NandFlash with a
- * scheduler that knows what each die is doing. Two mechanisms, both
- * knob-gated (NandSchedConfig) and both deterministic:
+ * Per-die operation calendars that know what each die is doing. The
+ * caller names the die (the FTL's physical address selects it); the
+ * scheduler never load-balances. Two mechanisms, both knob-gated
+ * (NandSchedConfig) and both deterministic:
  *
  *  - read priority: a host read arriving before a *background*
  *    reservation (GC relocation program or GC erase) has started may
@@ -17,11 +18,10 @@
  *    runs, and extends the erase by the read's service time plus a
  *    resume overhead. A per-erase suspension cap bounds starvation.
  *
- * With both knobs off every grant is identical to what
- * sim::MultiResource would have produced: pick the least-loaded die
- * (lowest index on ties), start at max(ready, free), advance the
- * calendar. That equivalence is asserted by tests/nand/test_die_sched
- * and is what keeps every pre-existing timing result bit-identical.
+ * With both knobs off every grant to die d is identical to what a
+ * dedicated sim::FifoResource for d would have produced: start at
+ * max(ready, free), advance the calendar. That equivalence is asserted
+ * by tests/nand/test_die_sched.
  *
  * Determinism: per-rig state only, no randomness, grants depend only
  * on call order - the sweep harness invariant holds unchanged.
@@ -65,13 +65,13 @@ class DieScheduler
                  std::string name = "nand.dies");
 
     /**
-     * Reserve one die for @p duration ticks, no earlier than
+     * Reserve die @p die for @p duration ticks, no earlier than
      * @p earliest. @p background marks GC work: it is scheduled FIFO
      * like any other op but becomes preemptible by later host reads
      * (read priority) and, for erases, suspendable (erase suspend).
      */
-    Grant reserve(sim::Tick earliest, sim::Tick duration, Op op,
-                  bool background = false);
+    Grant reserveOn(std::size_t die, sim::Tick earliest,
+                    sim::Tick duration, Op op, bool background = false);
 
     /** Earliest time any die frees up. */
     sim::Tick nextFree() const;
@@ -125,7 +125,6 @@ class DieScheduler
     std::uint64_t readBypasses_ = 0;
     sim::Tick suspendOverhead_ = 0;
 
-    std::size_t pickDie() const;
     Grant hostRead(Die &d, sim::Tick earliest, sim::Tick duration);
 };
 

@@ -49,10 +49,11 @@ NandConfig::tiny()
 }
 
 NandFlash::NandFlash(const NandConfig &cfg)
-    : cfg_(cfg),
-      dies_(cfg.geometry.totalDies(), cfg.sched, "nand.dies"),
-      channels_(cfg.geometry.channels, "nand.channels")
+    : cfg_(cfg), dies_(cfg.geometry.totalDies(), cfg.sched, "nand.dies")
 {
+    channels_.reserve(cfg_.geometry.channels);
+    for (std::uint32_t c = 0; c < cfg_.geometry.channels; ++c)
+        channels_.emplace_back("nand.chan" + std::to_string(c));
     if (cfg_.geometry.pageSize == 0 || cfg_.geometry.pagesPerBlock == 0 ||
         cfg_.geometry.blocksPerDie == 0 || cfg_.geometry.totalDies() == 0) {
         sim::fatal("NAND geometry has a zero dimension");
@@ -203,101 +204,121 @@ NandFlash::pageTransferTime() const
     return cfg_.timing.channelBw.transferTime(cfg_.geometry.pageSize);
 }
 
-sim::Interval
-NandFlash::doTimedRead(sim::Tick ready, std::uint64_t pages,
+TimedOp
+NandFlash::doTimedRead(sim::Tick ready, std::span<const Ppa> ppas,
                        bool background)
 {
-    if (pages == 0)
-        return {ready, ready};
+    if (ppas.empty())
+        return {{ready, ready}, ready};
     sim::Tick first = sim::maxTick;
+    sim::Tick mediaEnd = 0;
     sim::Tick last = 0;
     const sim::Tick xfer = pageTransferTime();
-    for (std::uint64_t i = 0; i < pages; ++i) {
-        auto g = dies_.reserve(ready, cfg_.timing.readPage,
-                               DieScheduler::Op::read, background);
+    for (const Ppa &ppa : ppas) {
+        checkPpa(ppa);
+        auto g = dies_.reserveOn(ppa.die, ready, cfg_.timing.readPage,
+                                 DieScheduler::Op::read, background);
         if (g.suspendedErase) {
             sim::tracepointHit(faults_, tracer_, sim::Tp::nandEraseSuspend,
                                g.iv.start);
         }
-        auto ch_iv = channels_.reserve(g.iv.end, xfer);
+        auto ch_iv = channels_[channelOf(ppa.die)].reserve(g.iv.end, xfer);
         first = std::min(first, g.iv.start);
+        mediaEnd = std::max(mediaEnd, g.iv.end);
         last = std::max(last, ch_iv.end);
     }
-    return {first, last};
+    return {{first, last}, mediaEnd};
 }
 
-sim::Interval
-NandFlash::doTimedProgram(sim::Tick ready, std::uint64_t bytes,
+TimedOp
+NandFlash::doTimedProgram(sim::Tick ready, std::span<const Ppa> ppas,
                           bool background)
 {
-    if (bytes == 0)
-        return {ready, ready};
-    const std::uint64_t chunk = cfg_.timing.programChunkBytes;
-    const std::uint64_t chunks = (bytes + chunk - 1) / chunk;
+    if (ppas.empty())
+        return {{ready, ready}, ready};
+    const std::uint64_t chunkPages = std::max<std::uint64_t>(
+        1, cfg_.timing.programChunkBytes / cfg_.geometry.pageSize);
     sim::Tick first = sim::maxTick;
     sim::Tick last = 0;
-    for (std::uint64_t i = 0; i < chunks; ++i) {
-        std::uint64_t sz = std::min(chunk, bytes - i * chunk);
-        auto ch_iv =
-            channels_.reserve(ready, cfg_.timing.channelBw.transferTime(sz));
-        auto g = dies_.reserve(ch_iv.end, cfg_.timing.programChunk,
-                               DieScheduler::Op::program, background);
+    // Consecutive same-die pages share one multi-plane chunk; the
+    // chunk transfers over its die's channel, then the die holds tPROG.
+    // Chunks of one program landing on the same channel or die
+    // serialize on those FIFO calendars.
+    std::size_t i = 0;
+    while (i < ppas.size()) {
+        const std::uint32_t die = ppas[i].die;
+        checkPpa(ppas[i]);
+        std::uint64_t n = 1;
+        while (i + n < ppas.size() && ppas[i + n].die == die &&
+               n < chunkPages) {
+            checkPpa(ppas[i + n]);
+            ++n;
+        }
+        const std::uint64_t bytes = n * cfg_.geometry.pageSize;
+        auto ch_iv = channels_[channelOf(die)].reserve(
+            ready, cfg_.timing.channelBw.transferTime(bytes));
+        auto g = dies_.reserveOn(die, ch_iv.end, cfg_.timing.programChunk,
+                                 DieScheduler::Op::program, background);
         first = std::min(first, ch_iv.start);
         last = std::max(last, g.iv.end);
+        i += n;
     }
-    return {first, last};
+    return {{first, last}, last};
 }
 
 sim::Interval
-NandFlash::doTimedErase(sim::Tick ready, bool background)
+NandFlash::doTimedErase(sim::Tick ready, std::uint32_t die,
+                        bool background)
 {
+    checkPpa(Ppa{die, 0, 0});
     return dies_
-        .reserve(ready, cfg_.timing.eraseBlock, DieScheduler::Op::erase,
-                 background)
+        .reserveOn(die, ready, cfg_.timing.eraseBlock,
+                   DieScheduler::Op::erase, background)
         .iv;
 }
 
-sim::Interval
-NandFlash::timedRead(sim::Tick ready, std::uint64_t pages)
+TimedOp
+NandFlash::timedRead(sim::Tick ready, std::span<const Ppa> ppas)
 {
-    return doTimedRead(ready, pages, false);
+    return doTimedRead(ready, ppas, false);
+}
+
+TimedOp
+NandFlash::timedProgram(sim::Tick ready, std::span<const Ppa> ppas)
+{
+    return doTimedProgram(ready, ppas, false);
 }
 
 sim::Interval
-NandFlash::timedProgram(sim::Tick ready, std::uint64_t bytes)
+NandFlash::timedErase(sim::Tick ready, std::uint32_t die)
 {
-    return doTimedProgram(ready, bytes, false);
+    return doTimedErase(ready, die, false);
+}
+
+TimedOp
+NandFlash::timedGcRead(sim::Tick ready, std::span<const Ppa> ppas)
+{
+    return doTimedRead(ready, ppas, true);
+}
+
+TimedOp
+NandFlash::timedGcProgram(sim::Tick ready, std::span<const Ppa> ppas)
+{
+    return doTimedProgram(ready, ppas, true);
 }
 
 sim::Interval
-NandFlash::timedErase(sim::Tick ready)
+NandFlash::timedGcErase(sim::Tick ready, std::uint32_t die)
 {
-    return doTimedErase(ready, false);
-}
-
-sim::Interval
-NandFlash::timedGcRead(sim::Tick ready, std::uint64_t pages)
-{
-    return doTimedRead(ready, pages, true);
-}
-
-sim::Interval
-NandFlash::timedGcProgram(sim::Tick ready, std::uint64_t bytes)
-{
-    return doTimedProgram(ready, bytes, true);
-}
-
-sim::Interval
-NandFlash::timedGcErase(sim::Tick ready)
-{
-    return doTimedErase(ready, true);
+    return doTimedErase(ready, die, true);
 }
 
 void
 NandFlash::resetTiming()
 {
     dies_.reset();
-    channels_.reset();
+    for (auto &ch : channels_)
+        ch.reset();
 }
 
 } // namespace bssd::nand

@@ -7,11 +7,15 @@
  * enforces NAND programming rules: a page must belong to an erased
  * block and pages within a block must be programmed in order.
  *
- * The timing half exposes the array as die/channel resource pools:
- * page reads occupy a die for tR and a channel for the transfer,
- * programs occupy a channel then a die for tPROG, erases occupy a die
- * for tBERS. Large requests fan out page-parallel across dies, which
- * is where the bandwidth curves of Fig. 8 come from.
+ * The timing half models the channel -> way -> die topology: every
+ * timed operation names the physical pages it touches and reserves
+ * exactly the calendars its addresses map to. A page read occupies its
+ * die for tR and its die's channel for the transfer; a program
+ * occupies the channel for the chunk transfer then the die for tPROG;
+ * an erase occupies its die for tBERS. Die d lives on channel
+ * d % channels, way d / channels, so requests striped across
+ * consecutive dies fan out across channels (the bandwidth curves of
+ * Fig. 8) while same-die or same-channel streams contend honestly.
  */
 
 #ifndef BSSD_NAND_NAND_FLASH_HH
@@ -50,6 +54,20 @@ struct Ppa
         return (std::uint64_t(die) << 48) | (std::uint64_t(block) << 24) |
                page;
     }
+};
+
+/** What one timed NAND operation was granted. */
+struct TimedOp
+{
+    /** First reservation start to last reservation end. */
+    sim::Interval iv;
+    /**
+     * When the last die finished its cell work (tR / tPROG). For reads
+     * the channel transfers trail the cell reads, so
+     * iv.start <= mediaEnd <= iv.end and [mediaEnd, iv.end) is pure
+     * bus time; for programs mediaEnd == iv.end.
+     */
+    sim::Tick mediaEnd = 0;
 };
 
 /**
@@ -115,16 +133,43 @@ class NandFlash
 
     /** @} */
 
-    /** @name Timed operations (resource reservations) @{ */
+    /** @name Address mapping (topology invariants) @{ */
 
-    /** Reserve die + channel time for reading @p pages pages. */
-    sim::Interval timedRead(sim::Tick ready, std::uint64_t pages);
+    /** Channel die @p die hangs off (die modulo channel count). */
+    std::uint32_t
+    channelOf(std::uint32_t die) const
+    {
+        return die % cfg_.geometry.channels;
+    }
 
-    /** Reserve channel + die time for programming @p bytes bytes. */
-    sim::Interval timedProgram(sim::Tick ready, std::uint64_t bytes);
+    /** Way (position on its channel) of die @p die. */
+    std::uint32_t
+    wayOf(std::uint32_t die) const
+    {
+        return die / cfg_.geometry.channels;
+    }
 
-    /** Reserve die time for one block erase. */
-    sim::Interval timedErase(sim::Tick ready);
+    /** @} */
+
+    /** @name Timed operations (resource reservations) @{
+     *
+     * Each call names the physical pages it touches; the grants land
+     * on exactly the die and channel calendars those addresses map to.
+     */
+
+    /** Reserve die tR + channel transfer time for each page read. */
+    TimedOp timedRead(sim::Tick ready, std::span<const Ppa> ppas);
+
+    /**
+     * Reserve channel transfer + die tPROG time for programming
+     * @p ppas. Runs of up to programChunkBytes/pageSize consecutive
+     * same-die pages share one chunk (multi-plane program); chunks on
+     * the same channel or die serialize on those calendars.
+     */
+    TimedOp timedProgram(sim::Tick ready, std::span<const Ppa> ppas);
+
+    /** Reserve die time for one block erase on @p die. */
+    sim::Interval timedErase(sim::Tick ready, std::uint32_t die);
 
     /** @} */
 
@@ -136,9 +181,9 @@ class NandFlash
      * suspendable, when NandSchedConfig enables those knobs.
      */
 
-    sim::Interval timedGcRead(sim::Tick ready, std::uint64_t pages);
-    sim::Interval timedGcProgram(sim::Tick ready, std::uint64_t bytes);
-    sim::Interval timedGcErase(sim::Tick ready);
+    TimedOp timedGcRead(sim::Tick ready, std::span<const Ppa> ppas);
+    TimedOp timedGcProgram(sim::Tick ready, std::span<const Ppa> ppas);
+    sim::Interval timedGcErase(sim::Tick ready, std::uint32_t die);
 
     /** @} */
 
@@ -183,6 +228,18 @@ class NandFlash
         reg.addGauge(prefix + ".read_bypasses", [this] {
             return static_cast<double>(dies_.readBypasses());
         });
+        reg.addGauge(prefix + ".chan.busy_ticks", [this] {
+            sim::Tick t = 0;
+            for (const auto &ch : channels_)
+                t += ch.busyTime();
+            return static_cast<double>(t);
+        });
+        reg.addGauge(prefix + ".chan.xfers", [this] {
+            std::uint64_t n = 0;
+            for (const auto &ch : channels_)
+                n += ch.grants();
+            return static_cast<double>(n);
+        });
     }
 
   private:
@@ -208,7 +265,8 @@ class NandFlash
     std::unordered_set<std::uint64_t> badBlocks_;
 
     DieScheduler dies_;
-    sim::MultiResource channels_;
+    /** One FIFO bus calendar per channel, indexed by channelOf(). */
+    std::vector<sim::FifoResource> channels_;
     sim::FaultInjector *faults_ = nullptr;
     sim::Tracer *tracer_ = nullptr;
     /// mutable: reads are logically const but still counted.
@@ -221,11 +279,12 @@ class NandFlash
     std::uint64_t blockKey(std::uint32_t die, std::uint32_t block) const;
     void checkPpa(Ppa ppa) const;
     sim::Tick pageTransferTime() const;
-    sim::Interval doTimedRead(sim::Tick ready, std::uint64_t pages,
-                              bool background);
-    sim::Interval doTimedProgram(sim::Tick ready, std::uint64_t bytes,
-                                 bool background);
-    sim::Interval doTimedErase(sim::Tick ready, bool background);
+    TimedOp doTimedRead(sim::Tick ready, std::span<const Ppa> ppas,
+                        bool background);
+    TimedOp doTimedProgram(sim::Tick ready, std::span<const Ppa> ppas,
+                           bool background);
+    sim::Interval doTimedErase(sim::Tick ready, std::uint32_t die,
+                               bool background);
 };
 
 } // namespace bssd::nand

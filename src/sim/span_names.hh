@@ -59,10 +59,12 @@ inline constexpr SpanName kSpanNames[] = {
     {"router", "doorbell"},
     {"router", "get"},
     {"router", "hold"},
+    {"router", "queue"},
     {"router", "set"},
     {"shard", "exec"},
     {"ssd", "blockRead"},
     {"ssd", "blockWrite"},
+    {"ssd", "dram_hit"},
     {"ssd", "flush"},
     {"wal", "commit"},
     {"wal", "repl.ship"},
@@ -76,6 +78,7 @@ inline constexpr std::size_t spanNameCount =
 inline constexpr const char *kPhaseNames[] = {
     "api",
     "buffer",
+    "chan_xfer",
     "completion",
     "destage",
     "dma",
@@ -83,6 +86,7 @@ inline constexpr const char *kPhaseNames[] = {
     "erase",
     "exec",
     "frontend",
+    "fwcpu",
     "gc_stall",
     "internal",
     "media",

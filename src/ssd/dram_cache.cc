@@ -1,0 +1,96 @@
+#include "ssd/dram_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace bssd::ssd
+{
+
+DramCache::DramCache(std::uint64_t capacityBytes, std::uint64_t lineBytes)
+    : lineBytes_(lineBytes), lines_(0)
+{
+    if (capacityBytes == 0)
+        return; // disabled
+    if (lineBytes == 0)
+        sim::fatal("DRAM cache line size must be non-zero");
+    lines_ = capacityBytes / lineBytes;
+    if (lines_ == 0)
+        sim::fatal("DRAM cache smaller than one line (", capacityBytes,
+                   " < ", lineBytes, ")");
+}
+
+std::uint64_t
+DramCache::firstLine(std::uint64_t offset) const
+{
+    return offset / lineBytes_;
+}
+
+std::uint64_t
+DramCache::lastLine(std::uint64_t offset, std::uint64_t bytes) const
+{
+    return bytes == 0 ? firstLine(offset)
+                      : (offset + bytes - 1) / lineBytes_;
+}
+
+bool
+DramCache::lookup(std::uint64_t offset, std::uint64_t bytes)
+{
+    if (!enabled())
+        return false;
+    const std::uint64_t lo = firstLine(offset);
+    const std::uint64_t hi = lastLine(offset, bytes);
+    for (std::uint64_t line = lo; line <= hi; ++line) {
+        if (!map_.contains(line)) {
+            misses_.add();
+            return false;
+        }
+    }
+    // Full hit: refresh every covered line to MRU, in address order.
+    for (std::uint64_t line = lo; line <= hi; ++line) {
+        auto it = map_.find(line);
+        lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    hits_.add();
+    return true;
+}
+
+void
+DramCache::fill(std::uint64_t offset, std::uint64_t bytes)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t lo = firstLine(offset);
+    const std::uint64_t hi = lastLine(offset, bytes);
+    for (std::uint64_t line = lo; line <= hi; ++line) {
+        auto it = map_.find(line);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            continue;
+        }
+        if (lru_.size() >= lines_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+            evictions_.add();
+        }
+        lru_.push_front(line);
+        map_[line] = lru_.begin();
+        fills_.add();
+    }
+}
+
+void
+DramCache::invalidate(std::uint64_t offset, std::uint64_t bytes)
+{
+    if (!enabled())
+        return;
+    const std::uint64_t lo = firstLine(offset);
+    const std::uint64_t hi = lastLine(offset, bytes);
+    for (std::uint64_t line = lo; line <= hi; ++line) {
+        auto it = map_.find(line);
+        if (it == map_.end())
+            continue;
+        lru_.erase(it->second);
+        map_.erase(it);
+    }
+}
+
+} // namespace bssd::ssd

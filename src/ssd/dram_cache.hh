@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Controller DRAM read cache (DESIGN.md section 15).
+ *
+ * A fully-associative LRU cache of aligned byte ranges ("lines") of
+ * the logical address space, fronting the FTL on the device read
+ * path. A read whose bytes are entirely resident is served from DRAM
+ * at a fixed access latency and never touches the NAND calendars; a
+ * miss runs the normal FTL read and then fills the covering lines.
+ * Writes and TRIMs invalidate the lines they touch - the functional
+ * store below stays the single source of truth, so the cache needs no
+ * data copies of its own, only presence tracking.
+ *
+ * Determinism: presence and LRU order depend only on the call
+ * sequence; no clocks, no randomness.
+ */
+
+#ifndef BSSD_SSD_DRAM_CACHE_HH
+#define BSSD_SSD_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "sim/metrics.hh"
+#include "sim/stats.hh"
+
+namespace bssd::ssd
+{
+
+/** LRU presence tracker for the controller's DRAM read cache. */
+class DramCache
+{
+  public:
+    /**
+     * @param capacityBytes total cache size (0 disables the cache)
+     * @param lineBytes     cache-line size (power-of-two aligned
+     *                      ranges of the logical space)
+     */
+    DramCache(std::uint64_t capacityBytes, std::uint64_t lineBytes);
+
+    bool enabled() const { return lines_ > 0; }
+
+    /**
+     * Look up [offset, offset + bytes). A hit (every covered line
+     * resident) refreshes the lines' LRU position. Counted either way.
+     * @return true on a full hit
+     */
+    bool lookup(std::uint64_t offset, std::uint64_t bytes);
+
+    /** Insert the lines covering the range, evicting LRU lines. */
+    void fill(std::uint64_t offset, std::uint64_t bytes);
+
+    /** Drop the lines covering the range (write / TRIM). */
+    void invalidate(std::uint64_t offset, std::uint64_t bytes);
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t residentLines() const { return map_.size(); }
+
+    /** Attach counters to @p reg under @p prefix ("ssd0.dram"). */
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        reg.addCounter(prefix + ".hits", hits_);
+        reg.addCounter(prefix + ".misses", misses_);
+        reg.addCounter(prefix + ".fills", fills_);
+        reg.addCounter(prefix + ".evictions", evictions_);
+    }
+
+  private:
+    std::uint64_t lineBytes_;
+    std::uint64_t lines_; // capacity in lines (0 = disabled)
+
+    /** MRU-first recency list of resident line indices. */
+    std::list<std::uint64_t> lru_;
+    // Audited (DESIGN.md section 11): keyed access only; eviction
+    // order comes from the lru_ list, never from map iteration.
+    // bssd-lint: allow(det-unordered-member) keyed access only, never iterated
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        map_;
+
+    sim::Counter hits_{"dram.hits"};
+    sim::Counter misses_{"dram.misses"};
+    sim::Counter fills_{"dram.fills"};
+    sim::Counter evictions_{"dram.evictions"};
+
+    std::uint64_t firstLine(std::uint64_t offset) const;
+    std::uint64_t lastLine(std::uint64_t offset, std::uint64_t bytes) const;
+};
+
+} // namespace bssd::ssd
+
+#endif // BSSD_SSD_DRAM_CACHE_HH

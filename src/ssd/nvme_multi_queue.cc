@@ -1,0 +1,46 @@
+#include "ssd/nvme_multi_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace bssd::ssd
+{
+
+NvmeMultiQueue::NvmeMultiQueue(SsdDevice &dev, std::uint16_t queues,
+                               const NvmeQueueConfig &qcfg)
+{
+    if (queues == 0)
+        sim::fatal("NVMe multi-queue needs at least one queue pair");
+    pairs_.reserve(queues);
+    for (std::uint16_t i = 0; i < queues; ++i)
+        pairs_.push_back(std::make_unique<NvmeQueuePair>(dev, qcfg));
+}
+
+std::optional<NvmeMultiQueue::Submitted>
+NvmeMultiQueue::submit(sim::Tick now, NvmeCommand cmd)
+{
+    for (std::size_t tried = 0; tried < pairs_.size(); ++tried) {
+        const std::size_t q = (submitCursor_ + tried) % pairs_.size();
+        auto cpu = pairs_[q]->submit(now, cmd);
+        if (!cpu)
+            continue; // pair at capacity; offer to the next one
+        submitCursor_ = (q + 1) % pairs_.size();
+        return Submitted{static_cast<std::uint16_t>(q), *cpu};
+    }
+    return std::nullopt; // every pair is full
+}
+
+std::optional<NvmeCompletion>
+NvmeMultiQueue::poll(sim::Tick now)
+{
+    for (std::size_t tried = 0; tried < pairs_.size(); ++tried) {
+        const std::size_t q = (pollCursor_ + tried) % pairs_.size();
+        auto cpl = pairs_[q]->poll(now);
+        if (!cpl)
+            continue;
+        pollCursor_ = (q + 1) % pairs_.size();
+        return cpl;
+    }
+    return std::nullopt;
+}
+
+} // namespace bssd::ssd

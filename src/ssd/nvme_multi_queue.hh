@@ -1,0 +1,120 @@
+/**
+ * @file
+ * NVMe multi-queue frontend (DESIGN.md section 15).
+ *
+ * A production host drives an NVMe device through several I/O queue
+ * pairs - one per core, classically - and the controller arbitrates
+ * between them. This layer models that: N NvmeQueuePairs over one
+ * SsdDevice with round-robin submission arbitration (the NVMe
+ * mandatory arbitration scheme) and round-robin completion reaping.
+ *
+ * submit() offers the command to the pairs starting at the arbitration
+ * cursor and places it on the first pair with both an SQ slot and CQ
+ * headroom, then advances the cursor past the chosen pair - so a
+ * saturated or backlogged queue never starves its neighbours. poll()
+ * reaps the same way. Both cursors advance deterministically from the
+ * call sequence alone.
+ */
+
+#ifndef BSSD_SSD_NVME_MULTI_QUEUE_HH
+#define BSSD_SSD_NVME_MULTI_QUEUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/ticks.hh"
+#include "ssd/nvme_queue.hh"
+
+namespace bssd::ssd
+{
+
+/** N round-robin-arbitrated I/O queue pairs bound to one device. */
+class NvmeMultiQueue
+{
+  public:
+    /**
+     * @param dev    the device all pairs submit to
+     * @param queues number of I/O queue pairs (>= 1)
+     * @param qcfg   per-pair tunables (depth is per pair)
+     */
+    NvmeMultiQueue(SsdDevice &dev, std::uint16_t queues,
+                   const NvmeQueueConfig &qcfg = {});
+
+    /** Where a command landed. */
+    struct Submitted
+    {
+        std::uint16_t queue = 0;
+        sim::Tick cpuFree = 0;
+    };
+
+    /**
+     * Submit via round-robin arbitration at time @p now.
+     * @return the accepting queue and CPU-free time, or nullopt when
+     *         every pair is at capacity.
+     */
+    std::optional<Submitted> submit(sim::Tick now, NvmeCommand cmd);
+
+    /**
+     * Reap one completion visible at @p now, round-robin across the
+     * pairs' CQs. @return nullopt when nothing has arrived.
+     */
+    std::optional<NvmeCompletion> poll(sim::Tick now);
+
+    std::size_t queues() const { return pairs_.size(); }
+    NvmeQueuePair &pair(std::size_t i) { return *pairs_[i]; }
+    const NvmeQueuePair &pair(std::size_t i) const { return *pairs_[i]; }
+
+    /** Unreaped completions across all pairs. */
+    std::uint32_t
+    inFlight() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &p : pairs_)
+            n += p->inFlight();
+        return n;
+    }
+
+    /** Commands still executing device-side at @p now, all pairs. */
+    std::uint32_t
+    sqInFlight(sim::Tick now) const
+    {
+        std::uint32_t n = 0;
+        for (const auto &p : pairs_)
+            n += p->sqInFlight(now);
+        return n;
+    }
+
+    /** Install the rig's tracer into every pair (nullptr disables). */
+    void
+    setTracer(sim::Tracer *t)
+    {
+        for (auto &p : pairs_)
+            p->setTracer(t);
+    }
+
+    /**
+     * Attach per-pair counters to @p reg under @p prefix ("nvme0"):
+     * pair i registers under prefix.qi.
+     */
+    void
+    registerMetrics(sim::MetricRegistry &reg,
+                    const std::string &prefix) const
+    {
+        for (std::size_t i = 0; i < pairs_.size(); ++i)
+            pairs_[i]->registerMetrics(reg,
+                                       prefix + ".q" + std::to_string(i));
+    }
+
+  private:
+    std::vector<std::unique_ptr<NvmeQueuePair>> pairs_;
+    std::size_t submitCursor_ = 0;
+    std::size_t pollCursor_ = 0;
+};
+
+} // namespace bssd::ssd
+
+#endif // BSSD_SSD_NVME_MULTI_QUEUE_HH

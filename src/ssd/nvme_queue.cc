@@ -25,11 +25,48 @@ NvmeQueuePair::insertCompletion(NvmeCompletion cpl)
     cq_.insert(it, cpl);
 }
 
+void
+NvmeQueuePair::pruneInflight(sim::Tick now)
+{
+    auto it = std::upper_bound(inflight_.begin(), inflight_.end(), now);
+    inflight_.erase(inflight_.begin(), it);
+}
+
+std::uint32_t
+NvmeQueuePair::sqInFlight(sim::Tick now) const
+{
+    auto it = std::upper_bound(inflight_.begin(), inflight_.end(), now);
+    return static_cast<std::uint32_t>(inflight_.end() - it);
+}
+
+std::uint32_t
+NvmeQueuePair::cqBacklog(sim::Tick now) const
+{
+    std::uint32_t n = 0;
+    for (const auto &c : cq_) {
+        if (c.completedAt > now)
+            break; // sorted: the rest are still in the future
+        ++n;
+    }
+    return n;
+}
+
 std::optional<sim::Tick>
 NvmeQueuePair::submit(sim::Tick now, NvmeCommand cmd)
 {
-    if (cq_.size() >= cfg_.depth)
-        return std::nullopt; // SQ full: reap completions first
+    pruneInflight(now);
+    // SQ occupancy gates on commands the device is still executing -
+    // NOT on unreaped completions: a promptly-polling host must not
+    // unlock unbounded device-side in-flight, and a lazy reaper must
+    // not starve the device of submissions it could absorb.
+    if (inflight_.size() >= cfg_.depth) {
+        sqFullRejects_.add();
+        return std::nullopt; // SQ full: outstanding commands at cap
+    }
+    if (cqBacklog(now) >= cqDepth()) {
+        cqFullRejects_.add();
+        return std::nullopt; // CQ full: reap completions first
+    }
     submitted_.add();
 
     sim::SpanId sp = 0;
@@ -84,6 +121,9 @@ NvmeQueuePair::submit(sim::Tick now, NvmeCommand cmd)
     if (cpl.status != NvmeStatus::success)
         errors_.add();
     cpl.completedAt = device_done + cfg_.completionCost;
+    auto slot = std::upper_bound(inflight_.begin(), inflight_.end(),
+                                 cpl.completedAt);
+    inflight_.insert(slot, cpl.completedAt);
     if (tracer_) {
         tracer_->phase("doorbell", now, cpu_free);
         if (device_done > cpu_free)

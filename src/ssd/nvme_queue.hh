@@ -78,8 +78,10 @@ struct NvmeCompletion
 /** Queue-pair tunables. */
 struct NvmeQueueConfig
 {
-    /** Queue depth (entries in SQ and CQ). */
+    /** Submission queue depth (device-side outstanding commands). */
     std::uint16_t depth = 32;
+    /** Completion queue depth (unreaped CQEs); 0 = same as depth. */
+    std::uint16_t cqDepth = 0;
     /** Doorbell MMIO write cost. */
     sim::Tick doorbellCost = sim::nsOf(400);
     /** Completion posting + interrupt delivery cost. */
@@ -95,7 +97,9 @@ class NvmeQueuePair
     /**
      * Submit a command at time @p now.
      * @return CPU-free time, or nullopt when the SQ is full (the
-     *         caller must reap completions first).
+     *         device still has `depth` commands outstanding) or the
+     *         CQ is full (the host sits on `cqDepth` unreaped,
+     *         already-arrived CQEs and must reap first).
      */
     std::optional<sim::Tick> submit(sim::Tick now, NvmeCommand cmd);
 
@@ -119,12 +123,29 @@ class NvmeQueuePair
         return static_cast<std::uint32_t>(cq_.size());
     }
 
+    /** Commands still executing device-side at @p now (SQ occupancy). */
+    std::uint32_t sqInFlight(sim::Tick now) const;
+
+    /** CQEs arrived by @p now but not yet reaped (CQ backlog). */
+    std::uint32_t cqBacklog(sim::Tick now) const;
+
     std::uint16_t depth() const { return cfg_.depth; }
+
+    /** Effective completion queue depth. */
+    std::uint16_t
+    cqDepth() const
+    {
+        return cfg_.cqDepth ? cfg_.cqDepth : cfg_.depth;
+    }
 
     /** @name Statistics @{ */
     std::uint64_t submitted() const { return submitted_.value(); }
     std::uint64_t completed() const { return completed_.value(); }
     std::uint64_t errors() const { return errors_.value(); }
+    /** Submissions rejected because the SQ was full. */
+    std::uint64_t sqFullRejects() const { return sqFullRejects_.value(); }
+    /** Submissions rejected because the CQ backlog was full. */
+    std::uint64_t cqFullRejects() const { return cqFullRejects_.value(); }
     /** @} */
 
     /** Install the rig's tracer (nullptr disables). */
@@ -138,6 +159,8 @@ class NvmeQueuePair
         reg.addCounter(prefix + ".submitted", submitted_);
         reg.addCounter(prefix + ".completed", completed_);
         reg.addCounter(prefix + ".errors", errors_);
+        reg.addCounter(prefix + ".sq_full_rejects", sqFullRejects_);
+        reg.addCounter(prefix + ".cq_full_rejects", cqFullRejects_);
         reg.addGauge(prefix + ".in_flight", [this] {
             return static_cast<double>(inFlight());
         });
@@ -149,12 +172,23 @@ class NvmeQueuePair
     sim::Tracer *tracer_ = nullptr;
     /** Completions pending reap, sorted by completedAt. */
     std::deque<NvmeCompletion> cq_;
+    /**
+     * Device-side completion times of submitted commands, sorted.
+     * Tracks true SQ occupancy independently of reaping: waitFor may
+     * pop a future CQE from cq_, but the command still occupies its
+     * SQ slot until the device finishes it.
+     */
+    std::vector<sim::Tick> inflight_;
 
     sim::Counter submitted_{"nvme.submitted"};
     sim::Counter completed_{"nvme.completed"};
     sim::Counter errors_{"nvme.errors"};
+    sim::Counter sqFullRejects_{"nvme.sqFullRejects"};
+    sim::Counter cqFullRejects_{"nvme.cqFullRejects"};
 
     void insertCompletion(NvmeCompletion cpl);
+    /** Drop inflight_ entries the device finished by @p now. */
+    void pruneInflight(sim::Tick now);
 };
 
 } // namespace bssd::ssd

@@ -13,10 +13,16 @@ SsdConfig::dcSsd()
     SsdConfig c;
     c.name = "DC-SSD";
     c.nandCfg = nand::NandConfig::tlcDatacenter();
-    c.readFrontend = sim::usOf(8);
-    c.writeFrontend = sim::usOf(15.5);
-    c.flushCost = sim::usOf(20);
+    // Frontend/firmware split sums to the calibrated 8/15.5/20 us
+    // command overheads, so QD1 latencies are unchanged.
+    c.readFrontend = sim::usOf(6);
+    c.fwReadCost = sim::usOf(2);
+    c.writeFrontend = sim::usOf(13);
+    c.fwWriteCost = sim::usOf(2.5);
+    c.flushCost = sim::usOf(18);
+    c.fwFlushCost = sim::usOf(2);
     c.writeBufferBytes = 64 * sim::MiB;
+    c.dramCacheBytes = 32 * sim::MiB;
     c.readAhead = true;
     // Production firmware collects in the background and prioritizes
     // host reads over internal traffic (DESIGN.md section 10).
@@ -32,10 +38,16 @@ SsdConfig::ullSsd()
     SsdConfig c;
     c.name = "ULL-SSD";
     c.nandCfg = nand::NandConfig::slcUltraLowLatency();
-    c.readFrontend = sim::usOf(6.8);
-    c.writeFrontend = sim::usOf(8.5);
-    c.flushCost = sim::usOf(12);
+    // Same split discipline as dcSsd: sums stay 6.8/8.5/12 us.
+    c.readFrontend = sim::usOf(5.3);
+    c.fwReadCost = sim::usOf(1.5);
+    c.writeFrontend = sim::usOf(7);
+    c.fwWriteCost = sim::usOf(1.5);
+    c.flushCost = sim::usOf(11);
+    c.fwFlushCost = sim::usOf(1);
     c.writeBufferBytes = 64 * sim::MiB;
+    c.dramCacheBytes = 32 * sim::MiB;
+    c.dramAccessLatency = sim::usOf(1);
     c.readAhead = true;
     c.ftlCfg.backgroundGc = true;
     c.nandCfg.sched.readPriority = true;
@@ -52,9 +64,14 @@ SsdConfig::tiny()
     c.nandCfg.geometry.blocksPerDie = 32;
     c.ftlCfg.gcLowWaterBlocks = 4;
     c.ftlCfg.gcHighWaterBlocks = 8;
-    c.readFrontend = sim::usOf(5);
-    c.writeFrontend = sim::usOf(8);
-    c.flushCost = sim::usOf(10);
+    // Split sums to 5/8/10 us; the DRAM cache stays off so the
+    // functional and crash-recovery rigs see every NAND access.
+    c.readFrontend = sim::usOf(4);
+    c.fwReadCost = sim::usOf(1);
+    c.writeFrontend = sim::usOf(6.5);
+    c.fwWriteCost = sim::usOf(1.5);
+    c.flushCost = sim::usOf(9);
+    c.fwFlushCost = sim::usOf(1);
     c.writeBufferBytes = sim::MiB;
     c.readAhead = true;
     c.readAheadPages = 8;
@@ -76,8 +93,20 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
       flash_(std::make_unique<nand::NandFlash>(cfg.nandCfg)),
       ftl_(std::make_unique<ftl::Ftl>(*flash_, cfg.ftlCfg)),
       link_(cfg.pcieCfg),
+      dram_(cfg.dramCacheBytes, cfg.dramLineBytes),
       writeBuffer_(cfg.writeBufferBytes, drainRate(cfg))
 {
+}
+
+sim::Tick
+SsdDevice::fwCpu(sim::Tick ready, sim::Tick cost)
+{
+    if (cost == 0)
+        return ready;
+    auto iv = fwCpu_.reserve(ready, cost);
+    if (tracer_)
+        tracer_->phase("fwcpu", ready, iv.end);
+    return iv.end;
 }
 
 std::uint64_t
@@ -106,7 +135,7 @@ SsdDevice::startPrefetch(sim::Tick now, ftl::Lpn lpn)
     prefetchCount_ = count;
     // The prefetch occupies media now; the data is ready when the
     // batch read finishes.
-    prefetchReady_ = flash_->timedRead(now, count).end;
+    prefetchReady_ = ftl_->prefetch(now, lpn, count).end;
 }
 
 sim::Interval
@@ -129,11 +158,35 @@ SsdDevice::blockRead(sim::Tick ready, std::uint64_t offset,
         ? tracer_->beginSpan("ssd", "blockRead", ready)
         : 0;
     auto fe = frontend_.reserve(ready, cfg_.readFrontend);
-    sim::Tick t = fe.end;
     if (tracer_)
-        tracer_->phase("frontend", ready, t);
+        tracer_->phase("frontend", ready, fe.end);
+    sim::Tick t = fwCpu(fe.end, cfg_.fwReadCost);
 
     std::vector<std::uint8_t> buf(pages * ps);
+
+    // Controller DRAM read cache: a fully-resident range is served
+    // from DRAM and never touches the NAND calendars.
+    if (dram_.lookup(offset, bytes)) {
+        ftl_->readUntimed(lpn, pages, buf);
+        sim::Tick served = t + cfg_.dramAccessLatency;
+        std::copy_n(buf.begin() +
+                        static_cast<std::ptrdiff_t>(offset - lpn * ps),
+                    bytes, out.begin());
+        auto dma_iv = link_.dma(t, bytes);
+        sim::Tick end = std::max(served, dma_iv.end);
+        nextSeqLpn_ = lpn + pages;
+        if (tracer_) {
+            sim::SpanId hit = tracer_->beginSpan("ssd", "dram_hit", t);
+            tracer_->endSpan(hit, served);
+            tracer_->phase("internal", t, served);
+            if (end > served)
+                tracer_->phase("xfer", served, end);
+            tracer_->endSpan(sp, end);
+        }
+        readLat_.record(end - ready);
+        return {ready, end};
+    }
+
     sim::Tick media_end;
     if (cfg_.readAhead && prefetched(lpn, pages)) {
         raHits_.add();
@@ -149,6 +202,8 @@ SsdDevice::blockRead(sim::Tick ready, std::uint64_t offset,
             startPrefetch(media_end, lpn + pages);
     }
     nextSeqLpn_ = lpn + pages;
+    // Misses fill the cache with the pages just read.
+    dram_.fill(lpn * std::uint64_t(ps), pages * std::uint64_t(ps));
 
     std::copy_n(buf.begin() +
                     static_cast<std::ptrdiff_t>(offset - lpn * ps),
@@ -193,14 +248,17 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
     const ftl::Lpn lpn = offset / ps;
     const std::uint64_t last = (offset + bytes - 1) / ps;
     const std::uint64_t pages = last - lpn + 1;
+    // New data makes any cached copy of these pages stale.
+    dram_.invalidate(lpn * std::uint64_t(ps), pages * std::uint64_t(ps));
 
     auto fe = frontend_.reserve(ready, cfg_.writeFrontend);
-    auto dma_iv = link_.dma(fe.end, bytes);
-    sim::Tick t = dma_iv.end;
-    if (tracer_) {
+    if (tracer_)
         tracer_->phase("frontend", ready, fe.end);
-        tracer_->phase("xfer", fe.end, t);
-    }
+    sim::Tick cpu = fwCpu(fe.end, cfg_.fwWriteCost);
+    auto dma_iv = link_.dma(cpu, bytes);
+    sim::Tick t = dma_iv.end;
+    if (tracer_)
+        tracer_->phase("xfer", cpu, t);
 
     // Unaligned head/tail: read-modify-write the surrounding pages.
     std::vector<std::uint8_t> buf(pages * ps);
@@ -250,11 +308,12 @@ SsdDevice::flush(sim::Tick ready)
     sim::tracepointHit(faults_, tracer_, sim::Tp::ssdFlush, ready);
     flushes_.add();
     auto fe = frontend_.reserve(ready, cfg_.flushCost);
-    if (tracer_) {
+    if (tracer_)
         tracer_->phase("frontend", ready, fe.end);
-        tracer_->endSpan(sp, fe.end);
-    }
-    return fe.end;
+    sim::Tick end = fwCpu(fe.end, cfg_.fwFlushCost);
+    if (tracer_)
+        tracer_->endSpan(sp, end);
+    return end;
 }
 
 void
@@ -267,6 +326,8 @@ SsdDevice::registerMetrics(sim::MetricRegistry &reg,
     reg.addCounter(prefix + ".read_ahead_hits", raHits_);
     reg.addHistogram(prefix + ".read_lat", readLat_);
     reg.addHistogram(prefix + ".write_lat", writeLat_);
+    if (dram_.enabled())
+        dram_.registerMetrics(reg, prefix + ".dram");
     ftl_->registerMetrics(reg, prefix + ".ftl");
     flash_->registerMetrics(reg, prefix + ".nand");
     link_.registerMetrics(reg, prefix + ".pcie");
@@ -275,6 +336,7 @@ SsdDevice::registerMetrics(sim::MetricRegistry &reg,
 void
 SsdDevice::trim(std::uint64_t offset, std::uint64_t len)
 {
+    dram_.invalidate(offset, len);
     const std::uint32_t ps = ftl_->pageSize();
     std::uint64_t first = (offset + ps - 1) / ps;
     std::uint64_t end = (offset + len) / ps;

@@ -26,6 +26,7 @@
 #include "ftl/ftl.hh"
 #include "nand/nand_flash.hh"
 #include "pcie/pcie_link.hh"
+#include "ssd/dram_cache.hh"
 #include "sim/domain.hh"
 #include "sim/metrics.hh"
 #include "sim/resource.hh"
@@ -56,12 +57,39 @@ struct SsdConfig
     ftl::FtlConfig ftlCfg;
     pcie::PcieConfig pcieCfg;
 
-    /** Firmware + queueing cost of a read command before media. */
+    /** Queueing + protocol cost of a read command before media. */
     sim::Tick readFrontend = sim::usOf(5.5);
-    /** Firmware + queueing cost of a write command. */
+    /** Queueing + protocol cost of a write command. */
     sim::Tick writeFrontend = sim::usOf(8.5);
     /** NVMe FLUSH round trip (cheap: the buffer is capacitor-backed). */
     sim::Tick flushCost = sim::usOf(12);
+    /**
+     * @name Firmware CPU (SimpleSSD-style per-command overhead)
+     *
+     * One core runs the command firmware: every command holds it for
+     * its cost, serializing against all other commands regardless of
+     * which die or channel they target. 0 skips the stage. The presets
+     * carve these out of the frontend costs, so QD1 latency sums are
+     * unchanged while concurrent commands pipeline the two stages.
+     * @{
+     */
+    sim::Tick fwReadCost = 0;
+    sim::Tick fwWriteCost = 0;
+    sim::Tick fwFlushCost = 0;
+    /** @} */
+    /**
+     * @name Controller DRAM read cache
+     *
+     * A read whose bytes are all resident completes after the DRAM
+     * access latency without touching NAND; writes invalidate. 0
+     * disables (the tiny preset keeps it off so functional and crash
+     * rigs are cache-free).
+     * @{
+     */
+    std::uint64_t dramCacheBytes = 0;
+    std::uint64_t dramLineBytes = 16 * sim::KiB;
+    sim::Tick dramAccessLatency = sim::usOf(2);
+    /** @} */
     /** Capacitor-backed write buffer capacity. */
     std::uint64_t writeBufferBytes = 64 * sim::MiB;
     /** Sequential read-ahead (the heuristic the paper notes for
@@ -143,6 +171,8 @@ class SsdDevice
     std::uint64_t writesServed() const { return writes_.value(); }
     std::uint64_t flushesServed() const { return flushes_.value(); }
     std::uint64_t readAheadHits() const { return raHits_.value(); }
+    /** DRAM read-cache presence tracker (hit/miss counters). */
+    const DramCache &dramCache() const { return dram_; }
 
     /** Per-command completion latency (ticks), host-observed. */
     const sim::Histogram &readLatency() const { return readLat_; }
@@ -198,6 +228,9 @@ class SsdDevice
     std::unique_ptr<ftl::Ftl> ftl_;
     pcie::PcieLink link_;
     sim::FifoResource frontend_{"ssd.frontend"};
+    /** The firmware core every command serializes on (cost > 0). */
+    sim::FifoResource fwCpu_{"ssd.fwcpu"};
+    DramCache dram_;
     sim::DrainingBuffer writeBuffer_;
     WriteGate writeGate_;
 
@@ -218,6 +251,8 @@ class SsdDevice
     static sim::Bandwidth drainRate(const SsdConfig &cfg);
     bool prefetched(ftl::Lpn lpn, std::uint64_t pages) const;
     void startPrefetch(sim::Tick now, ftl::Lpn lpn);
+    /** Reserve the firmware core; pass-through when the cost is 0. */
+    sim::Tick fwCpu(sim::Tick ready, sim::Tick cost);
 };
 
 } // namespace bssd::ssd

@@ -39,6 +39,8 @@ toClusterConfig(const ClusterConfig &cfg)
     c.keySpace = cfg.keySpace;
     c.valueBytes = cfg.valueBytes;
     c.seed = cfg.seed;
+    c.queuePairs = cfg.nvmeQueuePairs;
+    c.queueDepth = cfg.nvmeQueueDepth;
     c.rebalanceAtCycle = cfg.rebalanceAtCycle;
     c.moveBegin256 = cfg.moveBegin256;
     c.moveEnd256 = cfg.moveEnd256;

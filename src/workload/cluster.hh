@@ -65,6 +65,10 @@ struct ClusterConfig
     std::uint64_t keySpace = 512;
     std::uint32_t valueBytes = 96;
     std::uint64_t seed = 1;
+    /** Host NVMe-style I/O queue pairs per shard. */
+    std::uint16_t nvmeQueuePairs = 1;
+    /** Batches each pair admits; 0 = unbounded (no queue gating). */
+    std::uint16_t nvmeQueueDepth = 0;
     /** @} */
 
     /** @name Online rebalance (0 = none) @{ */

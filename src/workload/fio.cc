@@ -75,9 +75,13 @@ runFio(ssd::SsdDevice &dev, const FioJob &job)
         t += job.regionBytes + sim::msOf(5);
     }
 
+    const std::uint16_t queues = std::max<std::uint16_t>(1, job.queues);
     ssd::NvmeQueueConfig qcfg;
-    qcfg.depth = job.queueDepth;
-    ssd::NvmeQueuePair qp(dev, qcfg);
+    // Per-pair depth splits the job's total so the fleet of pairs
+    // admits exactly queueDepth outstanding commands.
+    qcfg.depth = static_cast<std::uint16_t>(
+        (job.queueDepth + queues - 1) / queues);
+    ssd::NvmeMultiQueue mq(dev, queues, qcfg);
 
     sim::Distribution lat("fio.lat");
     std::vector<std::uint8_t> wdata(job.blockSize, 0x3f);
@@ -111,17 +115,17 @@ runFio(ssd::SsdDevice &dev, const FioJob &job)
                 cmd.opc = ssd::NvmeOpcode::write;
                 cmd.writeData = wdata;
             }
-            auto ok = qp.submit(t, cmd);
+            auto ok = mq.submit(t, cmd);
             if (!ok.has_value())
                 break;
             freeSlots.pop_front();
             issueTime[slot] = t;
-            t = *ok;
+            t = ok->cpuFree;
             ++issued;
         }
         // Reap the next completion.
         for (;;) {
-            auto cpl = qp.poll(t);
+            auto cpl = mq.poll(t);
             if (cpl.has_value()) {
                 ++completed;
                 lat.sample(cpl->completedAt - issueTime[cpl->cid]);

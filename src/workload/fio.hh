@@ -16,7 +16,7 @@
 
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
-#include "ssd/nvme_queue.hh"
+#include "ssd/nvme_multi_queue.hh"
 #include "ssd/ssd_device.hh"
 
 namespace bssd::workload
@@ -38,8 +38,10 @@ struct FioJob
     FioPattern pattern = FioPattern::randRead;
     /** Request size in bytes. */
     std::uint32_t blockSize = 4096;
-    /** Outstanding commands. */
+    /** Outstanding commands (total, across all queue pairs). */
     std::uint16_t queueDepth = 1;
+    /** NVMe I/O queue pairs the job submits through (round-robin). */
+    std::uint16_t queues = 1;
     /** Number of I/Os to issue. */
     std::uint32_t ios = 1024;
     /** Region of the device the job touches. */
@@ -63,7 +65,8 @@ struct FioResult
 };
 
 /**
- * Run @p job against @p dev through an NVMe queue pair.
+ * Run @p job against @p dev through the NVMe multi-queue frontend
+ * (job.queues pairs, round-robin arbitration).
  * Fully deterministic for a given job description.
  */
 FioResult runFio(ssd::SsdDevice &dev, const FioJob &job);

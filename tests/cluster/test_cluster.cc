@@ -155,6 +155,57 @@ TEST(Cluster, BurstyArrivalsDrainCompletely)
     c.verifyConsistency();
 }
 
+TEST(Cluster, QueuePairGatingParksAndDrainsEveryBatch)
+{
+    // One in-flight batch per pair and bursty arrivals: cycles land
+    // while the previous batch is still executing, so batches must
+    // park behind the full pairs and be re-posted by completions.
+    ClusterConfig cfg = smallFleet();
+    cfg.queuePairs = 2;
+    cfg.queueDepth = 1;
+    cfg.arrival.kind = sim::ArrivalSpec::Kind::bursty;
+    cfg.arrival.burstSize = 6;
+    cfg.arrival.burstGap = sim::usOf(5);
+    Cluster c(cfg);
+    c.run();
+
+    EXPECT_GT(c.router().batchesQueued(), 0u);
+    for (unsigned s = 0; s < cfg.shards; ++s)
+        EXPECT_EQ(c.router().pendingBatches(s), 0u);
+    EXPECT_EQ(c.router().opsCompleted(), c.router().opsRouted());
+    EXPECT_EQ(c.router().opsRouted(), 12u * 32u);
+    c.verifyConsistency();
+}
+
+TEST(Cluster, QueueGatingWaitIsTracedAsQueueSpans)
+{
+    // The time a batch parks behind full queue pairs must surface as
+    // ("router", "queue") child spans on its ops, not vanish.
+    ClusterConfig cfg = smallFleet();
+    cfg.queuePairs = 1;
+    cfg.queueDepth = 1;
+    cfg.arrival.kind = sim::ArrivalSpec::Kind::bursty;
+    cfg.arrival.burstSize = 6;
+    cfg.arrival.burstGap = sim::usOf(5);
+    sim::Tracer trace;
+    Cluster c(cfg, &trace);
+    c.run();
+    ASSERT_GT(c.router().batchesQueued(), 0u);
+
+    std::size_t queueSpans = 0;
+    for (const auto &e : trace.events()) {
+        if (e.kind != sim::Tracer::Event::Kind::span)
+            continue;
+        if (trace.string(e.cat) == "router" &&
+            trace.string(e.name) == "queue") {
+            ++queueSpans;
+            EXPECT_GT(e.end, e.start); // parked: a real wait
+            EXPECT_NE(e.trace, 0u);    // stitched under its request
+        }
+    }
+    EXPECT_GT(queueSpans, 0u);
+}
+
 TEST(Cluster, ReplicatedShardsSurviveAPrimaryPowerCut)
 {
     ClusterConfig cfg = smallFleet();

@@ -1,10 +1,11 @@
 /**
  * @file
  * Unit tests for the die-level I/O scheduler (DESIGN.md section 10):
- * the knobs-off grant-for-grant equivalence with sim::MultiResource
- * (the compatibility invariant every pre-existing timing result rests
- * on), read bypass of unstarted background work, erase suspend/resume
- * timing, the per-erase suspension cap, and the event counters.
+ * the knobs-off grant-for-grant equivalence with a dedicated
+ * sim::FifoResource per die (the compatibility invariant every
+ * pre-existing timing result rests on), read bypass of unstarted
+ * background work, erase suspend/resume timing, the per-erase
+ * suspension cap, and the event counters.
  */
 
 #include <gtest/gtest.h>
@@ -43,25 +44,29 @@ knobsOn()
 
 } // namespace
 
-/** With both knobs off, every grant - across a long random mixed
- *  sequence, including background ops - must be identical to what
- *  MultiResource produces for the same (earliest, duration) stream. */
-TEST(DieScheduler, KnobsOffGrantsMatchMultiResource)
+/** With both knobs off, every grant to die d - across a long random
+ *  mixed sequence, including background ops - must be identical to
+ *  what a dedicated FifoResource for d produces for the same
+ *  (earliest, duration) stream. */
+TEST(DieScheduler, KnobsOffGrantsMatchPerDieFifo)
 {
     constexpr std::size_t kDies = 4;
     DieScheduler sched(kDies, knobsOff());
-    sim::MultiResource ref(kDies);
+    std::vector<sim::FifoResource> ref;
+    for (std::size_t d = 0; d < kDies; ++d)
+        ref.emplace_back("ref" + std::to_string(d));
 
     sim::Rng rng(17);
     sim::Tick t = 0;
     for (int i = 0; i < 2000; ++i) {
+        const std::size_t die = rng.nextBelow(kDies);
         const sim::Tick earliest = t + rng.nextBelow(50);
         const sim::Tick duration = 1 + rng.nextBelow(200);
         const Op op = static_cast<Op>(rng.nextBelow(3));
         const bool background = rng.chance(0.3);
 
-        auto g = sched.reserve(earliest, duration, op, background);
-        auto iv = ref.reserve(earliest, duration);
+        auto g = sched.reserveOn(die, earliest, duration, op, background);
+        auto iv = ref[die].reserve(earliest, duration);
         ASSERT_EQ(g.iv.start, iv.start) << "grant " << i;
         ASSERT_EQ(g.iv.end, iv.end) << "grant " << i;
         EXPECT_FALSE(g.suspendedErase);
@@ -71,12 +76,33 @@ TEST(DieScheduler, KnobsOffGrantsMatchMultiResource)
         if (i % 7 == 0)
             t += rng.nextBelow(300);
     }
-    EXPECT_EQ(sched.busyTime(), ref.busyTime());
-    EXPECT_EQ(sched.grants(), ref.grants());
-    EXPECT_EQ(sched.nextFree(), ref.nextFree());
+    sim::Tick refBusy = 0;
+    std::uint64_t refGrants = 0;
+    sim::Tick refNextFree = sim::maxTick;
+    for (const auto &r : ref) {
+        refBusy += r.busyTime();
+        refGrants += r.grants();
+        refNextFree = std::min(refNextFree, r.nextFree());
+    }
+    EXPECT_EQ(sched.busyTime(), refBusy);
+    EXPECT_EQ(sched.grants(), refGrants);
+    EXPECT_EQ(sched.nextFree(), refNextFree);
     EXPECT_EQ(sched.eraseSuspends(), 0u);
     EXPECT_EQ(sched.readBypasses(), 0u);
     EXPECT_EQ(sched.suspendOverhead(), 0u);
+}
+
+/** Naming the die is binding: concurrent reservations on different
+ *  dies never contend, same-die reservations always serialize. */
+TEST(DieScheduler, GrantsLandOnTheNamedDie)
+{
+    DieScheduler sched(2, knobsOff());
+    auto a = sched.reserveOn(0, 0, 100, Op::read);
+    auto b = sched.reserveOn(1, 0, 100, Op::read);
+    auto c = sched.reserveOn(0, 0, 100, Op::read);
+    EXPECT_EQ(a.iv.start, 0u);
+    EXPECT_EQ(b.iv.start, 0u); // other die: no contention
+    EXPECT_EQ(c.iv.start, 100u); // same die: FIFO behind a
 }
 
 /** A host read arriving before an unstarted background program has
@@ -88,16 +114,16 @@ TEST(DieScheduler, ReadBypassesUnstartedBackgroundWork)
 
     // Host program occupies [0, 100); background GC program queues at
     // [100, 300).
-    auto host = sched.reserve(0, 100, Op::program);
+    auto host = sched.reserveOn(0, 0, 100, Op::program);
     EXPECT_EQ(host.iv.start, 0u);
-    auto bg = sched.reserve(0, 200, Op::program, /*background=*/true);
+    auto bg = sched.reserveOn(0, 0, 200, Op::program, /*background=*/true);
     EXPECT_EQ(bg.iv.start, 100u);
     EXPECT_EQ(bg.iv.end, 300u);
 
     // A read arriving at t=50 (before the background op starts) takes
     // the background op's slot: it runs at [100, 130), where the GC
     // program would have started.
-    auto rd = sched.reserve(50, 30, Op::read);
+    auto rd = sched.reserveOn(0, 50, 30, Op::read);
     EXPECT_TRUE(rd.bypassedBackground);
     EXPECT_FALSE(rd.suspendedErase);
     EXPECT_EQ(rd.iv.start, 100u);
@@ -108,7 +134,7 @@ TEST(DieScheduler, ReadBypassesUnstartedBackgroundWork)
 
     // A second bypassing read stacks behind the first, still ahead of
     // the (still unstarted) background op.
-    auto rd2 = sched.reserve(60, 30, Op::read);
+    auto rd2 = sched.reserveOn(0, 60, 30, Op::read);
     EXPECT_TRUE(rd2.bypassedBackground);
     EXPECT_EQ(rd2.iv.start, 130u);
     EXPECT_EQ(rd2.iv.end, 160u);
@@ -124,10 +150,10 @@ TEST(DieScheduler, ReadArrivingAfterBackgroundStartQueuesFifo)
     cfg.eraseSuspend = false;
     DieScheduler sched(1, cfg);
 
-    auto bg = sched.reserve(0, 200, Op::program, /*background=*/true);
+    auto bg = sched.reserveOn(0, 0, 200, Op::program, /*background=*/true);
     EXPECT_EQ(bg.iv.start, 0u);
     // The background op started at 0; a read at t=10 is too late.
-    auto rd = sched.reserve(10, 30, Op::read);
+    auto rd = sched.reserveOn(0, 10, 30, Op::read);
     EXPECT_FALSE(rd.bypassedBackground);
     EXPECT_EQ(rd.iv.start, 200u);
     EXPECT_EQ(sched.readBypasses(), 0u);
@@ -143,12 +169,12 @@ TEST(DieScheduler, EraseSuspendTimingAndCounters)
     cfg.eraseResumeOverhead = 10;
     DieScheduler sched(1, cfg);
 
-    auto er = sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    auto er = sched.reserveOn(0, 0, 1000, Op::erase, /*background=*/true);
     EXPECT_EQ(er.iv.start, 0u);
     EXPECT_EQ(er.iv.end, 1000u);
 
     // Read arrives mid-erase at t=400.
-    auto rd = sched.reserve(400, 30, Op::read);
+    auto rd = sched.reserveOn(0, 400, 30, Op::read);
     EXPECT_TRUE(rd.suspendedErase);
     EXPECT_FALSE(rd.bypassedBackground);
     EXPECT_EQ(rd.iv.start, 405u); // 400 + suspend latency
@@ -159,7 +185,7 @@ TEST(DieScheduler, EraseSuspendTimingAndCounters)
     EXPECT_EQ(sched.suspendOverhead(), 15u);
 
     // A later op queues behind the stretched erase.
-    auto pg = sched.reserve(500, 100, Op::program);
+    auto pg = sched.reserveOn(0, 500, 100, Op::program);
     EXPECT_EQ(pg.iv.start, 1045u);
 }
 
@@ -174,9 +200,9 @@ TEST(DieScheduler, EraseSuspendCapBoundsStarvation)
     cfg.maxSuspendsPerErase = 2;
     DieScheduler sched(1, cfg);
 
-    sched.reserve(0, 1000, Op::erase, /*background=*/true);
-    auto r1 = sched.reserve(100, 30, Op::read);
-    auto r2 = sched.reserve(200, 30, Op::read);
+    sched.reserveOn(0, 0, 1000, Op::erase, /*background=*/true);
+    auto r1 = sched.reserveOn(0, 100, 30, Op::read);
+    auto r2 = sched.reserveOn(0, 200, 30, Op::read);
     EXPECT_TRUE(r1.suspendedErase);
     EXPECT_TRUE(r2.suspendedErase);
     EXPECT_EQ(sched.eraseSuspends(), 2u);
@@ -184,7 +210,7 @@ TEST(DieScheduler, EraseSuspendCapBoundsStarvation)
     // Third read inside the (now stretched) erase: cap reached, so it
     // queues FIFO after the erase completes.
     const sim::Tick eraseEnd = sched.nextFree();
-    auto r3 = sched.reserve(300, 30, Op::read);
+    auto r3 = sched.reserveOn(0, 300, 30, Op::read);
     EXPECT_FALSE(r3.suspendedErase);
     EXPECT_EQ(r3.iv.start, eraseEnd);
     EXPECT_EQ(sched.eraseSuspends(), 2u);
@@ -199,17 +225,17 @@ TEST(DieScheduler, HostEraseIsSuspendableAndBudgetResets)
     cfg.maxSuspendsPerErase = 1;
     DieScheduler sched(1, cfg);
 
-    sched.reserve(0, 1000, Op::erase); // host erase
-    auto r1 = sched.reserve(100, 30, Op::read);
+    sched.reserveOn(0, 0, 1000, Op::erase); // host erase
+    auto r1 = sched.reserveOn(0, 100, 30, Op::read);
     EXPECT_TRUE(r1.suspendedErase);
     // Budget exhausted on this erase.
-    auto r2 = sched.reserve(200, 30, Op::read);
+    auto r2 = sched.reserveOn(0, 200, 30, Op::read);
     EXPECT_FALSE(r2.suspendedErase);
 
     // New erase on the (single) die: budget is back.
     const sim::Tick t0 = sched.nextFree();
-    sched.reserve(t0, 1000, Op::erase);
-    auto r3 = sched.reserve(t0 + sim::nsOf(50), 30, Op::read);
+    sched.reserveOn(0, t0, 1000, Op::erase);
+    auto r3 = sched.reserveOn(0, t0 + sim::nsOf(50), 30, Op::read);
     EXPECT_TRUE(r3.suspendedErase);
 }
 
@@ -219,12 +245,12 @@ TEST(DieScheduler, NewTailGrantClearsPreemptibility)
 {
     DieScheduler sched(1, knobsOn());
 
-    sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    sched.reserveOn(0, 0, 1000, Op::erase, /*background=*/true);
     // A host program queues behind the erase and becomes the new tail.
-    sched.reserve(0, 100, Op::program);
+    sched.reserveOn(0, 0, 100, Op::program);
     // A read at t=400 lands inside the erase's window, but the erase
     // is no longer the tail: plain FIFO behind the program.
-    auto rd = sched.reserve(400, 30, Op::read);
+    auto rd = sched.reserveOn(0, 400, 30, Op::read);
     EXPECT_FALSE(rd.suspendedErase);
     EXPECT_FALSE(rd.bypassedBackground);
     EXPECT_EQ(rd.iv.start, 1100u);
@@ -238,29 +264,63 @@ TEST(DieScheduler, BypassShiftsEraseSuspendWindow)
     DieScheduler sched(1, knobsOn());
 
     // Background erase queued at [100, 1100) behind a host program.
-    sched.reserve(0, 100, Op::program);
-    sched.reserve(0, 1000, Op::erase, /*background=*/true);
+    sched.reserveOn(0, 0, 100, Op::program);
+    sched.reserveOn(0, 0, 1000, Op::erase, /*background=*/true);
 
     // Read bypasses the unstarted erase: runs [100, 130), erase now
     // [130, 1130).
-    auto rd = sched.reserve(50, 30, Op::read);
+    auto rd = sched.reserveOn(0, 50, 30, Op::read);
     EXPECT_TRUE(rd.bypassedBackground);
     EXPECT_EQ(rd.iv.start, 100u);
     EXPECT_EQ(sched.nextFree(), 1130u);
 
     // A read at t=500 lands inside the shifted erase and suspends it.
-    auto rd2 = sched.reserve(500, 30, Op::read);
+    auto rd2 = sched.reserveOn(0, 500, 30, Op::read);
     EXPECT_TRUE(rd2.suspendedErase);
     EXPECT_EQ(rd2.iv.start, 500u + 5000u); // default 5 us latency
+}
+
+/** Regression: a bypass that shifts a background erase re-grants a
+ *  FRESH erase - its suspension budget must reset, not inherit the
+ *  count a previous erase on the die had consumed. */
+TEST(DieScheduler, BypassedEraseGetsFreshSuspendBudget)
+{
+    auto cfg = knobsOn();
+    cfg.eraseSuspendLatency = 5;
+    cfg.eraseResumeOverhead = 10;
+    cfg.maxSuspendsPerErase = 1;
+    DieScheduler sched(1, cfg);
+
+    // Erase A burns the whole budget.
+    sched.reserveOn(0, 0, 1000, Op::erase, /*background=*/true);
+    auto r1 = sched.reserveOn(0, 400, 30, Op::read);
+    ASSERT_TRUE(r1.suspendedErase);
+    const sim::Tick aEnd = sched.nextFree(); // 1045
+
+    // Host program, then background erase B queued behind it.
+    sched.reserveOn(0, aEnd, 100, Op::program);
+    sched.reserveOn(0, aEnd, 1000, Op::erase, /*background=*/true);
+
+    // A read bypasses B before it starts, shifting it back.
+    // bssd-lint: allow(hyg-ticks-literal) abstract test-tick offset
+    auto rd = sched.reserveOn(0, aEnd + 10, 30, Op::read);
+    ASSERT_TRUE(rd.bypassedBackground);
+
+    // A read landing inside the shifted B must still be able to
+    // suspend it: B is a fresh erase with a fresh budget.
+    // bssd-lint: allow(hyg-ticks-literal) abstract test-tick offset
+    auto rd2 = sched.reserveOn(0, aEnd + 500, 30, Op::read);
+    EXPECT_TRUE(rd2.suspendedErase);
+    EXPECT_EQ(sched.eraseSuspends(), 2u);
 }
 
 /** reset() forgets calendars, tails and counters. */
 TEST(DieScheduler, ResetClearsAllState)
 {
     DieScheduler sched(2, knobsOn());
-    sched.reserve(0, 1000, Op::erase, /*background=*/true);
-    sched.reserve(0, 1000, Op::erase, /*background=*/true);
-    sched.reserve(100, 30, Op::read);
+    sched.reserveOn(0, 0, 1000, Op::erase, /*background=*/true);
+    sched.reserveOn(1, 0, 1000, Op::erase, /*background=*/true);
+    sched.reserveOn(0, 100, 30, Op::read);
     ASSERT_EQ(sched.eraseSuspends(), 1u);
 
     sched.reset();
@@ -271,6 +331,6 @@ TEST(DieScheduler, ResetClearsAllState)
     EXPECT_EQ(sched.suspendOverhead(), 0u);
     EXPECT_EQ(sched.nextFree(), 0u);
     // Post-reset grants start from an empty calendar.
-    auto g = sched.reserve(7, 10, Op::program);
+    auto g = sched.reserveOn(0, 7, 10, Op::program);
     EXPECT_EQ(g.iv.start, 7u);
 }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "nand/nand_flash.hh"
@@ -23,6 +25,38 @@ pattern(std::size_t n, std::uint8_t seed)
     for (std::size_t i = 0; i < n; ++i)
         v[i] = static_cast<std::uint8_t>(seed + i);
     return v;
+}
+
+/**
+ * Die-striped PPA stream the way the FTL allocates: runs of
+ * @p runPages consecutive pages on one die, then the next die. The
+ * default run is programChunkBytes/pageSize, so programs chunk into
+ * multi-plane operations; pass 1 to spread reads one page per die.
+ */
+std::vector<Ppa>
+stripedPpas(const NandConfig &cfg, std::uint64_t pages,
+            std::uint64_t runPages = 0)
+{
+    const auto &g = cfg.geometry;
+    const std::uint64_t chunkPages =
+        runPages != 0 ? runPages
+                      : std::max<std::uint64_t>(
+                            1, cfg.timing.programChunkBytes / g.pageSize);
+    std::vector<std::uint64_t> next(g.totalDies(), 0);
+    std::vector<Ppa> ppas;
+    ppas.reserve(pages);
+    std::uint32_t die = 0;
+    while (ppas.size() < pages) {
+        for (std::uint64_t k = 0; k < chunkPages && ppas.size() < pages;
+             ++k) {
+            const std::uint64_t p = next[die]++;
+            ppas.push_back(
+                Ppa{die, static_cast<std::uint32_t>(p / g.pagesPerBlock),
+                    static_cast<std::uint32_t>(p % g.pagesPerBlock)});
+        }
+        die = (die + 1) % g.totalDies();
+    }
+    return ppas;
 }
 
 } // namespace
@@ -110,57 +144,65 @@ TEST(NandFlash, CountsOperations)
 TEST(NandFlashTiming, SinglePageReadTakesTrPlusTransfer)
 {
     NandFlash flash(NandConfig::slcUltraLowLatency());
-    auto iv = flash.timedRead(0, 1);
+    const Ppa ppa{0, 0, 0};
+    auto op = flash.timedRead(0, std::span<const Ppa>(&ppa, 1));
     // tR (3 us) plus 4 KB over a 1.2 GB/s channel (~3.4 us).
-    EXPECT_GE(iv.end, sim::usOf(3));
-    EXPECT_LE(iv.end, sim::usOf(8));
+    EXPECT_EQ(op.mediaEnd, sim::usOf(3));
+    EXPECT_GE(op.iv.end, sim::usOf(3));
+    EXPECT_LE(op.iv.end, sim::usOf(8));
 }
 
 TEST(NandFlashTiming, LargeReadsFanOutAcrossDies)
 {
     NandFlash flash(NandConfig::tlcDatacenter());
     const std::uint32_t dies = flash.config().geometry.totalDies();
-    // One full round across every die costs ~tR; two rounds ~2 tR.
-    auto one_round = flash.timedRead(0, dies);
+    // One page per die costs ~tR in parallel; two pages per die ~2 tR.
+    auto one_round = flash.timedRead(
+        0, stripedPpas(flash.config(), dies, /*runPages=*/1));
     flash.resetTiming();
-    auto two_rounds = flash.timedRead(0, 2 * dies);
-    double ratio = static_cast<double>(two_rounds.end) /
-                   static_cast<double>(one_round.end);
+    auto two_rounds = flash.timedRead(
+        0, stripedPpas(flash.config(), 2 * dies, /*runPages=*/1));
+    double ratio = static_cast<double>(two_rounds.iv.end) /
+                   static_cast<double>(one_round.iv.end);
     EXPECT_NEAR(ratio, 2.0, 0.3);
 }
 
 TEST(NandFlashTiming, ProgramSlowerThanRead)
 {
     NandFlash flash(NandConfig::tlcDatacenter());
-    auto r = flash.timedRead(0, 1);
+    const Ppa ppa{0, 0, 0};
+    auto r = flash.timedRead(0, std::span<const Ppa>(&ppa, 1));
     flash.resetTiming();
-    auto w = flash.timedProgram(0, 4096);
-    EXPECT_GT(w.end - w.start, r.end - r.start);
+    auto w = flash.timedProgram(0, std::span<const Ppa>(&ppa, 1));
+    EXPECT_GT(w.iv.end - w.iv.start, r.iv.end - r.iv.start);
 }
 
 TEST(NandFlashTiming, SustainedProgramMatchesDrainRate)
 {
-    // DC-SSD NAND should sustain ~1.5 GB/s of programming.
+    // DC-SSD NAND should sustain ~1.5 GB/s of programming when the
+    // stream stripes chunk-sized runs across the dies (as the FTL's
+    // allocator does).
     NandFlash flash(NandConfig::tlcDatacenter());
     const std::uint64_t bytes = 64 * sim::MiB;
-    auto iv = flash.timedProgram(0, bytes);
+    const std::uint64_t pages = bytes / flash.config().geometry.pageSize;
+    auto op = flash.timedProgram(0, stripedPpas(flash.config(), pages));
     double gbps = static_cast<double>(bytes) /
-                  static_cast<double>(iv.end - iv.start);
+                  static_cast<double>(op.iv.end - op.iv.start);
     EXPECT_NEAR(gbps, 1.5, 0.3);
 }
 
 TEST(NandFlashTiming, EraseIsMilliseconds)
 {
     NandFlash flash(NandConfig::tiny());
-    auto iv = flash.timedErase(0);
+    auto iv = flash.timedErase(0, 0);
     EXPECT_EQ(iv.end - iv.start, sim::msOf(1));
 }
 
 TEST(NandFlashTiming, ZeroSizedOpsAreFree)
 {
     NandFlash flash(NandConfig::tiny());
-    EXPECT_EQ(flash.timedRead(5, 0).end, 5u);
-    EXPECT_EQ(flash.timedProgram(5, 0).end, 5u);
+    EXPECT_EQ(flash.timedRead(5, {}).iv.end, 5u);
+    EXPECT_EQ(flash.timedProgram(5, {}).iv.end, 5u);
 }
 
 TEST(NandFlashBadBlocks, FactoryDefectMapIsDeterministic)

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Address-aware NAND topology tests (DESIGN.md section 15): the
+ * channel -> way -> die mapping invariants and the contention cases
+ * the old load-balancing scheduler could not express - same-die reads
+ * serializing, cross-channel reads overlapping, same-channel
+ * different-way transfers contending for the bus, and program chunks
+ * serializing on their die and channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "nand/nand_flash.hh"
+#include "sim/ticks.hh"
+
+using namespace bssd;
+using namespace bssd::nand;
+
+namespace
+{
+
+/** DC geometry: 8 channels x 4 ways; die d = (chan d%8, way d/8). */
+NandConfig
+dc()
+{
+    return NandConfig::tlcDatacenter();
+}
+
+sim::Tick
+pageXfer(const NandConfig &cfg)
+{
+    return cfg.timing.channelBw.transferTime(cfg.geometry.pageSize);
+}
+
+} // namespace
+
+TEST(NandTopology, DieToChannelWayMapping)
+{
+    NandFlash flash(dc());
+    const std::uint32_t channels = flash.config().geometry.channels;
+    for (std::uint32_t d = 0; d < flash.config().geometry.totalDies();
+         ++d) {
+        EXPECT_EQ(flash.channelOf(d), d % channels);
+        EXPECT_EQ(flash.wayOf(d), d / channels);
+    }
+}
+
+/** Two reads naming the same die serialize on its calendar; the same
+ *  two reads naming dies on different channels overlap completely.
+ *  This is the address-sensitivity the old balance-to-least-loaded
+ *  scheduler erased. */
+TEST(NandTopology, SameDieSerializesCrossChannelOverlaps)
+{
+    const NandConfig cfg = dc();
+    const sim::Tick tR = cfg.timing.readPage;
+
+    NandFlash sameDie(cfg);
+    const std::vector<Ppa> same{{0, 0, 0}, {0, 0, 1}};
+    auto s = sameDie.timedRead(0, same);
+    // Second tR waits for the first: media done at 2 tR.
+    // bssd-lint: allow(hyg-ticks-literal) dimensionless op count
+    EXPECT_EQ(s.mediaEnd, 2 * tR);
+
+    NandFlash crossChan(cfg);
+    // Dies 0 and 1 sit on channels 0 and 1: fully parallel.
+    const std::vector<Ppa> cross{{0, 0, 0}, {1, 0, 0}};
+    auto c = crossChan.timedRead(0, cross);
+    EXPECT_EQ(c.mediaEnd, tR);
+    EXPECT_EQ(c.iv.end, tR + pageXfer(cfg));
+
+    // The acceptance pair: same-die strictly slower than cross-channel.
+    EXPECT_GT(s.iv.end, c.iv.end);
+}
+
+/** Dies on the same channel but different ways read their cells in
+ *  parallel, then contend for the shared channel bus: the transfers
+ *  serialize. */
+TEST(NandTopology, SameChannelWaysContendForBus)
+{
+    const NandConfig cfg = dc();
+    const sim::Tick tR = cfg.timing.readPage;
+    const sim::Tick xfer = pageXfer(cfg);
+
+    NandFlash flash(cfg);
+    // Dies 0 and 8: both channel 0, ways 0 and 1.
+    const std::vector<Ppa> ppas{{0, 0, 0}, {8, 0, 0}};
+    auto op = flash.timedRead(0, ppas);
+    EXPECT_EQ(op.mediaEnd, tR); // cell reads in parallel
+    // bssd-lint: allow(hyg-ticks-literal) dimensionless op count
+    EXPECT_EQ(op.iv.end, tR + 2 * xfer); // bus transfers serialized
+}
+
+/** Program chunks landing on one die serialize (channel transfer,
+ *  then tPROG, strictly back to back); the same chunks striped over
+ *  two channels overlap. Regression for the timed-program bug where
+ *  every chunk was granted at the op's ready tick and same-die chunks
+ *  could overlap. */
+TEST(NandTopology, ProgramChunksSerializePerDie)
+{
+    const NandConfig cfg = dc();
+    const std::uint64_t chunkPages =
+        cfg.timing.programChunkBytes / cfg.geometry.pageSize;
+    const sim::Tick tProg = cfg.timing.programChunk;
+
+    // Two full chunks on die 0.
+    std::vector<Ppa> same;
+    for (std::uint64_t p = 0; p < 2 * chunkPages; ++p)
+        same.push_back(Ppa{0, 0, static_cast<std::uint32_t>(p)});
+    NandFlash a(cfg);
+    auto s = a.timedProgram(0, same);
+    // The die must hold tPROG twice with no overlap.
+    // bssd-lint: allow(hyg-ticks-literal) dimensionless op count
+    EXPECT_GE(s.iv.end - s.iv.start, 2 * tProg);
+
+    // Same two chunks striped over dies 0 and 1 (channels 0 and 1).
+    std::vector<Ppa> striped;
+    for (std::uint64_t p = 0; p < chunkPages; ++p)
+        striped.push_back(Ppa{0, 0, static_cast<std::uint32_t>(p)});
+    for (std::uint64_t p = 0; p < chunkPages; ++p)
+        striped.push_back(Ppa{1, 0, static_cast<std::uint32_t>(p)});
+    NandFlash b(cfg);
+    auto c = b.timedProgram(0, striped);
+    // bssd-lint: allow(hyg-ticks-literal) dimensionless op count
+    EXPECT_LT(c.iv.end - c.iv.start, 2 * tProg);
+    EXPECT_GT(s.iv.end, c.iv.end);
+}
+
+/** The channel metrics see exactly the transfers the addresses imply:
+ *  reads on two dies of one channel count two transfers there and
+ *  none elsewhere. */
+TEST(NandTopology, ChannelCountersFollowAddresses)
+{
+    const NandConfig cfg = dc();
+    NandFlash flash(cfg);
+    const std::vector<Ppa> ppas{{0, 0, 0}, {8, 0, 0}};
+    flash.timedRead(0, ppas);
+
+    sim::MetricRegistry reg;
+    flash.registerMetrics(reg, "nand");
+    const auto snap = reg.snapshot();
+    const auto *xfers = snap.find("nand.chan.xfers");
+    const auto *busy = snap.find("nand.chan.busy_ticks");
+    ASSERT_NE(xfers, nullptr);
+    ASSERT_NE(busy, nullptr);
+    EXPECT_EQ(xfers->value, 2.0);
+    EXPECT_EQ(busy->value, static_cast<double>(2 * pageXfer(cfg)));
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Controller DRAM read cache tests (DESIGN.md section 15): the LRU
+ * presence tracker in isolation, and the device-level read path - a
+ * resident read bypasses the NAND calendars at the DRAM access
+ * latency, writes and TRIMs invalidate, and the hit/miss counters
+ * land in the metrics tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ssd/dram_cache.hh"
+#include "ssd/ssd_device.hh"
+
+using namespace bssd;
+using namespace bssd::ssd;
+
+TEST(DramCache, MissThenFillThenHit)
+{
+    DramCache c(64 * sim::KiB, 16 * sim::KiB);
+    EXPECT_TRUE(c.enabled());
+    EXPECT_FALSE(c.lookup(0, 4096));
+    c.fill(0, 4096);
+    EXPECT_TRUE(c.lookup(0, 4096));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(DramCache, PartialCoverageIsAMiss)
+{
+    DramCache c(64 * sim::KiB, 16 * sim::KiB);
+    c.fill(0, 16 * sim::KiB); // line 0 only
+    // [8 KiB, 24 KiB) spans lines 0 and 1; line 1 is absent.
+    EXPECT_FALSE(c.lookup(8 * sim::KiB, 16 * sim::KiB));
+    c.fill(16 * sim::KiB, 16 * sim::KiB);
+    EXPECT_TRUE(c.lookup(8 * sim::KiB, 16 * sim::KiB));
+}
+
+TEST(DramCache, InvalidateDropsCoveredLines)
+{
+    DramCache c(64 * sim::KiB, 16 * sim::KiB);
+    c.fill(0, 32 * sim::KiB); // lines 0 and 1
+    c.invalidate(0, 4096); // drops line 0
+    EXPECT_FALSE(c.lookup(0, 4096));
+    EXPECT_TRUE(c.lookup(16 * sim::KiB, 4096));
+}
+
+TEST(DramCache, LruEvictionOrder)
+{
+    // Capacity 2 lines.
+    DramCache c(32 * sim::KiB, 16 * sim::KiB);
+    c.fill(0, 1);              // line 0
+    c.fill(16 * sim::KiB, 1);  // line 1
+    EXPECT_TRUE(c.lookup(0, 1)); // refresh line 0: line 1 is now LRU
+    c.fill(32 * sim::KiB, 1);  // line 2 evicts line 1
+    EXPECT_TRUE(c.lookup(0, 1));
+    EXPECT_FALSE(c.lookup(16 * sim::KiB, 1));
+    EXPECT_TRUE(c.lookup(32 * sim::KiB, 1));
+    EXPECT_EQ(c.residentLines(), 2u);
+}
+
+TEST(DramCache, DisabledCacheNeverHits)
+{
+    DramCache c(0, 16 * sim::KiB);
+    EXPECT_FALSE(c.enabled());
+    c.fill(0, 4096);
+    EXPECT_FALSE(c.lookup(0, 4096));
+}
+
+TEST(DramCacheDevice, RepeatReadServedFromDram)
+{
+    SsdDevice dev(SsdConfig::ullSsd());
+    ASSERT_TRUE(dev.dramCache().enabled());
+    std::vector<std::uint8_t> data(4096, 0x5a);
+    const std::uint64_t off = 64 * sim::MiB;
+    sim::Tick t = dev.blockWrite(0, off, data).end;
+    t += sim::msOf(5); // let the write buffer destage
+
+    std::vector<std::uint8_t> out(4096);
+    auto miss = dev.blockRead(t, off, out);
+    EXPECT_EQ(dev.dramCache().misses(), 1u);
+    t = miss.end + sim::msOf(1);
+    auto hit = dev.blockRead(t, off, out);
+    EXPECT_EQ(dev.dramCache().hits(), 1u);
+    EXPECT_EQ(out, data);
+    // The hit never queues on the NAND: strictly faster than the miss.
+    EXPECT_LT(hit.end - hit.start, miss.end - miss.start);
+}
+
+TEST(DramCacheDevice, WriteInvalidatesCachedRange)
+{
+    SsdDevice dev(SsdConfig::ullSsd());
+    std::vector<std::uint8_t> a(4096, 0x11), b(4096, 0x22);
+    const std::uint64_t off = 8 * sim::MiB;
+    sim::Tick t = dev.blockWrite(0, off, a).end + sim::msOf(5);
+
+    std::vector<std::uint8_t> out(4096);
+    t = dev.blockRead(t, off, out).end; // miss + fill
+    t = dev.blockRead(t, off, out).end; // hit
+    ASSERT_EQ(dev.dramCache().hits(), 1u);
+
+    // Overwrite: the cached line is stale and must be dropped.
+    t = dev.blockWrite(t, off, b).end + sim::msOf(5);
+    t = dev.blockRead(t, off, out).end;
+    EXPECT_EQ(dev.dramCache().hits(), 1u); // still 1: that was a miss
+    EXPECT_EQ(dev.dramCache().misses(), 2u);
+    EXPECT_EQ(out, b);
+}
+
+TEST(DramCacheDevice, MetricsExposedWhenEnabled)
+{
+    SsdDevice dev(SsdConfig::ullSsd());
+    std::vector<std::uint8_t> d(4096, 1);
+    sim::Tick t = dev.blockWrite(0, 0, d).end + sim::msOf(5);
+    std::vector<std::uint8_t> out(4096);
+    t = dev.blockRead(t, 0, out).end;
+    dev.blockRead(t + sim::msOf(1), 0, out);
+
+    sim::MetricRegistry reg;
+    dev.registerMetrics(reg, "ssd0");
+    const auto snap = reg.snapshot();
+    const auto *hits = snap.find("ssd0.dram.hits");
+    const auto *misses = snap.find("ssd0.dram.misses");
+    ASSERT_NE(hits, nullptr);
+    ASSERT_NE(misses, nullptr);
+    EXPECT_EQ(hits->value, 1.0);
+    EXPECT_EQ(misses->value, 1.0);
+}
+
+TEST(DramCacheDevice, TinyPresetHasNoCache)
+{
+    SsdDevice dev(SsdConfig::tiny());
+    EXPECT_FALSE(dev.dramCache().enabled());
+    sim::MetricRegistry reg;
+    dev.registerMetrics(reg, "ssd0");
+    EXPECT_EQ(reg.snapshot().find("ssd0.dram.hits"), nullptr);
+}

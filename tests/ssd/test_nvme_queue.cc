@@ -82,14 +82,48 @@ TEST(NvmeQueue, QueueDepthEnforced)
     SsdDevice dev(SsdConfig::tiny());
     NvmeQueueConfig cfg;
     cfg.depth = 2;
+    cfg.cqDepth = 16; // isolate the SQ gate
     NvmeQueuePair qp(dev, cfg);
     std::vector<std::uint8_t> d(4096, 1);
     EXPECT_TRUE(qp.submit(0, writeCmd(1, 0, d)).has_value());
     EXPECT_TRUE(qp.submit(0, writeCmd(2, 4096, d)).has_value());
     EXPECT_FALSE(qp.submit(0, writeCmd(3, 8192, d)).has_value());
-    // Reaping frees a slot.
+    EXPECT_EQ(qp.sqFullRejects(), 1u);
+    EXPECT_EQ(qp.sqInFlight(0), 2u);
+
+    // Regression: reaping a still-executing command's (future) CQE
+    // must NOT free its SQ slot - the device is still working on it.
     qp.waitFor(0, 1);
-    EXPECT_TRUE(qp.submit(0, writeCmd(3, 8192, d)).has_value());
+    EXPECT_FALSE(qp.submit(0, writeCmd(3, 8192, d)).has_value());
+    EXPECT_EQ(qp.sqFullRejects(), 2u);
+
+    // Once the device finishes, slots free regardless of reaping.
+    EXPECT_TRUE(
+        qp.submit(sim::sOf(1), writeCmd(3, 8192, d)).has_value());
+    EXPECT_EQ(qp.sqInFlight(sim::sOf(1)), 1u);
+}
+
+TEST(NvmeQueue, CqBacklogGatesSubmissions)
+{
+    SsdDevice dev(SsdConfig::tiny());
+    NvmeQueueConfig cfg;
+    cfg.depth = 16;
+    cfg.cqDepth = 2; // isolate the CQ gate
+    NvmeQueuePair qp(dev, cfg);
+    std::vector<std::uint8_t> d(4096, 1);
+    EXPECT_TRUE(qp.submit(0, writeCmd(1, 0, d)).has_value());
+    EXPECT_TRUE(qp.submit(0, writeCmd(2, 4096, d)).has_value());
+    // Both CQEs have arrived by t=1s and sit unreaped: CQ full, even
+    // though the SQ has 14 free slots.
+    EXPECT_FALSE(
+        qp.submit(sim::sOf(1), writeCmd(3, 8192, d)).has_value());
+    EXPECT_EQ(qp.cqFullRejects(), 1u);
+    EXPECT_EQ(qp.sqFullRejects(), 0u);
+    EXPECT_EQ(qp.cqBacklog(sim::sOf(1)), 2u);
+    // Reaping one CQE opens the gate.
+    ASSERT_TRUE(qp.poll(sim::sOf(1)).has_value());
+    EXPECT_TRUE(
+        qp.submit(sim::sOf(1), writeCmd(3, 8192, d)).has_value());
 }
 
 TEST(NvmeQueue, PollReturnsInCompletionTimeOrder)

@@ -96,7 +96,7 @@ TEST(SsdDevice, FlushIsCheapBarrier)
 {
     SsdDevice dev(SsdConfig::tiny());
     sim::Tick t = dev.flush(0);
-    EXPECT_EQ(t, dev.config().flushCost);
+    EXPECT_EQ(t, dev.config().flushCost + dev.config().fwFlushCost);
     EXPECT_EQ(dev.flushesServed(), 1u);
 }
 

@@ -106,6 +106,26 @@ TEST(ClusterDeterminism, BlockWalRigIdenticalAcrossThreadCounts)
     expectIdentical(runAt(cfg, 8), serial, "8 threads vs serial");
 }
 
+TEST(ClusterDeterminism, QueueGatedRigIdenticalAcrossThreadCounts)
+{
+    // NVMe queue-pair gating adds host-side parking and re-posting to
+    // the hot path; parked batches are released by completion events,
+    // so this exercises the host domain's ordering under load.
+    ClusterConfig cfg = smallCluster();
+    cfg.nvmeQueuePairs = 2;
+    cfg.nvmeQueueDepth = 1;
+    cfg.arrival.kind = sim::ArrivalSpec::Kind::bursty;
+    cfg.arrival.burstSize = 6;
+    cfg.arrival.burstGap = sim::usOf(5);
+
+    const ClusterRun serial = runAt(cfg, 1);
+    ASSERT_GT(serial.res.opsCompleted, 0u);
+    ASSERT_EQ(serial.res.opsCompleted, serial.res.opsRouted);
+
+    expectIdentical(runAt(cfg, 2), serial, "2 threads vs serial");
+    expectIdentical(runAt(cfg, 8), serial, "8 threads vs serial");
+}
+
 TEST(ClusterDeterminism, DifferentSeedsDiverge)
 {
     ClusterConfig cfg = smallCluster();
