@@ -48,6 +48,14 @@ TwoBSsd::TwoBSsd(const ssd::SsdConfig &baseCfg, const BaConfig &baCfg)
         [this](std::uint64_t off, std::span<const std::uint8_t> data) {
             buffer_.deviceWrite(off, data);
         });
+    // The BA extensions (buffer, BAR, WC staging, DMA, recovery,
+    // checker) are one rig with the base device: same domain.
+    device_.domain().adopt(this, sizeof(*this), "ba.twob");
+}
+
+TwoBSsd::~TwoBSsd()
+{
+    device_.domain().release(this);
 }
 
 void
@@ -102,6 +110,7 @@ sim::Tick
 TwoBSsd::mmioWrite(sim::Tick now, std::uint64_t windowOff,
                    std::span<const std::uint8_t> data)
 {
+    BSSD_OWN_GUARD(this);
     std::uint64_t off = bar_.translate(bar_.base() + windowOff,
                                        data.size());
     sim::SpanId sp = tracer_
@@ -145,6 +154,7 @@ sim::Interval
 TwoBSsd::baPin(sim::Tick ready, Eid eid, std::uint64_t offset,
                std::uint64_t lba, std::uint64_t length)
 {
+    BSSD_OWN_GUARD(this);
     const std::uint32_t ps = device_.pageSize();
     if (lba + length > device_.capacityBytes())
         throw BaError("BA_PIN LBA range exceeds device capacity");
@@ -183,6 +193,7 @@ TwoBSsd::baPin(sim::Tick ready, Eid eid, std::uint64_t offset,
 sim::Interval
 TwoBSsd::baFlush(sim::Tick ready, Eid eid)
 {
+    BSSD_OWN_GUARD(this);
     const MapEntry e = requireEntry(eid);
     sim::SpanId sp = tracer_
         ? tracer_->beginSpan("ba", "flush", ready)
@@ -215,6 +226,7 @@ TwoBSsd::baFlush(sim::Tick ready, Eid eid)
 sim::Tick
 TwoBSsd::baSync(sim::Tick now, Eid eid)
 {
+    BSSD_OWN_GUARD(this);
     const MapEntry e = requireEntry(eid);
     return baSyncRange(now, eid, e.startOffset, e.length);
 }
@@ -223,6 +235,7 @@ sim::Tick
 TwoBSsd::baSyncRange(sim::Tick now, Eid eid, std::uint64_t offset,
                      std::uint64_t len)
 {
+    BSSD_OWN_GUARD(this);
     const MapEntry e = requireEntry(eid);
     if (offset < e.startOffset ||
         offset + len > e.startOffset + e.length) {
@@ -251,6 +264,7 @@ sim::Tick
 TwoBSsd::mmioSync(sim::Tick now, std::uint64_t windowOff,
                   std::uint64_t len)
 {
+    BSSD_OWN_GUARD(this);
     bar_.translate(bar_.base() + windowOff, len);
     sim::SpanId sp = tracer_
         ? tracer_->beginSpan("ba", "mmioSync", now)
@@ -277,6 +291,7 @@ TwoBSsd::baGetEntryInfo(Eid eid) const
 sim::Interval
 TwoBSsd::baReadDma(sim::Tick ready, Eid eid, std::span<std::uint8_t> out)
 {
+    BSSD_OWN_GUARD(this);
     const MapEntry e = requireEntry(eid);
     if (out.size() == 0)
         throw BaError("BA_READ_DMA length must be non-zero");

@@ -67,6 +67,7 @@ class TwoBSsd
      */
     explicit TwoBSsd(const ssd::SsdConfig &baseCfg = ssd::SsdConfig::ullSsd(),
                      const BaConfig &baCfg = {});
+    ~TwoBSsd();
 
     const BaConfig &baConfig() const { return baCfg_; }
 

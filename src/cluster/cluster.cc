@@ -164,6 +164,7 @@ Cluster::Cluster(const ClusterConfig &cfg, sim::Tracer *trace)
         }
     }
 
+    host_.adopt(this, sizeof(*this), "cluster");
     engine_.add(host_);
     buildShards(trace);
 
@@ -217,7 +218,12 @@ Cluster::Cluster(const ClusterConfig &cfg, sim::Tracer *trace)
     buildSlo();
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster()
+{
+    for (auto &sh : shards_)
+        sh->domain().release(sh.get());
+    host_.release(this);
+}
 
 sim::Domain &
 Cluster::shardDomain(unsigned s)
@@ -296,6 +302,11 @@ Cluster::buildShards(sim::Tracer *trace)
             shard->log->setTracer(&shard->tracer);
         }
         shards_.push_back(std::move(shard));
+        // The Shard aggregate (store, WAL handle, tracer, service
+        // clock) is state of its own domain; the rig components
+        // already adopted themselves in their constructors.
+        shards_.back()->domain().adopt(shards_.back().get(),
+                                       sizeof(Shard), "cluster.shard");
         engine_.add(shards_.back()->domain());
         shardDoms_.push_back(&shards_.back()->domain());
     }
@@ -490,6 +501,7 @@ Cluster::buildSlo()
 void
 Cluster::onCycle(std::uint64_t cyclesDone)
 {
+    BSSD_OWN_GUARD(this);
     if (rebal_ == Rebal::idle && cyclesDone >= cfg_.rebalanceAtCycle)
         startRebalance();
 }
@@ -497,6 +509,7 @@ Cluster::onCycle(std::uint64_t cyclesDone)
 void
 Cluster::startRebalance()
 {
+    BSSD_OWN_GUARD(this);
     // n/256ths of the routing space, exact for n == 256 and without
     // overflowing u64 even for the hash map's 2^63 space.
     auto scaled = [this](std::uint32_t n) {
@@ -541,6 +554,7 @@ Cluster::startRebalance()
 void
 Cluster::pollDrain()
 {
+    BSSD_OWN_GUARD(this);
     bool busy = false;
     for (const MoveRange &m : plan_)
         busy = busy || router_->outstanding(m.from) > 0;
@@ -558,6 +572,7 @@ Cluster::pollDrain()
 void
 Cluster::runStep(std::size_t step)
 {
+    BSSD_OWN_GUARD(this);
     if (step == plan_.size()) {
         finishRebalance();
         return;
@@ -677,6 +692,7 @@ Cluster::runStep(std::size_t step)
 void
 Cluster::finishRebalance()
 {
+    BSSD_OWN_GUARD(this);
     // The tick barrier: one host-domain event flips the map, drops
     // the hold, and re-routes every parked operation through the new
     // owners. No operation can observe a half-applied map.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/domain.hh"
 #include "sim/logging.hh"
 
 namespace bssd::ftl
@@ -283,6 +284,7 @@ Ftl::collectGarbage(sim::Tick ready)
 sim::Tick
 Ftl::doCollectGarbage(sim::Tick ready)
 {
+    BSSD_OWN_GUARD(this);
     sim::Tick t = ready;
     while (freeList_.size() < cfg_.gcHighWaterBlocks) {
         std::uint32_t vi = pickVictim();
@@ -444,6 +446,7 @@ sim::Interval
 Ftl::read(sim::Tick ready, Lpn lpn, std::uint64_t count,
           std::span<std::uint8_t> out)
 {
+    BSSD_OWN_GUARD(this);
     if (lpn + count > logicalPages_)
         sim::fatal("FTL read past logical capacity: lpn ", lpn, "+", count);
     if (out.size() < count * pageSize_)
@@ -489,6 +492,7 @@ sim::Interval
 Ftl::write(sim::Tick ready, Lpn lpn, std::uint64_t count,
            std::span<const std::uint8_t> data)
 {
+    BSSD_OWN_GUARD(this);
     if (lpn + count > logicalPages_)
         sim::fatal("FTL write past logical capacity: lpn ", lpn, "+", count);
     if (data.size() < count * pageSize_)
@@ -568,6 +572,7 @@ Ftl::prefetch(sim::Tick now, Lpn lpn, std::uint64_t count)
 void
 Ftl::trim(Lpn lpn, std::uint64_t count)
 {
+    BSSD_OWN_GUARD(this);
     for (std::uint64_t i = 0; i < count; ++i)
         invalidate(lpn + i);
 }

@@ -50,6 +50,12 @@ ShardRouter::ShardRouter(const RouterConfig &cfg,
         sim::panic("ShardRouter needs a shard executor");
     if (cfg_.queuePairs == 0)
         sim::panic("ShardRouter needs at least one queue pair");
+    host_.adopt(this, sizeof(*this), "host.router");
+}
+
+ShardRouter::~ShardRouter()
+{
+    host_.release(this);
 }
 
 void
@@ -101,6 +107,7 @@ ShardRouter::flushBuckets()
 void
 ShardRouter::cycle()
 {
+    BSSD_OWN_GUARD(this);
     // Generate this cycle's operations and partition them through the
     // route function. Bucket order (shard 0..N-1) and intra-bucket
     // order (generation order) are fixed, so the dispatch sequence is
@@ -143,6 +150,7 @@ ShardRouter::cycle()
 void
 ShardRouter::releaseHeld()
 {
+    BSSD_OWN_GUARD(this);
     if (held_.empty())
         return;
     for (std::vector<RouterOp> &b : buckets_)
@@ -197,6 +205,7 @@ void
 ShardRouter::dispatchOn(unsigned shard, std::size_t qp,
                         sim::Tick offered, std::vector<RouterOp> ops)
 {
+    BSSD_OWN_GUARD(this);
     const sim::Tick dispatched = host_.now();
     opsRouted_ += ops.size();
     ++batchesDispatched_;
@@ -226,6 +235,9 @@ ShardRouter::dispatchOn(unsigned shard, std::size_t qp,
     // The doorbell: one posted write across the link. The batch
     // executes entirely inside the shard's domain, then the completion
     // interrupt crosses back.
+    // bssd-lint: allow(own-post-ctx-missing) a batch has no single
+    // request identity; per-op OpTags ride in `tags` and are pushed
+    // around each op's spans inside the executor (DESIGN.md sec 16)
     host_.post(
         *shards_[shard], dispatched + cfg_.requestLatency,
         [this, shard, qp, offered, dispatched, ops = std::move(ops),
@@ -251,9 +263,16 @@ ShardRouter::dispatchOn(unsigned shard, std::size_t qp,
                               cfg_.completionLatency - offered);
             }
             const auto count = static_cast<std::uint64_t>(ops.size());
+            // bssd-lint: allow(own-post-ctx-missing) the completion
+            // interrupt covers the whole batch; per-op identities
+            // return via the same OpTag vector (DESIGN.md sec 16)
             dom.post(host_, done,
                      [this, shard, qp, offered, dispatched, done, count,
                       lat = std::move(lat), tags = std::move(tags)] {
+                         // Delivered into the host domain: the guard
+                         // proves the completion interrupt crossed
+                         // back through the mailbox.
+                         BSSD_OWN_GUARD(this);
                          opsCompleted_ += count;
                          ++batchesCompleted_;
                          --outstanding_[shard];

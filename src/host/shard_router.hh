@@ -156,6 +156,7 @@ class ShardRouter
     ShardRouter(const RouterConfig &cfg, sim::Domain &hostDomain,
                 std::vector<sim::Domain *> shardDomains, ShardExec exec,
                 RouteFn route = nullptr);
+    ~ShardRouter();
 
     /** Schedule the first arrival cycle on the host domain's queue. */
     void start();

@@ -166,7 +166,8 @@ findSuppressions(const LexedFile &f, std::vector<Violation> &out)
 }
 
 void
-applySuppressions(const LexedFile &f, std::vector<Violation> &violations)
+applySuppressions(const LexedFile &f, std::vector<Violation> &violations,
+                  std::vector<SuppressionAudit> *audit = nullptr)
 {
     std::vector<Violation> extra;
     std::vector<Suppression> sups = findSuppressions(f, extra);
@@ -196,6 +197,10 @@ applySuppressions(const LexedFile &f, std::vector<Violation> &violations)
                          "' matches no violation",
                      "remove the stale // bssd-lint: allow(...) "
                      "marker"});
+            if (audit != nullptr)
+                audit->push_back({f.path, sup.commentLine,
+                                  sup.targetLine, sup.rules[i],
+                                  sup.used[i]});
         }
     }
     for (const auto &v : extra)
@@ -283,11 +288,14 @@ runLint(const LintOptions &opts)
 
     for (const auto &f : lexed) {
         std::vector<Violation> v = runRules(f, tables);
-        applySuppressions(f, v);
+        applySuppressions(f, v,
+                          opts.auditSuppressions ? &result.suppressions
+                                                 : nullptr);
         result.violations.insert(result.violations.end(), v.begin(),
                                  v.end());
     }
     std::sort(result.violations.begin(), result.violations.end());
+    std::sort(result.suppressions.begin(), result.suppressions.end());
     return result;
 }
 
@@ -301,6 +309,11 @@ writeText(const LintResult &result, std::ostream &os)
            << v.message << "\n";
         if (!v.hint.empty())
             os << "    hint: " << v.hint << "\n";
+    }
+    for (const auto &s : result.suppressions) {
+        os << s.file << ":" << s.line << ": "
+           << (s.used ? "used" : "UNUSED") << " suppression of '"
+           << s.rule << "' (target line " << s.targetLine << ")\n";
     }
     if (result.clean())
         os << "bssd-lint: clean (" << result.files.size()
@@ -355,6 +368,22 @@ writeJson(const LintResult &result, std::ostream &os)
         os << "\"}";
     }
     os << (result.violations.empty() ? "" : "\n  ") << "],\n";
+
+    if (!result.suppressions.empty()) {
+        os << "  \"suppressions\": [";
+        for (std::size_t i = 0; i < result.suppressions.size(); ++i) {
+            const auto &s = result.suppressions[i];
+            os << (i ? "," : "") << "\n    {\"file\": \"";
+            jsonEscape(s.file, os);
+            os << "\", \"line\": " << s.line
+               << ", \"target_line\": " << s.targetLine
+               << ", \"rule\": \"";
+            jsonEscape(s.rule, os);
+            os << "\", \"used\": " << (s.used ? "true" : "false")
+               << "}";
+        }
+        os << "\n  ],\n";
+    }
 
     std::map<std::string, int> byRule;
     for (const auto &v : result.violations)

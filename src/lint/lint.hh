@@ -39,12 +39,47 @@ struct LintOptions
 
     /** Files or directories to scan (root-relative or absolute). */
     std::vector<std::string> paths;
+
+    /**
+     * Audit mode (--warn-unused-suppressions): report every
+     * suppression marker with its match status. Markers that suppress
+     * nothing are lint-suppression violations either way; the audit
+     * additionally inventories the live ones, so stale-marker sweeps
+     * after a refactor are one grep instead of an archaeology dig.
+     */
+    bool auditSuppressions = false;
+};
+
+/** One suppression marker, as the audit saw it. */
+struct SuppressionAudit
+{
+    std::string file;
+    /** Line of the marker comment. */
+    int line = 0;
+    /** Line whose violations it suppresses. */
+    int targetLine = 0;
+    std::string rule;
+    /** True when it suppressed at least one violation. */
+    bool used = false;
+
+    bool
+    operator<(const SuppressionAudit &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        return rule < o.rule;
+    }
 };
 
 struct LintResult
 {
     /** Unsuppressed violations, sorted by (file, line, rule). */
     std::vector<Violation> violations;
+
+    /** Suppression inventory (auditSuppressions mode only), sorted. */
+    std::vector<SuppressionAudit> suppressions;
 
     /** Root-relative paths of every scanned file, sorted. */
     std::vector<std::string> files;

@@ -52,6 +52,24 @@ const std::vector<RuleInfo> kCatalog = {
      "suppression comment problem (unknown rule or nothing to "
      "suppress)",
      "remove the stale // bssd-lint: allow(...) marker"},
+    {"own-cross-domain-access",
+     "dereference of state owned by another domain without a post() "
+     "(cross-domain aliasing hazard)",
+     "touch foreign-domain state from a callback posted into the "
+     "owning domain (Domain::post), or suppress with a justification "
+     "for why the access cannot race"},
+    {"own-post-ctx-missing",
+     "cross-domain post() drops the TraceContext (request stitching "
+     "silently breaks)",
+     "use the post(target, when, ctx, cb) overload; when the message "
+     "has no single request identity (batch channels), suppress with "
+     "that justification"},
+    {"own-raw-handle-escape",
+     "accessor hands out a mutable reference/pointer to domain-owned "
+     "state",
+     "return by value or const reference, route mutation through the "
+     "owning domain, or suppress with a justification naming the "
+     "same-domain callers"},
     {"xcheck-metric-path",
      "metric path literal violates the a.b.c grammar or duplicates "
      "another registration",
@@ -80,12 +98,20 @@ const std::vector<RuleInfo> kCatalog = {
 
 enum class ScopeKind : unsigned char { top, ns, cls, blk };
 
+bool isPunct(const Token &t, const char *s);
+bool isIdent(const Token &t, const char *s);
+
 struct ScopeInfo
 {
     /** Innermost scope kind per token index. */
     std::vector<ScopeKind> kind;
     /** Enclosing-function id per token (0 = not inside a function). */
     std::vector<int> funcId;
+    /** Innermost enclosing class/struct name per token ("" outside). */
+    std::vector<std::string> clsName;
+    /** funcId -> class the function belongs to ("" for free functions
+     *  and bodies whose qualifier the scan cannot attribute). */
+    std::map<int, std::string> funcClass;
 };
 
 ScopeInfo
@@ -94,13 +120,15 @@ buildScopes(const LexedFile &f)
     ScopeInfo info;
     info.kind.resize(f.tokens.size(), ScopeKind::top);
     info.funcId.resize(f.tokens.size(), 0);
+    info.clsName.resize(f.tokens.size());
 
     struct Frame
     {
         ScopeKind kind;
         int funcId;
+        std::string cls;
     };
-    std::vector<Frame> stack{{ScopeKind::top, 0}};
+    std::vector<Frame> stack{{ScopeKind::top, 0, ""}};
     int nextFuncId = 0;
     std::size_t stmtStart = 0; // first token of the current "prefix"
 
@@ -108,6 +136,7 @@ buildScopes(const LexedFile &f)
         const Token &t = f.tokens[i];
         info.kind[i] = stack.back().kind;
         info.funcId[i] = stack.back().funcId;
+        info.clsName[i] = stack.back().cls;
 
         if (t.kind != TokKind::punct) {
             continue;
@@ -135,11 +164,45 @@ buildScopes(const LexedFile &f)
                     }
                 }
             }
+            std::string cls = stack.back().cls;
+            if (kind == ScopeKind::cls) {
+                // Class name: last identifier of the head before the
+                // base clause / enum base (a lone ':'), skipping the
+                // keywords of `struct Cluster::Shard final : Base`.
+                cls.clear();
+                for (std::size_t j = stmtStart; j < i; ++j) {
+                    const Token &p = f.tokens[j];
+                    if (isPunct(p, ":"))
+                        break;
+                    if (p.kind != TokKind::ident)
+                        continue;
+                    if (p.text == "class" || p.text == "struct" ||
+                        p.text == "union" || p.text == "enum" ||
+                        p.text == "final" || p.text == "alignas")
+                        continue;
+                    cls = p.text;
+                }
+            }
             int fid = stack.back().funcId;
             if (kind == ScopeKind::blk &&
-                stack.back().kind != ScopeKind::blk)
+                stack.back().kind != ScopeKind::blk) {
                 fid = ++nextFuncId;
-            stack.push_back({kind, fid});
+                // Attribute the function to a class: the enclosing
+                // class body, or the `Cls::method(` qualifier of an
+                // out-of-line definition.
+                std::string owner = stack.back().cls;
+                for (std::size_t j = stmtStart; j + 3 < i; ++j) {
+                    if (f.tokens[j].kind == TokKind::ident &&
+                        isPunct(f.tokens[j + 1], "::") &&
+                        f.tokens[j + 2].kind == TokKind::ident &&
+                        isPunct(f.tokens[j + 3], "(")) {
+                        owner = f.tokens[j].text;
+                        break;
+                    }
+                }
+                info.funcClass[fid] = owner;
+            }
+            stack.push_back({kind, fid, cls});
             stmtStart = i + 1;
         } else if (t.text == "}") {
             if (stack.size() > 1)
@@ -342,6 +405,72 @@ findUnorderedDecls(const LexedFile &f)
     return out;
 }
 
+/**
+ * Data members of every class/struct in @p f. A member is an
+ * identifier at class scope, outside parentheses (excludes parameter
+ * lists), directly followed by `;`, `=` or a brace initializer — the
+ * shapes of `T name_;`, `T name_ = x;` and `T name_{x};`. Method
+ * names are followed by `(`, so they never match; `friend`, `using`
+ * and `typedef` statements are skipped.
+ */
+std::map<std::string, ClassDecl>
+findClassDecls(const LexedFile &f, const ScopeInfo &scopes)
+{
+    std::map<std::string, ClassDecl> out;
+    const auto &toks = f.tokens;
+    int parenDepth = 0;
+    std::size_t stmtStart = 0;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokKind::punct) {
+            if (t.text == "(")
+                ++parenDepth;
+            else if (t.text == ")")
+                --parenDepth;
+            else if (t.text == ";" || t.text == "{" || t.text == "}")
+                stmtStart = i + 1;
+            continue;
+        }
+        if (t.kind != TokKind::ident || parenDepth != 0 ||
+            scopes.kind[i] != ScopeKind::cls ||
+            scopes.clsName[i].empty())
+            continue;
+        if (i + 1 >= toks.size())
+            continue;
+        const Token &after = toks[i + 1];
+        if (!isPunct(after, ";") && !isPunct(after, "=") &&
+            !isPunct(after, "{"))
+            continue;
+        // Collect the declared type's identifier tokens and skip
+        // non-declarations (friend/using/typedef, enum entries with
+        // initializers have no type tokens and are harmless noise).
+        MemberDecl m;
+        m.name = t.text;
+        m.line = t.line;
+        bool skip = false;
+        for (std::size_t j = stmtStart; j < i; ++j) {
+            if (toks[j].kind != TokKind::ident)
+                continue;
+            if (toks[j].text == "friend" || toks[j].text == "using" ||
+                toks[j].text == "typedef") {
+                skip = true;
+                break;
+            }
+            m.typeTokens.push_back(toks[j].text);
+        }
+        if (skip || m.typeTokens.empty())
+            continue;
+        ClassDecl &cls = out[scopes.clsName[i]];
+        if (cls.name.empty()) {
+            cls.name = scopes.clsName[i];
+            cls.file = f.path;
+            cls.line = t.line;
+        }
+        cls.members.emplace(m.name, std::move(m));
+    }
+    return out;
+}
+
 bool
 isMetricAdder(const std::string &s)
 {
@@ -439,6 +568,38 @@ ProjectTables::tracepointNamespaces() const
     return out;
 }
 
+bool
+MemberDecl::isDomainHandle() const
+{
+    for (const auto &t : typeTokens)
+        if (t == "Domain")
+            return true;
+    return false;
+}
+
+bool
+ClassDecl::domainRooted() const
+{
+    for (const auto &[name, m] : members)
+        if (m.isDomainHandle())
+            return true;
+    return false;
+}
+
+std::set<std::string>
+ProjectTables::domainRootedClasses() const
+{
+    std::set<std::string> out;
+    for (const auto &[name, c] : classes) {
+        // Domain itself is the root of roots: its queue/outbox/seq
+        // members ARE the per-domain state the engine hands to exactly
+        // one thread per round.
+        if (name == "Domain" || c.domainRooted())
+            out.insert(name);
+    }
+    return out;
+}
+
 namespace
 {
 
@@ -466,6 +627,16 @@ collectFileTables(const LexedFile &file, ProjectTables &tables)
     ScopeInfo scopes = buildScopes(file);
     for (auto &site : findMetricSites(file, scopes))
         tables.metricSites.push_back(site);
+
+    for (auto &[name, cls] : findClassDecls(file, scopes)) {
+        ClassDecl &into = tables.classes[name];
+        if (into.name.empty()) {
+            into = std::move(cls);
+        } else {
+            for (auto &[mn, m] : cls.members)
+                into.members.emplace(mn, std::move(m));
+        }
+    }
 }
 
 void
@@ -743,6 +914,201 @@ runRules(const LexedFile &f, const ProjectTables &tables)
         if (!immutable)
             add("det-static-local", toks[i].line,
                 "mutable function-local static");
+    }
+
+    // -----------------------------------------------------------------
+    // own-*: domain-ownership rules (DESIGN.md section 16), driven by
+    // pass A's class table. Scope is product code plus the rule
+    // fixtures — tests poke rig internals from the outside on purpose.
+    // The mailbox mechanism itself (Domain / ParallelEngine) is the
+    // one sanctioned place that touches foreign queues, so its own
+    // files are exempt.
+    const bool ownScope =
+        (f.path.rfind("src/", 0) == 0 ||
+         f.path.rfind("tools/", 0) == 0 ||
+         f.path.rfind("bench/", 0) == 0 ||
+         f.path.rfind("tests/lint/fixtures/", 0) == 0) &&
+        f.path != "src/sim/domain.hh" &&
+        f.path != "src/sim/engine.hh" && f.path != "src/sim/engine.cc";
+    if (ownScope) {
+        const std::set<std::string> rooted =
+            tables.domainRootedClasses();
+        auto classOf =
+            [&](const std::string &name) -> const ClassDecl * {
+            auto it = tables.classes.find(name);
+            return it == tables.classes.end() ? nullptr : &it->second;
+        };
+
+        // Every `.post(` / `->post(` call: its argument extent (code
+        // in a posted lambda runs in the target domain, so
+        // dereferences there are ownership transfers, not aliasing)
+        // and its top-level comma count (2 commas = the 3-argument
+        // overload that drops the TraceContext).
+        std::vector<bool> inPost(toks.size(), false);
+        for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+            if (!isIdent(toks[i], "post"))
+                continue;
+            if (!isPunct(toks[i - 1], ".") &&
+                !isPunct(toks[i - 1], "->"))
+                continue;
+            if (!isPunct(toks[i + 1], "("))
+                continue;
+            int depth = 0;
+            int commas = 0;
+            for (std::size_t j = i + 1; j < toks.size(); ++j) {
+                const Token &t = toks[j];
+                if (isPunct(t, "(") || isPunct(t, "[") ||
+                    isPunct(t, "{")) {
+                    ++depth;
+                } else if (isPunct(t, ")") || isPunct(t, "]") ||
+                           isPunct(t, "}")) {
+                    if (--depth == 0)
+                        break;
+                } else if (depth == 1 && isPunct(t, ",")) {
+                    ++commas;
+                }
+                if (depth >= 1)
+                    inPost[j] = true;
+            }
+            if (commas == 2)
+                add("own-post-ctx-missing", toks[i].line,
+                    "cross-domain post() without a TraceContext "
+                    "loses the request identity in the target domain");
+        }
+
+        // own-raw-handle-escape: inline accessor of a domain-rooted
+        // class returning a mutable ref/pointer to a member:
+        //   `[&*] name ( ) [const] { return [*&] member [.get()] ; }`
+        for (std::size_t i = 1; i + 6 < toks.size(); ++i) {
+            if (!isPunct(toks[i], "&") && !isPunct(toks[i], "*"))
+                continue;
+            if (scopes.kind[i] != ScopeKind::cls)
+                continue;
+            const std::string &cls = scopes.clsName[i];
+            if (cls.empty() || rooted.count(cls) == 0)
+                continue;
+            if (toks[i + 1].kind != TokKind::ident ||
+                !isPunct(toks[i + 2], "(") ||
+                !isPunct(toks[i + 3], ")"))
+                continue;
+            std::size_t j = i + 4;
+            if (isIdent(toks[j], "const"))
+                ++j;
+            if (j + 2 >= toks.size() || !isPunct(toks[j], "{") ||
+                !isIdent(toks[j + 1], "return"))
+                continue;
+            std::size_t m = j + 2;
+            while (m < toks.size() &&
+                   (isPunct(toks[m], "*") || isPunct(toks[m], "&")))
+                ++m;
+            if (m >= toks.size() || toks[m].kind != TokKind::ident)
+                continue;
+            const std::string &mem = toks[m].text;
+            std::size_t semi = m + 1;
+            if (semi + 3 < toks.size() && isPunct(toks[semi], ".") &&
+                isIdent(toks[semi + 1], "get") &&
+                isPunct(toks[semi + 2], "(") &&
+                isPunct(toks[semi + 3], ")"))
+                semi += 4;
+            if (semi >= toks.size() || !isPunct(toks[semi], ";"))
+                continue;
+            const ClassDecl *decl = classOf(cls);
+            if (decl == nullptr || decl->members.count(mem) == 0)
+                continue;
+            // Sanctioned escapes: const-returning accessors, and the
+            // Domain handle itself (handing out the mailbox is how
+            // callers post).
+            bool sanctioned = false;
+            for (std::size_t k = i; k-- > 0;) {
+                const Token &p = toks[k];
+                if (p.kind == TokKind::punct &&
+                    (p.text == ";" || p.text == "{" || p.text == "}" ||
+                     p.text == ":" || p.text == ")"))
+                    break;
+                if (p.kind == TokKind::ident &&
+                    (p.text == "const" || p.text == "Domain"))
+                    sanctioned = true;
+            }
+            if (sanctioned)
+                continue;
+            add("own-raw-handle-escape", toks[i + 1].line,
+                "'" + toks[i + 1].text +
+                    "()' returns a mutable handle to domain-owned "
+                    "member '" +
+                    mem + "' of '" + cls + "'");
+        }
+
+        // own-cross-domain-access: a method of domain-rooted class A
+        // dereferencing a data member of domain-rooted class B
+        // through a handle member, outside any post() — state that
+        // belongs to another domain's thread.
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::ident ||
+                scopes.kind[i] != ScopeKind::blk || inPost[i])
+                continue;
+            // Bare or this-> receivers only: `x.handle_->...` reads
+            // some other object's handle, which pass A cannot type.
+            if (i > 0 &&
+                (isPunct(toks[i - 1], ".") ||
+                 isPunct(toks[i - 1], "->")) &&
+                !(i >= 2 && isIdent(toks[i - 2], "this")))
+                continue;
+            auto fc = scopes.funcClass.find(scopes.funcId[i]);
+            if (fc == scopes.funcClass.end() || fc->second.empty() ||
+                rooted.count(fc->second) == 0)
+                continue;
+            const ClassDecl *owner = classOf(fc->second);
+            if (owner == nullptr)
+                continue;
+            auto hIt = owner->members.find(toks[i].text);
+            if (hIt == owner->members.end())
+                continue;
+            // Resolve the handle's pointee class from its declared
+            // type ("std::vector<std::unique_ptr<Shard>>" -> Shard).
+            std::string target;
+            for (const auto &tt : hIt->second.typeTokens) {
+                if (tt != fc->second && rooted.count(tt) > 0) {
+                    target = tt;
+                    break;
+                }
+            }
+            if (target.empty())
+                continue;
+            std::size_t j = i + 1;
+            if (isPunct(toks[j], "[")) {
+                int depth = 0;
+                for (; j < toks.size(); ++j) {
+                    if (isPunct(toks[j], "[")) {
+                        ++depth;
+                    } else if (isPunct(toks[j], "]")) {
+                        if (--depth == 0) {
+                            ++j;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (j + 2 >= toks.size() ||
+                (!isPunct(toks[j], ".") && !isPunct(toks[j], "->")))
+                continue;
+            if (toks[j + 1].kind != TokKind::ident ||
+                isPunct(toks[j + 2], "("))
+                continue;
+            const ClassDecl *tgt = classOf(target);
+            if (tgt == nullptr)
+                continue;
+            auto mIt = tgt->members.find(toks[j + 1].text);
+            // Reading another object's Domain handle is how you post
+            // to it — sanctioned.
+            if (mIt == tgt->members.end() ||
+                mIt->second.isDomainHandle())
+                continue;
+            add("own-cross-domain-access", toks[i].line,
+                "'" + toks[i].text + "." + toks[j + 1].text +
+                    "' touches state owned by domain-rooted '" +
+                    target + "' from '" + fc->second +
+                    "' outside a post()");
+        }
     }
 
     // -----------------------------------------------------------------

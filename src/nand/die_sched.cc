@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/domain.hh"
 #include "sim/logging.hh"
 
 namespace bssd::nand
@@ -78,6 +79,7 @@ DieScheduler::Grant
 DieScheduler::reserveOn(std::size_t die, sim::Tick earliest,
                         sim::Tick duration, Op op, bool background)
 {
+    BSSD_OWN_GUARD(this);
     if (die >= dies_.size())
         sim::fatal("DieScheduler '", name_, "': die ", die,
                    " out of range (", dies_.size(), " dies)");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/domain.hh"
 #include "sim/rng.hh"
 
 #include "sim/logging.hh"
@@ -208,6 +209,7 @@ TimedOp
 NandFlash::doTimedRead(sim::Tick ready, std::span<const Ppa> ppas,
                        bool background)
 {
+    BSSD_OWN_GUARD(this);
     if (ppas.empty())
         return {{ready, ready}, ready};
     sim::Tick first = sim::maxTick;
@@ -234,6 +236,7 @@ TimedOp
 NandFlash::doTimedProgram(sim::Tick ready, std::span<const Ppa> ppas,
                           bool background)
 {
+    BSSD_OWN_GUARD(this);
     if (ppas.empty())
         return {{ready, ready}, ready};
     const std::uint64_t chunkPages = std::max<std::uint64_t>(
@@ -270,6 +273,7 @@ sim::Interval
 NandFlash::doTimedErase(sim::Tick ready, std::uint32_t die,
                         bool background)
 {
+    BSSD_OWN_GUARD(this);
     checkPpa(Ppa{die, 0, 0});
     return dies_
         .reserveOn(die, ready, cfg_.timing.eraseBlock,

@@ -22,6 +22,7 @@
 #ifndef BSSD_SIM_DOMAIN_HH
 #define BSSD_SIM_DOMAIN_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -105,6 +106,38 @@ class Domain
     /** Cross-domain messages sent over this domain's lifetime. */
     std::uint64_t messagesSent() const { return nextSeq_ - 1; }
 
+    /**
+     * @name Ownership sanitizer (BSSD_DOMAIN_CHECK builds)
+     *
+     * The runtime twin of bssd-lint's own-* rules (DESIGN.md section
+     * 16). A rig adopts the allocations its domain owns at
+     * construction; BSSD_OWN_GUARD() sites on hot mutation paths then
+     * panic when a thread executing another domain's window touches
+     * an adopted span — the race the lint rules catch syntactically,
+     * caught dynamically through any level of indirection. Release
+     * builds compile all of it to nothing.
+     * @{
+     */
+#ifdef BSSD_DOMAIN_CHECK
+    /** Register [obj, obj+bytes) as state owned by this domain.
+     *  @p what names the span in violation panics ("ssd.flash").
+     *  Nested spans are allowed (an adopted object inside an adopted
+     *  object); the innermost covering span wins a lookup. */
+    void adopt(const void *obj, std::size_t bytes, const char *what);
+
+    /** Unregister a span before its memory is reused (dtors). */
+    void release(const void *obj);
+
+    /** Domain whose window the calling thread is executing, or
+     *  nullptr outside engine execution (setup, teardown, tests). */
+    static Domain *current();
+#else
+    void adopt(const void *, std::size_t, const char *) {}
+    void release(const void *) {}
+    static Domain *current() { return nullptr; }
+#endif
+    /** @} */
+
   private:
     friend class ParallelEngine;
 
@@ -126,6 +159,33 @@ class Domain
     std::vector<Message> outbox_;
 };
 
+#ifdef BSSD_DOMAIN_CHECK
+namespace detail
+{
+/**
+ * Implementation of BSSD_OWN_GUARD: panics (SimPanic) when the calling
+ * thread is executing some domain's window and @p obj lies inside a
+ * span adopted by a DIFFERENT domain of the same engine. Passes when
+ * no window is executing, the span is unregistered, or its owner never
+ * joined an engine (e.g. the replicated-WAL follower rig, driven by
+ * direct calls from the primary's domain by design).
+ */
+void ownGuard(const void *obj);
+} // namespace detail
+#endif
+
 } // namespace bssd::sim
+
+/**
+ * Assert that the calling thread may mutate @p obj under the
+ * domain-ownership discipline. Place at the top of a component's
+ * externally callable mutation paths; compiles to nothing unless the
+ * build defines BSSD_DOMAIN_CHECK (CMake -DBSSD_DOMAIN_CHECK=ON).
+ */
+#ifdef BSSD_DOMAIN_CHECK
+#define BSSD_OWN_GUARD(obj) ::bssd::sim::detail::ownGuard(obj)
+#else
+#define BSSD_OWN_GUARD(obj) ((void)0)
+#endif
 
 #endif // BSSD_SIM_DOMAIN_HH

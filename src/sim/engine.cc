@@ -3,11 +3,110 @@
 #include <algorithm>
 #include <utility>
 
+#ifdef BSSD_DOMAIN_CHECK
+#include <map>
+#include <mutex>
+#endif
+
 #include "sim/logging.hh"
 #include "sim/metrics.hh"
 
 namespace bssd::sim
 {
+
+#ifdef BSSD_DOMAIN_CHECK
+
+namespace
+{
+
+/** One adopted allocation: [begin, begin+bytes) owned by a domain. */
+struct OwnSpan
+{
+    std::size_t bytes;
+    Domain *owner;
+    const char *what;
+};
+
+/**
+ * Process-wide ownership registry, keyed by span begin address. A
+ * lookup steps back from upper_bound to the innermost covering span;
+ * a nested member adopted on its own can sit address-wise between an
+ * offending pointer and the outer span that covers it, so the walk
+ * retries a few non-covering begins before giving up (nesting in this
+ * codebase is at most rig > device; 16 is generous).
+ *
+ * Mutex-guarded: adoption happens at rig construction and guards run
+ * only in checked builds, so the lock never costs a release build
+ * anything.
+ */
+std::mutex ownMutex;
+std::map<const void *, OwnSpan> ownSpans;
+
+/** Domain whose window this thread is currently executing. */
+thread_local Domain *tlsCurrentDomain = nullptr;
+
+} // namespace
+
+void
+Domain::adopt(const void *obj, std::size_t bytes, const char *what)
+{
+    if (obj == nullptr || bytes == 0)
+        return;
+    std::lock_guard<std::mutex> lk(ownMutex);
+    ownSpans[obj] = OwnSpan{bytes, this, what};
+}
+
+void
+Domain::release(const void *obj)
+{
+    std::lock_guard<std::mutex> lk(ownMutex);
+    ownSpans.erase(obj);
+}
+
+Domain *
+Domain::current()
+{
+    return tlsCurrentDomain;
+}
+
+void
+detail::ownGuard(const void *obj)
+{
+    Domain *cur = tlsCurrentDomain;
+    if (cur == nullptr)
+        return;
+    Domain *owner = nullptr;
+    const char *what = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(ownMutex);
+        auto it = ownSpans.upper_bound(obj);
+        for (int step = 0; step < 16 && it != ownSpans.begin();
+             ++step) {
+            --it;
+            const char *begin =
+                static_cast<const char *>(it->first);
+            if (static_cast<const char *>(obj) <
+                begin + it->second.bytes) {
+                owner = it->second.owner;
+                what = it->second.what;
+                break;
+            }
+        }
+    }
+    if (owner == nullptr || owner == cur)
+        return;
+    // A rig whose domain never joined an engine (the replicated-WAL
+    // follower) is driven by direct calls from the adjacent domain by
+    // design; a domain on a different engine cannot share this
+    // engine's threads.
+    if (owner->engine() == nullptr || owner->engine() != cur->engine())
+        return;
+    panic("domain-ownership violation: thread executing domain '",
+          cur->name(), "' touched '", what, "' owned by domain '",
+          owner->name(), "'");
+}
+
+#endif // BSSD_DOMAIN_CHECK
 
 ParallelEngine::ParallelEngine(unsigned threads)
     : threads_(threads == 0 ? 1 : threads)
@@ -168,6 +267,20 @@ void
 ParallelEngine::executeDomain(std::size_t d)
 {
     try {
+#ifdef BSSD_DOMAIN_CHECK
+        // Mark this thread as executing d's window for the ownership
+        // guards; restored on every exit path (including the panic a
+        // guard throws, which unwinds through here into errors_[d]).
+        struct Scope
+        {
+            Domain *prev;
+            explicit Scope(Domain *dom) : prev(tlsCurrentDomain)
+            {
+                tlsCurrentDomain = dom;
+            }
+            ~Scope() { tlsCurrentDomain = prev; }
+        } scope(domains_[d]);
+#endif
         perFired_[d] = domains_[d]->queue_.runWindow(windows_[d]);
     } catch (...) {
         perFired_[d] = 0;

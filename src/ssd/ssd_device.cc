@@ -96,6 +96,16 @@ SsdDevice::SsdDevice(const SsdConfig &cfg)
       dram_(cfg.dramCacheBytes, cfg.dramLineBytes),
       writeBuffer_(cfg.writeBufferBytes, drainRate(cfg))
 {
+    domain_.adopt(this, sizeof(*this), "ssd.device");
+    domain_.adopt(flash_.get(), sizeof(nand::NandFlash), "ssd.flash");
+    domain_.adopt(ftl_.get(), sizeof(ftl::Ftl), "ssd.ftl");
+}
+
+SsdDevice::~SsdDevice()
+{
+    domain_.release(ftl_.get());
+    domain_.release(flash_.get());
+    domain_.release(this);
 }
 
 sim::Tick
@@ -142,6 +152,7 @@ sim::Interval
 SsdDevice::blockRead(sim::Tick ready, std::uint64_t offset,
                      std::span<std::uint8_t> out)
 {
+    BSSD_OWN_GUARD(this);
     const std::uint64_t bytes = out.size();
     if (bytes == 0)
         return {ready, ready};
@@ -227,6 +238,7 @@ sim::Interval
 SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
                       std::span<const std::uint8_t> data)
 {
+    BSSD_OWN_GUARD(this);
     const std::uint64_t bytes = data.size();
     if (bytes == 0)
         return {ready, ready};
@@ -302,6 +314,7 @@ SsdDevice::blockWrite(sim::Tick ready, std::uint64_t offset,
 sim::Tick
 SsdDevice::flush(sim::Tick ready)
 {
+    BSSD_OWN_GUARD(this);
     sim::SpanId sp = tracer_
         ? tracer_->beginSpan("ssd", "flush", ready)
         : 0;
@@ -336,6 +349,7 @@ SsdDevice::registerMetrics(sim::MetricRegistry &reg,
 void
 SsdDevice::trim(std::uint64_t offset, std::uint64_t len)
 {
+    BSSD_OWN_GUARD(this);
     dram_.invalidate(offset, len);
     const std::uint32_t ps = ftl_->pageSize();
     std::uint64_t first = (offset + ps - 1) / ps;

@@ -124,6 +124,7 @@ class SsdDevice
 {
   public:
     explicit SsdDevice(const SsdConfig &cfg);
+    ~SsdDevice();
 
     const SsdConfig &config() const { return cfg_; }
     std::uint64_t capacityBytes() const;
@@ -150,10 +151,22 @@ class SsdDevice
     /** TRIM a byte range (page-aligned portions only). */
     void trim(std::uint64_t offset, std::uint64_t len);
 
-    /** @name Sub-component access (2B-SSD extensions, tests, stats) @{ */
+    /**
+     * @name Sub-component access (2B-SSD extensions, tests, stats)
+     *
+     * These hand out mutable sub-objects of the device domain; every
+     * product caller (ba::TwoBSsd, recovery, stats) composes onto the
+     * device inside its own domain, and BSSD_DOMAIN_CHECK builds
+     * verify at run time that no other domain's thread ever touches
+     * them (DESIGN.md section 16).
+     * @{
+     */
+    // bssd-lint: allow(own-raw-handle-escape) same-domain composition
     ftl::Ftl &ftl() { return *ftl_; }
     const ftl::Ftl &ftl() const { return *ftl_; }
+    // bssd-lint: allow(own-raw-handle-escape) same-domain composition
     nand::NandFlash &flash() { return *flash_; }
+    // bssd-lint: allow(own-raw-handle-escape) same-domain composition
     pcie::PcieLink &link() { return link_; }
     /**
      * The device's simulation domain. Device-internal background

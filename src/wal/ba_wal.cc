@@ -17,6 +17,7 @@ constexpr ba::Eid walEid1 = 101;
 BaWal::BaWal(ba::TwoBSsd &dev, const BaWalConfig &cfg)
     : dev_(dev), cfg_(cfg)
 {
+    dev_.domain().adopt(this, sizeof(*this), "wal.ba");
     const std::uint64_t buf = dev_.baConfig().bufferBytes;
     if (cfg_.doubleBuffer)
         halfBytes_ = cfg_.halfBytes ? cfg_.halfBytes : buf / 2;
@@ -116,9 +117,15 @@ BaWal::switchHalves(sim::Tick now)
     return now;
 }
 
+BaWal::~BaWal()
+{
+    dev_.domain().release(this);
+}
+
 sim::Tick
 BaWal::append(sim::Tick now, std::span<const std::uint8_t> record)
 {
+    BSSD_OWN_GUARD(this);
     if (record.size() > halfBytes_)
         sim::fatal("BA-WAL record larger than a buffer window");
     if (appendPos_ - halfStart_ + record.size() > halfBytes_)
@@ -139,6 +146,7 @@ BaWal::append(sim::Tick now, std::span<const std::uint8_t> record)
 sim::Tick
 BaWal::commit(sim::Tick now)
 {
+    BSSD_OWN_GUARD(this);
     if (syncedPos_ == appendPos_)
         return now; // everything already durable
     const sim::SpanId sp =

@@ -52,6 +52,7 @@ class BaWal : public LogDevice
 {
   public:
     BaWal(ba::TwoBSsd &dev, const BaWalConfig &cfg = {});
+    ~BaWal() override;
 
     sim::Tick append(sim::Tick now,
                      std::span<const std::uint8_t> record) override;

@@ -10,14 +10,21 @@ namespace bssd::wal
 BlockWal::BlockWal(ssd::SsdDevice &dev, const BlockWalConfig &cfg)
     : dev_(dev), cfg_(cfg)
 {
+    dev_.domain().adopt(this, sizeof(*this), "wal.block");
     if (cfg_.regionOffset + cfg_.regionBytes > dev_.capacityBytes())
         sim::fatal("block WAL region exceeds device capacity");
     staged_.reserve(sim::MiB);
 }
 
+BlockWal::~BlockWal()
+{
+    dev_.domain().release(this);
+}
+
 sim::Tick
 BlockWal::append(sim::Tick now, std::span<const std::uint8_t> record)
 {
+    BSSD_OWN_GUARD(this);
     if (appendPos_ + record.size() > cfg_.regionBytes) {
         sim::fatal("block WAL region full; engine must checkpoint "
                    "before ", cfg_.regionBytes, " bytes of log");
@@ -31,6 +38,7 @@ BlockWal::append(sim::Tick now, std::span<const std::uint8_t> record)
 sim::Tick
 BlockWal::commit(sim::Tick now)
 {
+    BSSD_OWN_GUARD(this);
     if (durablePos_ == appendPos_)
         return now; // nothing new; fsync would be a no-op
     const sim::SpanId sp =

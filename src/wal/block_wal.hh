@@ -41,6 +41,7 @@ class BlockWal : public LogDevice
 {
   public:
     BlockWal(ssd::SsdDevice &dev, const BlockWalConfig &cfg = {});
+    ~BlockWal() override;
 
     sim::Tick append(sim::Tick now,
                      std::span<const std::uint8_t> record) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/domain.hh"
 #include "sim/logging.hh"
 
 namespace bssd::wal
@@ -21,6 +22,7 @@ sim::Tick
 ReplicatedWal::append(sim::Tick now,
                       std::span<const std::uint8_t> record)
 {
+    BSSD_OWN_GUARD(this);
     const sim::Tick t = primary_->append(now, record);
     pending_.emplace_back(record.begin(), record.end());
     return t;
@@ -29,6 +31,7 @@ ReplicatedWal::append(sim::Tick now,
 sim::Tick
 ReplicatedWal::commit(sim::Tick now)
 {
+    BSSD_OWN_GUARD(this);
     // Local durability first: the primary's own BA_SYNC path, with all
     // of its tracepoints (a cut here leaves the follower at the
     // previous acknowledged prefix).

@@ -1,0 +1,23 @@
+// Fixture: own-cross-domain-access must flag a domain-rooted object
+// reaching through a handle into another domain's state without a
+// post() — the silent aliasing that stays bit-identical right up
+// until a topology or thread-count change exposes it.
+#include "sim/domain.hh"
+
+struct AliasPeer
+{
+    bssd::sim::Domain dom{"peer"};
+    long ticks = 0;
+};
+
+struct AliasOwner
+{
+    bssd::sim::Domain dom{"owner"};
+    AliasPeer *peer_ = nullptr;
+
+    void tick()
+    {
+        // Foreign-domain state mutated from this domain's window.
+        peer_->ticks += 1;
+    }
+};

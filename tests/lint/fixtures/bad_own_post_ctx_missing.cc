@@ -1,0 +1,12 @@
+// Fixture: own-post-ctx-missing must flag the 3-argument post().
+// Dropping the TraceContext silently unstitches the cross-domain
+// request tree — spans the callback records in the target domain
+// become orphans instead of children of the sending request.
+#include "sim/domain.hh"
+
+void
+ringDoorbell(bssd::sim::Domain &host, bssd::sim::Domain &device,
+             bssd::sim::Tick when)
+{
+    host.post(device, when, [] {});
+}

@@ -1,0 +1,15 @@
+// Fixture: own-raw-handle-escape must flag accessors handing out
+// mutable references or pointers to domain-owned state — the escaped
+// handle lets any caller mutate it from outside the owning domain's
+// window, bypassing the mailbox order entirely.
+#include "sim/domain.hh"
+
+struct EscapeRig
+{
+    bssd::sim::Domain dom{"rig"};
+    long credits_ = 0;
+    long *table_ = nullptr;
+
+    long &credits() { return credits_; }
+    long *table() { return table_; }
+};

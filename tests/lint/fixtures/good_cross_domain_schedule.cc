@@ -11,11 +11,13 @@ struct Doorbell
     bssd::sim::Domain &device;
     bssd::sim::EventQueue queue_;
 
-    void ring(bssd::sim::Tick when)
+    void ring(bssd::sim::Tick when, bssd::sim::TraceContext ctx)
     {
         // Cross-domain: the mailbox keeps delivery order a pure
-        // function of (tick, sender id, sender sequence).
-        host.post(device, when, [] {});
+        // function of (tick, sender id, sender sequence), and the
+        // TraceContext keeps the request identity stitched across
+        // the boundary (own-post-ctx-missing).
+        host.post(device, when, ctx, [] {});
         // Same-domain, owned member: no accessor involved.
         queue_.schedule(when, [] {});
         // Same-domain through the accessor: reviewed and justified.

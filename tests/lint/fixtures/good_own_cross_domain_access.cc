@@ -1,0 +1,23 @@
+// Fixture: the sanctioned ways to touch another domain's state.
+// Reading the peer's Domain member only addresses its mailbox; the
+// mutation itself rides a posted callback and runs inside the peer's
+// own execution window, where the engine guarantees exclusivity.
+#include "sim/domain.hh"
+
+struct MailboxPeer
+{
+    bssd::sim::Domain dom{"peer"};
+    long ticks = 0;
+};
+
+struct MailboxOwner
+{
+    bssd::sim::Domain dom{"owner"};
+    MailboxPeer *peer_ = nullptr;
+
+    void tick(bssd::sim::Tick when, bssd::sim::TraceContext ctx)
+    {
+        dom.post(peer_->dom, when, ctx,
+                 [this] { peer_->ticks += 1; });
+    }
+};

@@ -1,0 +1,11 @@
+// Fixture: the 4-argument post() carries the request identity across
+// the domain boundary. An empty context degrades to the plain post()
+// at delivery time, so untraced runs pay nothing for the habit.
+#include "sim/domain.hh"
+
+void
+ringDoorbell(bssd::sim::Domain &host, bssd::sim::Domain &device,
+             bssd::sim::Tick when, bssd::sim::TraceContext ctx)
+{
+    host.post(device, when, ctx, [] {});
+}

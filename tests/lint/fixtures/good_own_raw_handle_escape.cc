@@ -1,0 +1,15 @@
+// Fixture: the sanctioned accessor shapes. Values and const
+// references cannot be mutated from outside; the Domain handle itself
+// is how other domains address this rig's mailbox, so handing it out
+// is the mechanism, not a leak.
+#include "sim/domain.hh"
+
+struct SafeRig
+{
+    bssd::sim::Domain dom{"rig"};
+    long credits_ = 0;
+
+    long credits() const { return credits_; }
+    const long &creditsView() const { return credits_; }
+    bssd::sim::Domain &domain() { return dom; }
+};

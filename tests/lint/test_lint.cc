@@ -68,6 +68,9 @@ TEST(LintFixtures, EachBadFixtureTriggersExactlyItsRule)
         {"bad_span_name.cc", "xcheck-span-name"},
         {"bad_metric_path.cc", "xcheck-metric-path"},
         {"bad_suppression.cc", "lint-suppression"},
+        {"bad_own_cross_domain_access.cc", "own-cross-domain-access"},
+        {"bad_own_post_ctx_missing.cc", "own-post-ctx-missing"},
+        {"bad_own_raw_handle_escape.cc", "own-raw-handle-escape"},
     };
     for (const auto &[file, rule] : expect) {
         LintResult r = lintPath(kFixtures + file);
@@ -93,6 +96,9 @@ TEST(LintFixtures, GoodFixturesAreClean)
         "good_ticks_literal.cc",   "good_tracepoint.cc",
         "good_metric_path.cc",     "good_suppression.cc",
         "good_cross_domain_schedule.cc", "good_span_name.cc",
+        "good_own_cross_domain_access.cc",
+        "good_own_post_ctx_missing.cc",
+        "good_own_raw_handle_escape.cc",
     };
     for (const auto &file : good) {
         LintResult r = lintPath(kFixtures + file);
@@ -278,6 +284,63 @@ inline constexpr const char *kPhaseNames[] = {
     EXPECT_NE(violations[0].message.find("'dma'"), std::string::npos);
     EXPECT_NE(violations[1].message.find("'ba.flush'"),
               std::string::npos);
+}
+
+TEST(LintOwnership, LiveTreeSitesStillDetectedWhenUnsuppressed)
+{
+    // The justified raw-handle escapes in src/ssd/ssd_device.hh are
+    // real rule hits: neutralize the markers and the violations must
+    // come back. Unit-level twin of CI's bad-fixture self-test - this
+    // fails if own-raw-handle-escape is ever disabled or the accessor
+    // block stops being covered.
+    std::ifstream in(std::string(kRoot) + "/src/ssd/ssd_device.hh",
+                     std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string src = ss.str();
+    std::size_t neutralized = 0;
+    for (std::size_t at = src.find("bssd-lint:");
+         at != std::string::npos; at = src.find("bssd-lint:", at + 1)) {
+        src[at] = 'x';
+        ++neutralized;
+    }
+    ASSERT_GT(neutralized, 0u);
+    auto violations =
+        lintBuffer("src/ssd/ssd_device.hh", src, ProjectTables{});
+    std::set<std::string> rules;
+    for (const auto &v : violations)
+        rules.insert(v.rule);
+    EXPECT_EQ(rules, std::set<std::string>{"own-raw-handle-escape"});
+}
+
+TEST(LintSuppressions, AuditInventoriesMarkers)
+{
+    // --warn-unused-suppressions reports every marker with its match
+    // status; the plain run keeps the inventory (and its json block)
+    // out entirely so default reports stay byte-identical.
+    LintOptions opts;
+    opts.root = kRoot;
+    opts.paths = {kFixtures + "good_suppression.cc"};
+    opts.auditSuppressions = true;
+    LintResult r = runLint(opts);
+    EXPECT_TRUE(r.clean());
+    ASSERT_FALSE(r.suppressions.empty());
+    for (const auto &s : r.suppressions) {
+        EXPECT_TRUE(s.used) << s.file << ":" << s.line;
+        EXPECT_GT(s.targetLine, 0);
+        EXPECT_TRUE(knownRule(s.rule)) << s.rule;
+    }
+    std::ostringstream js;
+    writeJson(r, js);
+    EXPECT_NE(js.str().find("\"suppressions\""), std::string::npos);
+
+    opts.auditSuppressions = false;
+    LintResult plain = runLint(opts);
+    EXPECT_TRUE(plain.suppressions.empty());
+    std::ostringstream pj;
+    writeJson(plain, pj);
+    EXPECT_EQ(pj.str().find("\"suppressions\""), std::string::npos);
 }
 
 TEST(LintCatalog, RuleIdsAreSortedAndKnown)

@@ -34,7 +34,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -45,8 +44,6 @@
 namespace
 {
 
-using bssd::tools::Json;
-using bssd::tools::Parser;
 using bssd::tools::TraceEvent;
 
 /** Blame buckets, fixed report order. */
@@ -214,7 +211,7 @@ printJson(const std::vector<Request> &requests, std::size_t topK)
     for (std::size_t i = 0; i < topK && i < requests.size(); ++i) {
         const Request &r = requests[i];
         os << (i ? "," : "") << "\n    {\"trace\": " << r.trace
-           << ", \"op\": \"" << r.op
+           << ", \"op\": \"" << bssd::tools::jsonEscaped(r.op)
            << "\", \"start_ticks\": " << r.startTicks
            << ", \"dur_ticks\": " << r.durTicks << ", \"blame\": {";
         bool f2 = true;
@@ -255,21 +252,8 @@ main(int argc, char **argv)
     if (file.empty())
         return fail("usage: critical_path [--top=K] [--json] FILE");
 
-    std::ifstream is(file);
-    if (!is)
-        return fail("cannot open " + file);
-    std::stringstream ss;
-    ss << is.rdbuf();
-
-    Json doc;
-    try {
-        doc = Parser(ss.str()).parse();
-    } catch (const std::exception &e) {
-        return fail(e.what());
-    }
-
     std::vector<TraceEvent> events;
-    if (std::string err = bssd::tools::decodeEvents(doc, events, false);
+    if (std::string err = bssd::tools::loadTraceFile(file, false, events);
         !err.empty())
         return fail(err);
 

@@ -30,10 +30,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,8 +40,6 @@
 namespace
 {
 
-using bssd::tools::Json;
-using bssd::tools::Parser;
 using bssd::tools::TraceEvent;
 
 struct Options
@@ -349,22 +345,9 @@ main(int argc, char **argv)
                     "[--cat=C] [--name=N] [--from-us=T] [--to-us=T] "
                     "[--request=ID] FILE");
 
-    std::ifstream is(opt.file);
-    if (!is)
-        return fail("cannot open " + opt.file);
-    std::stringstream ss;
-    ss << is.rdbuf();
-
-    Json doc;
-    try {
-        doc = Parser(ss.str()).parse();
-    } catch (const std::exception &e) {
-        return fail(e.what());
-    }
-
     std::vector<TraceEvent> events;
     if (std::string err =
-            bssd::tools::decodeEvents(doc, events, opt.validate);
+            bssd::tools::loadTraceFile(opt.file, opt.validate, events);
         !err.empty())
         return fail(err);
 

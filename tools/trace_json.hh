@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -316,6 +318,63 @@ decodeEvents(const Json &doc, std::vector<TraceEvent> &out,
         out.push_back(std::move(e));
     }
     return "";
+}
+
+/**
+ * Escape @p s for embedding inside a JSON string literal. One shared
+ * definition so every tool that emits JSON (critical_path --json and
+ * friends) quotes identically; values coming out of the simulator are
+ * plain identifiers today, so for real traces the escaped form is
+ * byte-identical to the input.
+ */
+inline std::string
+jsonEscaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * The tools' shared ingestion path: read @p path, parse the document
+ * and decode its traceEvents. Returns "" on success, else the error
+ * message for the caller to prefix with its program name.
+ */
+inline std::string
+loadTraceFile(const std::string &path, bool validate,
+              std::vector<TraceEvent> &out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return "cannot open " + path;
+    std::stringstream ss;
+    ss << is.rdbuf();
+
+    Json doc;
+    try {
+        doc = Parser(ss.str()).parse();
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    return decodeEvents(doc, out, validate);
 }
 
 } // namespace bssd::tools
